@@ -1,0 +1,59 @@
+#ifndef SURVEYOR_BENCH_BENCH_UTIL_H_
+#define SURVEYOR_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/worlds.h"
+#include "eval/harness.h"
+#include "eval/testcases.h"
+#include "text/document.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace surveyor {
+namespace bench {
+
+/// Prints a section header for a reproduced table/figure.
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n\n";
+}
+
+/// A world + corpus + prepared comparison harness, the common setup of the
+/// evaluation benches.
+struct PreparedWorld {
+  World world;
+  std::vector<RawDocument> corpus;
+  ComparisonHarness harness;
+  double generate_seconds = 0.0;
+  double prepare_seconds = 0.0;
+
+  PreparedWorld(WorldConfig config, GeneratorOptions generator_options)
+      : world(World::Generate(config).value()),
+        harness(&world.kb(), &world.lexicon()) {
+    WallTimer timer;
+    corpus = CorpusGenerator(&world, generator_options).Generate();
+    generate_seconds = timer.ElapsedSeconds();
+    timer.Reset();
+    SURVEYOR_CHECK_OK(harness.Prepare(corpus));
+    prepare_seconds = timer.ElapsedSeconds();
+  }
+};
+
+/// The canonical paper-world setup used by the Table 3 / Fig. 11 / Fig. 12
+/// benches (Section 7.3 protocol: 5 types x 5 properties x 20 entities).
+inline PreparedWorld MakePaperSetup(int entities_per_type = 150,
+                                    double author_population = 800,
+                                    uint64_t corpus_seed = 101) {
+  GeneratorOptions options;
+  options.author_population = author_population;
+  options.seed = corpus_seed;
+  return PreparedWorld(MakePaperWorldConfig(entities_per_type), options);
+}
+
+}  // namespace bench
+}  // namespace surveyor
+
+#endif  // SURVEYOR_BENCH_BENCH_UTIL_H_

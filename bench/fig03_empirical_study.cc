@@ -1,0 +1,172 @@
+// Reproduces Figure 3 (Section 2 empirical study): 461 Californian cities,
+// property "big". Reports statement counts versus population (3a/3b), the
+// majority-vote polarity (3c) and the probabilistic-model polarity (3d),
+// plus the rank correlations that quantify the visual difference.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/majority_vote.h"
+#include "eval/hit_counter.h"
+#include "bench/bench_util.h"
+#include "surveyor/surveyor_classifier.h"
+#include "util/math.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+int PopulationDecade(double population) {
+  return static_cast<int>(std::floor(std::log10(std::max(population, 1.0))));
+}
+
+void Run() {
+  GeneratorOptions generator_options;
+  generator_options.author_population = 20000;
+  generator_options.seed = 301;
+  generator_options.exposure_exponent = 0.85;
+  bench::PreparedWorld setup(MakeBigCityWorldConfig(461), generator_options);
+
+  const TypeId city = setup.world.kb().TypeByName("city").value();
+  const PropertyTypeEvidence* evidence =
+      setup.harness.EvidenceFor(city, "big");
+  SURVEYOR_CHECK(evidence != nullptr);
+
+  MajorityVoteClassifier mv;
+  SurveyorClassifier surveyor_method;
+  const auto mv_polarity = mv.Classify(*evidence);
+  const auto model_polarity = surveyor_method.Classify(*evidence);
+  auto fit = surveyor_method.Fit(*evidence);
+  SURVEYOR_CHECK(fit.ok());
+
+  // --- Fig. 3(a)/3(b): counts vs population, binned by decade -------------
+  bench::PrintHeader(
+      "Figure 3(a)/3(b): statement counts by population decade");
+  TextTable counts_table({"population decade", "#cities", "mean C+",
+                          "max C+", "mean C-", "max C-"});
+  for (int decade = 2; decade <= 7; ++decade) {
+    int cities_in_bin = 0;
+    double sum_pos = 0, sum_neg = 0;
+    int64_t max_pos = 0, max_neg = 0;
+    for (size_t i = 0; i < evidence->entities.size(); ++i) {
+      const double population =
+          setup.world.kb()
+              .GetAttribute(evidence->entities[i], "population")
+              .value();
+      if (PopulationDecade(population) != decade) continue;
+      ++cities_in_bin;
+      sum_pos += static_cast<double>(evidence->counts[i].positive);
+      sum_neg += static_cast<double>(evidence->counts[i].negative);
+      max_pos = std::max(max_pos, evidence->counts[i].positive);
+      max_neg = std::max(max_neg, evidence->counts[i].negative);
+    }
+    if (cities_in_bin == 0) continue;
+    counts_table.AddRow({StrFormat("10^%d..10^%d", decade, decade + 1),
+                         StrFormat("%d", cities_in_bin),
+                         TextTable::Num(sum_pos / cities_in_bin, 1),
+                         StrFormat("%lld", static_cast<long long>(max_pos)),
+                         TextTable::Num(sum_neg / cities_in_bin, 2),
+                         StrFormat("%lld", static_cast<long long>(max_neg))});
+  }
+  counts_table.Print(std::cout);
+
+  // --- Fig. 3(c)/3(d): polarity by population decade ----------------------
+  bench::PrintHeader("Figure 3(c)/3(d): polarity by population decade");
+  TextTable polarity_table({"population decade", "MV +", "MV N", "MV -",
+                            "Model +", "Model N", "Model -"});
+  for (int decade = 2; decade <= 7; ++decade) {
+    int mv_counts[3] = {0, 0, 0};
+    int model_counts[3] = {0, 0, 0};
+    auto bucket = [](Polarity p) {
+      return p == Polarity::kPositive ? 0 : (p == Polarity::kNeutral ? 1 : 2);
+    };
+    int cities_in_bin = 0;
+    for (size_t i = 0; i < evidence->entities.size(); ++i) {
+      const double population =
+          setup.world.kb()
+              .GetAttribute(evidence->entities[i], "population")
+              .value();
+      if (PopulationDecade(population) != decade) continue;
+      ++cities_in_bin;
+      ++mv_counts[bucket(mv_polarity[i])];
+      ++model_counts[bucket(model_polarity[i])];
+    }
+    if (cities_in_bin == 0) continue;
+    polarity_table.AddRow({StrFormat("10^%d..10^%d", decade, decade + 1),
+                           StrFormat("%d", mv_counts[0]),
+                           StrFormat("%d", mv_counts[1]),
+                           StrFormat("%d", mv_counts[2]),
+                           StrFormat("%d", model_counts[0]),
+                           StrFormat("%d", model_counts[1]),
+                           StrFormat("%d", model_counts[2])});
+  }
+  polarity_table.Print(std::cout);
+
+  // --- Quantitative summary ------------------------------------------------
+  std::vector<double> log_population, mv_score, model_score;
+  int mv_undecided = 0;
+  int model_undecided = 0;
+  for (size_t i = 0; i < evidence->entities.size(); ++i) {
+    const double population =
+        setup.world.kb()
+            .GetAttribute(evidence->entities[i], "population")
+            .value();
+    log_population.push_back(std::log10(population));
+    mv_score.push_back(static_cast<double>(static_cast<int>(mv_polarity[i])));
+    model_score.push_back(fit->responsibilities[i]);
+    if (mv_polarity[i] == Polarity::kNeutral) ++mv_undecided;
+    if (model_polarity[i] == Polarity::kNeutral) ++model_undecided;
+  }
+  // --- Section 2's actual instrument: exact-phrase hit counts -------------
+  bench::PrintHeader(
+      "Section 2 methodology: phrase-query hits vs NLP extraction");
+  {
+    PhraseHitCounter hits(setup.corpus);
+    TextTable hit_table({"city", "population", "\"X is a big city\" hits",
+                         "\"X is not a big city\" hits", "extracted C+",
+                         "extracted C-"});
+    for (const char* name :
+         {"los angeles", "san francisco", "fresno", "palo alto", "eureka"}) {
+      const EntityId entity = setup.world.kb().EntitiesByName(name)[0];
+      size_t index = 0;
+      for (size_t i = 0; i < evidence->entities.size(); ++i) {
+        if (evidence->entities[i] == entity) index = i;
+      }
+      const EvidenceCounts phrase_counts =
+          hits.QueryPair(name, "big", "city");
+      hit_table.AddRow(
+          {name,
+           TextTable::Num(
+               setup.world.kb().GetAttribute(entity, "population").value(), 0),
+           StrFormat("%lld", static_cast<long long>(phrase_counts.positive)),
+           StrFormat("%lld", static_cast<long long>(phrase_counts.negative)),
+           StrFormat("%lld",
+                     static_cast<long long>(evidence->counts[index].positive)),
+           StrFormat("%lld", static_cast<long long>(
+                                 evidence->counts[index].negative))});
+    }
+    hit_table.Print(std::cout);
+    std::cout << "\nPhrase queries see only one fixed template; the NLP\n"
+                 "patterns also catch paraphrases, conjunctions and embedded\n"
+                 "clauses (the paper used queries for the exploration and the\n"
+                 "NLP pipeline for the real system).\n";
+  }
+
+  bench::PrintHeader("Summary");
+  TextTable summary({"measure", "majority vote", "probabilistic model"});
+  summary.AddRow({"Spearman corr. with log10(population)",
+                  TextTable::Num(SpearmanCorrelation(log_population, mv_score)),
+                  TextTable::Num(
+                      SpearmanCorrelation(log_population, model_score))});
+  summary.AddRow({"undecided cities", StrFormat("%d", mv_undecided),
+                  StrFormat("%d", model_undecided)});
+  summary.AddRow({"fitted parameters", "-", fit->params.ToString()});
+  summary.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace surveyor
+
+int main() {
+  surveyor::Run();
+  return 0;
+}

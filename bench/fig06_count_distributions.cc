@@ -1,0 +1,64 @@
+// Reproduces Figure 6 + Example 1/3: the two two-dimensional probability
+// distributions over evidence tuples induced by pA=0.9, n*p+S=100,
+// n*p-S=5, and the classification of the example tuple (60, 3).
+#include <iostream>
+
+#include "model/user_model.h"
+#include "util/math.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace surveyor {
+namespace {
+
+void PrintDistribution(const ModelParams& params, bool positive_component) {
+  TextTable table({"C+ \\ C-", "0", "1", "2", "3", "5", "8", "10"});
+  const int negatives[] = {0, 1, 2, 3, 5, 8, 10};
+  for (int positive = 0; positive <= 110; positive += 10) {
+    std::vector<std::string> row = {StrFormat("%d", positive)};
+    for (int negative : negatives) {
+      const EvidenceCounts counts{positive, negative};
+      const double log_probability =
+          positive_component ? LogLikelihoodPositive(counts, params)
+                             : LogLikelihoodNegative(counts, params);
+      row.push_back(TextTable::Num(log_probability, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  const ModelParams params{0.9, 100.0, 5.0};
+  const PoissonRates rates = RatesFromParams(params);
+
+  std::cout << "==== Figure 6: log-probability of evidence tuples ====\n\n";
+  std::cout << "Model parameters (paper Example 3): " << params.ToString()
+            << "\n";
+  std::cout << StrFormat(
+      "Poisson rates: l++=%.1f l-+=%.1f l--=%.1f l+-=%.1f\n\n",
+      rates.pos_given_pos, rates.neg_given_pos, rates.neg_given_neg,
+      rates.pos_given_neg);
+
+  std::cout << "--- 6(a): positive dominant opinion component ---\n";
+  PrintDistribution(params, /*positive_component=*/true);
+  std::cout << "\n--- 6(b): negative dominant opinion component ---\n";
+  PrintDistribution(params, /*positive_component=*/false);
+
+  const EvidenceCounts example{60, 3};
+  std::cout << "\n==== Example 1: the evidence tuple (60, 3) ====\n\n";
+  std::cout << StrFormat("log Pr(60,3 | D=+) = %.2f\n",
+                         LogLikelihoodPositive(example, params));
+  std::cout << StrFormat("log Pr(60,3 | D=-) = %.2f\n",
+                         LogLikelihoodNegative(example, params));
+  std::cout << StrFormat("Pr(D=+ | 60,3)     = %.6f  (paper: positive wins)\n",
+                         PosteriorPositive(example, params));
+}
+
+}  // namespace
+}  // namespace surveyor
+
+int main() {
+  surveyor::Run();
+  return 0;
+}

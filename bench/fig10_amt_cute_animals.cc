@@ -1,0 +1,69 @@
+// Reproduces Figure 10 (Section 7.3): how many of 20 simulated AMT workers
+// call each of the paper's twenty animals "cute", next to the latent
+// opinion fraction and the Surveyor posterior for the same pair.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "eval/amt.h"
+#include "surveyor/surveyor_classifier.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+constexpr const char* kFigure10Animals[] = {
+    "pony",   "spider",  "koala",        "rat",       "scorpion",
+    "crow",   "kitten",  "monkey",       "octopus",   "beaver",
+    "goose",  "tiger",   "moose",        "frog",      "grizzly bear",
+    "alligator", "puppy", "camel",       "white shark", "lion"};
+
+void Run() {
+  bench::PreparedWorld setup = bench::MakePaperSetup();
+  const KnowledgeBase& kb = setup.world.kb();
+  const TypeId animal = kb.TypeByName("animal").value();
+  const PropertyTypeEvidence* evidence =
+      setup.harness.EvidenceFor(animal, "cute");
+  SURVEYOR_CHECK(evidence != nullptr);
+
+  SurveyorClassifier surveyor_method;
+  auto fit = surveyor_method.Fit(*evidence);
+  SURVEYOR_CHECK(fit.ok());
+
+  AmtSimulator amt(&setup.world, AmtOptions{20});
+  Rng rng(1010);
+
+  bench::PrintHeader("Figure 10: workers (out of 20) calling the animal cute");
+  TextTable table({"animal", "workers saying cute", "latent fraction",
+                   "C+", "C-", "Surveyor Pr(cute)"});
+  for (const char* name : kFigure10Animals) {
+    const std::vector<EntityId> ids = kb.EntitiesByName(name);
+    SURVEYOR_CHECK(!ids.empty()) << name;
+    const EntityId entity = ids[0];
+    auto vote = amt.Collect(entity, "cute", rng);
+    SURVEYOR_CHECK(vote.ok());
+    size_t index = 0;
+    for (size_t i = 0; i < evidence->entities.size(); ++i) {
+      if (evidence->entities[i] == entity) index = i;
+    }
+    table.AddRow(
+        {name, StrFormat("%d", vote->positive_votes),
+         TextTable::Num(
+             setup.world.PositiveFraction(entity, "cute").value(), 2),
+         StrFormat("%lld",
+                   static_cast<long long>(evidence->counts[index].positive)),
+         StrFormat("%lld",
+                   static_cast<long long>(evidence->counts[index].negative)),
+         TextTable::Num(fit->responsibilities[index], 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nFitted model for (animal, cute): " << fit->params.ToString()
+            << "\n";
+}
+
+}  // namespace
+}  // namespace surveyor
+
+int main() {
+  surveyor::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Figure 12 (Section 7.4): precision and coverage of the four
+// methods for test cases whose worker agreement is at least each
+// threshold.
+#include <iostream>
+
+#include "baselines/majority_vote.h"
+#include "bench/bench_util.h"
+#include "surveyor/surveyor_classifier.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+void Run() {
+  bench::PreparedWorld setup = bench::MakePaperSetup();
+  Rng rng(103);
+  const std::vector<LabeledTestCase> labeled = LabelWithAmt(
+      setup.world, SelectCuratedTestCases(setup.world, 20), AmtOptions{20},
+      rng);
+
+  MajorityVoteClassifier mv;
+  ScaledMajorityVoteClassifier smv(setup.harness.global_scale());
+  SurveyorClassifier surveyor_method;
+  const OpinionClassifier* methods[] = {&mv, &smv, &setup.harness.webchild(),
+                                        &surveyor_method};
+
+  bench::PrintHeader("Figure 12 (top): precision vs worker agreement");
+  TextTable precision_table(
+      {"agreement >=", "cases", "Majority", "Scaled Majority", "WebChild",
+       "Surveyor"});
+  for (int threshold = 11; threshold <= 20; ++threshold) {
+    std::vector<std::string> row = {StrFormat("%d", threshold)};
+    bool first = true;
+    for (const OpinionClassifier* method : methods) {
+      const EvalMetrics metrics =
+          setup.harness.Evaluate(*method, labeled, threshold);
+      if (first) {
+        row.push_back(StrFormat("%lld",
+                                static_cast<long long>(metrics.total_cases)));
+        first = false;
+      }
+      row.push_back(TextTable::Num(metrics.precision()));
+    }
+    precision_table.AddRow(std::move(row));
+  }
+  precision_table.Print(std::cout);
+
+  bench::PrintHeader("Figure 12 (bottom): coverage vs worker agreement");
+  TextTable coverage_table({"agreement >=", "Majority", "Scaled Majority",
+                            "WebChild", "Surveyor"});
+  for (int threshold = 11; threshold <= 20; ++threshold) {
+    std::vector<std::string> row = {StrFormat("%d", threshold)};
+    for (const OpinionClassifier* method : methods) {
+      const EvalMetrics metrics =
+          setup.harness.Evaluate(*method, labeled, threshold);
+      row.push_back(TextTable::Num(metrics.coverage()));
+    }
+    coverage_table.AddRow(std::move(row));
+  }
+  coverage_table.Print(std::cout);
+
+  std::cout << "\nShape check (paper): Surveyor precision rises with\n"
+               "agreement (0.77 -> 0.87) while Majority Vote stays flat and\n"
+               "low; Surveyor coverage is roughly double the baselines'.\n";
+}
+
+}  // namespace
+}  // namespace surveyor
+
+int main() {
+  surveyor::Run();
+  return 0;
+}

@@ -1,0 +1,136 @@
+// google-benchmark micro-benchmarks for the hot paths: tokenization,
+// entity tagging, dependency parsing, evidence extraction, the EM
+// iteration, and posterior inference.
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "corpus/worlds.h"
+#include "extraction/extractor.h"
+#include "model/em.h"
+#include "text/annotator.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace surveyor {
+namespace {
+
+const World& SharedWorld() {
+  static const World& world =
+      *new World(World::Generate(MakePaperWorldConfig(150)).value());
+  return world;
+}
+
+const std::vector<std::string>& SharedSentences() {
+  static const std::vector<std::string>& sentences = *[] {
+    auto* result = new std::vector<std::string>();
+    GeneratorOptions options;
+    options.author_population = 2000;
+    options.seed = 4242;
+    for (const RawDocument& doc :
+         CorpusGenerator(&SharedWorld(), options).Generate()) {
+      for (const std::string& sentence : SplitSentences(doc.text)) {
+        result->push_back(sentence);
+      }
+      if (result->size() >= 4096) break;
+    }
+    return result;
+  }();
+  return sentences;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const auto& sentences = SharedSentences();
+  const Lexicon& lexicon = SharedWorld().lexicon();
+  size_t i = 0;
+  int64_t tokens = 0;
+  for (auto _ : state) {
+    tokens += static_cast<int64_t>(
+        Tokenize(sentences[i++ % sentences.size()], lexicon).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(tokens);
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_AnnotateSentence(benchmark::State& state) {
+  const auto& sentences = SharedSentences();
+  const World& world = SharedWorld();
+  TextAnnotator annotator(&world.kb(), &world.lexicon());
+  size_t i = 0;
+  int64_t parsed = 0;
+  for (auto _ : state) {
+    parsed += annotator.AnnotateSentence(sentences[i++ % sentences.size()])
+                      .parsed
+                  ? 1
+                  : 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(parsed);
+}
+BENCHMARK(BM_AnnotateSentence);
+
+void BM_ExtractFromSentence(benchmark::State& state) {
+  const auto& sentences = SharedSentences();
+  const World& world = SharedWorld();
+  TextAnnotator annotator(&world.kb(), &world.lexicon());
+  std::vector<AnnotatedSentence> annotated;
+  for (const std::string& sentence : sentences) {
+    annotated.push_back(annotator.AnnotateSentence(sentence));
+  }
+  EvidenceExtractor extractor;
+  size_t i = 0;
+  int64_t statements = 0;
+  for (auto _ : state) {
+    statements += static_cast<int64_t>(
+        extractor.ExtractFromSentence(annotated[i++ % annotated.size()])
+            .size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(statements);
+}
+BENCHMARK(BM_ExtractFromSentence);
+
+std::vector<EvidenceCounts> SyntheticCounts(size_t entities) {
+  Rng rng(99);
+  std::vector<EvidenceCounts> counts(entities);
+  const PoissonRates rates = RatesFromParams({0.9, 50.0, 5.0});
+  for (auto& c : counts) {
+    const bool positive = rng.Bernoulli(0.3);
+    c.positive = rng.Poisson(positive ? rates.pos_given_pos : rates.pos_given_neg);
+    c.negative = rng.Poisson(positive ? rates.neg_given_pos : rates.neg_given_neg);
+  }
+  return counts;
+}
+
+void BM_EmFit(benchmark::State& state) {
+  const auto counts = SyntheticCounts(static_cast<size_t>(state.range(0)));
+  EmOptions options;
+  options.max_iterations = 20;
+  options.tolerance = 0.0;
+  EmLearner learner(options);
+  for (auto _ : state) {
+    auto fit = learner.Fit(counts);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EmFit)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PosteriorInference(benchmark::State& state) {
+  const ModelParams params{0.9, 50.0, 5.0};
+  Rng rng(7);
+  std::vector<EvidenceCounts> counts = SyntheticCounts(1024);
+  size_t i = 0;
+  double sum = 0.0;
+  for (auto _ : state) {
+    sum += PosteriorPositive(counts[i++ % counts.size()], params);
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_PosteriorInference);
+
+}  // namespace
+}  // namespace surveyor
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Reproduces Table 5 (Appendix D): the four methods on randomly sampled
+// property-type pairs (803 pairs x 7 entities for coverage; an 80-pair
+// subset for precision). Random entities are mostly obscure, so baseline
+// coverage collapses while Surveyor still decides from the per-pair model.
+#include <iostream>
+
+#include "baselines/majority_vote.h"
+#include "bench/bench_util.h"
+#include "surveyor/surveyor_classifier.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+void Run() {
+  GeneratorOptions generator_options;
+  generator_options.author_population = 4000;
+  generator_options.seed = 909;
+  generator_options.exposure_exponent = 0.9;
+  bench::PreparedWorld setup(MakeWebScaleWorldConfig(/*num_types=*/25, 23),
+                             generator_options);
+
+  // Candidate pairs: combinations that passed the deployment threshold
+  // (the paper samples from its large result set).
+  const auto available = setup.harness.PairsAboveThreshold(100);
+  std::cout << StrFormat("pairs above rho=100: %zu\n", available.size());
+
+  Rng rng(505);
+  const std::vector<TestCase> coverage_cases =
+      SelectRandomTestCases(setup.world, available, /*num_pairs=*/803,
+                            /*entities_per_pair=*/7, rng);
+  const std::vector<LabeledTestCase> coverage_labeled =
+      LabelWithAmt(setup.world, coverage_cases, AmtOptions{20}, rng);
+
+  // Precision subset: the paper hand-checked 80 pairs x 1 entity; the
+  // simulated ground truth is free, so we use 400 for a stabler estimate.
+  const std::vector<TestCase> precision_cases = SelectRandomTestCases(
+      setup.world, available, /*num_pairs=*/400, /*entities_per_pair=*/1, rng);
+  const std::vector<LabeledTestCase> precision_labeled =
+      LabelWithAmt(setup.world, precision_cases, AmtOptions{20}, rng);
+
+  MajorityVoteClassifier mv;
+  ScaledMajorityVoteClassifier smv(setup.harness.global_scale());
+  SurveyorClassifier surveyor_method;
+  const OpinionClassifier* methods[] = {&mv, &smv, &setup.harness.webchild(),
+                                        &surveyor_method};
+
+  bench::PrintHeader("Table 5: random sample of property-type combinations");
+  std::cout << StrFormat(
+      "coverage cases: %zu   precision cases: %zu\n\n",
+      coverage_labeled.size(), precision_labeled.size());
+  TextTable table({"Approach", "Coverage", "Precision", "F1"});
+  for (const OpinionClassifier* method : methods) {
+    const EvalMetrics coverage_metrics =
+        setup.harness.Evaluate(*method, coverage_labeled);
+    const EvalMetrics precision_metrics =
+        setup.harness.Evaluate(*method, precision_labeled);
+    // Paper protocol: coverage from the big sample, precision from the
+    // labeled subset; F1 from the two.
+    const double coverage = coverage_metrics.coverage();
+    const double precision = precision_metrics.precision();
+    const double f1 = (coverage + precision) == 0.0
+                          ? 0.0
+                          : 2.0 * coverage * precision / (coverage + precision);
+    table.AddRow({method->name(), TextTable::Num(coverage, 3),
+                  TextTable::Num(precision, 3), TextTable::Num(f1, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper: MV 0.077/0.33/0.13, SMV 0.077/0.42/0.13,\n"
+               "WebChild 0.17/0.62/0.27, Surveyor 0.999/0.78/0.88.\n"
+               "Shape: baseline coverage collapses on random entities while\n"
+               "Surveyor still answers nearly everything.\n";
+}
+
+}  // namespace
+}  // namespace surveyor
+
+int main() {
+  surveyor::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The paper's running example: which animals does the Web consider cute?
+//
+// Demonstrates the analysis API on one property-type pair: inspecting raw
+// evidence counters, fitting the user-behavior model, comparing the
+// posterior with simulated AMT workers, and reading the learned bias
+// parameters (p+S >> p-S: people say "cute" far more often than "not
+// cute").
+#include <algorithm>
+#include <iostream>
+
+#include "corpus/generator.h"
+#include "corpus/worlds.h"
+#include "eval/amt.h"
+#include "eval/harness.h"
+#include "model/diagnostics.h"
+#include "surveyor/surveyor_classifier.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace surveyor;
+
+  // The Section 7.3 evaluation world (Table 2), with the Fig. 10 animals.
+  World world = World::Generate(MakePaperWorldConfig(200)).value();
+  GeneratorOptions corpus_options;
+  corpus_options.author_population = 12000;
+  const std::vector<RawDocument> corpus =
+      CorpusGenerator(&world, corpus_options).Generate();
+
+  // Extract evidence once for all pairs.
+  ComparisonHarness harness(&world.kb(), &world.lexicon());
+  if (!harness.Prepare(corpus).ok()) return 1;
+
+  const TypeId animal = world.kb().TypeByName("animal").value();
+  const PropertyTypeEvidence* cute = harness.EvidenceFor(animal, "cute");
+  if (cute == nullptr) {
+    std::cerr << "no evidence for (animal, cute)\n";
+    return 1;
+  }
+  std::cout << "evidence for (animal, cute): " << cute->total_statements
+            << " statements over " << cute->entities.size() << " animals\n";
+
+  // Fit the probabilistic user model with EM.
+  SurveyorClassifier surveyor_method;
+  auto fit = surveyor_method.Fit(*cute);
+  if (!fit.ok()) return 1;
+  std::cout << "fitted model: " << fit->params.ToString() << "\n"
+            << "  -> the model learned the polarity bias: people voice\n"
+            << "     'cute' much more often than 'not cute'.\n\n";
+
+  // Compare against 20 simulated AMT workers per animal.
+  AmtSimulator amt(&world, AmtOptions{20});
+  Rng rng(2024);
+  TextTable table({"animal", "C+", "C-", "Pr(cute)", "verdict",
+                   "workers/20"});
+  for (const char* name : {"kitten", "puppy", "pony", "koala", "spider",
+                           "scorpion", "alligator", "white shark", "tiger",
+                           "rat"}) {
+    const EntityId entity = world.kb().EntitiesByName(name)[0];
+    size_t index = 0;
+    for (size_t i = 0; i < cute->entities.size(); ++i) {
+      if (cute->entities[i] == entity) index = i;
+    }
+    const double posterior = fit->responsibilities[index];
+    const auto vote = amt.Collect(entity, "cute", rng);
+    table.AddRow({name,
+                  StrFormat("%lld", static_cast<long long>(
+                                        cute->counts[index].positive)),
+                  StrFormat("%lld", static_cast<long long>(
+                                        cute->counts[index].negative)),
+                  TextTable::Num(posterior, 3),
+                  posterior > 0.5 ? "cute" : "not cute",
+                  StrFormat("%d", vote.ok() ? vote->positive_votes : -1)});
+  }
+  table.Print(std::cout);
+
+  // Goodness-of-fit report: how well the two-Poisson mixture describes
+  // these counts (large chi2 values flag pairs the model fits poorly).
+  std::cout << "\nmodel diagnostics: "
+            << DiagnoseFit(cute->counts, *fit).ToString() << "\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+#ifndef SURVEYOR_BASELINES_CLASSIFIER_H_
+#define SURVEYOR_BASELINES_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "extraction/aggregator.h"
+#include "model/opinion.h"
+
+namespace surveyor {
+
+/// Common interface for everything that turns the evidence of one
+/// property-type pair into per-entity polarity decisions: the Surveyor
+/// model and the three comparison methods of paper Section 7.4
+/// (majority vote, scaled majority vote, WebChild).
+class OpinionClassifier {
+ public:
+  virtual ~OpinionClassifier() = default;
+
+  /// Human-readable method name (appears in result tables).
+  virtual std::string name() const = 0;
+
+  /// Returns one polarity per entity in `evidence.entities`.
+  /// `Polarity::kNeutral` means the method produces no output for the
+  /// entity (counts as uncovered in the evaluation).
+  virtual std::vector<Polarity> Classify(
+      const PropertyTypeEvidence& evidence) const = 0;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_BASELINES_CLASSIFIER_H_

@@ -1,0 +1,56 @@
+#include "baselines/majority_vote.h"
+
+#include "util/logging.h"
+
+namespace surveyor {
+
+std::vector<Polarity> MajorityVoteClassifier::Classify(
+    const PropertyTypeEvidence& evidence) const {
+  std::vector<Polarity> result(evidence.counts.size(), Polarity::kNeutral);
+  for (size_t i = 0; i < evidence.counts.size(); ++i) {
+    const EvidenceCounts& c = evidence.counts[i];
+    if (c.positive > c.negative) {
+      result[i] = Polarity::kPositive;
+    } else if (c.negative > c.positive) {
+      result[i] = Polarity::kNegative;
+    }
+  }
+  return result;
+}
+
+ScaledMajorityVoteClassifier::ScaledMajorityVoteClassifier(double scale)
+    : scale_(scale) {
+  SURVEYOR_CHECK_GT(scale, 0.0);
+}
+
+std::vector<Polarity> ScaledMajorityVoteClassifier::Classify(
+    const PropertyTypeEvidence& evidence) const {
+  std::vector<Polarity> result(evidence.counts.size(), Polarity::kNeutral);
+  for (size_t i = 0; i < evidence.counts.size(); ++i) {
+    const EvidenceCounts& c = evidence.counts[i];
+    const double scaled_negative = scale_ * static_cast<double>(c.negative);
+    const double positive = static_cast<double>(c.positive);
+    if (positive > scaled_negative) {
+      result[i] = Polarity::kPositive;
+    } else if (scaled_negative > positive) {
+      result[i] = Polarity::kNegative;
+    }
+  }
+  return result;
+}
+
+double ScaledMajorityVoteClassifier::ComputeGlobalScale(
+    const std::vector<PropertyTypeEvidence>& all_evidence) {
+  int64_t positive = 0;
+  int64_t negative = 0;
+  for (const PropertyTypeEvidence& evidence : all_evidence) {
+    for (const EvidenceCounts& c : evidence.counts) {
+      positive += c.positive;
+      negative += c.negative;
+    }
+  }
+  if (negative == 0 || positive == 0) return 1.0;
+  return static_cast<double>(positive) / static_cast<double>(negative);
+}
+
+}  // namespace surveyor

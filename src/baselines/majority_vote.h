@@ -1,0 +1,50 @@
+#ifndef SURVEYOR_BASELINES_MAJORITY_VOTE_H_
+#define SURVEYOR_BASELINES_MAJORITY_VOTE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/classifier.h"
+
+namespace surveyor {
+
+/// Majority Vote (paper Section 7.4): positive when C+ > C-, negative when
+/// C- > C+, no decision when the counters tie (including the common 0/0
+/// case — which is why its coverage is poor).
+class MajorityVoteClassifier : public OpinionClassifier {
+ public:
+  MajorityVoteClassifier() = default;
+
+  std::string name() const override { return "Majority Vote"; }
+  std::vector<Polarity> Classify(
+      const PropertyTypeEvidence& evidence) const override;
+};
+
+/// Scaled Majority Vote: multiplies the negative counter by a global
+/// positive-to-negative ratio before voting — a coarse, type- and
+/// property-independent correction of the polarity bias.
+class ScaledMajorityVoteClassifier : public OpinionClassifier {
+ public:
+  /// `scale` is the average ratio of positive to negative statements over
+  /// the whole extraction output (see ComputeGlobalScale).
+  explicit ScaledMajorityVoteClassifier(double scale);
+
+  std::string name() const override { return "Scaled Majority Vote"; }
+  std::vector<Polarity> Classify(
+      const PropertyTypeEvidence& evidence) const override;
+
+  double scale() const { return scale_; }
+
+  /// Computes the global positive/negative statement ratio from the
+  /// aggregated evidence of every property-type pair. Returns 1 when no
+  /// negative statements exist.
+  static double ComputeGlobalScale(
+      const std::vector<PropertyTypeEvidence>& all_evidence);
+
+ private:
+  double scale_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_BASELINES_MAJORITY_VOTE_H_

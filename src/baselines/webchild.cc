@@ -1,0 +1,47 @@
+#include "baselines/webchild.h"
+
+namespace surveyor {
+
+WebChildClassifier::WebChildClassifier(WebChildOptions options)
+    : options_(options) {}
+
+void WebChildClassifier::Harvest(
+    const std::vector<EvidenceStatement>& statements) {
+  for (const EvidenceStatement& s : statements) {
+    ++entity_occurrences_[s.entity];
+    // Polarity is ignored: WebChild counts co-occurrence only, so "X is
+    // not cute" still strengthens the (X, cute) association — the false
+    // positives the paper observed for "cute animals".
+    ++associations_[s.entity][s.property];
+  }
+}
+
+bool WebChildClassifier::Covers(EntityId entity) const {
+  auto it = entity_occurrences_.find(entity);
+  return it != entity_occurrences_.end() &&
+         it->second >= options_.min_entity_occurrences;
+}
+
+bool WebChildClassifier::HasAssociation(EntityId entity,
+                                        const std::string& property) const {
+  auto it = associations_.find(entity);
+  if (it == associations_.end()) return false;
+  auto pit = it->second.find(property);
+  return pit != it->second.end() &&
+         pit->second >= options_.min_pair_occurrences;
+}
+
+std::vector<Polarity> WebChildClassifier::Classify(
+    const PropertyTypeEvidence& evidence) const {
+  std::vector<Polarity> result(evidence.entities.size(), Polarity::kNeutral);
+  for (size_t i = 0; i < evidence.entities.size(); ++i) {
+    const EntityId entity = evidence.entities[i];
+    if (!Covers(entity)) continue;  // not in the harvested KB
+    result[i] = HasAssociation(entity, evidence.property)
+                    ? Polarity::kPositive
+                    : Polarity::kNegative;
+  }
+  return result;
+}
+
+}  // namespace surveyor

@@ -1,0 +1,61 @@
+#ifndef SURVEYOR_BASELINES_WEBCHILD_H_
+#define SURVEYOR_BASELINES_WEBCHILD_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/classifier.h"
+#include "extraction/evidence.h"
+
+namespace surveyor {
+
+/// Options for the WebChild-style baseline.
+struct WebChildOptions {
+  /// Minimum co-occurrence count for an (entity, adjective) association to
+  /// enter the harvested knowledge base (WebChild keeps statistically
+  /// significant associations, not single sightings).
+  int64_t min_pair_occurrences = 1;
+  /// Minimum total mentions for an entity to be covered by the harvested
+  /// knowledge base at all; entities below this are "not contained in the
+  /// knowledge base" and yield no output.
+  int64_t min_entity_occurrences = 5;
+};
+
+/// WebChild-style commonsense tagger (paper Section 7.4, [22]): harvests
+/// entity-adjective associations from the corpus *without* negation
+/// detection and *without* any subjectivity model. Following the paper's
+/// comparison protocol, the absence of an association for a covered entity
+/// is treated as a negative assertion, and the only coverage loss is an
+/// entity missing from the harvested knowledge base.
+class WebChildClassifier : public OpinionClassifier {
+ public:
+  explicit WebChildClassifier(WebChildOptions options = {});
+
+  /// Harvests associations from extraction output, deliberately ignoring
+  /// statement polarity (WebChild has no negation handling). Call once
+  /// over the whole corpus before classifying.
+  void Harvest(const std::vector<EvidenceStatement>& statements);
+
+  std::string name() const override { return "WebChild"; }
+  std::vector<Polarity> Classify(
+      const PropertyTypeEvidence& evidence) const override;
+
+  /// Whether the harvested KB contains the entity.
+  bool Covers(EntityId entity) const;
+  /// Whether the harvested KB asserts the (entity, property) association.
+  bool HasAssociation(EntityId entity, const std::string& property) const;
+
+  size_t num_entities() const { return entity_occurrences_.size(); }
+
+ private:
+  WebChildOptions options_;
+  std::unordered_map<EntityId, int64_t> entity_occurrences_;
+  std::unordered_map<EntityId, std::unordered_map<std::string, int64_t>>
+      associations_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_BASELINES_WEBCHILD_H_

@@ -1,0 +1,167 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace surveyor {
+
+CorpusGenerator::CorpusGenerator(const World* world, GeneratorOptions options)
+    : world_(world), options_(std::move(options)) {
+  SURVEYOR_CHECK(world_ != nullptr);
+  SURVEYOR_CHECK_GT(options_.author_population, 0.0);
+  SURVEYOR_CHECK_GT(options_.mean_sentences_per_doc, 0);
+  for (const RegionSpec& region : options_.regions) {
+    SURVEYOR_CHECK_GT(region.weight, 0.0);
+  }
+}
+
+double CorpusGenerator::ExposedAuthors(EntityId entity) const {
+  return options_.author_population *
+         std::pow(world_->NormalizedPopularity(entity),
+                  options_.exposure_exponent);
+}
+
+ExpectedCounts CorpusGenerator::ExpectedCountsFor(
+    const PropertyGroundTruth& truth, size_t index) const {
+  SURVEYOR_CHECK_LT(index, truth.entities.size());
+  const PropertySpec& spec = *truth.spec;
+  const double exposed = ExposedAuthors(truth.entities[index]);
+  const double fraction = truth.positive_fraction[index];
+  ExpectedCounts expected;
+  expected.positive = exposed * fraction * spec.express_positive;
+  expected.negative = exposed * (1.0 - fraction) * spec.express_negative;
+  return expected;
+}
+
+namespace {
+
+/// Shifts an opinion fraction by a regional disposition in logit space.
+double ShiftFraction(double fraction, double logit_shift) {
+  if (logit_shift == 0.0) return fraction;
+  const double clamped = std::min(std::max(fraction, 1e-6), 1.0 - 1e-6);
+  return Sigmoid(std::log(clamped / (1.0 - clamped)) + logit_shift);
+}
+
+}  // namespace
+
+std::vector<RawDocument> CorpusGenerator::Generate() const {
+  Rng rng(options_.seed);
+  SentenceRealizer realizer(world_, options_.realization);
+
+  // Effective regions: one anonymous region when none configured.
+  std::vector<RegionSpec> regions = options_.regions;
+  if (regions.empty()) regions.push_back(RegionSpec{});
+  double total_weight = 0.0;
+  for (const RegionSpec& region : regions) total_weight += region.weight;
+
+  // One sentence pool per region; documents never mix regions.
+  std::vector<std::vector<std::string>> pools(regions.size());
+
+  for (const PropertyGroundTruth& truth : world_->ground_truths()) {
+    for (size_t i = 0; i < truth.entities.size(); ++i) {
+      const EntityId entity = truth.entities[i];
+      const double exposed = ExposedAuthors(entity);
+      const PropertySpec& spec = *truth.spec;
+
+      for (size_t r = 0; r < regions.size(); ++r) {
+        const double share = regions[r].weight / total_weight;
+        const int64_t authors =
+            static_cast<int64_t>(std::llround(exposed * share));
+        if (authors <= 0) continue;
+        const double fraction = ShiftFraction(
+            truth.positive_fraction[i], regions[r].opinion_logit_shift);
+        std::vector<std::string>& pool = pools[r];
+
+        // Each exposed author holds an opinion and decides (independently)
+        // whether to express it — aggregate Binomial draws.
+        const int64_t num_positive =
+            rng.Binomial(authors, fraction * spec.express_positive);
+        const int64_t num_negative =
+            rng.Binomial(authors, (1.0 - fraction) * spec.express_negative);
+        for (int64_t k = 0; k < num_positive; ++k) {
+          pool.push_back(realizer.RealizeStatement(truth, i, true, rng));
+        }
+        for (int64_t k = 0; k < num_negative; ++k) {
+          pool.push_back(realizer.RealizeStatement(truth, i, false, rng));
+        }
+
+        const double statement_mean =
+            static_cast<double>(authors) *
+            (fraction * spec.express_positive +
+             (1.0 - fraction) * spec.express_negative);
+
+        // Non-intrinsic statements: aspect-qualified opinions ("bad for
+        // parking") whose polarity is essentially uncorrelated with the
+        // intrinsic property — the reason the checks exist.
+        const int64_t num_nonintrinsic =
+            rng.Poisson(options_.nonintrinsic_fraction * statement_mean);
+        for (int64_t k = 0; k < num_nonintrinsic; ++k) {
+          pool.push_back(
+              realizer.RealizeNonIntrinsic(truth, i, rng.Bernoulli(0.5), rng));
+        }
+
+        // Attributive noise: "the big X impressed tourists". A small share
+        // reflects a genuine positive opinion; most is idiomatic usage with
+        // a random adjective — the quality problem of pattern versions 1/2.
+        const int64_t num_attributive =
+            rng.Poisson(options_.attributive_fraction * statement_mean);
+        for (int64_t k = 0; k < num_attributive; ++k) {
+          std::string adjective = spec.adjective;
+          bool keep = rng.Bernoulli(fraction);
+          if (rng.Bernoulli(0.85)) {
+            // Idiomatic: any property adjective of the type.
+            std::vector<const PropertyGroundTruth*> others;
+            for (const PropertyGroundTruth& other : world_->ground_truths()) {
+              if (other.type == truth.type) others.push_back(&other);
+            }
+            adjective = others[rng.Index(others.size())]->spec->adjective;
+            keep = true;
+          }
+          if (keep) {
+            pool.push_back(
+                realizer.RealizeAttributive(entity, adjective, rng));
+          }
+        }
+
+        // Filler mentioning the entity (plus some with no entity at all).
+        const int64_t num_filler =
+            rng.Poisson(options_.filler_per_statement * statement_mean);
+        for (int64_t k = 0; k < num_filler; ++k) {
+          const EntityId filler_entity =
+              rng.Bernoulli(0.8) ? entity : kInvalidEntity;
+          pool.push_back(realizer.RealizeFiller(filler_entity, rng));
+        }
+      }
+    }
+  }
+
+  // Shuffle each pool and pack it into documents. Statement independence
+  // across documents is the model's core assumption; a uniform shuffle of
+  // independent draws preserves it. Documents are region-homogeneous so
+  // the pipeline can be specialized by domain filtering.
+  std::vector<RawDocument> documents;
+  int64_t doc_id = 0;
+  for (size_t r = 0; r < regions.size(); ++r) {
+    std::vector<std::string>& pool = pools[r];
+    rng.Shuffle(pool);
+    size_t i = 0;
+    while (i < pool.size()) {
+      const size_t doc_size = 1 + rng.Index(static_cast<size_t>(
+                                      2 * options_.mean_sentences_per_doc - 1));
+      RawDocument doc;
+      doc.doc_id = doc_id++;
+      doc.domain = regions[r].domain;
+      for (size_t k = 0; k < doc_size && i < pool.size(); ++k, ++i) {
+        doc.text += pool[i];
+        doc.text += ". ";
+      }
+      documents.push_back(std::move(doc));
+    }
+  }
+  return documents;
+}
+
+}  // namespace surveyor

@@ -1,0 +1,101 @@
+#ifndef SURVEYOR_CORPUS_GENERATOR_H_
+#define SURVEYOR_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/realizer.h"
+#include "corpus/world.h"
+#include "text/document.h"
+#include "util/rng.h"
+
+namespace surveyor {
+
+/// An author sub-population with its own domain extension and regional
+/// disposition. The paper notes that opinions differ by region and that
+/// Surveyor specializes its output by restricting the input to documents
+/// from one domain (Section 2); the simulator reproduces that by shifting
+/// each region's opinion distribution in log-odds space.
+struct RegionSpec {
+  /// Domain extension stamped on the region's documents ("us", "cn", ...).
+  std::string domain;
+  /// Share of the author population (normalized across regions).
+  double weight = 1.0;
+  /// Regional disposition: added to the logit of every positive-opinion
+  /// fraction for authors of this region.
+  double opinion_logit_shift = 0.0;
+};
+
+/// Options for corpus generation.
+struct GeneratorOptions {
+  uint64_t seed = 99;
+  /// Size n of the author population. The number of statements an entity
+  /// receives scales with n times its normalized popularity times the
+  /// opinion-dependent expression probabilities — the generative story of
+  /// paper Section 5, simulated for real instead of assumed.
+  double author_population = 20000.0;
+  /// Exposure grows sublinearly with popularity: of the authors who know
+  /// an entity, only a topicality-limited fraction ever considers a given
+  /// property of it, and that fraction shrinks as audiences grow. The
+  /// number of exposed authors is author_population *
+  /// popularity^exposure_exponent.
+  double exposure_exponent = 0.45;
+  /// Filler sentences per evidence statement (corpus noise volume).
+  double filler_per_statement = 0.8;
+  /// Non-intrinsic statements as a fraction of evidence statements.
+  double nonintrinsic_fraction = 0.30;
+  /// Attributive mentions ("the big X impressed tourists") as a fraction
+  /// of evidence statements; adjectives drawn at random 85% of the time
+  /// (idiomatic usage), from true-positive opinions otherwise. Attributive
+  /// use dominates adjective occurrences on the real Web, which is why the
+  /// paper's unchecked pattern versions extract an order of magnitude more
+  /// (Appendix B).
+  double attributive_fraction = 1.5;
+  /// Mean sentences per generated document.
+  int mean_sentences_per_doc = 4;
+  /// Author sub-populations; empty means one anonymous region (documents
+  /// carry no domain).
+  std::vector<RegionSpec> regions;
+  RealizationOptions realization;
+};
+
+/// Expected statement counts for an entity-property pair (the oracle the
+/// simulator draws around; used by statistical tests).
+struct ExpectedCounts {
+  double positive = 0.0;
+  double negative = 0.0;
+};
+
+/// Generates the synthetic Web snapshot from a world: draws per-author
+/// statement decisions in aggregate (Binomial over the exposed author
+/// population), renders them as English sentences, mixes in non-intrinsic
+/// statements, attributive noise and filler, shuffles everything and packs
+/// it into documents.
+class CorpusGenerator {
+ public:
+  /// `world` must outlive the generator.
+  CorpusGenerator(const World* world, GeneratorOptions options = {});
+
+  /// Generates the whole corpus. Deterministic given the options' seed.
+  std::vector<RawDocument> Generate() const;
+
+  /// Oracle: the expected (mean) number of positive/negative evidence
+  /// statements for entity `index` of `truth`, before realization noise.
+  ExpectedCounts ExpectedCountsFor(const PropertyGroundTruth& truth,
+                                   size_t index) const;
+
+  /// Number of exposed authors for an entity (n times normalized
+  /// popularity).
+  double ExposedAuthors(EntityId entity) const;
+
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  const World* world_;
+  GeneratorOptions options_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_CORPUS_GENERATOR_H_

@@ -1,0 +1,40 @@
+#include "corpus/name_generator.h"
+
+#include "util/logging.h"
+
+namespace surveyor {
+namespace {
+
+constexpr const char* kOnsets[] = {"b",  "bel", "d",   "dor", "f",  "gar",
+                                   "h",  "k",   "kel", "l",   "m",  "mar",
+                                   "n",  "p",   "r",   "s",   "t",  "tor",
+                                   "v",  "w",   "z",   "br",  "cr", "dr",
+                                   "gl", "gr",  "pl",  "st",  "tr", "sh"};
+constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+constexpr const char* kCodas[] = {"",   "l",  "n",   "r",   "s",   "th",
+                                  "ck", "m",  "nd",  "rt",  "x",   "v",
+                                  "la", "ra", "dan", "ton", "ford"};
+
+}  // namespace
+
+void NameGenerator::Reserve(const std::string& word) { used_.insert(word); }
+
+std::string NameGenerator::Generate(Rng& rng) {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::string name;
+    const int syllables = static_cast<int>(rng.UniformInt(2, 3));
+    for (int s = 0; s < syllables; ++s) {
+      name += kOnsets[rng.Index(std::size(kOnsets))];
+      name += kVowels[rng.Index(std::size(kVowels))];
+    }
+    name += kCodas[rng.Index(std::size(kCodas))];
+    if (name.size() < 4) continue;
+    if (used_.insert(name).second) return name;
+  }
+  // The syllable space is ~10^5 per length tier; exhausting it means the
+  // caller asked for an unrealistic number of entities.
+  SURVEYOR_LOG(Fatal) << "name space exhausted";
+  return "";
+}
+
+}  // namespace surveyor

@@ -1,0 +1,33 @@
+#ifndef SURVEYOR_CORPUS_NAME_GENERATOR_H_
+#define SURVEYOR_CORPUS_NAME_GENERATOR_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace surveyor {
+
+/// Generates unique, pronounceable entity names ("beldora", "kervale") for
+/// the bulk of the synthetic knowledge base. Curated seed lists cover the
+/// paper's concrete test entities; this generator scales the world to
+/// thousands of entities per type without hard-coding dictionaries.
+class NameGenerator {
+ public:
+  NameGenerator() = default;
+
+  /// Returns a fresh name not generated before and not in `reserved`.
+  /// Names avoid collisions with previously returned names forever.
+  std::string Generate(Rng& rng);
+
+  /// Marks a word as taken so it is never generated (call for every
+  /// lexicon word and curated entity name).
+  void Reserve(const std::string& word);
+
+ private:
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_CORPUS_NAME_GENERATOR_H_

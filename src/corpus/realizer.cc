@@ -1,0 +1,186 @@
+#include "corpus/realizer.h"
+
+#include "corpus/vocab.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+constexpr const char* kIntensityAdverbs[] = {"very", "really", "quite",
+                                             "extremely", "truly"};
+
+const char* Pick(const char* const* items, size_t count, Rng& rng) {
+  return items[rng.Index(count)];
+}
+
+}  // namespace
+
+SentenceRealizer::SentenceRealizer(const World* world,
+                                   RealizationOptions options)
+    : world_(world), options_(options) {
+  SURVEYOR_CHECK(world_ != nullptr);
+}
+
+std::string SentenceRealizer::SurfaceForm(EntityId entity, Rng& rng) const {
+  const Entity& e = world_->kb().entity(entity);
+  if (e.aliases.size() > 1 && rng.Bernoulli(options_.alias_prob)) {
+    // Pick any non-canonical alias.
+    const size_t pick = 1 + rng.Index(e.aliases.size() - 1);
+    return e.aliases[pick];
+  }
+  return e.canonical_name;
+}
+
+std::string SentenceRealizer::PickConjunctAdjective(
+    const PropertyGroundTruth& truth, size_t index, Rng& rng) const {
+  std::vector<const std::string*> candidates;
+  for (const PropertyGroundTruth& other : world_->ground_truths()) {
+    if (other.type != truth.type) continue;
+    if (other.property == truth.property) continue;
+    if (!other.spec->adverb.empty()) continue;  // conjoin plain adjectives
+    // Entity vectors of all properties of one type share the same order.
+    if (other.dominant[index] != Polarity::kPositive) continue;
+    candidates.push_back(&other.spec->adjective);
+  }
+  if (candidates.empty()) return "";
+  return *candidates[rng.Index(candidates.size())];
+}
+
+std::string SentenceRealizer::RealizeStatement(const PropertyGroundTruth& truth,
+                                               size_t index, bool positive,
+                                               Rng& rng) const {
+  SURVEYOR_CHECK_LT(index, truth.entities.size());
+  const PropertySpec& spec = *truth.spec;
+  const std::string surface = SurfaceForm(truth.entities[index], rng);
+  const std::string& type_noun = world_->kb().TypeName(truth.type);
+
+  // Property rendering: fixed compound adverb, plus an optional intensity
+  // adverb that becomes part of the extracted property string.
+  std::string property;
+  if (rng.Bernoulli(options_.intensity_adverb_prob)) {
+    property += Pick(kIntensityAdverbs, std::size(kIntensityAdverbs), rng);
+    property += ' ';
+  }
+  if (!spec.adverb.empty()) {
+    property += spec.adverb;
+    property += ' ';
+  }
+  property += spec.adjective;
+
+  if (positive && rng.Bernoulli(options_.double_negation_prob)) {
+    return "i don't think that " + surface + " is never " + property;
+  }
+  if (rng.Bernoulli(options_.embedded_clause_prob)) {
+    if (positive) {
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          return "i think that " + surface + " is " + property;
+        case 1:
+          return "we believe that " + surface + " is " + property;
+        default:
+          return "everyone says that " + surface + " is " + property;
+      }
+    }
+    return "i don't think that " + surface + " is " + property;
+  }
+  if (rng.Bernoulli(options_.small_clause_prob)) {
+    if (positive) {
+      return (rng.Bernoulli(0.5) ? "i find " : "we consider ") + surface +
+             " " + property;
+    }
+    return "i don't find " + surface + " " + property;
+  }
+  if (positive && rng.Bernoulli(options_.seems_prob)) {
+    return surface + " seems " + property;
+  }
+  if (rng.Bernoulli(options_.predicate_nominal_prob)) {
+    std::string adjectives = property;
+    if (positive && rng.Bernoulli(options_.conjunction_prob)) {
+      const std::string conjunct = PickConjunctAdjective(truth, index, rng);
+      if (!conjunct.empty()) adjectives += " and " + conjunct;
+    }
+    const char* article =
+        (!adjectives.empty() && (adjectives[0] == 'a' || adjectives[0] == 'e' ||
+                                 adjectives[0] == 'i' || adjectives[0] == 'o' ||
+                                 adjectives[0] == 'u'))
+            ? "an "
+            : "a ";
+    if (positive) {
+      return surface + " is " + article + adjectives + " " + type_noun;
+    }
+    return surface + " is not " + article + adjectives + " " + type_noun;
+  }
+  // Plain adjectival complement.
+  if (positive) {
+    std::string adjectives = property;
+    if (rng.Bernoulli(options_.conjunction_prob)) {
+      const std::string conjunct = PickConjunctAdjective(truth, index, rng);
+      if (!conjunct.empty()) adjectives += " and " + conjunct;
+    }
+    return surface + " is " + adjectives;
+  }
+  if (rng.Bernoulli(0.3)) {
+    return surface + " is never " + property;
+  }
+  return surface + " is not " + property;
+}
+
+std::string SentenceRealizer::RealizeAttributive(EntityId entity,
+                                                 const std::string& adjective,
+                                                 Rng& rng) const {
+  const std::string surface = SurfaceForm(entity, rng);
+  const char* noun = Pick(kFillerNouns, kNumFillerNouns, rng);
+  if (rng.Bernoulli(0.5)) {
+    return "the " + adjective + " " + surface + " " +
+           Pick(kFillerVerbs, kNumFillerVerbs, rng) + " the " + noun;
+  }
+  return "we visited the " + adjective + " " + surface;
+}
+
+std::string SentenceRealizer::RealizeNonIntrinsic(
+    const PropertyGroundTruth& truth, size_t index, bool positive,
+    Rng& rng) const {
+  const PropertySpec& spec = *truth.spec;
+  const std::string surface = SurfaceForm(truth.entities[index], rng);
+  const std::string& type_noun = world_->kb().TypeName(truth.type);
+  const char* aspect = Pick(kAspectNouns, kNumAspectNouns, rng);
+  if (rng.Bernoulli(0.5)) {
+    // "X is (not) bad for parking": prepositional constriction on the
+    // adjectival complement.
+    return surface + " is " + (positive ? "" : "not ") + spec.adjective +
+           " for " + aspect;
+  }
+  // "X is (not) a big city in the north".
+  const char* noun = Pick(kFillerNouns, kNumFillerNouns, rng);
+  return surface + " is " + (positive ? "" : "not ") + "a " + spec.adjective +
+         " " + type_noun + " in the " + noun;
+}
+
+std::string SentenceRealizer::RealizeFiller(EntityId entity, Rng& rng) const {
+  const char* noun = Pick(kFillerNouns, kNumFillerNouns, rng);
+  const char* noun2 = Pick(kFillerNouns, kNumFillerNouns, rng);
+  if (entity == kInvalidEntity) {
+    if (rng.Bernoulli(0.5)) {
+      return std::string("we enjoyed the ") + noun;
+    }
+    return std::string("the ") + noun + " has a " + noun2;
+  }
+  const std::string surface = SurfaceForm(entity, rng);
+  switch (rng.UniformInt(0, 4)) {
+    case 0:
+      return "people visit " + surface;
+    case 1:
+      return surface + " has a " + noun;
+    case 2:
+      return "we visited " + surface + " during the " + noun;
+    case 3:
+      return "they love the " + std::string(noun) + " of " + surface;
+    default:
+      // Deliberately outside the parser's grammar (subject NP with a
+      // prepositional phrase); exercises the skip path like noisy Web text.
+      return "the " + std::string(noun) + " of " + surface + " is " + noun2;
+  }
+}
+
+}  // namespace surveyor

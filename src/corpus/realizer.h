@@ -1,0 +1,81 @@
+#ifndef SURVEYOR_CORPUS_REALIZER_H_
+#define SURVEYOR_CORPUS_REALIZER_H_
+
+#include <string>
+
+#include "corpus/world.h"
+#include "util/rng.h"
+
+namespace surveyor {
+
+/// Style probabilities for rendering statements as English sentences.
+struct RealizationOptions {
+  /// "X is really big" — an intensity adverb joins the extracted property
+  /// string, fragmenting counts exactly as on the real Web.
+  double intensity_adverb_prob = 0.05;
+  /// "I think that X is big" / "I don't think that X is big".
+  double embedded_clause_prob = 0.12;
+  /// "I don't think that X is never big" (positive via double negation).
+  double double_negation_prob = 0.02;
+  /// "X is a big city" instead of "X is big".
+  double predicate_nominal_prob = 0.45;
+  /// "X seems big" — copula-class verb, only matched by pattern v1/v2.
+  double seems_prob = 0.05;
+  /// "I find X big" / "I don't find X big" — the small-clause form of the
+  /// paper's opening example ("I find kittens cute").
+  double small_clause_prob = 0.06;
+  /// "X is a big and beautiful city" — adds a second property the entity's
+  /// dominant opinion also affirms.
+  double conjunction_prob = 0.08;
+  /// Probability of referring to the entity by a non-canonical alias.
+  double alias_prob = 0.25;
+};
+
+/// Renders statements, noise, and filler as plain English sentences
+/// (without the terminating period). Everything the realizer outputs is
+/// constructed only from the world's registered vocabulary, so the
+/// annotation pipeline can always tokenize it; most — deliberately not
+/// all — of it parses.
+class SentenceRealizer {
+ public:
+  /// `world` must outlive the realizer.
+  SentenceRealizer(const World* world, RealizationOptions options = {});
+
+  /// Renders one opinion statement about entity `truth.entities[index]`
+  /// asserting (`positive`) or denying the property.
+  std::string RealizeStatement(const PropertyGroundTruth& truth, size_t index,
+                               bool positive, Rng& rng) const;
+
+  /// Renders an attributive use: "the big {entity} impressed tourists".
+  /// Only the unchecked pattern versions (v1/v2) extract these.
+  std::string RealizeAttributive(EntityId entity, const std::string& adjective,
+                                 Rng& rng) const;
+
+  /// Renders a non-intrinsic statement ("X is bad for parking",
+  /// "X is a big city in the north") that the intrinsicness checks filter.
+  std::string RealizeNonIntrinsic(const PropertyGroundTruth& truth,
+                                  size_t index, bool positive, Rng& rng) const;
+
+  /// Renders a filler sentence; mentions `entity` when valid, otherwise a
+  /// generic sentence. A fraction of filler is intentionally outside the
+  /// parser's grammar.
+  std::string RealizeFiller(EntityId entity, Rng& rng) const;
+
+  const RealizationOptions& options() const { return options_; }
+
+ private:
+  /// Picks a surface form for the entity (canonical name or alias).
+  std::string SurfaceForm(EntityId entity, Rng& rng) const;
+
+  /// Picks a second adjective whose dominant opinion on the entity is also
+  /// positive; empty when none exists.
+  std::string PickConjunctAdjective(const PropertyGroundTruth& truth,
+                                    size_t index, Rng& rng) const;
+
+  const World* world_;
+  RealizationOptions options_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_CORPUS_REALIZER_H_

@@ -1,0 +1,33 @@
+#ifndef SURVEYOR_CORPUS_VOCAB_H_
+#define SURVEYOR_CORPUS_VOCAB_H_
+
+#include <cstddef>
+
+namespace surveyor {
+
+/// Shared open-class vocabulary used by the sentence realizer and
+/// registered into the lexicon by the world builder. Kept in one place so
+/// realizer output always parses with the world's lexicon.
+inline constexpr const char* kFillerVerbs[] = {
+    "visited", "visit", "visits", "enjoyed", "loves",
+    "love",    "likes", "has",    "have",    "described",
+};
+
+/// Nouns used in filler sentences and prepositional attachments.
+inline constexpr const char* kFillerNouns[] = {
+    "harbor", "museum", "forest", "river",  "story",  "garden",
+    "market", "summer", "winter", "north",  "south",  "history",
+};
+
+/// Nouns used to render non-intrinsic constrictions ("bad for parking").
+inline constexpr const char* kAspectNouns[] = {
+    "parking", "families", "tourists", "beginners", "children", "commuters",
+};
+
+inline constexpr size_t kNumFillerVerbs = 10;
+inline constexpr size_t kNumFillerNouns = 12;
+inline constexpr size_t kNumAspectNouns = 6;
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_CORPUS_VOCAB_H_

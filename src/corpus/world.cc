@@ -1,0 +1,254 @@
+#include "corpus/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corpus/name_generator.h"
+#include "corpus/vocab.h"
+#include "util/logging.h"
+#include "util/math.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+}  // namespace
+
+const PropertyGroundTruth* World::FindGroundTruth(
+    TypeId type, const std::string& property) const {
+  auto it = ground_truth_index_.find({type, property});
+  if (it == ground_truth_index_.end()) return nullptr;
+  return &ground_truths_[it->second];
+}
+
+StatusOr<Polarity> World::TrueDominant(EntityId entity,
+                                       const std::string& property) const {
+  SURVEYOR_ASSIGN_OR_RETURN(double fraction,
+                            PositiveFraction(entity, property));
+  return fraction > 0.5 ? Polarity::kPositive : Polarity::kNegative;
+}
+
+StatusOr<double> World::PositiveFraction(EntityId entity,
+                                         const std::string& property) const {
+  if (entity >= kb_.num_entities()) {
+    return Status::InvalidArgument("unknown entity");
+  }
+  const TypeId type = kb_.entity(entity).most_notable_type;
+  const PropertyGroundTruth* truth = FindGroundTruth(type, property);
+  if (truth == nullptr) {
+    return Status::NotFound("no ground truth for property '" + property +
+                            "' on type '" + kb_.TypeName(type) + "'");
+  }
+  for (size_t i = 0; i < truth->entities.size(); ++i) {
+    if (truth->entities[i] == entity) return truth->positive_fraction[i];
+  }
+  return Status::NotFound("entity not in ground truth");
+}
+
+double World::NormalizedPopularity(EntityId entity) const {
+  SURVEYOR_CHECK_LT(entity, normalized_popularity_.size());
+  return normalized_popularity_[entity];
+}
+
+StatusOr<World> World::Generate(const WorldConfig& config) {
+  if (config.types.empty()) {
+    return Status::InvalidArgument("world needs at least one type");
+  }
+  World world;
+  Rng rng(config.seed);
+  NameGenerator names;
+
+  // Count properties up front so spec pointers stay stable.
+  size_t total_properties = 0;
+  for (const TypeSpec& type_spec : config.types) {
+    total_properties += type_spec.properties.size();
+  }
+  world.specs_.reserve(total_properties);
+
+  // Reserve vocabulary words so generated names never collide.
+  for (const TypeSpec& type_spec : config.types) {
+    names.Reserve(ToLower(type_spec.name));
+    for (const EntitySeed& seed : type_spec.seeds) {
+      names.Reserve(ToLower(seed.name));
+    }
+    for (const PropertySpec& prop : type_spec.properties) {
+      names.Reserve(ToLower(prop.adjective));
+      if (!prop.adverb.empty()) names.Reserve(ToLower(prop.adverb));
+    }
+  }
+  for (const char* word : kFillerVerbs) names.Reserve(word);
+  for (const char* word : kFillerNouns) names.Reserve(word);
+  for (const char* word : kAspectNouns) names.Reserve(word);
+
+  // Register realizer vocabulary.
+  for (const char* word : kFillerVerbs) world.lexicon_.AddWord(word, Pos::kVerb);
+  for (const char* word : kFillerNouns) {
+    world.lexicon_.AddNounWithPlural(word);
+  }
+  for (const char* word : kAspectNouns) world.lexicon_.AddWord(word, Pos::kNoun);
+
+  std::vector<EntityId> ambiguity_candidates;
+
+  for (const TypeSpec& type_spec : config.types) {
+    if (type_spec.num_entities < static_cast<int>(type_spec.seeds.size())) {
+      return Status::InvalidArgument(
+          "num_entities smaller than the number of seeds for type '" +
+          type_spec.name + "'");
+    }
+    const TypeId type = world.kb_.AddType(type_spec.name);
+    world.lexicon_.AddNounWithPlural(type_spec.name);
+
+    // --- Entities ---------------------------------------------------------
+    std::vector<EntityId> members;
+    std::vector<double> attributes;
+    for (int i = 0; i < type_spec.num_entities; ++i) {
+      std::string name;
+      double attribute = 0.0;
+      bool has_attribute = false;
+      std::vector<std::string> aliases;
+      if (i < static_cast<int>(type_spec.seeds.size())) {
+        const EntitySeed& seed = type_spec.seeds[i];
+        name = ToLower(seed.name);
+        attribute = seed.attribute;
+        has_attribute = seed.has_attribute;
+        aliases = seed.aliases;
+      } else {
+        name = names.Generate(rng);
+      }
+      if (type_spec.attribute.has_value() && !has_attribute) {
+        const AttributeSpec& attr = *type_spec.attribute;
+        attribute = std::pow(10.0, rng.Uniform(attr.log10_min, attr.log10_max));
+        has_attribute = true;
+      }
+
+      // Popularity: attribute-coupled (occurrence bias) or Zipf by rank.
+      double popularity;
+      if (type_spec.attribute.has_value()) {
+        popularity = std::pow(attribute, type_spec.attribute->popularity_exponent) *
+                     rng.LogNormal(0.0, 0.5);
+      } else {
+        // Curated seeds are well-known entities (the paper picks test
+        // entities "known to the general public"): their popularity decays
+        // much more slowly than the generated tail.
+        const double exponent =
+            i < static_cast<int>(type_spec.seeds.size())
+                ? 0.35 * type_spec.popularity_zipf_exponent
+                : type_spec.popularity_zipf_exponent;
+        popularity = 1.0 / std::pow(static_cast<double>(i) + 1.0, exponent) *
+                     rng.LogNormal(0.0, 0.3);
+      }
+
+      SURVEYOR_ASSIGN_OR_RETURN(EntityId id,
+                                world.kb_.AddEntity(name, type, popularity));
+      if (type_spec.attribute.has_value()) {
+        SURVEYOR_RETURN_IF_ERROR(world.kb_.SetAttribute(
+            id, type_spec.attribute->name, attribute));
+      }
+      for (const std::string& alias : aliases) {
+        SURVEYOR_RETURN_IF_ERROR(world.kb_.AddAlias(alias, id));
+      }
+      world.lexicon_.AddWord(name, Pos::kNoun);
+      members.push_back(id);
+      attributes.push_back(attribute);
+      if (rng.Bernoulli(type_spec.ambiguous_alias_fraction)) {
+        ambiguity_candidates.push_back(id);
+      }
+    }
+
+    // Standardized log-popularity within the type, for occurrence-bias
+    // coupling of attribute-free properties.
+    std::vector<double> log_popularity;
+    log_popularity.reserve(members.size());
+    for (EntityId id : members) {
+      log_popularity.push_back(
+          std::log(std::max(world.kb_.entity(id).popularity, 1e-12)));
+    }
+    const double log_pop_mean = Mean(log_popularity);
+    const double log_pop_sd = std::sqrt(std::max(Variance(log_popularity), 1e-12));
+
+    // --- Ground truth per property -----------------------------------------
+    for (const PropertySpec& prop_spec : type_spec.properties) {
+      world.lexicon_.AddWord(prop_spec.adjective, Pos::kAdjective);
+      if (!prop_spec.adverb.empty()) {
+        world.lexicon_.AddWord(prop_spec.adverb, Pos::kAdverb);
+      }
+      world.specs_.push_back(prop_spec);
+      const PropertySpec* spec = &world.specs_.back();
+
+      PropertyGroundTruth truth;
+      truth.type = type;
+      truth.property = spec->PropertyKey();
+      truth.spec = spec;
+      truth.entities = members;
+      truth.positive_fraction.resize(members.size());
+      truth.dominant.resize(members.size());
+      for (size_t i = 0; i < members.size(); ++i) {
+        double fraction;
+        if (spec->attribute.has_value()) {
+          // Logistic in log-attribute space: smooth controversy near the
+          // threshold, consensus far from it.
+          double z = spec->attribute_slope *
+                     (std::log(std::max(attributes[i], 1e-12)) -
+                      std::log(spec->attribute_threshold));
+          if (spec->inverted) z = -z;
+          fraction = Clamp(Sigmoid(z), 0.02, 0.98);
+        } else {
+          // Occurrence bias: the positive-prevalence odds shift with the
+          // entity's standardized log-popularity.
+          const double z = (log_popularity[i] - log_pop_mean) / log_pop_sd;
+          const double prior = std::min(std::max(spec->prevalence, 1e-6), 1.0 - 1e-6);
+          const double logit = std::log(prior / (1.0 - prior)) +
+                               spec->popularity_coupling * z;
+          const bool positive = rng.Bernoulli(Sigmoid(logit));
+          const double base = positive ? spec->agreement : 1.0 - spec->agreement;
+          fraction = Clamp(rng.Normal(base, 0.05), 0.05, 0.95);
+          // Keep the drawn dominant side stable under the noise.
+          if (positive && fraction <= 0.5) fraction = 0.55;
+          if (!positive && fraction > 0.5) fraction = 0.45;
+        }
+        truth.positive_fraction[i] = fraction;
+        truth.dominant[i] =
+            fraction > 0.5 ? Polarity::kPositive : Polarity::kNegative;
+      }
+      const auto key = std::make_pair(type, truth.property);
+      if (world.ground_truth_index_.count(key) > 0) {
+        return Status::AlreadyExists("duplicate property '" + truth.property +
+                                     "' on type '" + type_spec.name + "'");
+      }
+      world.ground_truth_index_[key] = world.ground_truths_.size();
+      world.ground_truths_.push_back(std::move(truth));
+    }
+  }
+
+  // --- Ambiguous aliases: pair random entities across the whole world ----
+  rng.Shuffle(ambiguity_candidates);
+  for (size_t i = 0; i + 1 < ambiguity_candidates.size(); i += 2) {
+    const std::string shared = names.Generate(rng);
+    SURVEYOR_RETURN_IF_ERROR(
+        world.kb_.AddAlias(shared, ambiguity_candidates[i]));
+    SURVEYOR_RETURN_IF_ERROR(
+        world.kb_.AddAlias(shared, ambiguity_candidates[i + 1]));
+    world.lexicon_.AddWord(shared, Pos::kNoun);
+  }
+
+  // --- Normalized popularity (per type) ----------------------------------
+  world.normalized_popularity_.resize(world.kb_.num_entities(), 0.0);
+  for (TypeId t = 0; t < world.kb_.num_types(); ++t) {
+    double max_pop = 0.0;
+    for (EntityId id : world.kb_.EntitiesOfType(t)) {
+      max_pop = std::max(max_pop, world.kb_.entity(id).popularity);
+    }
+    if (max_pop <= 0.0) max_pop = 1.0;
+    for (EntityId id : world.kb_.EntitiesOfType(t)) {
+      world.normalized_popularity_[id] =
+          Clamp(world.kb_.entity(id).popularity / max_pop, 1e-9, 1.0);
+    }
+  }
+  return world;
+}
+
+}  // namespace surveyor

@@ -1,0 +1,177 @@
+#ifndef SURVEYOR_CORPUS_WORLD_H_
+#define SURVEYOR_CORPUS_WORLD_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "model/opinion.h"
+#include "text/lexicon.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Specification of one subjective property attached to a type, together
+/// with the *true* (latent) opinion distribution and authoring behavior.
+/// These values are never visible to the pipeline — they only drive the
+/// simulator and the ground-truth oracle.
+struct PropertySpec {
+  /// Bare adjective ("big").
+  std::string adjective;
+  /// Optional fixed adverb forming a compound property ("densely" for
+  /// "densely populated"). Empty for plain adjectives.
+  std::string adverb;
+
+  // --- Ground-truth generation -----------------------------------------
+  /// When set, the dominant opinion derives from this numeric entity
+  /// attribute via a logistic curve (e.g. "population" for "big").
+  std::optional<std::string> attribute;
+  /// Attribute value at which opinion splits 50/50.
+  double attribute_threshold = 1.0;
+  /// Steepness of the logistic in ln-attribute units; higher = less
+  /// controversy away from the threshold.
+  double attribute_slope = 2.0;
+  /// Inverts the attribute correlation (for "small", "cheap", ...).
+  bool inverted = false;
+  /// For attribute-free properties: fraction of entities whose dominant
+  /// opinion is positive.
+  double prevalence = 0.35;
+  /// Occurrence bias for attribute-free properties: how strongly the
+  /// chance of a positive dominant opinion grows with entity popularity
+  /// (log-odds shift per standard deviation of log-popularity). Popular
+  /// entities tend to have the property — the paper's observation that
+  /// big cities are mentioned more often, which lets the model read
+  /// meaning into silence.
+  double popularity_coupling = 1.0;
+  /// Typical population agreement with the dominant opinion; the latent
+  /// analogue of the model's pA.
+  double agreement = 0.85;
+
+  // --- Authoring behavior ----------------------------------------------
+  /// Probability that an exposed author holding a positive opinion writes
+  /// a statement (latent analogue of p+S).
+  double express_positive = 0.02;
+  /// Likewise for a negative opinion (p-S). The gap between the two is the
+  /// polarity bias the paper's model exists to correct.
+  double express_negative = 0.002;
+
+  /// Full property key as extracted ("big", "densely populated").
+  std::string PropertyKey() const {
+    return adverb.empty() ? adjective : adverb + " " + adjective;
+  }
+};
+
+/// How numeric attributes are generated for a type.
+struct AttributeSpec {
+  std::string name;
+  /// Attribute drawn log-uniformly in [10^log10_min, 10^log10_max].
+  double log10_min = 2.0;
+  double log10_max = 7.0;
+  /// Popularity ∝ attribute^exponent × log-normal noise: the paper's
+  /// occurrence bias (big cities are mentioned more often).
+  double popularity_exponent = 0.8;
+};
+
+/// A curated entity to include before bulk generation.
+struct EntitySeed {
+  std::string name;
+  /// Attribute value; NaN draws from the type's AttributeSpec.
+  double attribute = 0.0;
+  bool has_attribute = false;
+  std::vector<std::string> aliases;
+};
+
+/// Specification of one entity type.
+struct TypeSpec {
+  std::string name;  ///< singular type noun ("city", "animal")
+  /// Total entities of this type (curated seeds included).
+  int num_entities = 100;
+  std::vector<EntitySeed> seeds;
+  std::optional<AttributeSpec> attribute;
+  /// Zipf exponent for popularity when no attribute drives it.
+  double popularity_zipf_exponent = 1.05;
+  /// Fraction of entities that additionally receive an ambiguous alias
+  /// shared with entities of other types (exercises disambiguation).
+  double ambiguous_alias_fraction = 0.0;
+  std::vector<PropertySpec> properties;
+};
+
+/// Whole-world configuration.
+struct WorldConfig {
+  std::vector<TypeSpec> types;
+  uint64_t seed = 7;
+};
+
+/// Latent ground truth for one property-type combination.
+struct PropertyGroundTruth {
+  TypeId type = kInvalidType;
+  std::string property;  ///< property key ("big", "densely populated")
+  const PropertySpec* spec = nullptr;
+  std::vector<EntityId> entities;  ///< all entities of the type
+  /// Fraction of the population holding a positive opinion, per entity.
+  std::vector<double> positive_fraction;
+  /// Dominant opinion (positive iff fraction > 1/2), per entity.
+  std::vector<Polarity> dominant;
+};
+
+/// The simulated world: a knowledge base plus latent opinion ground truth
+/// and authoring behavior. Replaces the paper's 40 TB snapshot + AMT crowd
+/// with a generative model whose *observable* output (text) is all the
+/// pipeline ever sees.
+class World {
+ public:
+  /// Builds a world from the configuration. Deterministic given the seed.
+  static StatusOr<World> Generate(const WorldConfig& config);
+
+  const KnowledgeBase& kb() const { return kb_; }
+
+  /// Lexicon containing closed-class words plus every world vocabulary
+  /// item (entity names as nouns, type nouns with plurals, adjectives,
+  /// adverbs, realizer verbs/nouns).
+  const Lexicon& lexicon() const { return lexicon_; }
+
+  const std::vector<PropertyGroundTruth>& ground_truths() const {
+    return ground_truths_;
+  }
+
+  /// Ground truth for a (type, property-key) combination; nullptr when the
+  /// combination does not exist.
+  const PropertyGroundTruth* FindGroundTruth(TypeId type,
+                                             const std::string& property) const;
+
+  /// True dominant opinion for an entity-property pair (oracle).
+  StatusOr<Polarity> TrueDominant(EntityId entity,
+                                  const std::string& property) const;
+
+  /// Latent fraction of the population holding a positive opinion; this is
+  /// what simulated AMT workers sample from.
+  StatusOr<double> PositiveFraction(EntityId entity,
+                                    const std::string& property) const;
+
+  /// Normalized popularity in (0, 1]: the fraction of the author
+  /// population exposed to the entity.
+  double NormalizedPopularity(EntityId entity) const;
+
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+
+ private:
+  World() = default;
+
+  KnowledgeBase kb_;
+  Lexicon lexicon_;
+  std::vector<PropertyGroundTruth> ground_truths_;
+  /// (type, property key) -> index into ground_truths_.
+  std::map<std::pair<TypeId, std::string>, size_t> ground_truth_index_;
+  /// Per-entity popularity normalized by the max within its type.
+  std::vector<double> normalized_popularity_;
+  /// Owned copies of the property specs (stable addresses).
+  std::vector<PropertySpec> specs_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_CORPUS_WORLD_H_

@@ -1,0 +1,79 @@
+#include "corpus/world_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace surveyor {
+
+Status SaveGroundTruth(const World& world, std::ostream& os) {
+  os << "# surveyor ground truth v1\n";
+  for (const PropertyGroundTruth& truth : world.ground_truths()) {
+    const std::string& type_name = world.kb().TypeName(truth.type);
+    for (size_t i = 0; i < truth.entities.size(); ++i) {
+      os << "truth\t" << type_name << "\t"
+         << world.kb().entity(truth.entities[i]).canonical_name << "\t"
+         << truth.property << "\t"
+         << StrFormat("%.4f", truth.positive_fraction[i]) << "\t"
+         << PolarityName(truth.dominant[i]) << "\n";
+    }
+  }
+  if (!os.good()) return Status::Internal("write failure");
+  return Status::OK();
+}
+
+StatusOr<GroundTruthLabels> LoadGroundTruth(std::istream& is,
+                                            const KnowledgeBase& kb) {
+  GroundTruthLabels labels;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = Split(trimmed, '\t');
+    auto error = [&](const std::string& msg) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: %s", line_number, msg.c_str()));
+    };
+    if (fields[0] != "truth" || fields.size() != 6) {
+      return error("expected 'truth' with 5 fields");
+    }
+    auto type = kb.TypeByName(fields[1]);
+    if (!type.ok()) return error("unknown type '" + fields[1] + "'");
+    EntityId entity = kInvalidEntity;
+    for (EntityId candidate : kb.EntitiesByName(fields[2])) {
+      if (kb.entity(candidate).most_notable_type == *type) entity = candidate;
+    }
+    if (entity == kInvalidEntity) {
+      return error("unknown entity '" + fields[2] + "'");
+    }
+    Polarity polarity;
+    if (fields[5] == "+") {
+      polarity = Polarity::kPositive;
+    } else if (fields[5] == "-") {
+      polarity = Polarity::kNegative;
+    } else {
+      return error("bad polarity '" + fields[5] + "'");
+    }
+    labels[{entity, fields[3]}] = polarity;
+  }
+  return labels;
+}
+
+StatusOr<GroundTruthLabels> LoadGroundTruthFromFile(const std::string& path,
+                                                    const KnowledgeBase& kb) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("cannot open '" + path + "'");
+  return LoadGroundTruth(is, kb);
+}
+
+Status SaveGroundTruthToFile(const World& world, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("cannot open '" + path + "' for writing");
+  return SaveGroundTruth(world, os);
+}
+
+}  // namespace surveyor

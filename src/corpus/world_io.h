@@ -1,0 +1,35 @@
+#ifndef SURVEYOR_CORPUS_WORLD_IO_H_
+#define SURVEYOR_CORPUS_WORLD_IO_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "corpus/world.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Writes the world's latent ground truth as TSV lines
+///   truth <tab> TYPE <tab> ENTITY <tab> PROPERTY <tab> FRACTION <tab> +/-
+/// so external tooling can score mined opinions against the simulator's
+/// oracle without linking the library.
+Status SaveGroundTruth(const World& world, std::ostream& os);
+
+Status SaveGroundTruthToFile(const World& world, const std::string& path);
+
+/// Dominant-opinion labels parsed back from a ground-truth dump, keyed by
+/// (entity, property). Entities are resolved against `kb`.
+using GroundTruthLabels =
+    std::map<std::pair<EntityId, std::string>, Polarity>;
+
+StatusOr<GroundTruthLabels> LoadGroundTruth(std::istream& is,
+                                            const KnowledgeBase& kb);
+StatusOr<GroundTruthLabels> LoadGroundTruthFromFile(const std::string& path,
+                                                    const KnowledgeBase& kb);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_CORPUS_WORLD_IO_H_

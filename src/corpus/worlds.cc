@@ -1,0 +1,374 @@
+#include "corpus/worlds.h"
+
+#include <cmath>
+
+#include "corpus/name_generator.h"
+#include "util/rng.h"
+
+namespace surveyor {
+namespace {
+
+/// Compact builder for attribute-free properties.
+PropertySpec Subjective(const char* adjective, double prevalence,
+                        double agreement, double express_positive,
+                        double express_negative) {
+  PropertySpec spec;
+  spec.adjective = adjective;
+  spec.prevalence = prevalence;
+  spec.agreement = agreement;
+  spec.express_positive = express_positive;
+  spec.express_negative = express_negative;
+  return spec;
+}
+
+/// Compact builder for attribute-driven properties.
+PropertySpec AttributeDriven(const char* adjective, const char* attribute,
+                             double threshold, double slope, bool inverted,
+                             double express_positive,
+                             double express_negative) {
+  PropertySpec spec;
+  spec.adjective = adjective;
+  spec.attribute = attribute;
+  spec.attribute_threshold = threshold;
+  spec.attribute_slope = slope;
+  spec.inverted = inverted;
+  spec.express_positive = express_positive;
+  spec.express_negative = express_negative;
+  return spec;
+}
+
+EntitySeed Seed(const char* name) {
+  EntitySeed seed;
+  seed.name = name;
+  return seed;
+}
+
+EntitySeed SeedWithAttribute(const char* name, double attribute) {
+  EntitySeed seed;
+  seed.name = name;
+  seed.attribute = attribute;
+  seed.has_attribute = true;
+  return seed;
+}
+
+}  // namespace
+
+WorldConfig MakePaperWorldConfig(int entities_per_type, uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+
+  // --- Animals (Fig. 10 seeds) -------------------------------------------
+  TypeSpec animals;
+  animals.name = "animal";
+  animals.num_entities = entities_per_type;
+  animals.popularity_zipf_exponent = 0.9;
+  animals.ambiguous_alias_fraction = 0.03;
+  for (const char* name :
+       {"pony", "spider", "koala", "rat", "scorpion", "crow", "kitten",
+        "monkey", "octopus", "beaver", "goose", "tiger", "moose", "frog",
+        "grizzly bear", "alligator", "puppy", "camel", "white shark",
+        "lion"}) {
+    animals.seeds.push_back(Seed(name));
+  }
+  // Worker agreement on "dangerous animals" is high (18/20 in the paper);
+  // positive opinions are voiced far more often than negative ones.
+  animals.properties = {
+      Subjective("dangerous", 0.24, 0.92, 0.024, 0.0004),
+      Subjective("cute", 0.24, 0.88, 0.030, 0.0004),
+      Subjective("big", 0.21, 0.85, 0.018, 0.00035),
+      Subjective("friendly", 0.21, 0.82, 0.016, 0.00035),
+      Subjective("deadly", 0.15, 0.90, 0.020, 0.0004),
+  };
+  config.types.push_back(std::move(animals));
+
+  // --- Celebrities --------------------------------------------------------
+  TypeSpec celebrities;
+  celebrities.name = "celebrity";
+  celebrities.num_entities = entities_per_type;
+  celebrities.popularity_zipf_exponent = 0.9;
+  celebrities.ambiguous_alias_fraction = 0.05;
+  celebrities.properties = {
+      Subjective("cool", 0.27, 0.80, 0.020, 0.0004),
+      Subjective("crazy", 0.18, 0.78, 0.015, 0.0003),
+      Subjective("pretty", 0.27, 0.84, 0.025, 0.0004),
+      // "quiet" is the kind of property people mostly deny loudly, and
+      // famous (popular) celebrities are the least likely to have it.
+      [] {
+        PropertySpec quiet = Subjective("quiet", 0.15, 0.80, 0.005, 0.012);
+        quiet.popularity_coupling = -1.0;
+        return quiet;
+      }(),
+      Subjective("young", 0.21, 0.88, 0.012, 0.0003),
+  };
+  config.types.push_back(std::move(celebrities));
+
+  // --- Cities (population attribute drives "big") -------------------------
+  TypeSpec cities;
+  cities.name = "city";
+  cities.num_entities = entities_per_type;
+  cities.popularity_zipf_exponent = 0.9;
+  cities.ambiguous_alias_fraction = 0.04;
+  AttributeSpec population;
+  population.name = "population";
+  population.log10_min = 3.0;
+  population.log10_max = 7.0;
+  population.popularity_exponent = 0.7;
+  cities.attribute = population;
+  cities.seeds = {
+      SeedWithAttribute("san francisco", 870000),
+      SeedWithAttribute("los angeles", 3900000),
+      SeedWithAttribute("chicago", 2700000),
+      SeedWithAttribute("palo alto", 66000),
+      SeedWithAttribute("sacramento", 520000),
+      SeedWithAttribute("berkeley", 120000),
+      SeedWithAttribute("monterey", 28000),
+      SeedWithAttribute("napa", 79000),
+  };
+  cities.properties = {
+      AttributeDriven("big", "population", 2.5e5, 1.2, false, 0.020, 0.00035),
+      // Like the paper's "safe cities": people rather voice "not calm".
+      [] {
+        PropertySpec calm = Subjective("calm", 0.21, 0.78, 0.0025, 0.010);
+        calm.popularity_coupling = -0.8;
+        return calm;
+      }(),
+      Subjective("cheap", 0.18, 0.80, 0.010, 0.00025),
+      // Negative experiences ("not safe", "hectic") travel louder.
+      Subjective("hectic", 0.18, 0.76, 0.012, 0.002),
+      Subjective("multicultural", 0.24, 0.86, 0.014, 0.0003),
+  };
+  config.types.push_back(std::move(cities));
+
+  // --- Professions ---------------------------------------------------------
+  TypeSpec professions;
+  professions.name = "profession";
+  professions.num_entities = entities_per_type;
+  professions.popularity_zipf_exponent = 0.9;
+  for (const char* name : {"firefighter", "teacher", "nurse", "pilot",
+                           "miner", "actuary", "farmer", "surgeon"}) {
+    professions.seeds.push_back(Seed(name));
+  }
+  professions.properties = {
+      Subjective("dangerous", 0.18, 0.84, 0.018, 0.0004),
+      Subjective("exciting", 0.21, 0.78, 0.016, 0.00035),
+      Subjective("rare", 0.15, 0.82, 0.010, 0.00025),
+      Subjective("solid", 0.24, 0.76, 0.008, 0.0002),
+      Subjective("vital", 0.24, 0.85, 0.014, 0.0003),
+  };
+  config.types.push_back(std::move(professions));
+
+  // --- Sports ---------------------------------------------------------------
+  TypeSpec sports;
+  sports.name = "sport";
+  sports.num_entities = entities_per_type;
+  sports.popularity_zipf_exponent = 0.9;
+  for (const char* name : {"soccer", "chess", "rugby", "golf", "boxing",
+                           "curling", "tennis", "cricket"}) {
+    sports.seeds.push_back(Seed(name));
+  }
+  sports.properties = {
+      Subjective("addictive", 0.24, 0.80, 0.018, 0.0004),
+      // Lower consensus: "boring sports" (agreement ~15/20 in the paper).
+      // Mild inverse bias: fans deny "boring" loudly.
+      [] {
+        PropertySpec boring = Subjective("boring", 0.18, 0.72, 0.004, 0.008);
+        boring.popularity_coupling = -0.8;
+        return boring;
+      }(),
+      // "dangerous sports" agree less than "dangerous animals" (~16/20).
+      Subjective("dangerous", 0.21, 0.80, 0.020, 0.00045),
+      Subjective("fast", 0.24, 0.84, 0.016, 0.00035),
+      // "popular" tracks popularity almost by definition.
+      [] {
+        PropertySpec popular = Subjective("popular", 0.27, 0.86, 0.022, 0.00045);
+        popular.popularity_coupling = 2.0;
+        return popular;
+      }(),
+  };
+  config.types.push_back(std::move(sports));
+  return config;
+}
+
+WorldConfig MakeBigCityWorldConfig(int num_cities, uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+  TypeSpec cities;
+  cities.name = "city";
+  cities.num_entities = num_cities;
+  AttributeSpec population;
+  population.name = "population";
+  population.log10_min = 2.0;
+  population.log10_max = 7.0;
+  population.popularity_exponent = 0.75;
+  cities.attribute = population;
+  cities.seeds = {
+      SeedWithAttribute("san francisco", 870000),
+      SeedWithAttribute("los angeles", 3900000),
+      SeedWithAttribute("palo alto", 66000),
+      SeedWithAttribute("fresno", 540000),
+      SeedWithAttribute("eureka", 27000),
+  };
+  cities.properties = {
+      AttributeDriven("big", "population", 2.0e5, 1.3, false, 0.020, 0.0015),
+  };
+  config.types.push_back(std::move(cities));
+  return config;
+}
+
+WorldConfig MakeWealthyCountryWorldConfig(uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+  TypeSpec countries;
+  countries.name = "country";
+  countries.num_entities = 190;
+  AttributeSpec gdp;
+  gdp.name = "gdp per capita";
+  gdp.log10_min = 2.6;
+  gdp.log10_max = 5.1;
+  gdp.popularity_exponent = 0.55;
+  countries.attribute = gdp;
+  countries.seeds = {
+      SeedWithAttribute("switzerland", 85000),
+      SeedWithAttribute("norway", 82000),
+      SeedWithAttribute("germany", 48000),
+      SeedWithAttribute("brazil", 8800),
+      SeedWithAttribute("india", 1500),
+      SeedWithAttribute("chad", 700),
+  };
+  countries.properties = {
+      AttributeDriven("wealthy", "gdp per capita", 2.0e4, 1.4, false, 0.015,
+                      0.003),
+  };
+  config.types.push_back(std::move(countries));
+  return config;
+}
+
+WorldConfig MakeBigLakeWorldConfig(uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+  TypeSpec lakes;
+  lakes.name = "lake";
+  lakes.num_entities = 120;
+  AttributeSpec area;
+  area.name = "area";
+  area.log10_min = -1.0;
+  area.log10_max = 2.8;
+  area.popularity_exponent = 0.8;
+  lakes.attribute = area;
+  lakes.seeds = {
+      SeedWithAttribute("geneva", 580),  SeedWithAttribute("constance", 536),
+      SeedWithAttribute("neuchatel", 218), SeedWithAttribute("lucerne", 114),
+      SeedWithAttribute("zurich", 88),   SeedWithAttribute("thun", 48),
+      SeedWithAttribute("brienz", 30),   SeedWithAttribute("walen", 24),
+  };
+  lakes.properties = {
+      AttributeDriven("big", "area", 30.0, 1.5, false, 0.015, 0.002),
+  };
+  config.types.push_back(std::move(lakes));
+  return config;
+}
+
+WorldConfig MakeHighMountainWorldConfig(uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+  TypeSpec mountains;
+  mountains.name = "mountain";
+  mountains.num_entities = 150;
+  AttributeSpec height;
+  height.name = "relative height";
+  height.log10_min = 2.5;
+  height.log10_max = 3.2;
+  height.popularity_exponent = 1.6;
+  mountains.attribute = height;
+  mountains.seeds = {
+      SeedWithAttribute("ben nevis", 1345),
+      SeedWithAttribute("snowdon", 1085),
+      SeedWithAttribute("scafell pike", 978),
+      SeedWithAttribute("helvellyn", 950),
+      SeedWithAttribute("slieve donard", 850),
+  };
+  mountains.properties = {
+      AttributeDriven("high", "relative height", 700.0, 3.0, false, 0.018,
+                      0.003),
+  };
+  config.types.push_back(std::move(mountains));
+  return config;
+}
+
+WorldConfig MakeWebScaleWorldConfig(int num_types, uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+  Rng rng(seed ^ 0x5eedULL);
+  NameGenerator names;
+  for (int t = 0; t < num_types; ++t) {
+    TypeSpec type;
+    type.name = names.Generate(rng);
+    // Entity counts: log-uniform 50..1500.
+    type.num_entities =
+        static_cast<int>(50.0 * std::pow(10.0, rng.Uniform(0.0, 1.5)));
+    type.popularity_zipf_exponent = rng.Uniform(0.9, 1.3);
+    type.ambiguous_alias_fraction = 0.02;
+    // Property counts: log-uniform 1..40 — the skew behind Fig. 9(c).
+    const int num_properties =
+        static_cast<int>(std::pow(40.0, rng.Uniform(0.0, 1.0)));
+    for (int p = 0; p < std::max(1, num_properties); ++p) {
+      PropertySpec spec;
+      spec.adjective = names.Generate(rng);
+      spec.prevalence = rng.Uniform(0.10, 0.40);
+      spec.agreement = rng.Uniform(0.7, 0.95);
+      // Weaker occurrence coupling than the curated world: popular
+      // entities of obscure types are not reliably property-positive, so
+      // count-based votes err more often.
+      spec.popularity_coupling = 0.5;
+      // Expression probability log-uniform. The polarity bias skews
+      // heavily toward positive statements (the Web-wide pattern the
+      // paper observes), with occasional mild or inverse-bias pairs.
+      spec.express_positive = std::pow(10.0, rng.Uniform(-2.8, -1.6));
+      const double bias = std::pow(10.0, rng.Uniform(-1.8, -0.2));
+      spec.express_negative = spec.express_positive * bias;
+      if (rng.Bernoulli(0.07)) {
+        std::swap(spec.express_positive, spec.express_negative);
+        spec.popularity_coupling = -spec.popularity_coupling;
+      }
+      type.properties.push_back(std::move(spec));
+    }
+    config.types.push_back(std::move(type));
+  }
+  return config;
+}
+
+WorldConfig MakeTinyWorldConfig(uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+  TypeSpec animals;
+  animals.name = "animal";
+  animals.num_entities = 12;
+  for (const char* name : {"kitten", "puppy", "spider", "tiger", "koala",
+                           "scorpion", "rat", "pony"}) {
+    animals.seeds.push_back(Seed(name));
+  }
+  animals.properties = {
+      Subjective("cute", 0.5, 0.9, 0.05, 0.005),
+      Subjective("dangerous", 0.4, 0.9, 0.04, 0.008),
+  };
+  config.types.push_back(std::move(animals));
+
+  TypeSpec cities;
+  cities.name = "city";
+  cities.num_entities = 10;
+  AttributeSpec population;
+  population.name = "population";
+  population.log10_min = 3.5;
+  population.log10_max = 6.8;
+  population.popularity_exponent = 0.7;
+  cities.attribute = population;
+  cities.seeds = {SeedWithAttribute("san francisco", 870000),
+                  SeedWithAttribute("palo alto", 66000)};
+  cities.properties = {
+      AttributeDriven("big", "population", 2.5e5, 1.5, false, 0.05, 0.004),
+  };
+  config.types.push_back(std::move(cities));
+  return config;
+}
+
+}  // namespace surveyor

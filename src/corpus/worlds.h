@@ -1,0 +1,42 @@
+#ifndef SURVEYOR_CORPUS_WORLDS_H_
+#define SURVEYOR_CORPUS_WORLDS_H_
+
+#include <cstdint>
+
+#include "corpus/world.h"
+
+namespace surveyor {
+
+/// The evaluation world of paper Section 7.3 (Table 2): five entity types
+/// (animal, celebrity, city, profession, sport) with five subjective
+/// properties each, including the Figure-10 animals as curated seeds.
+/// Expression biases and agreement levels vary per property-type pair —
+/// that variety is precisely what the per-pair model exists for.
+WorldConfig MakePaperWorldConfig(int entities_per_type = 300,
+                                 uint64_t seed = 7);
+
+/// The Section-2 empirical study: `num_cities` Californian cities with a
+/// population attribute and the single property "big" (population-coupled
+/// dominant opinion, strong polarity and occurrence bias).
+WorldConfig MakeBigCityWorldConfig(int num_cities = 461, uint64_t seed = 11);
+
+/// Appendix A worlds: "wealthy country" (GDP per capita),
+/// "big lake" (area, Swiss lakes), "high mountain" (relative height,
+/// British Isles).
+WorldConfig MakeWealthyCountryWorldConfig(uint64_t seed = 13);
+WorldConfig MakeBigLakeWorldConfig(uint64_t seed = 17);
+WorldConfig MakeHighMountainWorldConfig(uint64_t seed = 19);
+
+/// A randomized many-type world approximating the full Web run of
+/// Section 7.1/7.2: `num_types` types with skewed property counts, entity
+/// counts, popularity and expression parameters. Used for the extraction
+/// statistics (Fig. 9), the random-sample comparison (Table 5 / Appendix
+/// D), and the scaling benchmarks.
+WorldConfig MakeWebScaleWorldConfig(int num_types = 30, uint64_t seed = 23);
+
+/// A two-type, few-entity world for quickstarts and fast tests.
+WorldConfig MakeTinyWorldConfig(uint64_t seed = 3);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_CORPUS_WORLDS_H_

@@ -1,0 +1,35 @@
+#include "eval/amt.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace surveyor {
+
+AmtSimulator::AmtSimulator(const World* world, AmtOptions options)
+    : world_(world), options_(options) {
+  SURVEYOR_CHECK(world_ != nullptr);
+  SURVEYOR_CHECK_GT(options_.num_workers, 0);
+}
+
+StatusOr<AmtVote> AmtSimulator::Collect(EntityId entity,
+                                        const std::string& property,
+                                        Rng& rng) const {
+  SURVEYOR_ASSIGN_OR_RETURN(double fraction,
+                            world_->PositiveFraction(entity, property));
+  AmtVote vote;
+  vote.num_workers = options_.num_workers;
+  for (int w = 0; w < options_.num_workers; ++w) {
+    if (rng.Bernoulli(fraction)) ++vote.positive_votes;
+  }
+  const int negative_votes = vote.num_workers - vote.positive_votes;
+  vote.agreement = std::max(vote.positive_votes, negative_votes);
+  if (vote.positive_votes > negative_votes) {
+    vote.dominant = Polarity::kPositive;
+  } else if (negative_votes > vote.positive_votes) {
+    vote.dominant = Polarity::kNegative;
+  }
+  return vote;
+}
+
+}  // namespace surveyor

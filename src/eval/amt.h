@@ -1,0 +1,53 @@
+#ifndef SURVEYOR_EVAL_AMT_H_
+#define SURVEYOR_EVAL_AMT_H_
+
+#include <string>
+
+#include "corpus/world.h"
+#include "model/opinion.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Options for the simulated Amazon Mechanical Turk ground-truth
+/// collection (paper Section 7.3: 20 workers per test case).
+struct AmtOptions {
+  int num_workers = 20;
+};
+
+/// The collected opinions for one test case.
+struct AmtVote {
+  int positive_votes = 0;
+  int num_workers = 0;
+  /// Majority opinion; kNeutral on an exact tie (the paper removes ties,
+  /// 4% of cases, from the test set).
+  Polarity dominant = Polarity::kNeutral;
+  /// Number of workers sharing the majority opinion (max of the two
+  /// sides) — the paper's worker-agreement measure.
+  int agreement = 0;
+};
+
+/// Samples worker opinions from the world's latent opinion distribution.
+/// Workers are fresh draws from the same population the simulated Web
+/// authors come from — the ground truth is a survey sample, exactly as in
+/// the paper, not an oracle readout.
+class AmtSimulator {
+ public:
+  /// `world` must outlive the simulator.
+  AmtSimulator(const World* world, AmtOptions options = {});
+
+  /// Asks `options.num_workers` simulated workers whether `property`
+  /// applies to `entity`. Fails when the world has no ground truth for the
+  /// pair.
+  StatusOr<AmtVote> Collect(EntityId entity, const std::string& property,
+                            Rng& rng) const;
+
+ private:
+  const World* world_;
+  AmtOptions options_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EVAL_AMT_H_

@@ -1,0 +1,53 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace surveyor {
+
+BootstrapResult BootstrapMetrics(
+    const std::vector<ComparisonHarness::CaseOutcome>& outcomes,
+    int resamples, uint64_t seed, double confidence) {
+  SURVEYOR_CHECK_GT(resamples, 0);
+  SURVEYOR_CHECK_GT(confidence, 0.0);
+  SURVEYOR_CHECK_LT(confidence, 1.0);
+  BootstrapResult result;
+  result.resamples = resamples;
+  if (outcomes.empty()) return result;
+
+  Rng rng(seed);
+  std::vector<double> coverage, precision, f1;
+  coverage.reserve(resamples);
+  precision.reserve(resamples);
+  f1.reserve(resamples);
+  for (int r = 0; r < resamples; ++r) {
+    EvalMetrics metrics;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const ComparisonHarness::CaseOutcome& outcome =
+          outcomes[rng.Index(outcomes.size())];
+      ++metrics.total_cases;
+      if (outcome.solved) ++metrics.solved_cases;
+      if (outcome.correct) ++metrics.correct_cases;
+    }
+    coverage.push_back(metrics.coverage());
+    precision.push_back(metrics.precision());
+    f1.push_back(metrics.f1());
+  }
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  auto interval = [&](std::vector<double>& samples) {
+    Interval ci;
+    ci.lo = Percentile(samples, 100.0 * alpha);
+    ci.hi = Percentile(samples, 100.0 * (1.0 - alpha));
+    return ci;
+  };
+  result.coverage = interval(coverage);
+  result.precision = interval(precision);
+  result.f1 = interval(f1);
+  return result;
+}
+
+}  // namespace surveyor

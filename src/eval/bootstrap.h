@@ -1,0 +1,35 @@
+#ifndef SURVEYOR_EVAL_BOOTSTRAP_H_
+#define SURVEYOR_EVAL_BOOTSTRAP_H_
+
+#include <vector>
+
+#include "eval/harness.h"
+#include "util/rng.h"
+
+namespace surveyor {
+
+/// A two-sided confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Bootstrap confidence intervals over a method's per-case outcomes. The
+/// paper reports point estimates from 500 hand-labeled cases; resampling
+/// quantifies how much of the measured method gaps is noise.
+struct BootstrapResult {
+  Interval coverage;
+  Interval precision;
+  Interval f1;
+  int resamples = 0;
+};
+
+/// Percentile-bootstrap confidence intervals at the given confidence
+/// level (two-sided). Deterministic given the seed.
+BootstrapResult BootstrapMetrics(
+    const std::vector<ComparisonHarness::CaseOutcome>& outcomes,
+    int resamples = 1000, uint64_t seed = 17, double confidence = 0.95);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EVAL_BOOTSTRAP_H_

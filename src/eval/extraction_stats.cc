@@ -1,0 +1,29 @@
+#include "eval/extraction_stats.h"
+
+namespace surveyor {
+
+ExtractionStatistics ComputeExtractionStatistics(
+    const KnowledgeBase& kb, const EvidenceAggregator& aggregator,
+    int64_t pair_threshold) {
+  ExtractionStatistics stats;
+
+  for (int64_t count : aggregator.StatementsPerEntity(kb)) {
+    stats.statements_per_entity.push_back(static_cast<double>(count));
+  }
+
+  std::vector<int> qualifying(kb.num_types(), 0);
+  for (const PropertyTypeEvidence& group : aggregator.GroupByType(kb, 1)) {
+    stats.statements_per_pair.push_back(
+        static_cast<double>(group.total_statements));
+    if (group.total_statements >= pair_threshold) {
+      ++qualifying[group.type];
+    }
+  }
+  for (TypeId t = 0; t < kb.num_types(); ++t) {
+    stats.qualifying_properties_per_type.push_back(
+        static_cast<double>(qualifying[t]));
+  }
+  return stats;
+}
+
+}  // namespace surveyor

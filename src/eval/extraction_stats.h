@@ -1,0 +1,34 @@
+#ifndef SURVEYOR_EVAL_EXTRACTION_STATS_H_
+#define SURVEYOR_EVAL_EXTRACTION_STATS_H_
+
+#include <vector>
+
+#include "extraction/aggregator.h"
+#include "kb/knowledge_base.h"
+
+namespace surveyor {
+
+/// The Section 7.2 extraction statistics (Figure 9): the three
+/// distributions whose skew motivates the per-pair model and the rho
+/// threshold.
+struct ExtractionStatistics {
+  /// Statements per knowledge-base entity (Fig. 9a), zeros included.
+  std::vector<double> statements_per_entity;
+  /// Statements per property-type combination with >= 1 statement
+  /// (Fig. 9b).
+  std::vector<double> statements_per_pair;
+  /// Properties with at least `pair_threshold` statements, per type
+  /// (Fig. 9c), zeros included for types without such properties.
+  std::vector<double> qualifying_properties_per_type;
+};
+
+/// Computes the Figure-9 statistics from aggregated evidence.
+/// `pair_threshold` is the statement minimum for a property to count in
+/// 9(c) (the paper uses 100).
+ExtractionStatistics ComputeExtractionStatistics(
+    const KnowledgeBase& kb, const EvidenceAggregator& aggregator,
+    int64_t pair_threshold = 100);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EVAL_EXTRACTION_STATS_H_

@@ -1,0 +1,189 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "baselines/majority_vote.h"
+#include "text/annotator.h"
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+namespace surveyor {
+
+ComparisonHarness::ComparisonHarness(const KnowledgeBase* kb,
+                                     const Lexicon* lexicon,
+                                     ExtractionOptions extraction,
+                                     EntityTaggerOptions tagger,
+                                     int num_threads)
+    : kb_(kb),
+      lexicon_(lexicon),
+      extraction_options_(extraction),
+      tagger_options_(tagger),
+      num_threads_(num_threads) {
+  SURVEYOR_CHECK(kb_ != nullptr);
+  SURVEYOR_CHECK(lexicon_ != nullptr);
+}
+
+Status ComparisonHarness::Prepare(const std::vector<RawDocument>& corpus) {
+  const size_t num_threads =
+      num_threads_ > 0
+          ? static_cast<size_t>(num_threads_)
+          : std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool pool(num_threads);
+
+  struct ShardState {
+    EvidenceAggregator aggregator;
+    std::vector<EvidenceStatement> statements;
+  };
+  std::vector<ShardState> shards(num_threads);
+
+  const TextAnnotator annotator(kb_, lexicon_, tagger_options_);
+  const EvidenceExtractor extractor(extraction_options_);
+  const size_t docs_per_shard =
+      (corpus.size() + num_threads - 1) / std::max<size_t>(1, num_threads);
+  for (size_t shard = 0; shard < num_threads; ++shard) {
+    const size_t begin = shard * docs_per_shard;
+    const size_t end = std::min(corpus.size(), begin + docs_per_shard);
+    if (begin >= end) continue;
+    pool.Submit([&, shard, begin, end] {
+      ShardState& state = shards[shard];
+      for (size_t d = begin; d < end; ++d) {
+        const AnnotatedDocument doc =
+            annotator.AnnotateDocument(corpus[d].doc_id, corpus[d].text);
+        std::vector<EvidenceStatement> statements =
+            extractor.ExtractFromDocument(doc);
+        state.aggregator.AddAll(statements);
+        state.statements.insert(state.statements.end(),
+                                std::make_move_iterator(statements.begin()),
+                                std::make_move_iterator(statements.end()));
+      }
+    });
+  }
+  pool.Wait();
+
+  aggregator_ = EvidenceAggregator();
+  std::vector<EvidenceStatement> all_statements;
+  for (ShardState& state : shards) {
+    aggregator_.Merge(state.aggregator);
+    all_statements.insert(all_statements.end(),
+                          std::make_move_iterator(state.statements.begin()),
+                          std::make_move_iterator(state.statements.end()));
+  }
+
+  // Group all pairs (no threshold: the harness decides per experiment).
+  evidence_.clear();
+  for (PropertyTypeEvidence& group : aggregator_.GroupByType(*kb_, 1)) {
+    PairKey key{group.type, group.property};
+    evidence_.emplace(std::move(key), std::move(group));
+  }
+
+  entity_index_.clear();
+  for (TypeId t = 0; t < kb_->num_types(); ++t) {
+    const std::vector<EntityId>& members = kb_->EntitiesOfType(t);
+    for (size_t i = 0; i < members.size(); ++i) entity_index_[members[i]] = i;
+  }
+
+  webchild_ = WebChildClassifier();
+  webchild_.Harvest(all_statements);
+
+  int64_t positive = 0;
+  int64_t negative = 0;
+  for (const auto& [key, group] : evidence_) {
+    for (const EvidenceCounts& c : group.counts) {
+      positive += c.positive;
+      negative += c.negative;
+    }
+  }
+  global_scale_ = (positive > 0 && negative > 0)
+                      ? static_cast<double>(positive) /
+                            static_cast<double>(negative)
+                      : 1.0;
+  classification_cache_.clear();
+  prepared_ = true;
+  return Status::OK();
+}
+
+const PropertyTypeEvidence* ComparisonHarness::EvidenceFor(
+    TypeId type, const std::string& property) const {
+  SURVEYOR_CHECK(prepared_);
+  auto it = evidence_.find({type, property});
+  if (it == evidence_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<std::pair<TypeId, std::string>>
+ComparisonHarness::PairsAboveThreshold(int64_t min_statements) const {
+  SURVEYOR_CHECK(prepared_);
+  std::vector<std::pair<TypeId, std::string>> pairs;
+  for (const auto& [key, group] : evidence_) {
+    if (group.total_statements >= min_statements) pairs.push_back(key);
+  }
+  return pairs;
+}
+
+EvalMetrics ComparisonHarness::Evaluate(
+    const OpinionClassifier& method, const std::vector<LabeledTestCase>& cases,
+    int min_agreement) const {
+  EvalMetrics metrics;
+  for (const CaseOutcome& outcome :
+       EvaluateCases(method, cases, min_agreement)) {
+    ++metrics.total_cases;
+    if (outcome.solved) ++metrics.solved_cases;
+    if (outcome.correct) ++metrics.correct_cases;
+  }
+  return metrics;
+}
+
+std::vector<ComparisonHarness::CaseOutcome> ComparisonHarness::EvaluateCases(
+    const OpinionClassifier& method, const std::vector<LabeledTestCase>& cases,
+    int min_agreement) const {
+  SURVEYOR_CHECK(prepared_);
+  std::vector<CaseOutcome> outcomes;
+  for (const LabeledTestCase& labeled : cases) {
+    if (labeled.vote.agreement < min_agreement) continue;
+    const PairKey key{labeled.test_case.type, labeled.test_case.property};
+    auto eit = evidence_.find(key);
+    Polarity decided = Polarity::kNeutral;
+    if (eit != evidence_.end()) {
+      const auto cache_key = std::make_pair(method.name(), key);
+      auto cit = classification_cache_.find(cache_key);
+      if (cit == classification_cache_.end()) {
+        cit = classification_cache_
+                  .emplace(cache_key, method.Classify(eit->second))
+                  .first;
+      }
+      auto idx = entity_index_.find(labeled.test_case.entity);
+      if (idx != entity_index_.end() && idx->second < cit->second.size()) {
+        decided = cit->second[idx->second];
+      }
+    } else {
+      // No statement mentioned the pair at all. Methods that can decide
+      // from zero evidence (Surveyor's model, WebChild's absence-as-
+      // negative) still get to answer over an all-zero evidence vector.
+      auto type_members = kb_->EntitiesOfType(labeled.test_case.type);
+      PropertyTypeEvidence zero;
+      zero.type = labeled.test_case.type;
+      zero.property = labeled.test_case.property;
+      zero.entities = type_members;
+      zero.counts.assign(type_members.size(), EvidenceCounts{});
+      const auto cache_key = std::make_pair(method.name(), key);
+      auto cit = classification_cache_.find(cache_key);
+      if (cit == classification_cache_.end()) {
+        cit = classification_cache_
+                  .emplace(cache_key, method.Classify(zero))
+                  .first;
+      }
+      auto idx = entity_index_.find(labeled.test_case.entity);
+      if (idx != entity_index_.end() && idx->second < cit->second.size()) {
+        decided = cit->second[idx->second];
+      }
+    }
+    CaseOutcome outcome;
+    outcome.solved = decided != Polarity::kNeutral;
+    outcome.correct = outcome.solved && decided == labeled.vote.dominant;
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+}  // namespace surveyor

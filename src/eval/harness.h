@@ -1,0 +1,105 @@
+#ifndef SURVEYOR_EVAL_HARNESS_H_
+#define SURVEYOR_EVAL_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "baselines/classifier.h"
+#include "baselines/webchild.h"
+#include "eval/metrics.h"
+#include "eval/testcases.h"
+#include "extraction/aggregator.h"
+#include "extraction/extractor.h"
+#include "kb/knowledge_base.h"
+#include "text/document.h"
+#include "text/entity_tagger.h"
+#include "text/lexicon.h"
+#include "util/status.h"
+
+namespace surveyor {
+
+/// Shared evaluation harness for the method-comparison experiments
+/// (Tables 3 and 5, Figure 12): runs annotation + extraction once over a
+/// corpus, materializes per-pair evidence, harvests the WebChild baseline,
+/// and scores any OpinionClassifier against AMT-labeled test cases.
+class ComparisonHarness {
+ public:
+  /// `kb` and `lexicon` must outlive the harness.
+  ComparisonHarness(const KnowledgeBase* kb, const Lexicon* lexicon,
+                    ExtractionOptions extraction = {},
+                    EntityTaggerOptions tagger = {}, int num_threads = 0);
+
+  /// Annotates and extracts the whole corpus (sharded over threads),
+  /// groups evidence by property-type pair, and harvests the WebChild
+  /// knowledge base. Must be called before any query.
+  Status Prepare(const std::vector<RawDocument>& corpus);
+
+  /// Evidence for one property-type pair (all entities of the type, zero
+  /// counters included); nullptr if no statement mentioned the pair.
+  const PropertyTypeEvidence* EvidenceFor(TypeId type,
+                                          const std::string& property) const;
+
+  /// Pairs whose total statement count reaches `min_statements` (the
+  /// candidate set the random-sample protocol draws from).
+  std::vector<std::pair<TypeId, std::string>> PairsAboveThreshold(
+      int64_t min_statements) const;
+
+  /// The WebChild baseline harvested from this corpus.
+  const WebChildClassifier& webchild() const { return webchild_; }
+
+  /// Global positive/negative statement ratio (for Scaled Majority Vote).
+  double global_scale() const { return global_scale_; }
+
+  const EvidenceAggregator& aggregator() const { return aggregator_; }
+
+  /// Total statements extracted (Table 4's statements column).
+  int64_t total_statements() const { return aggregator_.total_statements(); }
+
+  /// Scores `method` on the labeled cases whose worker agreement is at
+  /// least `min_agreement` (0 = all). Classifications are cached per
+  /// (method name, pair), so sweeps over thresholds are cheap.
+  EvalMetrics Evaluate(const OpinionClassifier& method,
+                       const std::vector<LabeledTestCase>& cases,
+                       int min_agreement = 0) const;
+
+  /// Per-test-case outcome of one method (input to bootstrap resampling).
+  struct CaseOutcome {
+    bool solved = false;
+    bool correct = false;
+  };
+
+  /// Like Evaluate, but returns the per-case outcomes in input order
+  /// (agreement-filtered cases are omitted).
+  std::vector<CaseOutcome> EvaluateCases(
+      const OpinionClassifier& method,
+      const std::vector<LabeledTestCase>& cases, int min_agreement = 0) const;
+
+ private:
+  using PairKey = std::pair<TypeId, std::string>;
+
+  const KnowledgeBase* kb_;
+  const Lexicon* lexicon_;
+  ExtractionOptions extraction_options_;
+  EntityTaggerOptions tagger_options_;
+  int num_threads_;
+
+  EvidenceAggregator aggregator_;
+  std::map<PairKey, PropertyTypeEvidence> evidence_;
+  /// entity -> index within its type's entity vector.
+  std::unordered_map<EntityId, size_t> entity_index_;
+  WebChildClassifier webchild_;
+  double global_scale_ = 1.0;
+  bool prepared_ = false;
+
+  /// Cache of classifications: (method name, pair) -> polarities.
+  mutable std::map<std::pair<std::string, PairKey>, std::vector<Polarity>>
+      classification_cache_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EVAL_HARNESS_H_

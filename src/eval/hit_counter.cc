@@ -1,0 +1,66 @@
+#include "eval/hit_counter.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+/// Lower-cases and collapses whitespace runs to single spaces.
+std::string Normalize(const std::string& text) {
+  std::string normalized;
+  normalized.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isspace(uc)) {
+      pending_space = !normalized.empty();
+      continue;
+    }
+    if (pending_space) {
+      normalized += ' ';
+      pending_space = false;
+    }
+    normalized += static_cast<char>(std::tolower(uc));
+  }
+  return normalized;
+}
+
+int64_t CountIn(const std::string& haystack, const std::string& needle) {
+  if (needle.empty()) return 0;
+  int64_t count = 0;
+  size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += 1;  // allow overlapping matches, like repeated page snippets
+  }
+  return count;
+}
+
+}  // namespace
+
+PhraseHitCounter::PhraseHitCounter(const std::vector<RawDocument>& corpus) {
+  texts_.reserve(corpus.size());
+  for (const RawDocument& doc : corpus) texts_.push_back(Normalize(doc.text));
+}
+
+int64_t PhraseHitCounter::CountOccurrences(const std::string& phrase) const {
+  const std::string needle = Normalize(phrase);
+  int64_t total = 0;
+  for (const std::string& text : texts_) total += CountIn(text, needle);
+  return total;
+}
+
+EvidenceCounts PhraseHitCounter::QueryPair(const std::string& entity_name,
+                                           const std::string& property,
+                                           const std::string& type_noun) const {
+  const std::string suffix =
+      type_noun.empty() ? property : "a " + property + " " + type_noun;
+  EvidenceCounts counts;
+  counts.positive = CountOccurrences(entity_name + " is " + suffix);
+  counts.negative = CountOccurrences(entity_name + " is not " + suffix);
+  return counts;
+}
+
+}  // namespace surveyor

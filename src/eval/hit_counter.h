@@ -1,0 +1,47 @@
+#ifndef SURVEYOR_EVAL_HIT_COUNTER_H_
+#define SURVEYOR_EVAL_HIT_COUNTER_H_
+
+#include <string>
+#include <vector>
+
+#include "model/opinion.h"
+#include "text/document.h"
+
+namespace surveyor {
+
+/// The Section 2 exploration methodology, reproduced against the corpus:
+/// the paper collected evidence for each city by issuing search-engine
+/// queries for the exact phrases "X is a big city" and "X is not a big
+/// city" and reading the hit counts. This class answers such phrase
+/// queries over an in-memory corpus (case-insensitive, whitespace
+/// normalized), counting occurrences.
+///
+/// The paper's own conclusion holds here too: phrase queries are a crude
+/// instrument next to the dependency-pattern extraction (they miss
+/// paraphrases, conjunctions and embedded clauses and cannot
+/// disambiguate), which is why the deployed system uses the NLP pipeline.
+class PhraseHitCounter {
+ public:
+  /// Indexes the corpus (lower-cases and normalizes whitespace once).
+  explicit PhraseHitCounter(const std::vector<RawDocument>& corpus);
+
+  /// Number of occurrences of the exact phrase across all documents.
+  int64_t CountOccurrences(const std::string& phrase) const;
+
+  /// The Section 2 query pair for an entity: occurrences of
+  /// "<entity> is (a) <property> <type>" as positive evidence and
+  /// "<entity> is not (a) <property> <type>" as negative evidence.
+  /// `type_noun` may be empty for bare-adjective phrasing
+  /// ("X is big" / "X is not big").
+  EvidenceCounts QueryPair(const std::string& entity_name,
+                           const std::string& property,
+                           const std::string& type_noun) const;
+
+ private:
+  /// Normalized document texts.
+  std::vector<std::string> texts_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EVAL_HIT_COUNTER_H_

@@ -1,0 +1,38 @@
+#ifndef SURVEYOR_EVAL_METRICS_H_
+#define SURVEYOR_EVAL_METRICS_H_
+
+#include <cstdint>
+
+namespace surveyor {
+
+/// Aggregate evaluation metrics (paper Section 7.4): coverage is the
+/// fraction of test cases the method decides, precision the fraction of
+/// decided cases that match the ground truth, F1 the harmonic mean of the
+/// two (the paper's definition — not the IR precision/recall F1).
+struct EvalMetrics {
+  int64_t total_cases = 0;
+  int64_t solved_cases = 0;
+  int64_t correct_cases = 0;
+
+  double coverage() const {
+    return total_cases == 0
+               ? 0.0
+               : static_cast<double>(solved_cases) /
+                     static_cast<double>(total_cases);
+  }
+  double precision() const {
+    return solved_cases == 0
+               ? 0.0
+               : static_cast<double>(correct_cases) /
+                     static_cast<double>(solved_cases);
+  }
+  double f1() const {
+    const double p = precision();
+    const double c = coverage();
+    return (p + c) == 0.0 ? 0.0 : 2.0 * p * c / (p + c);
+  }
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EVAL_METRICS_H_

@@ -1,0 +1,96 @@
+#include "eval/objective_link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace surveyor {
+
+double ObjectiveLink::Predict(double value) const {
+  return Sigmoid(slope * std::log(std::max(value, 1e-300)) + intercept);
+}
+
+StatusOr<ObjectiveLink> FitLogisticLink(const std::vector<double>& log_values,
+                                        const std::vector<double>& labels,
+                                        ObjectiveLinkOptions options) {
+  if (log_values.size() != labels.size()) {
+    return Status::InvalidArgument("feature/label size mismatch");
+  }
+  if (log_values.size() < 3) {
+    return Status::FailedPrecondition("need at least 3 entities to fit");
+  }
+  bool has_positive = false;
+  bool has_negative = false;
+  for (double label : labels) {
+    if (label > 0.5) has_positive = true;
+    if (label < 0.5) has_negative = true;
+  }
+  if (!has_positive || !has_negative) {
+    return Status::FailedPrecondition(
+        "both polarities must be present to fit a threshold");
+  }
+
+  // Standardize the feature for a well-conditioned gradient ascent.
+  const double mean = Mean(log_values);
+  const double sd = std::sqrt(std::max(Variance(log_values), 1e-12));
+  std::vector<double> z(log_values.size());
+  for (size_t i = 0; i < log_values.size(); ++i) {
+    z[i] = (log_values[i] - mean) / sd;
+  }
+
+  double w = 0.0;
+  double b = 0.0;
+  const double n = static_cast<double>(z.size());
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double grad_w = 0.0;
+    double grad_b = 0.0;
+    for (size_t i = 0; i < z.size(); ++i) {
+      const double error = labels[i] - Sigmoid(w * z[i] + b);
+      grad_w += error * z[i];
+      grad_b += error;
+    }
+    w += options.learning_rate * grad_w / n;
+    b += options.learning_rate * grad_b / n;
+  }
+
+  // Un-standardize: p = sigmoid(w * (ln v - mean)/sd + b)
+  //                   = sigmoid((w/sd) ln v + (b - w*mean/sd)).
+  ObjectiveLink link;
+  link.slope = w / sd;
+  link.intercept = b - w * mean / sd;
+  link.num_entities = static_cast<int>(z.size());
+  if (std::abs(link.slope) > 1e-12) {
+    link.threshold = std::exp(-link.intercept / link.slope);
+  }
+  int agree = 0;
+  for (size_t i = 0; i < log_values.size(); ++i) {
+    const bool predicted = link.slope * log_values[i] + link.intercept > 0.0;
+    if (predicted == (labels[i] > 0.5)) ++agree;
+  }
+  link.agreement = static_cast<double>(agree) / n;
+  return link;
+}
+
+StatusOr<ObjectiveLink> LinkObjectiveProperty(const KnowledgeBase& kb,
+                                              const PropertyTypeResult& result,
+                                              const std::string& attribute,
+                                              ObjectiveLinkOptions options) {
+  std::vector<double> log_values;
+  std::vector<double> labels;
+  for (size_t i = 0; i < result.evidence.entities.size(); ++i) {
+    if (result.polarity[i] == Polarity::kNeutral) continue;
+    auto value = kb.GetAttribute(result.evidence.entities[i], attribute);
+    if (!value.ok()) continue;
+    if (*value <= 0.0) continue;
+    log_values.push_back(std::log(*value));
+    labels.push_back(options.use_soft_labels
+                         ? result.posterior[i]
+                         : (result.polarity[i] == Polarity::kPositive ? 1.0
+                                                                      : 0.0));
+  }
+  return FitLogisticLink(log_values, labels, options);
+}
+
+}  // namespace surveyor

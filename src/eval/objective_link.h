@@ -1,0 +1,60 @@
+#ifndef SURVEYOR_EVAL_OBJECTIVE_LINK_H_
+#define SURVEYOR_EVAL_OBJECTIVE_LINK_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "surveyor/pipeline.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// A fitted connection between a subjective property and an objective
+/// numeric attribute — the paper's stated future work (Section 9): "find a
+/// lower bound on the population count of a city starting from which an
+/// average user would call that city big".
+struct ObjectiveLink {
+  /// Attribute value at which the mined opinion crosses 50/50 — the lower
+  /// bound the paper asks for (in original attribute units).
+  double threshold = 0.0;
+  /// Logistic slope in ln(attribute) units; positive when the property
+  /// becomes more likely as the attribute grows.
+  double slope = 0.0;
+  /// Intercept of the logistic in ln(attribute) space.
+  double intercept = 0.0;
+  /// Fraction of decided entities whose mined polarity matches the fitted
+  /// curve's prediction.
+  double agreement = 0.0;
+  /// Entities used for the fit (decided polarity + attribute present).
+  int num_entities = 0;
+
+  /// Predicted probability that the property applies at attribute `value`.
+  double Predict(double value) const;
+};
+
+/// Options for the logistic fit.
+struct ObjectiveLinkOptions {
+  int max_iterations = 200;
+  double learning_rate = 0.5;
+  /// Posterior weights (soft labels) instead of hard polarities.
+  bool use_soft_labels = true;
+};
+
+/// Fits a one-dimensional logistic regression of the mined dominant
+/// opinion on ln(attribute) over the entities of one property-type result.
+/// Fails when fewer than 3 usable entities exist or when both classes are
+/// not represented.
+StatusOr<ObjectiveLink> LinkObjectiveProperty(
+    const KnowledgeBase& kb, const PropertyTypeResult& result,
+    const std::string& attribute, ObjectiveLinkOptions options = {});
+
+/// Core fitting routine on raw (ln-attribute, probability-label) pairs;
+/// exposed for testing.
+StatusOr<ObjectiveLink> FitLogisticLink(const std::vector<double>& log_values,
+                                        const std::vector<double>& labels,
+                                        ObjectiveLinkOptions options = {});
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EVAL_OBJECTIVE_LINK_H_

@@ -1,0 +1,51 @@
+#ifndef SURVEYOR_EVAL_TESTCASES_H_
+#define SURVEYOR_EVAL_TESTCASES_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/world.h"
+#include "eval/amt.h"
+#include "kb/knowledge_base.h"
+#include "util/rng.h"
+
+namespace surveyor {
+
+/// One entity-property test case.
+struct TestCase {
+  TypeId type = kInvalidType;
+  std::string property;
+  EntityId entity = kInvalidEntity;
+};
+
+/// A test case labeled with the simulated-AMT dominant opinion.
+struct LabeledTestCase {
+  TestCase test_case;
+  AmtVote vote;
+};
+
+/// Curated selection (paper Section 7.3): for every property-type
+/// combination of the world, picks `entities_per_pair` entities spread
+/// over the popular range of the type — entities "common in the query
+/// stream" and known to AMT workers.
+std::vector<TestCase> SelectCuratedTestCases(const World& world,
+                                             int entities_per_pair = 20);
+
+/// Random-sample protocol (paper Appendix D): samples `num_pairs`
+/// property-type combinations uniformly from `available_pairs` (with
+/// replacement when fewer exist) and `entities_per_pair` entities uniformly
+/// per combination — mostly obscure, rarely mentioned entities.
+std::vector<TestCase> SelectRandomTestCases(
+    const World& world,
+    const std::vector<std::pair<TypeId, std::string>>& available_pairs,
+    int num_pairs, int entities_per_pair, Rng& rng);
+
+/// Collects AMT labels for the test cases and removes ties, mirroring the
+/// paper's protocol.
+std::vector<LabeledTestCase> LabelWithAmt(const World& world,
+                                          const std::vector<TestCase>& cases,
+                                          const AmtOptions& options, Rng& rng);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EVAL_TESTCASES_H_

@@ -1,0 +1,51 @@
+#ifndef SURVEYOR_EXTRACTION_EVIDENCE_H_
+#define SURVEYOR_EXTRACTION_EVIDENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kb/knowledge_base.h"
+
+namespace surveyor {
+
+/// Which dependency pattern produced an extraction (paper Fig. 4).
+enum class PatternKind {
+  kAdjectivalModifier,    ///< "snakes are dangerous animals"
+  kAdjectivalComplement,  ///< "chicago is very big"
+  kConjunction,           ///< "a fast and exciting sport" (for "exciting")
+  kSmallClause,           ///< "I find kittens cute"
+};
+
+std::string_view PatternKindName(PatternKind kind);
+
+/// The four extraction-pattern versions of Appendix B. They differ in the
+/// modifier patterns enabled, the verb class accepted for the copula, and
+/// whether the intrinsicness checks run. Version 4 is the one the paper
+/// ships.
+enum class PatternVersion {
+  kV1AmodCopula = 1,        ///< amod only, copula class, no checks
+  kV2AmodAcompCopula = 2,   ///< amod+acomp, copula class, no checks
+  kV3AcompToBeChecks = 3,   ///< acomp only, "to be" only, checks
+  kV4AmodAcompToBeChecks = 4,  ///< amod+acomp, "to be" only, checks (final)
+};
+
+/// One evidence statement: an assertion found in text that a property does
+/// (positive) or does not (negative) apply to an entity.
+struct EvidenceStatement {
+  EntityId entity = kInvalidEntity;
+  /// The bare adjective ("big").
+  std::string adjective;
+  /// The full property: optional adverbs plus the adjective ("very big",
+  /// "densely populated"). Aggregation keys on this string, like the
+  /// paper's properties.
+  std::string property;
+  bool positive = true;
+  PatternKind pattern = PatternKind::kAdjectivalComplement;
+  int64_t doc_id = 0;
+  int sentence_index = 0;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EXTRACTION_EVIDENCE_H_

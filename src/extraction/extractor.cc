@@ -1,0 +1,214 @@
+#include "extraction/extractor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace surveyor {
+
+std::string_view PatternKindName(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kAdjectivalModifier:
+      return "amod";
+    case PatternKind::kAdjectivalComplement:
+      return "acomp";
+    case PatternKind::kConjunction:
+      return "conj";
+    case PatternKind::kSmallClause:
+      return "xcomp";
+  }
+  return "?";
+}
+
+EvidenceExtractor::EvidenceExtractor(ExtractionOptions options)
+    : options_(options) {}
+
+bool EvidenceExtractor::ChecksEnabled() const {
+  if (options_.intrinsic_checks_override.has_value()) {
+    return *options_.intrinsic_checks_override;
+  }
+  return options_.version == PatternVersion::kV3AcompToBeChecks ||
+         options_.version == PatternVersion::kV4AmodAcompToBeChecks;
+}
+
+bool EvidenceExtractor::AmodEnabled() const {
+  return options_.version != PatternVersion::kV3AcompToBeChecks;
+}
+
+bool EvidenceExtractor::AcompEnabled() const {
+  return options_.version != PatternVersion::kV1AmodCopula;
+}
+
+bool EvidenceExtractor::ToBeOnly() const {
+  return options_.version == PatternVersion::kV3AcompToBeChecks ||
+         options_.version == PatternVersion::kV4AmodAcompToBeChecks;
+}
+
+bool EvidenceExtractor::IsPositive(const AnnotatedSentence& sentence,
+                                   int adjective_unit) const {
+  if (!options_.detect_negation) return true;
+  // Walk from the property token to the root, flipping the sign once per
+  // negated token (a token with a `neg` child) — paper Fig. 5.
+  bool positive = true;
+  for (int unit : sentence.tree.PathToRoot(adjective_unit)) {
+    if (sentence.tree.HasChildWithRel(unit, DepRel::kNeg)) {
+      positive = !positive;
+    }
+  }
+  return positive;
+}
+
+std::string EvidenceExtractor::PropertyString(const AnnotatedSentence& sentence,
+                                              int adjective_unit) const {
+  std::vector<int> adverbs =
+      sentence.tree.ChildrenWithRel(adjective_unit, DepRel::kAdvmod);
+  std::sort(adverbs.begin(), adverbs.end());
+  std::string property;
+  for (int adv : adverbs) {
+    if (sentence.units[adv].pos != Pos::kAdverb) continue;
+    property += sentence.units[adv].text;
+    property += ' ';
+  }
+  property += sentence.units[adjective_unit].text;
+  return property;
+}
+
+void EvidenceExtractor::EmitWithConjuncts(
+    const AnnotatedSentence& sentence, int adjective_unit, EntityId entity,
+    PatternKind kind, int64_t doc_id, int sentence_index,
+    std::vector<EvidenceStatement>& out) const {
+  auto emit = [&](int adj, PatternKind k) {
+    EvidenceStatement statement;
+    statement.entity = entity;
+    statement.adjective = sentence.units[adj].text;
+    statement.property = PropertyString(sentence, adj);
+    statement.positive = IsPositive(sentence, adj);
+    statement.pattern = k;
+    statement.doc_id = doc_id;
+    statement.sentence_index = sentence_index;
+    out.push_back(std::move(statement));
+  };
+  emit(adjective_unit, kind);
+  // Conjunction pattern (Fig. 4c): adjectives coordinated with a matched
+  // adjective assert the same entity.
+  for (int conj : sentence.tree.ChildrenWithRel(adjective_unit, DepRel::kConj)) {
+    if (sentence.units[conj].pos != Pos::kAdjective) continue;
+    emit(conj, PatternKind::kConjunction);
+  }
+}
+
+std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromSentence(
+    const AnnotatedSentence& sentence, int64_t doc_id,
+    int sentence_index) const {
+  std::vector<EvidenceStatement> out;
+  if (!sentence.parsed) return out;
+  const DependencyTree& tree = sentence.tree;
+  const bool checks = ChecksEnabled();
+
+  for (size_t i = 0; i < sentence.units.size(); ++i) {
+    if (sentence.units[i].pos != Pos::kAdjective) continue;
+    const int adj = static_cast<int>(i);
+    // Conjunct adjectives are emitted through their coordination base.
+    if (tree.rel(adj) == DepRel::kConj && tree.head(adj) >= 0 &&
+        sentence.units[tree.head(adj)].pos == Pos::kAdjective) {
+      continue;
+    }
+
+    // --- Adjectival complement: "X is (very) big" -----------------------
+    const std::vector<int> cops = tree.ChildrenWithRel(adj, DepRel::kCop);
+    if (!cops.empty()) {
+      if (!AcompEnabled()) continue;
+      const std::vector<int> subjects =
+          tree.ChildrenWithRel(adj, DepRel::kNsubj);
+      if (cops.size() != 1 || subjects.size() != 1) continue;
+      if (ToBeOnly() && sentence.units[cops[0]].pos != Pos::kToBe) continue;
+      const ParseUnit& subject = sentence.units[subjects[0]];
+      if (!subject.IsEntityMention()) continue;
+      // Intrinsicness: a prepositional constriction on the predicate
+      // ("bad for parking") or an adjectival constriction on the subject
+      // mention ("*southern* france is warm" refers to a part of the
+      // entity) marks a non-intrinsic statement.
+      if (checks && (tree.HasChildWithRel(adj, DepRel::kPrep) ||
+                     tree.HasChildWithRel(subjects[0], DepRel::kAmod))) {
+        continue;
+      }
+      EmitWithConjuncts(sentence, adj, subject.entity,
+                        PatternKind::kAdjectivalComplement, doc_id,
+                        sentence_index, out);
+      continue;
+    }
+
+    // --- Small clause: "I find kittens cute" -----------------------------
+    if (tree.rel(adj) == DepRel::kXcomp) {
+      if (!AcompEnabled()) continue;
+      const std::vector<int> subjects =
+          tree.ChildrenWithRel(adj, DepRel::kNsubj);
+      if (subjects.size() != 1) continue;
+      const ParseUnit& subject = sentence.units[subjects[0]];
+      if (!subject.IsEntityMention()) continue;
+      if (checks && (tree.HasChildWithRel(adj, DepRel::kPrep) ||
+                     tree.HasChildWithRel(subjects[0], DepRel::kAmod))) {
+        continue;
+      }
+      EmitWithConjuncts(sentence, adj, subject.entity,
+                        PatternKind::kSmallClause, doc_id, sentence_index,
+                        out);
+      continue;
+    }
+
+    // --- Adjectival modifier: "snakes are dangerous animals", "the cute
+    // kitten slept", "X is a big city" ------------------------------------
+    if (tree.rel(adj) != DepRel::kAmod) continue;
+    if (!AmodEnabled()) continue;
+    const int head = tree.head(adj);
+    if (head < 0) continue;
+    const ParseUnit& noun = sentence.units[head];
+    EntityId entity = kInvalidEntity;
+    if (checks) {
+      // The coreference requirement: the modified noun must be a
+      // coreferential secondary mention, which rejects part-of readings
+      // ("southern France is warm") and bare attributive uses.
+      if (noun.coref_entity == kInvalidEntity) continue;
+      entity = noun.coref_entity;
+      // Predicate-nominal copula must be "to be" for v3/v4.
+      bool copula_ok = true;
+      for (int cop : tree.ChildrenWithRel(head, DepRel::kCop)) {
+        if (ToBeOnly() && sentence.units[cop].pos != Pos::kToBe) {
+          copula_ok = false;
+        }
+      }
+      if (!copula_ok) continue;
+      // Intrinsicness: prepositional constriction on the nominal head
+      // ("a big city in the north") or adjectival constriction on the
+      // subject mention.
+      if (tree.HasChildWithRel(head, DepRel::kPrep)) continue;
+      bool subject_constricted = false;
+      for (int subj : tree.ChildrenWithRel(head, DepRel::kNsubj)) {
+        if (tree.HasChildWithRel(subj, DepRel::kAmod)) {
+          subject_constricted = true;
+        }
+      }
+      if (subject_constricted) continue;
+    } else {
+      entity = noun.ReferentEntity();
+      if (entity == kInvalidEntity) continue;
+    }
+    EmitWithConjuncts(sentence, adj, entity, PatternKind::kAdjectivalModifier,
+                      doc_id, sentence_index, out);
+  }
+  return out;
+}
+
+std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromDocument(
+    const AnnotatedDocument& doc) const {
+  std::vector<EvidenceStatement> out;
+  for (size_t s = 0; s < doc.sentences.size(); ++s) {
+    std::vector<EvidenceStatement> statements = ExtractFromSentence(
+        doc.sentences[s], doc.doc_id, static_cast<int>(s));
+    out.insert(out.end(), std::make_move_iterator(statements.begin()),
+               std::make_move_iterator(statements.end()));
+  }
+  return out;
+}
+
+}  // namespace surveyor

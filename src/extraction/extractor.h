@@ -1,0 +1,80 @@
+#ifndef SURVEYOR_EXTRACTION_EXTRACTOR_H_
+#define SURVEYOR_EXTRACTION_EXTRACTOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "extraction/evidence.h"
+#include "text/annotated.h"
+
+namespace surveyor {
+
+/// Options controlling evidence extraction.
+struct ExtractionOptions {
+  /// Which Appendix-B pattern version to run. The deployed system uses v4.
+  PatternVersion version = PatternVersion::kV4AmodAcompToBeChecks;
+  /// Negation-path polarity detection (paper Fig. 5). Disabling it treats
+  /// every statement as positive — the ablation showing why
+  /// occurrence-style approaches fail on subjective properties.
+  bool detect_negation = true;
+  /// Overrides the version's intrinsicness-check setting (for ablations).
+  std::optional<bool> intrinsic_checks_override;
+};
+
+/// Matches the dependency patterns of paper Section 4 against annotated
+/// sentences and emits evidence statements.
+///
+/// Patterns: adjectival complement (entity subject + copula + adjective),
+/// adjectival modifier (adjective on a noun that mentions or corefers with
+/// an entity), and conjunction (adjectives coordinated with a matched
+/// adjective). Intrinsicness checks reject statements whose predicate
+/// carries a prepositional constriction ("bad *for parking*") and
+/// adjectival-modifier matches that are not licensed by coreference
+/// ("*southern* France is warm"). Polarity flips once per negated token on
+/// the path from the property token to the root, so double negations
+/// resolve to positive.
+class EvidenceExtractor {
+ public:
+  explicit EvidenceExtractor(ExtractionOptions options = {});
+
+  /// Extracts all evidence statements from one parsed sentence.
+  /// Unparsed sentences yield no evidence.
+  std::vector<EvidenceStatement> ExtractFromSentence(
+      const AnnotatedSentence& sentence, int64_t doc_id = 0,
+      int sentence_index = 0) const;
+
+  /// Extracts from every sentence of a document.
+  std::vector<EvidenceStatement> ExtractFromDocument(
+      const AnnotatedDocument& doc) const;
+
+  const ExtractionOptions& options() const { return options_; }
+
+  /// True when this configuration runs the intrinsicness checks.
+  bool ChecksEnabled() const;
+  /// True when the adjectival-modifier pattern is enabled.
+  bool AmodEnabled() const;
+  /// True when the adjectival-complement pattern is enabled.
+  bool AcompEnabled() const;
+  /// True when only forms of "to be" are accepted as copula.
+  bool ToBeOnly() const;
+
+ private:
+  /// Determines statement polarity from the negation path (Fig. 5).
+  bool IsPositive(const AnnotatedSentence& sentence, int adjective_unit) const;
+
+  /// Builds the property string: advmod children + adjective.
+  std::string PropertyString(const AnnotatedSentence& sentence,
+                             int adjective_unit) const;
+
+  /// Emits a statement plus statements for conjoined adjectives.
+  void EmitWithConjuncts(const AnnotatedSentence& sentence, int adjective_unit,
+                         EntityId entity, PatternKind kind, int64_t doc_id,
+                         int sentence_index,
+                         std::vector<EvidenceStatement>& out) const;
+
+  ExtractionOptions options_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_EXTRACTION_EXTRACTOR_H_

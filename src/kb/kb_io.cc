@@ -1,0 +1,119 @@
+#include "kb/kb_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace surveyor {
+
+Status SaveKnowledgeBase(const KnowledgeBase& kb, std::ostream& os) {
+  os << "# surveyor knowledge base v1\n";
+  for (TypeId t = 0; t < kb.num_types(); ++t) {
+    os << "type\t" << kb.TypeName(t) << "\n";
+  }
+  for (EntityId e = 0; e < kb.num_entities(); ++e) {
+    const Entity& entity = kb.entity(e);
+    os << "entity\t" << kb.TypeName(entity.most_notable_type) << "\t"
+       << entity.canonical_name << "\t" << entity.popularity << "\n";
+    for (const auto& [key, value] : entity.attributes) {
+      os << "attr\t" << kb.TypeName(entity.most_notable_type) << "\t"
+         << entity.canonical_name << "\t" << key << "\t" << value << "\n";
+    }
+  }
+  // Aliases are stored against (type, canonical_name) pairs.
+  for (const std::string& alias : kb.AllAliases()) {
+    for (EntityId e : kb.CandidatesForAlias(alias)) {
+      const Entity& entity = kb.entity(e);
+      if (entity.canonical_name == alias) continue;  // implicit alias
+      os << "alias\t" << kb.TypeName(entity.most_notable_type) << "\t"
+         << entity.canonical_name << "\t" << alias << "\n";
+    }
+  }
+  if (!os.good()) return Status::Internal("write failure");
+  return Status::OK();
+}
+
+namespace {
+
+StatusOr<EntityId> ResolveEntity(const KnowledgeBase& kb,
+                                 const std::string& type_name,
+                                 const std::string& entity_name) {
+  SURVEYOR_ASSIGN_OR_RETURN(TypeId type, kb.TypeByName(type_name));
+  for (EntityId id : kb.EntitiesByName(entity_name)) {
+    if (kb.entity(id).most_notable_type == type) return id;
+  }
+  return Status::NotFound("entity '" + entity_name + "' of type '" +
+                          type_name + "' not found");
+}
+
+}  // namespace
+
+StatusOr<KnowledgeBase> LoadKnowledgeBase(std::istream& is) {
+  KnowledgeBase kb;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = Split(trimmed, '\t');
+    const std::string& kind = fields[0];
+    auto error = [&](const std::string& msg) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: %s", line_number, msg.c_str()));
+    };
+    if (kind == "type") {
+      if (fields.size() != 2) return error("type expects 1 field");
+      kb.AddType(fields[1]);
+    } else if (kind == "entity") {
+      if (fields.size() != 4) return error("entity expects 3 fields");
+      auto type = kb.TypeByName(fields[1]);
+      if (!type.ok()) return error("unknown type '" + fields[1] + "'");
+      double popularity = 1.0;
+      try {
+        popularity = std::stod(fields[3]);
+      } catch (...) {
+        return error("bad popularity '" + fields[3] + "'");
+      }
+      auto id = kb.AddEntity(fields[2], *type, popularity);
+      if (!id.ok()) return error(id.status().message());
+    } else if (kind == "alias") {
+      if (fields.size() != 4) return error("alias expects 3 fields");
+      auto id = ResolveEntity(kb, fields[1], fields[2]);
+      if (!id.ok()) return error(id.status().message());
+      SURVEYOR_RETURN_IF_ERROR(kb.AddAlias(fields[3], *id));
+    } else if (kind == "attr") {
+      if (fields.size() != 5) return error("attr expects 4 fields");
+      auto id = ResolveEntity(kb, fields[1], fields[2]);
+      if (!id.ok()) return error(id.status().message());
+      double value = 0.0;
+      try {
+        value = std::stod(fields[4]);
+      } catch (...) {
+        return error("bad attribute value '" + fields[4] + "'");
+      }
+      SURVEYOR_RETURN_IF_ERROR(kb.SetAttribute(*id, fields[3], value));
+    } else {
+      return error("unknown record kind '" + kind + "'");
+    }
+  }
+  return kb;
+}
+
+Status SaveKnowledgeBaseToFile(const KnowledgeBase& kb,
+                               const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("cannot open '" + path + "' for writing");
+  return SaveKnowledgeBase(kb, os);
+}
+
+StatusOr<KnowledgeBase> LoadKnowledgeBaseFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("cannot open '" + path + "'");
+  return LoadKnowledgeBase(is);
+}
+
+}  // namespace surveyor

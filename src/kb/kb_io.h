@@ -1,0 +1,32 @@
+#ifndef SURVEYOR_KB_KB_IO_H_
+#define SURVEYOR_KB_KB_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "kb/knowledge_base.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Serializes a knowledge base as a line-oriented TSV stream. The format is
+/// human-editable:
+///   type <tab> NAME
+///   entity <tab> TYPE <tab> NAME <tab> POPULARITY
+///   alias <tab> TYPE <tab> NAME <tab> SURFACE_FORM
+///   attr <tab> TYPE <tab> NAME <tab> KEY <tab> VALUE
+/// Lines starting with '#' and blank lines are ignored on load.
+Status SaveKnowledgeBase(const KnowledgeBase& kb, std::ostream& os);
+
+/// Parses a knowledge base from the format written by SaveKnowledgeBase.
+StatusOr<KnowledgeBase> LoadKnowledgeBase(std::istream& is);
+
+/// File-path convenience wrappers.
+Status SaveKnowledgeBaseToFile(const KnowledgeBase& kb,
+                               const std::string& path);
+StatusOr<KnowledgeBase> LoadKnowledgeBaseFromFile(const std::string& path);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_KB_KB_IO_H_

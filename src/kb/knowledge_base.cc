@@ -1,0 +1,132 @@
+#include "kb/knowledge_base.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+
+TypeId KnowledgeBase::AddType(std::string_view name) {
+  const std::string key = ToLower(name);
+  auto it = type_index_.find(key);
+  if (it != type_index_.end()) return it->second;
+  const TypeId id = static_cast<TypeId>(type_names_.size());
+  type_names_.push_back(key);
+  type_index_[key] = id;
+  entities_by_type_.emplace_back();
+  return id;
+}
+
+StatusOr<EntityId> KnowledgeBase::AddEntity(std::string_view canonical_name,
+                                            TypeId type, double popularity) {
+  if (type >= type_names_.size()) {
+    return Status::InvalidArgument("unknown type id");
+  }
+  const std::string name = ToLower(canonical_name);
+  if (name.empty()) {
+    return Status::InvalidArgument("entity name must be non-empty");
+  }
+  for (EntityId existing : EntitiesByName(name)) {
+    if (entities_[existing].most_notable_type == type) {
+      return Status::AlreadyExists("entity '" + name + "' already exists");
+    }
+  }
+  const EntityId id = static_cast<EntityId>(entities_.size());
+  Entity entity;
+  entity.id = id;
+  entity.canonical_name = name;
+  entity.most_notable_type = type;
+  entity.popularity = popularity;
+  entity.aliases.push_back(name);
+  entities_.push_back(std::move(entity));
+  entities_by_type_[type].push_back(id);
+  alias_index_[name].push_back(id);
+  return id;
+}
+
+Status KnowledgeBase::AddAlias(std::string_view alias, EntityId entity) {
+  if (entity >= entities_.size()) {
+    return Status::InvalidArgument("unknown entity id");
+  }
+  const std::string key = ToLower(alias);
+  if (key.empty()) return Status::InvalidArgument("alias must be non-empty");
+  auto& candidates = alias_index_[key];
+  for (EntityId existing : candidates) {
+    if (existing == entity) return Status::OK();  // idempotent
+  }
+  candidates.push_back(entity);
+  entities_[entity].aliases.push_back(key);
+  return Status::OK();
+}
+
+Status KnowledgeBase::SetAttribute(EntityId entity, std::string_view key,
+                                   double value) {
+  if (entity >= entities_.size()) {
+    return Status::InvalidArgument("unknown entity id");
+  }
+  entities_[entity].attributes[std::string(key)] = value;
+  return Status::OK();
+}
+
+StatusOr<double> KnowledgeBase::GetAttribute(EntityId entity,
+                                             std::string_view key) const {
+  if (entity >= entities_.size()) {
+    return Status::InvalidArgument("unknown entity id");
+  }
+  const auto& attrs = entities_[entity].attributes;
+  auto it = attrs.find(std::string(key));
+  if (it == attrs.end()) {
+    return Status::NotFound("attribute '" + std::string(key) + "' not set");
+  }
+  return it->second;
+}
+
+StatusOr<TypeId> KnowledgeBase::TypeByName(std::string_view name) const {
+  auto it = type_index_.find(ToLower(name));
+  if (it == type_index_.end()) {
+    return Status::NotFound("type '" + std::string(name) + "' not found");
+  }
+  return it->second;
+}
+
+const std::string& KnowledgeBase::TypeName(TypeId type) const {
+  SURVEYOR_CHECK_LT(type, type_names_.size());
+  return type_names_[type];
+}
+
+std::vector<EntityId> KnowledgeBase::EntitiesByName(
+    std::string_view name) const {
+  std::vector<EntityId> result;
+  const std::string key = ToLower(name);
+  auto it = alias_index_.find(key);
+  if (it == alias_index_.end()) return result;
+  for (EntityId id : it->second) {
+    if (entities_[id].canonical_name == key) result.push_back(id);
+  }
+  return result;
+}
+
+const std::vector<EntityId>& KnowledgeBase::CandidatesForAlias(
+    std::string_view alias) const {
+  auto it = alias_index_.find(ToLower(alias));
+  if (it == alias_index_.end()) return empty_;
+  return it->second;
+}
+
+const std::vector<EntityId>& KnowledgeBase::EntitiesOfType(TypeId type) const {
+  SURVEYOR_CHECK_LT(type, entities_by_type_.size());
+  return entities_by_type_[type];
+}
+
+const Entity& KnowledgeBase::entity(EntityId id) const {
+  SURVEYOR_CHECK_LT(id, entities_.size());
+  return entities_[id];
+}
+
+std::vector<std::string> KnowledgeBase::AllAliases() const {
+  std::vector<std::string> aliases;
+  aliases.reserve(alias_index_.size());
+  for (const auto& [alias, ids] : alias_index_) aliases.push_back(alias);
+  return aliases;
+}
+
+}  // namespace surveyor

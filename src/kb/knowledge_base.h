@@ -1,0 +1,108 @@
+#ifndef SURVEYOR_KB_KNOWLEDGE_BASE_H_
+#define SURVEYOR_KB_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Identifier of an entity within a KnowledgeBase.
+using EntityId = uint32_t;
+/// Identifier of an entity type within a KnowledgeBase.
+using TypeId = uint32_t;
+
+inline constexpr EntityId kInvalidEntity = static_cast<EntityId>(-1);
+inline constexpr TypeId kInvalidType = static_cast<TypeId>(-1);
+
+/// A typed knowledge-base entity. Mirrors what Surveyor needs from its
+/// Freebase extension: a canonical name, a most-notable type, aliases for
+/// mention detection, objective numeric attributes (population, area, ...)
+/// used by the empirical correlation studies, and a popularity prior used
+/// by the entity tagger's disambiguation.
+struct Entity {
+  EntityId id = kInvalidEntity;
+  std::string canonical_name;
+  TypeId most_notable_type = kInvalidType;
+  /// Relative prior probability of this entity being the referent of an
+  /// ambiguous mention; also drives mention frequency in the simulator.
+  double popularity = 1.0;
+  /// Objective numeric attributes, e.g. {"population", 870000}.
+  std::map<std::string, double> attributes;
+  /// All registered surface forms, canonical name included.
+  std::vector<std::string> aliases;
+};
+
+/// In-memory knowledge base: typed entities with aliases and attributes.
+///
+/// Names and aliases are matched case-insensitively (stored lower-cased).
+/// An alias may be shared by several entities; disambiguation happens in
+/// the entity tagger, not here.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Registers a type (idempotent); returns its id.
+  TypeId AddType(std::string_view name);
+
+  /// Adds an entity with the given canonical name and most-notable type.
+  /// The canonical name is automatically registered as an alias. Fails if
+  /// the type id is unknown or an entity with the same canonical name and
+  /// type already exists.
+  StatusOr<EntityId> AddEntity(std::string_view canonical_name, TypeId type,
+                               double popularity = 1.0);
+
+  /// Registers an additional surface form for an entity. Aliases are
+  /// allowed to collide across entities (that is the ambiguity the tagger
+  /// must resolve).
+  Status AddAlias(std::string_view alias, EntityId entity);
+
+  /// Sets a numeric attribute on an entity.
+  Status SetAttribute(EntityId entity, std::string_view key, double value);
+
+  /// Returns the attribute value or NotFound.
+  StatusOr<double> GetAttribute(EntityId entity, std::string_view key) const;
+
+  // --- Lookups ---------------------------------------------------------
+
+  StatusOr<TypeId> TypeByName(std::string_view name) const;
+  const std::string& TypeName(TypeId type) const;
+
+  /// Entities whose canonical (lower-cased) name matches exactly; the same
+  /// name may exist under several types.
+  std::vector<EntityId> EntitiesByName(std::string_view name) const;
+
+  /// Candidate entities for a surface form; empty if the alias is unknown.
+  const std::vector<EntityId>& CandidatesForAlias(std::string_view alias) const;
+
+  /// All entities whose most-notable type is `type`, in insertion order.
+  const std::vector<EntityId>& EntitiesOfType(TypeId type) const;
+
+  const Entity& entity(EntityId id) const;
+
+  size_t num_entities() const { return entities_.size(); }
+  size_t num_types() const { return type_names_.size(); }
+  size_t num_aliases() const { return alias_index_.size(); }
+
+  /// All registered alias surface forms (lower-cased), for lexicon
+  /// construction.
+  std::vector<std::string> AllAliases() const;
+
+ private:
+  std::vector<Entity> entities_;
+  std::vector<std::string> type_names_;
+  std::unordered_map<std::string, TypeId> type_index_;
+  std::unordered_map<std::string, std::vector<EntityId>> alias_index_;
+  std::vector<std::vector<EntityId>> entities_by_type_;
+  std::vector<EntityId> empty_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,122 @@
+#ifndef SURVEYOR_MAPREDUCE_MAPREDUCE_H_
+#define SURVEYOR_MAPREDUCE_MAPREDUCE_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+namespace surveyor {
+
+/// Options for an in-process MapReduce execution.
+struct MapReduceOptions {
+  /// Worker threads for the map and reduce phases (0 = hardware).
+  int num_workers = 0;
+  /// Shuffle partitions; reducers run per partition. More partitions give
+  /// more reduce parallelism at the cost of smaller batches.
+  int num_partitions = 16;
+};
+
+/// A minimal typed MapReduce framework — the in-process stand-in for the
+/// cluster framework behind the paper's deployment (Section 7.1 describes
+/// the pipeline as exactly such jobs: extract over documents, group by
+/// pair, group by type, then per-group model fitting).
+///
+/// Deterministic: outputs are ordered by (partition, key) regardless of
+/// worker count or scheduling, because the shuffle groups into ordered
+/// maps and reducers consume whole partitions.
+///
+/// - `Input`: one map task's input record.
+/// - `K`: shuffle key. Must be hashable via `Hasher` and `operator<`
+///   comparable.
+/// - `V`: mapped value.
+/// - `Out`: one reducer output record.
+template <typename Input, typename K, typename V, typename Out,
+          typename Hasher = std::hash<K>>
+class MapReduce {
+ public:
+  using EmitFn = std::function<void(K, V)>;
+  /// Map: consume one input record, emit any number of (key, value) pairs.
+  using MapFn = std::function<void(const Input&, const EmitFn&)>;
+  /// Reduce: fold all values of one key into one output record.
+  using ReduceFn = std::function<Out(const K&, std::vector<V>&)>;
+
+  explicit MapReduce(MapReduceOptions options = {}) : options_(options) {
+    SURVEYOR_CHECK_GT(options_.num_partitions, 0);
+  }
+
+  /// Runs the job over `inputs`. Map tasks run sharded across workers;
+  /// emitted pairs are hash-partitioned; each partition is reduced
+  /// independently (also across workers). Returns reducer outputs ordered
+  /// by (partition, key).
+  std::vector<Out> Run(const std::vector<Input>& inputs, const MapFn& map_fn,
+                       const ReduceFn& reduce_fn) const {
+    const size_t num_partitions =
+        static_cast<size_t>(options_.num_partitions);
+    const unsigned hardware = std::thread::hardware_concurrency();
+    ThreadPool pool(options_.num_workers > 0
+                        ? static_cast<size_t>(options_.num_workers)
+                        : (hardware == 0 ? 4 : hardware));
+
+    // --- Map phase: each worker shard keeps per-partition buffers --------
+    const size_t num_shards = pool.num_threads();
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> shard_buffers(
+        num_shards,
+        std::vector<std::vector<std::pair<K, V>>>(num_partitions));
+    const size_t per_shard =
+        (inputs.size() + num_shards - 1) / std::max<size_t>(1, num_shards);
+    Hasher hasher;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      const size_t begin = shard * per_shard;
+      const size_t end = std::min(inputs.size(), begin + per_shard);
+      if (begin >= end) continue;
+      pool.Submit([&, shard, begin, end] {
+        auto& buffers = shard_buffers[shard];
+        const EmitFn emit = [&](K key, V value) {
+          const size_t partition = hasher(key) % num_partitions;
+          buffers[partition].emplace_back(std::move(key), std::move(value));
+        };
+        for (size_t i = begin; i < end; ++i) map_fn(inputs[i], emit);
+      });
+    }
+    pool.Wait();
+
+    // --- Shuffle: group each partition's pairs by key ---------------------
+    // Ordered maps make reduce input (and thus output) deterministic.
+    std::vector<std::map<K, std::vector<V>>> partitions(num_partitions);
+    ParallelFor(pool, num_partitions, [&](size_t p) {
+      for (size_t shard = 0; shard < num_shards; ++shard) {
+        for (auto& [key, value] : shard_buffers[shard][p]) {
+          partitions[p][std::move(key)].push_back(std::move(value));
+        }
+      }
+    });
+
+    // --- Reduce phase ------------------------------------------------------
+    std::vector<std::vector<Out>> partition_outputs(num_partitions);
+    ParallelFor(pool, num_partitions, [&](size_t p) {
+      partition_outputs[p].reserve(partitions[p].size());
+      for (auto& [key, values] : partitions[p]) {
+        partition_outputs[p].push_back(reduce_fn(key, values));
+      }
+    });
+
+    std::vector<Out> outputs;
+    for (auto& partition : partition_outputs) {
+      for (Out& out : partition) outputs.push_back(std::move(out));
+    }
+    return outputs;
+  }
+
+ private:
+  MapReduceOptions options_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_MAPREDUCE_MAPREDUCE_H_

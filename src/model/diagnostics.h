@@ -1,0 +1,51 @@
+#ifndef SURVEYOR_MODEL_DIAGNOSTICS_H_
+#define SURVEYOR_MODEL_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "model/em.h"
+#include "model/opinion.h"
+#include "model/user_model.h"
+
+namespace surveyor {
+
+/// Goodness-of-fit diagnostics for one fitted property-type model. The
+/// deployed system runs unsupervised over 380k pairs; diagnostics like
+/// these are how an operator finds pairs where the two-Poisson mixture is
+/// a poor description of the counts (e.g. heavy exposure heterogeneity).
+struct ModelDiagnostics {
+  /// Observed-data log-likelihood of the fitted model.
+  double log_likelihood = 0.0;
+  /// Akaike information criterion (2k - 2 LL with k = 3 parameters).
+  double aic = 0.0;
+
+  /// Statement-mass check: expected vs observed totals under the fit.
+  double expected_positive_statements = 0.0;
+  double observed_positive_statements = 0.0;
+  double expected_negative_statements = 0.0;
+  double observed_negative_statements = 0.0;
+
+  /// Expected fraction of entities with a positive dominant opinion.
+  double positive_entity_fraction = 0.0;
+  /// Entities whose posterior is within 1e-6 of 1/2 (no decision).
+  int undecided_entities = 0;
+
+  /// Pearson chi-square statistics over binned count histograms
+  /// (bins 0, 1, 2, 3-5, 6-10, 11-20, 21+), one per statement polarity.
+  /// Large values flag misfit; the statistic is descriptive (the bins are
+  /// few and the model was fitted on the same data), not a formal test.
+  double positive_count_chi2 = 0.0;
+  double negative_count_chi2 = 0.0;
+
+  /// Renders a compact human-readable report.
+  std::string ToString() const;
+};
+
+/// Computes diagnostics for a fit over its training evidence.
+ModelDiagnostics DiagnoseFit(const std::vector<EvidenceCounts>& counts,
+                             const EmFitResult& fit);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_MODEL_DIAGNOSTICS_H_

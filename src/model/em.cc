@@ -1,0 +1,159 @@
+#include "model/em.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace surveyor {
+
+MStepStats ComputeMStepStats(const std::vector<EvidenceCounts>& counts,
+                             const std::vector<double>& responsibilities) {
+  SURVEYOR_CHECK_EQ(counts.size(), responsibilities.size());
+  MStepStats stats;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double r = responsibilities[i];
+    const double cp = static_cast<double>(counts[i].positive);
+    const double cn = static_cast<double>(counts[i].negative);
+    stats.pos_statements_pos_entities += cp * r;
+    stats.neg_statements_pos_entities += cn * r;
+    stats.pos_statements_neg_entities += cp * (1.0 - r);
+    stats.neg_statements_neg_entities += cn * (1.0 - r);
+    stats.pos_entities += r;
+    stats.neg_entities += 1.0 - r;
+  }
+  return stats;
+}
+
+ModelParams MaximizeGivenAgreement(const MStepStats& stats, double agreement) {
+  ModelParams params;
+  params.agreement = agreement;
+  const double pa = agreement;
+  const double gp = stats.pos_entities;
+  const double gn = stats.neg_entities;
+  // Denominators are the expected "effective" author exposure: pA weight
+  // on same-polarity entities plus (1-pA) weight on the others. They are
+  // strictly positive whenever pa is in (0,1) and there is >= 1 entity.
+  const double denom_pos = gn + pa * gp - pa * gn;
+  const double denom_neg = gp + pa * gn - pa * gp;
+  const double total_pos = stats.pos_statements_pos_entities +
+                           stats.pos_statements_neg_entities;
+  const double total_neg = stats.neg_statements_pos_entities +
+                           stats.neg_statements_neg_entities;
+  params.mu_positive =
+      denom_pos > 0.0 ? std::max(total_pos / denom_pos, kMinPoissonRate)
+                      : kMinPoissonRate;
+  params.mu_negative =
+      denom_neg > 0.0 ? std::max(total_neg / denom_neg, kMinPoissonRate)
+                      : kMinPoissonRate;
+  return params;
+}
+
+double EvaluateQ(const MStepStats& stats, const ModelParams& params) {
+  const PoissonRates rates = RatesFromParams(params);
+  // Q'(theta) in terms of the sufficient statistics:
+  //   sum_i r_i (c+_i log l++ - l++ + c-_i log l-+ - l-+) + (1-r_i)(...)
+  // = g++ log l++ + g-+ log l-+ + g+- log l+- + g-- log l--
+  //   - g+ (l++ + l-+) - g- (l+- + l--)
+  return stats.pos_statements_pos_entities * SafeLog(rates.pos_given_pos) +
+         stats.neg_statements_pos_entities * SafeLog(rates.neg_given_pos) +
+         stats.pos_statements_neg_entities * SafeLog(rates.pos_given_neg) +
+         stats.neg_statements_neg_entities * SafeLog(rates.neg_given_neg) -
+         stats.pos_entities * (rates.pos_given_pos + rates.neg_given_pos) -
+         stats.neg_entities * (rates.pos_given_neg + rates.neg_given_neg);
+}
+
+EmLearner::EmLearner(EmOptions options) : options_(std::move(options)) {}
+
+namespace {
+
+// Observed-data log-likelihood under a uniform prior on D.
+double ObservedLogLikelihood(const std::vector<EvidenceCounts>& counts,
+                             const ModelParams& params) {
+  double total = 0.0;
+  const double log_half = std::log(0.5);
+  for (const EvidenceCounts& c : counts) {
+    total += LogSumExp(log_half + LogLikelihoodPositive(c, params),
+                       log_half + LogLikelihoodNegative(c, params));
+  }
+  return total;
+}
+
+void EStep(const std::vector<EvidenceCounts>& counts,
+           const ModelParams& params, std::vector<double>& responsibilities) {
+  responsibilities.resize(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    responsibilities[i] = PosteriorPositive(counts[i], params);
+  }
+}
+
+}  // namespace
+
+StatusOr<EmFitResult> EmLearner::Fit(
+    const std::vector<EvidenceCounts>& counts) const {
+  if (counts.empty()) {
+    return Status::InvalidArgument("EM requires at least one entity");
+  }
+  if (options_.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (options_.agreement_grid.empty()) {
+    return Status::InvalidArgument("agreement grid must be non-empty");
+  }
+  for (double pa : options_.agreement_grid) {
+    if (!(pa > 0.5 && pa < 1.0)) {
+      return Status::InvalidArgument(
+          "agreement grid values must lie in (0.5, 1)");
+    }
+  }
+  SURVEYOR_RETURN_IF_ERROR(ValidateParams(options_.initial_params));
+
+  EmFitResult result;
+  // --- Initialization -----------------------------------------------------
+  if (options_.initialize_from_majority_vote) {
+    // Smoothed majority vote: entities with no evidence start undecided.
+    result.responsibilities.resize(counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) {
+      const double cp = static_cast<double>(counts[i].positive);
+      const double cn = static_cast<double>(counts[i].negative);
+      result.responsibilities[i] = (cp + 0.5) / (cp + cn + 1.0);
+    }
+  } else {
+    EStep(counts, options_.initial_params, result.responsibilities);
+  }
+  result.params = options_.initial_params;
+
+  double previous_ll = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // --- M step: closed form in mu's, grid in pA ---------------------------
+    const MStepStats stats =
+        ComputeMStepStats(counts, result.responsibilities);
+    double best_q = -std::numeric_limits<double>::infinity();
+    ModelParams best_params = result.params;
+    for (double pa : options_.agreement_grid) {
+      const ModelParams candidate = MaximizeGivenAgreement(stats, pa);
+      const double q = EvaluateQ(stats, candidate);
+      if (q > best_q) {
+        best_q = q;
+        best_params = candidate;
+      }
+    }
+    result.params = best_params;
+
+    // --- E step -------------------------------------------------------------
+    EStep(counts, result.params, result.responsibilities);
+
+    const double ll = ObservedLogLikelihood(counts, result.params);
+    result.log_likelihood_trace.push_back(ll);
+    result.iterations = iter + 1;
+    if (std::abs(ll - previous_ll) < options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+    previous_ll = ll;
+  }
+  return result;
+}
+
+}  // namespace surveyor

@@ -1,0 +1,97 @@
+#ifndef SURVEYOR_MODEL_EM_H_
+#define SURVEYOR_MODEL_EM_H_
+
+#include <vector>
+
+#include "model/opinion.h"
+#include "model/user_model.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Options for the expectation-maximization parameter learner
+/// (paper Section 6, Algorithm 2).
+struct EmOptions {
+  /// Maximum number of EM iterations (the paper's X).
+  int max_iterations = 50;
+  /// Early-stop when the observed-data log-likelihood improves by less
+  /// than this between iterations.
+  double tolerance = 1e-7;
+  /// Grid of candidate agreement values pA. The paper "tries a fixed set
+  /// of values for pA" and solves the remaining parameters in closed form.
+  /// All values must lie in (0.5, 1): restricting pA > 1/2 breaks the
+  /// label-flip symmetry of the two-component mixture (swapping pA with
+  /// 1-pA and both opinion labels leaves the likelihood unchanged).
+  std::vector<double> agreement_grid = {0.55, 0.60, 0.65, 0.70, 0.75,
+                                        0.80, 0.85, 0.90, 0.95, 0.99};
+  /// Initial parameter guess (theta_0 of Algorithm 2).
+  ModelParams initial_params{/*agreement=*/0.8, /*mu_positive=*/1.0,
+                             /*mu_negative=*/1.0};
+  /// When true the initial responsibilities come from a smoothed majority
+  /// vote instead of an E-step under `initial_params`; this usually lands
+  /// EM in the right basin with fewer iterations.
+  bool initialize_from_majority_vote = true;
+};
+
+/// Result of fitting the user-behavior model to one property-type pair.
+struct EmFitResult {
+  ModelParams params;
+  /// Posterior Pr(D_i = + | E_i, params) for every input entity.
+  std::vector<double> responsibilities;
+  /// Observed-data log-likelihood after each iteration.
+  std::vector<double> log_likelihood_trace;
+  int iterations = 0;
+  bool converged = false;
+
+  double final_log_likelihood() const {
+    return log_likelihood_trace.empty() ? 0.0 : log_likelihood_trace.back();
+  }
+};
+
+/// Sufficient statistics of the M-step (paper Section 6): expected
+/// statement counts g^{sigma2}_{sigma1} and expected entity counts g±.
+struct MStepStats {
+  double pos_statements_pos_entities = 0.0;  ///< g++
+  double neg_statements_pos_entities = 0.0;  ///< g-+
+  double pos_statements_neg_entities = 0.0;  ///< g+-
+  double neg_statements_neg_entities = 0.0;  ///< g--
+  double pos_entities = 0.0;                 ///< g+
+  double neg_entities = 0.0;                 ///< g-
+};
+
+/// Accumulates the M-step statistics from counts and responsibilities.
+MStepStats ComputeMStepStats(const std::vector<EvidenceCounts>& counts,
+                             const std::vector<double>& responsibilities);
+
+/// Closed-form maximizer of Q' in (mu_positive, mu_negative) for a fixed
+/// agreement value (paper Section 6):
+///   n·p+S = (g++ + g+-) / (g- + pA·g+ - pA·g-)
+///   n·p-S = (g-+ + g--) / (g+ + pA·g- - pA·g+)
+ModelParams MaximizeGivenAgreement(const MStepStats& stats, double agreement);
+
+/// Evaluates Q'(theta) from the sufficient statistics (constant terms of
+/// Q dropped); used to select the best grid value of pA.
+double EvaluateQ(const MStepStats& stats, const ModelParams& params);
+
+/// Expectation-maximization learner for the user-behavior model. Runs in
+/// O(m + |grid|) per iteration where m is the number of entities — the
+/// linear-time property the paper credits for Web-scale EM.
+class EmLearner {
+ public:
+  explicit EmLearner(EmOptions options = {});
+
+  /// Fits the model to the evidence of one property-type pair: one
+  /// EvidenceCounts per entity of the type (zero counts included — the
+  /// absence of statements is evidence too). Requires at least one entity
+  /// and valid options.
+  StatusOr<EmFitResult> Fit(const std::vector<EvidenceCounts>& counts) const;
+
+  const EmOptions& options() const { return options_; }
+
+ private:
+  EmOptions options_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_MODEL_EM_H_

@@ -1,0 +1,32 @@
+#ifndef SURVEYOR_MODEL_OPINION_H_
+#define SURVEYOR_MODEL_OPINION_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace surveyor {
+
+/// Polarity of a dominant opinion about an entity-property pair.
+enum class Polarity : int8_t {
+  kNegative = -1,  ///< the dominant opinion denies the property
+  kNeutral = 0,    ///< undecided (no output is produced for the pair)
+  kPositive = 1,   ///< the dominant opinion affirms the property
+};
+
+/// Returns "+", "-" or "N".
+std::string_view PolarityName(Polarity polarity);
+
+/// Evidence counters for one entity and one property: the number of
+/// positive and negative statements extracted from the corpus
+/// (the tuple (C+_i, C-_i) of paper Section 5).
+struct EvidenceCounts {
+  int64_t positive = 0;
+  int64_t negative = 0;
+
+  int64_t total() const { return positive + negative; }
+  bool operator==(const EvidenceCounts&) const = default;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_MODEL_OPINION_H_

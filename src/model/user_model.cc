@@ -1,0 +1,90 @@
+#include "model/user_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+
+std::string_view PolarityName(Polarity polarity) {
+  switch (polarity) {
+    case Polarity::kPositive:
+      return "+";
+    case Polarity::kNegative:
+      return "-";
+    case Polarity::kNeutral:
+      return "N";
+  }
+  return "?";
+}
+
+std::string ModelParams::ToString() const {
+  return StrFormat("pA=%.4f nP+s=%.4f nP-s=%.4f", agreement, mu_positive,
+                   mu_negative);
+}
+
+PoissonRates RatesFromParams(const ModelParams& params) {
+  PoissonRates rates;
+  rates.pos_given_pos = params.agreement * params.mu_positive;
+  rates.neg_given_pos = (1.0 - params.agreement) * params.mu_negative;
+  rates.pos_given_neg = (1.0 - params.agreement) * params.mu_positive;
+  rates.neg_given_neg = params.agreement * params.mu_negative;
+  return rates;
+}
+
+Status ValidateParams(const ModelParams& params) {
+  if (!(params.agreement > 0.0 && params.agreement < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("agreement must be in (0,1), got %f", params.agreement));
+  }
+  if (params.mu_positive < 0.0 || params.mu_negative < 0.0) {
+    return Status::InvalidArgument("statement rates must be non-negative");
+  }
+  if (!std::isfinite(params.mu_positive) || !std::isfinite(params.mu_negative)) {
+    return Status::InvalidArgument("statement rates must be finite");
+  }
+  return Status::OK();
+}
+
+double LogLikelihoodPositive(const EvidenceCounts& counts,
+                             const ModelParams& params) {
+  const PoissonRates rates = RatesFromParams(params);
+  return PoissonLogPmf(counts.positive, rates.pos_given_pos) +
+         PoissonLogPmf(counts.negative, rates.neg_given_pos);
+}
+
+double LogLikelihoodNegative(const EvidenceCounts& counts,
+                             const ModelParams& params) {
+  const PoissonRates rates = RatesFromParams(params);
+  return PoissonLogPmf(counts.positive, rates.pos_given_neg) +
+         PoissonLogPmf(counts.negative, rates.neg_given_neg);
+}
+
+double PosteriorPositive(const EvidenceCounts& counts,
+                         const ModelParams& params, double prior_positive) {
+  SURVEYOR_CHECK_GT(prior_positive, 0.0);
+  SURVEYOR_CHECK_LT(prior_positive, 1.0);
+  const double log_pos =
+      LogLikelihoodPositive(counts, params) + std::log(prior_positive);
+  const double log_neg =
+      LogLikelihoodNegative(counts, params) + std::log(1.0 - prior_positive);
+  return Sigmoid(log_pos - log_neg);
+}
+
+Polarity DecidePolarity(double posterior_positive, double threshold) {
+  SURVEYOR_CHECK_GE(threshold, 0.5);
+  SURVEYOR_CHECK_LT(threshold, 1.0);
+  // An exact posterior of 1/2 (both components equally likely) must yield
+  // no output per Algorithm 1; compare with a small epsilon to make the
+  // tie robust to floating-point noise.
+  constexpr double kTieEpsilon = 1e-12;
+  if (posterior_positive > threshold + kTieEpsilon) return Polarity::kPositive;
+  if (posterior_positive < 1.0 - threshold - kTieEpsilon) {
+    return Polarity::kNegative;
+  }
+  return Polarity::kNeutral;
+}
+
+}  // namespace surveyor

@@ -1,0 +1,70 @@
+#ifndef SURVEYOR_MODEL_USER_MODEL_H_
+#define SURVEYOR_MODEL_USER_MODEL_H_
+
+#include <string>
+
+#include "model/opinion.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Parameters of the probabilistic user-behavior model for one
+/// property-type combination (paper Section 5):
+///   - `agreement` (pA): probability that an author agrees with the
+///     dominant opinion on a given entity;
+///   - `mu_positive` (n * p+S): expected number of statements issued by the
+///     author population for an entity whose authors hold a positive
+///     opinion — the paper works with n*p±S directly to avoid rounding;
+///   - `mu_negative` (n * p-S): likewise for negative opinions.
+struct ModelParams {
+  double agreement = 0.8;
+  double mu_positive = 1.0;
+  double mu_negative = 1.0;
+
+  bool operator==(const ModelParams&) const = default;
+  std::string ToString() const;
+};
+
+/// The four Poisson rates λ^{statement polarity}_{dominant opinion}
+/// induced by the parameters (paper Section 5.2):
+///   λ++ = n·pA·p+S        λ-+ = n·(1-pA)·p-S
+///   λ+- = n·(1-pA)·p+S    λ-- = n·pA·p-S
+struct PoissonRates {
+  double pos_given_pos = 0.0;  ///< λ++
+  double neg_given_pos = 0.0;  ///< λ-+
+  double pos_given_neg = 0.0;  ///< λ+-
+  double neg_given_neg = 0.0;  ///< λ--
+};
+
+/// Computes the four Poisson rates from the model parameters.
+PoissonRates RatesFromParams(const ModelParams& params);
+
+/// Validates parameter ranges: agreement in (0,1), rates non-negative.
+Status ValidateParams(const ModelParams& params);
+
+/// log Pr(C+ = counts.positive, C- = counts.negative | D = +), including
+/// the factorial normalization terms.
+double LogLikelihoodPositive(const EvidenceCounts& counts,
+                             const ModelParams& params);
+
+/// log Pr(counts | D = -).
+double LogLikelihoodNegative(const EvidenceCounts& counts,
+                             const ModelParams& params);
+
+/// Posterior probability that the dominant opinion is positive given the
+/// evidence counters, with prior Pr(D=+) = `prior_positive` (the paper is
+/// agnostic and uses 1/2).
+double PosteriorPositive(const EvidenceCounts& counts,
+                         const ModelParams& params,
+                         double prior_positive = 0.5);
+
+/// Decision rule of Algorithm 1 with a configurable threshold:
+/// positive when posterior > threshold, negative when
+/// posterior < 1 - threshold, neutral otherwise. The paper's default
+/// threshold is 1/2 (ties yield no output); raising it trades recall for
+/// precision (paper Section 3).
+Polarity DecidePolarity(double posterior_positive, double threshold = 0.5);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_MODEL_USER_MODEL_H_

@@ -1,0 +1,129 @@
+#include "surveyor/mr_pipeline.h"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "text/annotator.h"
+
+namespace surveyor {
+namespace {
+
+/// (entity, property) shuffle key for the extract job.
+using PairKey = std::pair<EntityId, std::string>;
+/// (type, property) shuffle key for the grouping job.
+using TypePropertyKey = std::pair<TypeId, std::string>;
+
+struct PairKeyHasher {
+  size_t operator()(const PairKey& key) const {
+    return std::hash<EntityId>()(key.first) ^
+           (std::hash<std::string>()(key.second) * 1099511628211ULL);
+  }
+};
+
+struct TypePropertyKeyHasher {
+  size_t operator()(const TypePropertyKey& key) const {
+    return std::hash<TypeId>()(key.first) ^
+           (std::hash<std::string>()(key.second) * 1099511628211ULL);
+  }
+};
+
+/// Output record of the extract job: one pair with summed counters.
+struct PairCounts {
+  EntityId entity = kInvalidEntity;
+  std::string property;
+  EvidenceCounts counts;
+};
+
+}  // namespace
+
+std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
+    const KnowledgeBase& kb, const Lexicon& lexicon,
+    const std::vector<RawDocument>& corpus, int64_t min_statements,
+    ExtractionOptions extraction, EntityTaggerOptions tagger,
+    MapReduceOptions mr_options) {
+  const TextAnnotator annotator(&kb, &lexicon, tagger);
+  const EvidenceExtractor extractor(extraction);
+
+  // --- Job 1: extract -----------------------------------------------------
+  MapReduce<RawDocument, PairKey, EvidenceCounts, PairCounts, PairKeyHasher>
+      extract_job(mr_options);
+  const std::vector<PairCounts> pair_counts = extract_job.Run(
+      corpus,
+      [&](const RawDocument& doc,
+          const std::function<void(PairKey, EvidenceCounts)>& emit) {
+        const AnnotatedDocument annotated =
+            annotator.AnnotateDocument(doc.doc_id, doc.text);
+        for (const EvidenceStatement& statement :
+             extractor.ExtractFromDocument(annotated)) {
+          EvidenceCounts counts;
+          (statement.positive ? counts.positive : counts.negative) = 1;
+          emit(PairKey{statement.entity, statement.property}, counts);
+        }
+      },
+      [](const PairKey& key, std::vector<EvidenceCounts>& values) {
+        PairCounts out;
+        out.entity = key.first;
+        out.property = key.second;
+        for (const EvidenceCounts& v : values) {
+          out.counts.positive += v.positive;
+          out.counts.negative += v.negative;
+        }
+        return out;
+      });
+
+  // Precompute each entity's slot within its type's member list so the
+  // grouping reducer is O(pairs) instead of O(pairs * type size).
+  std::vector<size_t> slot_of_entity(kb.num_entities(), 0);
+  for (TypeId t = 0; t < kb.num_types(); ++t) {
+    const std::vector<EntityId>& members = kb.EntitiesOfType(t);
+    for (size_t i = 0; i < members.size(); ++i) {
+      slot_of_entity[members[i]] = i;
+    }
+  }
+
+  // --- Job 2: group by (most-notable type, property) -----------------------
+  using EntityCounts = std::pair<EntityId, EvidenceCounts>;
+  MapReduce<PairCounts, TypePropertyKey, EntityCounts, PropertyTypeEvidence,
+            TypePropertyKeyHasher>
+      group_job(mr_options);
+  std::vector<PropertyTypeEvidence> groups = group_job.Run(
+      pair_counts,
+      [&](const PairCounts& pair,
+          const std::function<void(TypePropertyKey, EntityCounts)>& emit) {
+        const TypeId type = kb.entity(pair.entity).most_notable_type;
+        emit(TypePropertyKey{type, pair.property},
+             EntityCounts{pair.entity, pair.counts});
+      },
+      [&](const TypePropertyKey& key, std::vector<EntityCounts>& values) {
+        PropertyTypeEvidence evidence;
+        evidence.type = key.first;
+        evidence.property = key.second;
+        evidence.entities = kb.EntitiesOfType(key.first);
+        evidence.counts.resize(evidence.entities.size());
+        for (const auto& [entity, counts] : values) {
+          const size_t slot = slot_of_entity[entity];
+          SURVEYOR_CHECK_LT(slot, evidence.counts.size());
+          evidence.counts[slot] = counts;
+          evidence.total_statements += counts.total();
+        }
+        return evidence;
+      });
+
+  // --- rho filter + deterministic global order ------------------------------
+  std::vector<PropertyTypeEvidence> kept;
+  for (PropertyTypeEvidence& group : groups) {
+    if (group.total_statements >= min_statements) {
+      kept.push_back(std::move(group));
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const PropertyTypeEvidence& a, const PropertyTypeEvidence& b) {
+              if (a.type != b.type) return a.type < b.type;
+              return a.property < b.property;
+            });
+  return kept;
+}
+
+}  // namespace surveyor

@@ -1,0 +1,42 @@
+#ifndef SURVEYOR_SURVEYOR_MR_PIPELINE_H_
+#define SURVEYOR_SURVEYOR_MR_PIPELINE_H_
+
+#include <vector>
+
+#include "extraction/aggregator.h"
+#include "extraction/extractor.h"
+#include "kb/knowledge_base.h"
+#include "mapreduce/mapreduce.h"
+#include "text/document.h"
+#include "text/entity_tagger.h"
+#include "text/lexicon.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// The extraction and grouping stages of Algorithm 1 expressed as two
+/// MapReduce jobs — the same shape as the paper's cluster deployment
+/// (Section 7.1: "extracting evidence ... took around one hour [on 5000
+/// nodes]; combining information ... and grouping entities by type took
+/// around one hour"):
+///
+///   Job 1 (extract): map each document through annotation + pattern
+///   extraction, emitting ((entity, property), counts); reduce by summing
+///   counters per pair.
+///
+///   Job 2 (group by type): map each pair to ((most-notable type,
+///   property), (entity, counts)); reduce by materializing the full
+///   per-entity counter vector of the combination.
+///
+/// Combinations with fewer than `min_statements` total statements (the
+/// paper's rho) are dropped after Job 2. Output is deterministic and
+/// equivalent to SurveyorPipeline::ExtractEvidence + GroupByType.
+std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
+    const KnowledgeBase& kb, const Lexicon& lexicon,
+    const std::vector<RawDocument>& corpus, int64_t min_statements,
+    ExtractionOptions extraction = {}, EntityTaggerOptions tagger = {},
+    MapReduceOptions mr_options = {});
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_SURVEYOR_MR_PIPELINE_H_

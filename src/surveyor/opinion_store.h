@@ -1,0 +1,71 @@
+#ifndef SURVEYOR_SURVEYOR_OPINION_STORE_H_
+#define SURVEYOR_SURVEYOR_OPINION_STORE_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "surveyor/pipeline.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// The knowledge base of subjective properties that Surveyor exists to
+/// build (paper Section 1): mined <entity, property, polarity, probability>
+/// tuples with the query shapes a search engine needs — "safe cities"
+/// (entities of a type with a property) and entity profiles (properties of
+/// an entity). Serializable to a line-oriented TSV format.
+class OpinionStore {
+ public:
+  /// `kb` must outlive the store; it resolves names in queries and I/O.
+  explicit OpinionStore(const KnowledgeBase* kb);
+
+  /// Inserts one opinion (replaces an existing tuple for the same pair).
+  void Add(const PairOpinion& opinion);
+
+  /// Inserts every non-neutral opinion of a pipeline result.
+  void AddAll(const PipelineResult& result);
+
+  size_t size() const { return by_pair_.size(); }
+
+  /// The mined opinion for one pair; NotFound when Surveyor produced no
+  /// output for it.
+  StatusOr<PairOpinion> Lookup(EntityId entity,
+                               const std::string& property) const;
+
+  /// Subjective query ("safe cities"): entities of `type` whose dominant
+  /// opinion affirms `property`, strongest probability first, at most
+  /// `limit` results (0 = no limit).
+  std::vector<PairOpinion> Query(TypeId type, const std::string& property,
+                                 size_t limit = 0) const;
+
+  /// Entity profile: every mined property of `entity`, affirmed first,
+  /// then by probability distance from 1/2.
+  std::vector<PairOpinion> PropertiesOf(EntityId entity) const;
+
+  /// All distinct (type, property) combinations present in the store.
+  std::vector<std::pair<TypeId, std::string>> Pairs() const;
+
+  // --- Serialization ------------------------------------------------------
+  /// Writes "opinion <tab> TYPE <tab> ENTITY <tab> PROPERTY <tab>
+  /// POLARITY <tab> PROBABILITY" lines.
+  Status Save(std::ostream& os) const;
+
+  /// Parses the format written by Save. Entities are resolved against the
+  /// store's knowledge base; unknown entities are an error.
+  Status Load(std::istream& is);
+
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  const KnowledgeBase* kb_;
+  /// (entity, property) -> opinion. Ordered for deterministic output.
+  std::map<std::pair<EntityId, std::string>, PairOpinion> by_pair_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_SURVEYOR_OPINION_STORE_H_

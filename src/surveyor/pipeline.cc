@@ -1,0 +1,281 @@
+#include "surveyor/pipeline.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/threadpool.h"
+#include "util/timer.h"
+
+namespace surveyor {
+
+std::vector<PairOpinion> PipelineResult::Opinions() const {
+  std::vector<PairOpinion> opinions;
+  for (const PropertyTypeResult& pair : pairs) {
+    for (size_t i = 0; i < pair.evidence.entities.size(); ++i) {
+      if (pair.polarity[i] == Polarity::kNeutral) continue;
+      PairOpinion opinion;
+      opinion.entity = pair.evidence.entities[i];
+      opinion.type = pair.evidence.type;
+      opinion.property = pair.evidence.property;
+      opinion.probability = pair.posterior[i];
+      opinion.polarity = pair.polarity[i];
+      opinions.push_back(std::move(opinion));
+    }
+  }
+  return opinions;
+}
+
+const PropertyTypeResult* PipelineResult::Find(
+    TypeId type, const std::string& property) const {
+  for (const PropertyTypeResult& pair : pairs) {
+    if (pair.evidence.type == type && pair.evidence.property == property) {
+      return &pair;
+    }
+  }
+  return nullptr;
+}
+
+SurveyorPipeline::SurveyorPipeline(const KnowledgeBase* kb,
+                                   const Lexicon* lexicon,
+                                   SurveyorConfig config)
+    : kb_(kb), lexicon_(lexicon), config_(std::move(config)) {
+  SURVEYOR_CHECK(kb_ != nullptr);
+  SURVEYOR_CHECK(lexicon_ != nullptr);
+}
+
+namespace {
+
+size_t EffectiveThreads(int configured) {
+  if (configured > 0) return static_cast<size_t>(configured);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace
+
+EvidenceAggregator SurveyorPipeline::ExtractEvidence(
+    const std::vector<RawDocument>& corpus, PipelineStats* stats) const {
+  const size_t num_threads = EffectiveThreads(config_.num_threads);
+  ThreadPool pool(num_threads);
+  const size_t num_shards = num_threads;
+
+  struct ShardState {
+    EvidenceAggregator aggregator;
+    int64_t sentences = 0;
+    int64_t parsed = 0;
+  };
+  std::vector<ShardState> shards(num_shards);
+  for (ShardState& shard : shards) {
+    shard.aggregator = EvidenceAggregator(config_.max_provenance_samples);
+  }
+
+  TextAnnotator annotator(kb_, lexicon_, config_.tagger);
+  EvidenceExtractor extractor(config_.extraction);
+
+  // Documents are independent: shard them across workers, merge counters
+  // at the end — the paper's map-reduce at thread scale.
+  const size_t docs_per_shard = (corpus.size() + num_shards - 1) / num_shards;
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    const size_t begin = shard * docs_per_shard;
+    const size_t end = std::min(corpus.size(), begin + docs_per_shard);
+    if (begin >= end) continue;
+    pool.Submit([&, shard, begin, end] {
+      ShardState& state = shards[shard];
+      for (size_t d = begin; d < end; ++d) {
+        const AnnotatedDocument doc =
+            annotator.AnnotateDocument(corpus[d].doc_id, corpus[d].text);
+        state.sentences += static_cast<int64_t>(doc.sentences.size());
+        for (const AnnotatedSentence& sentence : doc.sentences) {
+          if (sentence.parsed) ++state.parsed;
+        }
+        state.aggregator.AddAll(extractor.ExtractFromDocument(doc));
+      }
+    });
+  }
+  pool.Wait();
+
+  EvidenceAggregator merged(config_.max_provenance_samples);
+  int64_t sentences = 0;
+  int64_t parsed = 0;
+  for (const ShardState& state : shards) {
+    merged.Merge(state.aggregator);
+    sentences += state.sentences;
+    parsed += state.parsed;
+  }
+  if (stats != nullptr) {
+    stats->num_documents = static_cast<int64_t>(corpus.size());
+    stats->num_sentences = sentences;
+    stats->num_parsed_sentences = parsed;
+    stats->num_statements = merged.total_statements();
+    stats->num_entity_property_pairs = static_cast<int64_t>(merged.num_pairs());
+  }
+  return merged;
+}
+
+EvidenceAggregator SurveyorPipeline::ExtractEvidenceStreaming(
+    DocumentSource& source, PipelineStats* stats) const {
+  const size_t num_threads = EffectiveThreads(config_.num_threads);
+  ThreadPool pool(num_threads);
+
+  struct ShardState {
+    EvidenceAggregator aggregator;
+    int64_t documents = 0;
+    int64_t sentences = 0;
+    int64_t parsed = 0;
+  };
+  std::vector<ShardState> shards(num_threads);
+  for (ShardState& shard : shards) {
+    shard.aggregator = EvidenceAggregator(config_.max_provenance_samples);
+  }
+
+  TextAnnotator annotator(kb_, lexicon_, config_.tagger);
+  EvidenceExtractor extractor(config_.extraction);
+
+  // Each worker pulls documents until the source runs dry; the source is
+  // the only point of coordination.
+  for (size_t shard = 0; shard < num_threads; ++shard) {
+    pool.Submit([&, shard] {
+      ShardState& state = shards[shard];
+      for (;;) {
+        std::optional<RawDocument> doc = source.Next();
+        if (!doc.has_value()) return;
+        ++state.documents;
+        const AnnotatedDocument annotated =
+            annotator.AnnotateDocument(doc->doc_id, doc->text);
+        state.sentences += static_cast<int64_t>(annotated.sentences.size());
+        for (const AnnotatedSentence& sentence : annotated.sentences) {
+          if (sentence.parsed) ++state.parsed;
+        }
+        state.aggregator.AddAll(extractor.ExtractFromDocument(annotated));
+      }
+    });
+  }
+  pool.Wait();
+
+  EvidenceAggregator merged(config_.max_provenance_samples);
+  int64_t documents = 0;
+  int64_t sentences = 0;
+  int64_t parsed = 0;
+  for (const ShardState& state : shards) {
+    merged.Merge(state.aggregator);
+    documents += state.documents;
+    sentences += state.sentences;
+    parsed += state.parsed;
+  }
+  if (stats != nullptr) {
+    stats->num_documents = documents;
+    stats->num_sentences = sentences;
+    stats->num_parsed_sentences = parsed;
+    stats->num_statements = merged.total_statements();
+    stats->num_entity_property_pairs = static_cast<int64_t>(merged.num_pairs());
+  }
+  return merged;
+}
+
+namespace {
+
+/// Shared tail of Run/RunStreaming: group, filter, learn, merge stats.
+StatusOr<PipelineResult> FinishRun(const SurveyorPipeline& pipeline,
+                                   const KnowledgeBase& kb,
+                                   const SurveyorConfig& config,
+                                   EvidenceAggregator aggregator,
+                                   PipelineStats stats) {
+  WallTimer timer;
+  std::vector<PropertyTypeEvidence> all_pairs =
+      aggregator.GroupByType(kb, /*min_statements=*/1);
+  stats.num_property_type_pairs = static_cast<int64_t>(all_pairs.size());
+  std::vector<PropertyTypeEvidence> kept;
+  for (PropertyTypeEvidence& pair : all_pairs) {
+    if (pair.total_statements >= config.min_statements) {
+      kept.push_back(std::move(pair));
+    }
+  }
+  stats.grouping_seconds = timer.ElapsedSeconds();
+
+  SURVEYOR_ASSIGN_OR_RETURN(PipelineResult result,
+                            pipeline.RunFromEvidence(std::move(kept)));
+  if (config.max_provenance_samples > 0) {
+    for (auto& [entity, property, refs] :
+         aggregator.AllSupportingStatements()) {
+      result.provenance[{entity, property}] = std::move(refs);
+    }
+  }
+  const double em_seconds = result.stats.em_seconds;
+  const int64_t kept_pairs = result.stats.num_kept_property_type_pairs;
+  const int64_t opinions = result.stats.num_opinions;
+  result.stats = stats;
+  result.stats.em_seconds = em_seconds;
+  result.stats.num_kept_property_type_pairs = kept_pairs;
+  result.stats.num_opinions = opinions;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<PipelineResult> SurveyorPipeline::RunStreaming(
+    DocumentSource& source) const {
+  PipelineStats stats;
+  WallTimer timer;
+  EvidenceAggregator aggregator = ExtractEvidenceStreaming(source, &stats);
+  stats.extraction_seconds = timer.ElapsedSeconds();
+  return FinishRun(*this, *kb_, config_, std::move(aggregator), stats);
+}
+
+StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
+    std::vector<PropertyTypeEvidence> evidence) const {
+  if (!(config_.decision_threshold >= 0.5 && config_.decision_threshold < 1.0)) {
+    return Status::InvalidArgument("decision threshold must be in [0.5, 1)");
+  }
+  PipelineResult result;
+  result.pairs.resize(evidence.size());
+
+  const EmLearner learner(config_.em);
+  ThreadPool pool(EffectiveThreads(config_.num_threads));
+  std::mutex error_mutex;
+  Status first_error = Status::OK();
+
+  WallTimer timer;
+  // Property-type combinations are independent: one EM per combination.
+  ParallelFor(pool, evidence.size(), [&](size_t i) {
+    PropertyTypeResult& pair = result.pairs[i];
+    pair.evidence = std::move(evidence[i]);
+    auto fit = learner.Fit(pair.evidence.counts);
+    if (!fit.ok()) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.ok()) first_error = fit.status();
+      return;
+    }
+    pair.params = fit->params;
+    pair.posterior = std::move(fit->responsibilities);
+    pair.em_iterations = fit->iterations;
+    pair.polarity.resize(pair.posterior.size());
+    for (size_t e = 0; e < pair.posterior.size(); ++e) {
+      pair.polarity[e] =
+          DecidePolarity(pair.posterior[e], config_.decision_threshold);
+    }
+  });
+  if (!first_error.ok()) return first_error;
+
+  result.stats.em_seconds = timer.ElapsedSeconds();
+  result.stats.num_kept_property_type_pairs =
+      static_cast<int64_t>(result.pairs.size());
+  for (const PropertyTypeResult& pair : result.pairs) {
+    for (Polarity polarity : pair.polarity) {
+      if (polarity != Polarity::kNeutral) ++result.stats.num_opinions;
+    }
+  }
+  return result;
+}
+
+StatusOr<PipelineResult> SurveyorPipeline::Run(
+    const std::vector<RawDocument>& corpus) const {
+  PipelineStats stats;
+  WallTimer timer;
+  EvidenceAggregator aggregator = ExtractEvidence(corpus, &stats);
+  stats.extraction_seconds = timer.ElapsedSeconds();
+  return FinishRun(*this, *kb_, config_, std::move(aggregator), stats);
+}
+
+}  // namespace surveyor

@@ -1,0 +1,136 @@
+#ifndef SURVEYOR_SURVEYOR_PIPELINE_H_
+#define SURVEYOR_SURVEYOR_PIPELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extraction/aggregator.h"
+#include "extraction/extractor.h"
+#include "kb/knowledge_base.h"
+#include "model/em.h"
+#include "text/annotator.h"
+#include "text/document.h"
+#include "text/document_source.h"
+#include "text/lexicon.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// End-to-end pipeline configuration (Algorithm 1 of the paper).
+struct SurveyorConfig {
+  /// The occurrence threshold rho: property-type combinations with fewer
+  /// total statements are dropped (100 in the deployed system).
+  int64_t min_statements = 100;
+  ExtractionOptions extraction;
+  EmOptions em;
+  /// Posterior threshold for emitting a polarity (paper default 1/2).
+  double decision_threshold = 0.5;
+  /// Supporting-statement references kept per pair (0 = off); lets query
+  /// results link back to the documents that asserted them.
+  int max_provenance_samples = 0;
+  /// Worker threads for document annotation/extraction and per-pair EM.
+  /// 0 means hardware concurrency. This is the laptop-scale stand-in for
+  /// the paper's 5000-node cluster.
+  int num_threads = 0;
+  EntityTaggerOptions tagger;
+};
+
+/// Fitted model and inferences for one property-type combination.
+struct PropertyTypeResult {
+  PropertyTypeEvidence evidence;
+  ModelParams params;
+  /// Posterior Pr(D=+|E) aligned with evidence.entities.
+  std::vector<double> posterior;
+  /// Decisions aligned with evidence.entities.
+  std::vector<Polarity> polarity;
+  int em_iterations = 0;
+};
+
+/// One output tuple <entity, property, polarity> of Algorithm 1.
+struct PairOpinion {
+  EntityId entity = kInvalidEntity;
+  TypeId type = kInvalidType;
+  std::string property;
+  double probability = 0.5;
+  Polarity polarity = Polarity::kNeutral;
+};
+
+/// Throughput and volume statistics of one pipeline run (the Section 7.1
+/// numbers at laptop scale).
+struct PipelineStats {
+  int64_t num_documents = 0;
+  int64_t num_sentences = 0;
+  int64_t num_parsed_sentences = 0;
+  int64_t num_statements = 0;
+  int64_t num_entity_property_pairs = 0;   ///< pairs with evidence (60M analog)
+  int64_t num_property_type_pairs = 0;     ///< before the rho filter (7M analog)
+  int64_t num_kept_property_type_pairs = 0;  ///< after the filter (380k analog)
+  int64_t num_opinions = 0;                ///< emitted polarities (4B analog)
+  double extraction_seconds = 0.0;
+  double grouping_seconds = 0.0;
+  double em_seconds = 0.0;
+};
+
+/// Full pipeline result.
+struct PipelineResult {
+  std::vector<PropertyTypeResult> pairs;
+  PipelineStats stats;
+  /// Supporting-statement samples per (entity, property); populated only
+  /// when SurveyorConfig::max_provenance_samples > 0. These are the
+  /// "links to supporting content" a subjective-query result can show.
+  std::map<std::pair<EntityId, std::string>, std::vector<StatementRef>>
+      provenance;
+
+  /// Flattens all non-neutral decisions into output tuples.
+  std::vector<PairOpinion> Opinions() const;
+
+  /// Finds the result for a (type, property) combination; nullptr if the
+  /// combination fell under the rho threshold.
+  const PropertyTypeResult* Find(TypeId type, const std::string& property) const;
+};
+
+/// The Surveyor system (Algorithm 1): extract evidence from raw documents,
+/// group it by property-type combination, learn the user-behavior model
+/// per combination with EM, and infer a dominant-opinion probability for
+/// every entity of every kept combination.
+class SurveyorPipeline {
+ public:
+  /// `kb` and `lexicon` must outlive the pipeline.
+  SurveyorPipeline(const KnowledgeBase* kb, const Lexicon* lexicon,
+                   SurveyorConfig config = {});
+
+  /// Runs the full pipeline over a document corpus.
+  StatusOr<PipelineResult> Run(const std::vector<RawDocument>& corpus) const;
+
+  /// Annotation + extraction only; returns the aggregated counters and
+  /// fills volume statistics. Runs sharded across threads.
+  EvidenceAggregator ExtractEvidence(const std::vector<RawDocument>& corpus,
+                                     PipelineStats* stats) const;
+
+  /// Streaming variant: workers pull documents from `source` until it is
+  /// exhausted, so the corpus never needs to fit in memory (the deployed
+  /// system's snapshot was 40 TB). `source` must be thread-safe.
+  EvidenceAggregator ExtractEvidenceStreaming(DocumentSource& source,
+                                              PipelineStats* stats) const;
+
+  /// Full pipeline over a document stream.
+  StatusOr<PipelineResult> RunStreaming(DocumentSource& source) const;
+
+  /// Model learning + inference over pre-aggregated evidence (one entry
+  /// per property-type combination that passed the rho filter).
+  StatusOr<PipelineResult> RunFromEvidence(
+      std::vector<PropertyTypeEvidence> evidence) const;
+
+  const SurveyorConfig& config() const { return config_; }
+
+ private:
+  const KnowledgeBase* kb_;
+  const Lexicon* lexicon_;
+  SurveyorConfig config_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_SURVEYOR_PIPELINE_H_

@@ -1,0 +1,37 @@
+#include "surveyor/surveyor_classifier.h"
+
+#include "util/logging.h"
+
+namespace surveyor {
+
+SurveyorClassifier::SurveyorClassifier(EmOptions em_options,
+                                       double decision_threshold,
+                                       std::string name)
+    : learner_(std::move(em_options)),
+      decision_threshold_(decision_threshold),
+      name_(std::move(name)) {
+  SURVEYOR_CHECK_GE(decision_threshold_, 0.5);
+  SURVEYOR_CHECK_LT(decision_threshold_, 1.0);
+}
+
+StatusOr<EmFitResult> SurveyorClassifier::Fit(
+    const PropertyTypeEvidence& evidence) const {
+  return learner_.Fit(evidence.counts);
+}
+
+std::vector<Polarity> SurveyorClassifier::Classify(
+    const PropertyTypeEvidence& evidence) const {
+  std::vector<Polarity> result(evidence.counts.size(), Polarity::kNeutral);
+  auto fit = learner_.Fit(evidence.counts);
+  if (!fit.ok()) {
+    SURVEYOR_LOG(Warning) << "EM failed for property '" << evidence.property
+                          << "': " << fit.status().ToString();
+    return result;
+  }
+  for (size_t i = 0; i < result.size(); ++i) {
+    result[i] = DecidePolarity(fit->responsibilities[i], decision_threshold_);
+  }
+  return result;
+}
+
+}  // namespace surveyor

@@ -1,0 +1,39 @@
+#ifndef SURVEYOR_SURVEYOR_SURVEYOR_CLASSIFIER_H_
+#define SURVEYOR_SURVEYOR_SURVEYOR_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/classifier.h"
+#include "model/em.h"
+
+namespace surveyor {
+
+/// The Surveyor method behind the OpinionClassifier interface: fits the
+/// user-behavior model to the pair's evidence with EM and decides each
+/// entity from its posterior. Used by the comparison harness next to the
+/// baselines.
+class SurveyorClassifier : public OpinionClassifier {
+ public:
+  /// `name` distinguishes configured variants in result tables and in the
+  /// comparison harness's classification cache.
+  explicit SurveyorClassifier(EmOptions em_options = {},
+                              double decision_threshold = 0.5,
+                              std::string name = "Surveyor");
+
+  std::string name() const override { return name_; }
+  std::vector<Polarity> Classify(
+      const PropertyTypeEvidence& evidence) const override;
+
+  /// Like Classify but also exposes the fitted parameters and posteriors.
+  StatusOr<EmFitResult> Fit(const PropertyTypeEvidence& evidence) const;
+
+ private:
+  EmLearner learner_;
+  double decision_threshold_;
+  std::string name_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_SURVEYOR_SURVEYOR_CLASSIFIER_H_

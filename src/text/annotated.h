@@ -1,0 +1,56 @@
+#ifndef SURVEYOR_TEXT_ANNOTATED_H_
+#define SURVEYOR_TEXT_ANNOTATED_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "text/dependency.h"
+#include "text/token.h"
+
+namespace surveyor {
+
+/// One parse unit: either a single token or an entity mention chunk
+/// (possibly spanning several surface tokens, e.g. "san francisco").
+/// The dependency tree is built over units, so a mention behaves as a
+/// single noun during parsing — the same effect the paper obtains from an
+/// upstream entity tagger annotating the snapshot.
+struct ParseUnit {
+  /// Normalized surface text ("san francisco").
+  std::string text;
+  /// POS tag; entity mentions are nouns.
+  Pos pos = Pos::kUnknown;
+  /// Resolved entity for direct mentions; kInvalidEntity otherwise.
+  EntityId entity = kInvalidEntity;
+  /// Entity this unit corefers with (e.g. the predicate nominal "animals"
+  /// in "snakes are dangerous animals"); filled by the coreference pass.
+  EntityId coref_entity = kInvalidEntity;
+
+  bool IsEntityMention() const { return entity != kInvalidEntity; }
+  /// The entity this unit stands for, through either a direct mention or
+  /// coreference.
+  EntityId ReferentEntity() const {
+    return entity != kInvalidEntity ? entity : coref_entity;
+  }
+};
+
+/// A fully annotated sentence: units, dependency tree, and bookkeeping.
+struct AnnotatedSentence {
+  std::string raw_text;
+  std::vector<ParseUnit> units;
+  DependencyTree tree{0};
+  /// True when the parser produced a well-formed tree; sentences that the
+  /// grammar cannot analyze are kept (for statistics) but not extracted
+  /// from.
+  bool parsed = false;
+};
+
+/// A processed document: the unit the extraction shards operate on.
+struct AnnotatedDocument {
+  int64_t doc_id = 0;
+  std::vector<AnnotatedSentence> sentences;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TEXT_ANNOTATED_H_

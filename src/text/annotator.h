@@ -1,0 +1,49 @@
+#ifndef SURVEYOR_TEXT_ANNOTATOR_H_
+#define SURVEYOR_TEXT_ANNOTATOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "kb/knowledge_base.h"
+#include "text/annotated.h"
+#include "text/entity_tagger.h"
+#include "text/lexicon.h"
+#include "text/parser.h"
+
+namespace surveyor {
+
+/// End-to-end document annotator: sentence splitting, tokenization,
+/// entity tagging/disambiguation, dependency parsing, and the
+/// predicate-nominal coreference pass. This is the stand-in for the
+/// paper's preprocessed "annotated Web snapshot": the extraction stage
+/// consumes only `AnnotatedDocument`s.
+class TextAnnotator {
+ public:
+  /// `kb` and `lexicon` must outlive the annotator.
+  TextAnnotator(const KnowledgeBase* kb, const Lexicon* lexicon,
+                EntityTaggerOptions tagger_options = {});
+
+  /// Annotates a whole document (splits into sentences first).
+  AnnotatedDocument AnnotateDocument(int64_t doc_id,
+                                     std::string_view text) const;
+
+  /// Annotates a single sentence. `parsed` is false when the grammar
+  /// cannot analyze it.
+  AnnotatedSentence AnnotateSentence(std::string_view sentence) const;
+
+ private:
+  /// Marks predicate-nominal heads that corefer with their entity subject:
+  /// in "snakes are dangerous animals", the noun "animals" (the subject
+  /// entity's type noun) corefers with "snakes". The adjectival-modifier
+  /// extraction pattern relies on this annotation (paper Section 4).
+  void ResolveCoreference(AnnotatedSentence& sentence) const;
+
+  const KnowledgeBase* kb_;
+  const Lexicon* lexicon_;
+  EntityTagger tagger_;
+  DependencyParser parser_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TEXT_ANNOTATOR_H_

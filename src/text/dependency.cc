@@ -1,0 +1,146 @@
+#include "text/dependency.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+
+std::string_view DepRelName(DepRel rel) {
+  switch (rel) {
+    case DepRel::kRoot:
+      return "root";
+    case DepRel::kNsubj:
+      return "nsubj";
+    case DepRel::kCop:
+      return "cop";
+    case DepRel::kAux:
+      return "aux";
+    case DepRel::kAmod:
+      return "amod";
+    case DepRel::kAdvmod:
+      return "advmod";
+    case DepRel::kNeg:
+      return "neg";
+    case DepRel::kDet:
+      return "det";
+    case DepRel::kConj:
+      return "conj";
+    case DepRel::kCc:
+      return "cc";
+    case DepRel::kPrep:
+      return "prep";
+    case DepRel::kPobj:
+      return "pobj";
+    case DepRel::kCcomp:
+      return "ccomp";
+    case DepRel::kXcomp:
+      return "xcomp";
+    case DepRel::kMark:
+      return "mark";
+    case DepRel::kDobj:
+      return "dobj";
+    case DepRel::kPunct:
+      return "punct";
+  }
+  return "invalid";
+}
+
+DependencyTree::DependencyTree(size_t num_units)
+    : heads_(num_units, -1),
+      rels_(num_units, DepRel::kRoot),
+      children_(num_units) {}
+
+void DependencyTree::SetArc(int dependent, int head, DepRel rel) {
+  SURVEYOR_CHECK_GE(dependent, 0);
+  SURVEYOR_CHECK_LT(static_cast<size_t>(dependent), heads_.size());
+  SURVEYOR_CHECK_GE(head, 0);
+  SURVEYOR_CHECK_LT(static_cast<size_t>(head), heads_.size());
+  SURVEYOR_CHECK_NE(dependent, head);
+  // Detach from a previous head if re-attaching.
+  if (heads_[dependent] >= 0) {
+    auto& siblings = children_[heads_[dependent]];
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), dependent),
+                   siblings.end());
+  }
+  heads_[dependent] = head;
+  rels_[dependent] = rel;
+  children_[head].push_back(dependent);
+  if (root_ == dependent) root_ = -1;
+}
+
+void DependencyTree::SetRoot(int unit) {
+  SURVEYOR_CHECK_GE(unit, 0);
+  SURVEYOR_CHECK_LT(static_cast<size_t>(unit), heads_.size());
+  if (heads_[unit] >= 0) {
+    auto& siblings = children_[heads_[unit]];
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), unit),
+                   siblings.end());
+    heads_[unit] = -1;
+  }
+  rels_[unit] = DepRel::kRoot;
+  root_ = unit;
+}
+
+int DependencyTree::head(int unit) const {
+  SURVEYOR_CHECK_GE(unit, 0);
+  SURVEYOR_CHECK_LT(static_cast<size_t>(unit), heads_.size());
+  return heads_[unit];
+}
+
+DepRel DependencyTree::rel(int unit) const {
+  SURVEYOR_CHECK_GE(unit, 0);
+  SURVEYOR_CHECK_LT(static_cast<size_t>(unit), rels_.size());
+  return rels_[unit];
+}
+
+const std::vector<int>& DependencyTree::children(int unit) const {
+  SURVEYOR_CHECK_GE(unit, 0);
+  SURVEYOR_CHECK_LT(static_cast<size_t>(unit), children_.size());
+  return children_[unit];
+}
+
+std::vector<int> DependencyTree::ChildrenWithRel(int unit, DepRel rel) const {
+  std::vector<int> result;
+  for (int child : children(unit)) {
+    if (rels_[child] == rel) result.push_back(child);
+  }
+  return result;
+}
+
+bool DependencyTree::HasChildWithRel(int unit, DepRel rel) const {
+  for (int child : children(unit)) {
+    if (rels_[child] == rel) return true;
+  }
+  return false;
+}
+
+std::vector<int> DependencyTree::PathToRoot(int unit) const {
+  std::vector<int> path;
+  int current = unit;
+  while (current >= 0) {
+    path.push_back(current);
+    if (current == root_) return path;
+    if (path.size() > heads_.size()) return {};  // cycle guard
+    current = heads_[current];
+  }
+  return {};  // detached from root
+}
+
+Status DependencyTree::Validate() const {
+  if (root_ < 0) return Status::FailedPrecondition("tree has no root");
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (static_cast<int>(i) != root_ && heads_[i] < 0) {
+      return Status::FailedPrecondition(
+          StrFormat("unit %zu is unattached", i));
+    }
+    if (PathToRoot(static_cast<int>(i)).empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("unit %zu does not reach the root", i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace surveyor

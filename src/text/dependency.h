@@ -1,0 +1,89 @@
+#ifndef SURVEYOR_TEXT_DEPENDENCY_H_
+#define SURVEYOR_TEXT_DEPENDENCY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace surveyor {
+
+/// Stanford-style typed dependency relations — the subset the extraction
+/// patterns (paper Fig. 4), the polarity walk (Fig. 5), and the
+/// intrinsicness filters need.
+enum class DepRel {
+  kRoot,   ///< head of the sentence
+  kNsubj,  ///< nominal subject
+  kCop,    ///< copula ("is" in "X is big")
+  kAux,    ///< auxiliary ("do" in "I do n't think")
+  kAmod,   ///< adjectival modifier ("big city")
+  kAdvmod, ///< adverbial modifier ("very big")
+  kNeg,    ///< negation modifier ("not", "n't", "never")
+  kDet,    ///< determiner
+  kConj,   ///< conjunct ("fast and exciting": exciting <- fast)
+  kCc,     ///< coordinating conjunction word itself
+  kPrep,   ///< prepositional modifier ("bad for parking": for <- bad)
+  kPobj,   ///< object of preposition ("parking" <- "for")
+  kCcomp,  ///< clausal complement ("I think that X is big")
+  kXcomp,  ///< open clausal complement ("I find kittens cute")
+  kMark,   ///< complementizer "that"
+  kDobj,   ///< direct object
+  kPunct,  ///< punctuation attachment
+};
+
+/// Returns a stable name for a relation ("nsubj", "amod", ...).
+std::string_view DepRelName(DepRel rel);
+
+/// A rooted, typed dependency tree over the parse units of one sentence.
+/// Unit indices are assigned by the caller (the annotator chunks entity
+/// mentions into single units before parsing).
+class DependencyTree {
+ public:
+  /// Creates a tree with `num_units` unattached nodes.
+  explicit DependencyTree(size_t num_units);
+
+  /// Attaches `dependent` under `head` with relation `rel`. Re-attaching a
+  /// unit moves it.
+  void SetArc(int dependent, int head, DepRel rel);
+
+  /// Marks `unit` as the sentence root.
+  void SetRoot(int unit);
+
+  /// Index of the root unit, or -1 if none was set.
+  int root() const { return root_; }
+
+  /// Head index of a unit (-1 for the root or unattached units).
+  int head(int unit) const;
+
+  /// Relation of a unit to its head.
+  DepRel rel(int unit) const;
+
+  /// All dependents of `unit`, in attachment order.
+  const std::vector<int>& children(int unit) const;
+
+  /// Dependents of `unit` attached with `rel`.
+  std::vector<int> ChildrenWithRel(int unit, DepRel rel) const;
+
+  bool HasChildWithRel(int unit, DepRel rel) const;
+
+  /// Units on the path from `unit` up to (and including) the root.
+  /// Returns an empty vector if `unit` is detached from the root.
+  std::vector<int> PathToRoot(int unit) const;
+
+  size_t size() const { return heads_.size(); }
+
+  /// Checks structural well-formedness: exactly one root, every unit
+  /// attached, no cycles.
+  Status Validate() const;
+
+ private:
+  std::vector<int> heads_;
+  std::vector<DepRel> rels_;
+  std::vector<std::vector<int>> children_;
+  int root_ = -1;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TEXT_DEPENDENCY_H_

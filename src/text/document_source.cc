@@ -1,0 +1,55 @@
+#include "text/document_source.h"
+
+#include "util/string_util.h"
+
+namespace surveyor {
+
+VectorDocumentSource::VectorDocumentSource(
+    const std::vector<RawDocument>* corpus)
+    : corpus_(corpus) {
+  SURVEYOR_CHECK(corpus_ != nullptr);
+}
+
+std::optional<RawDocument> VectorDocumentSource::Next() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (next_ >= corpus_->size()) return std::nullopt;
+  return (*corpus_)[next_++];
+}
+
+FileDocumentSource::FileDocumentSource(const std::string& path)
+    : stream_(path) {
+  if (!stream_) {
+    status_ = Status::NotFound("cannot open '" + path + "'");
+  }
+}
+
+std::optional<RawDocument> FileDocumentSource::Next() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!status_.ok()) return std::nullopt;
+  std::string line;
+  while (std::getline(stream_, line)) {
+    ++line_number_;
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 3) {
+      status_ = Status::InvalidArgument(
+          StrFormat("line %d: expected 3 tab-separated fields", line_number_));
+      return std::nullopt;
+    }
+    RawDocument doc;
+    try {
+      doc.doc_id = std::stoll(fields[0]);
+    } catch (...) {
+      status_ = Status::InvalidArgument(
+          StrFormat("line %d: bad document id '%s'", line_number_,
+                    fields[0].c_str()));
+      return std::nullopt;
+    }
+    doc.domain = fields[1];
+    doc.text = fields[2];
+    return doc;
+  }
+  return std::nullopt;
+}
+
+}  // namespace surveyor

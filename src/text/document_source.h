@@ -1,0 +1,64 @@
+#ifndef SURVEYOR_TEXT_DOCUMENT_SOURCE_H_
+#define SURVEYOR_TEXT_DOCUMENT_SOURCE_H_
+
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "text/document.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Pull-based document stream. The deployed system processed a 40 TB
+/// snapshot that could never sit in memory; this interface lets the
+/// pipeline consume documents incrementally from any backing store.
+/// Implementations must be thread-safe: extraction workers pull from the
+/// same source concurrently.
+class DocumentSource {
+ public:
+  virtual ~DocumentSource() = default;
+
+  /// Returns the next document, or nullopt at end of stream.
+  virtual std::optional<RawDocument> Next() = 0;
+};
+
+/// Adapts an in-memory corpus to the streaming interface.
+class VectorDocumentSource : public DocumentSource {
+ public:
+  /// `corpus` must outlive the source.
+  explicit VectorDocumentSource(const std::vector<RawDocument>* corpus);
+
+  std::optional<RawDocument> Next() override;
+
+ private:
+  const std::vector<RawDocument>* corpus_;
+  std::mutex mutex_;
+  size_t next_ = 0;
+};
+
+/// Streams a corpus.tsv file (the format of SaveCorpus) from disk without
+/// loading it whole.
+class FileDocumentSource : public DocumentSource {
+ public:
+  /// Opens the file; check `status()` before use.
+  explicit FileDocumentSource(const std::string& path);
+
+  /// OK when the file opened; parsing errors surface here after the
+  /// offending Next() returned nullopt.
+  const Status& status() const { return status_; }
+
+  std::optional<RawDocument> Next() override;
+
+ private:
+  std::ifstream stream_;
+  std::mutex mutex_;
+  Status status_;
+  int line_number_ = 0;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TEXT_DOCUMENT_SOURCE_H_

@@ -1,0 +1,119 @@
+#include "text/entity_tagger.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+
+EntityTagger::EntityTagger(const KnowledgeBase* kb, EntityTaggerOptions options)
+    : kb_(kb), options_(options) {
+  SURVEYOR_CHECK(kb_ != nullptr);
+  for (const std::string& alias : kb_->AllAliases()) {
+    aliases_[alias] = kb_->CandidatesForAlias(alias);
+  }
+  type_cues_.resize(kb_->num_types());
+  for (TypeId t = 0; t < kb_->num_types(); ++t) {
+    const std::string& name = kb_->TypeName(t);
+    type_cues_[t].push_back(name);
+    type_cues_[t].push_back(Lexicon::Pluralize(name));
+  }
+}
+
+EntityId EntityTagger::Resolve(
+    const std::string& alias,
+    const std::unordered_set<std::string>& context) const {
+  auto it = aliases_.find(ToLower(alias));
+  if (it == aliases_.end() || it->second.empty()) return kInvalidEntity;
+  const std::vector<EntityId>& candidates = it->second;
+  if (candidates.size() == 1) return candidates[0];
+
+  double best = -1e300, second = -1e300;
+  EntityId best_entity = kInvalidEntity;
+  for (EntityId id : candidates) {
+    const Entity& entity = kb_->entity(id);
+    double score = std::log(std::max(entity.popularity, 1e-12));
+    for (const std::string& cue : type_cues_[entity.most_notable_type]) {
+      if (context.count(cue) > 0) {
+        score += options_.type_cue_bonus;
+        break;
+      }
+    }
+    if (score > best) {
+      second = best;
+      best = score;
+      best_entity = id;
+    } else if (score > second) {
+      second = score;
+    }
+  }
+  if (best - second < options_.min_disambiguation_margin) {
+    return kInvalidEntity;  // too ambiguous; Section 2 discards such names
+  }
+  return best_entity;
+}
+
+std::vector<ParseUnit> EntityTagger::Tag(
+    const std::vector<Token>& tokens) const {
+  // Sentence-level context for disambiguation.
+  std::unordered_set<std::string> context;
+  for (const Token& token : tokens) context.insert(token.text);
+
+  std::vector<ParseUnit> units;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    bool matched = false;
+    const int max_len = std::min<int>(options_.max_mention_tokens,
+                                      static_cast<int>(tokens.size() - i));
+    for (int len = max_len; len >= 1; --len) {
+      // Candidate span must consist of word tokens.
+      bool span_ok = true;
+      std::string joined;
+      for (int k = 0; k < len; ++k) {
+        const Token& t = tokens[i + k];
+        if (t.pos == Pos::kPunctuation) {
+          span_ok = false;
+          break;
+        }
+        if (k > 0) joined += ' ';
+        joined += t.text;
+      }
+      if (!span_ok) continue;
+      auto it = aliases_.find(joined);
+      if (it == aliases_.end()) continue;
+      const EntityId resolved = Resolve(joined, context);
+      if (resolved == kInvalidEntity) {
+        // Known alias but too ambiguous to resolve: chunk it as one
+        // untagged noun so parsing stays sane; downstream sees no entity.
+        ParseUnit unit;
+        unit.text = joined;
+        unit.pos = Pos::kNoun;
+        units.push_back(std::move(unit));
+        i += static_cast<size_t>(len);
+        matched = true;
+        break;
+      }
+      ParseUnit unit;
+      unit.text = joined;
+      unit.pos = Pos::kNoun;
+      unit.entity = resolved;
+      units.push_back(std::move(unit));
+      i += static_cast<size_t>(len);
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      const Token& t = tokens[i];
+      ParseUnit unit;
+      unit.text = t.text;
+      unit.pos = t.pos;
+      units.push_back(std::move(unit));
+      ++i;
+    }
+  }
+  return units;
+}
+
+}  // namespace surveyor

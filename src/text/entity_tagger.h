@@ -1,0 +1,59 @@
+#ifndef SURVEYOR_TEXT_ENTITY_TAGGER_H_
+#define SURVEYOR_TEXT_ENTITY_TAGGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "text/annotated.h"
+#include "text/lexicon.h"
+#include "text/token.h"
+
+namespace surveyor {
+
+/// Options controlling mention detection and disambiguation.
+struct EntityTaggerOptions {
+  /// Longest alias (in tokens) considered for chunking.
+  int max_mention_tokens = 4;
+  /// Minimum score gap (natural-log scale) between the best and the
+  /// second-best candidate required to resolve an ambiguous alias. Below
+  /// the gap the mention is left untagged — Section 2 of the paper
+  /// discards ambiguous city names the same way.
+  double min_disambiguation_margin = 0.5;
+  /// Score bonus when the sentence contains a cue word for the candidate's
+  /// type (the type noun itself, singular or plural).
+  double type_cue_bonus = 4.0;
+};
+
+/// Detects mentions of knowledge-base entities in a token stream and
+/// resolves ambiguous aliases using type-cue context and entity
+/// popularity. Plays the role of the paper's upstream entity tagger with
+/// "state-of-the-art means for disambiguation".
+class EntityTagger {
+ public:
+  /// `kb` must outlive the tagger. Builds the alias match table.
+  EntityTagger(const KnowledgeBase* kb, EntityTaggerOptions options = {});
+
+  /// Chunks `tokens` into parse units, tagging resolved entity mentions.
+  /// Unresolved (too-ambiguous) aliases stay as plain tokens.
+  std::vector<ParseUnit> Tag(const std::vector<Token>& tokens) const;
+
+  /// Resolves a single alias given sentence context words (lower-cased).
+  /// Returns kInvalidEntity when unresolvable.
+  EntityId Resolve(const std::string& alias,
+                   const std::unordered_set<std::string>& context) const;
+
+ private:
+  const KnowledgeBase* kb_;
+  EntityTaggerOptions options_;
+  /// alias (space-joined lower-case tokens) -> candidate entities.
+  std::unordered_map<std::string, std::vector<EntityId>> aliases_;
+  /// type id -> cue words (type noun singular + plural).
+  std::vector<std::vector<std::string>> type_cues_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TEXT_ENTITY_TAGGER_H_

@@ -1,0 +1,87 @@
+#include "text/lexicon_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace surveyor {
+
+StatusOr<Pos> PosFromName(const std::string& name) {
+  for (Pos pos : {Pos::kNoun, Pos::kVerb, Pos::kToBe, Pos::kCopulaOther,
+                  Pos::kOpinionVerb, Pos::kSmallClauseVerb, Pos::kAux,
+                  Pos::kAdjective, Pos::kAdverb, Pos::kNegation,
+                  Pos::kDeterminer, Pos::kPreposition, Pos::kConjunction,
+                  Pos::kComplementizer, Pos::kPronoun, Pos::kPunctuation,
+                  Pos::kUnknown}) {
+    if (PosName(pos) == name) return pos;
+  }
+  return Status::InvalidArgument("unknown POS name '" + name + "'");
+}
+
+Status SaveLexicon(const Lexicon& lexicon, std::ostream& os) {
+  os << "# surveyor lexicon v1\n";
+  const Lexicon builtin_only;
+  std::vector<std::pair<std::string, Pos>> words = lexicon.Words();
+  std::sort(words.begin(), words.end());
+  for (const auto& [word, pos] : words) {
+    // Skip entries already provided by the closed-class vocabulary.
+    if (builtin_only.Contains(word) && builtin_only.Lookup(word) == pos) {
+      continue;
+    }
+    os << "word\t" << word << "\t" << PosName(pos) << "\n";
+  }
+  std::vector<std::pair<std::string, std::string>> plurals =
+      lexicon.PluralMappings();
+  std::sort(plurals.begin(), plurals.end());
+  for (const auto& [plural, singular] : plurals) {
+    os << "plural\t" << plural << "\t" << singular << "\n";
+  }
+  if (!os.good()) return Status::Internal("write failure");
+  return Status::OK();
+}
+
+StatusOr<Lexicon> LoadLexicon(std::istream& is) {
+  Lexicon lexicon;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = Split(trimmed, '\t');
+    auto error = [&](const std::string& msg) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: %s", line_number, msg.c_str()));
+    };
+    if (fields[0] == "word") {
+      if (fields.size() != 3) return error("word expects 2 fields");
+      SURVEYOR_ASSIGN_OR_RETURN(Pos pos, PosFromName(fields[2]));
+      lexicon.AddWord(fields[1], pos);
+    } else if (fields[0] == "plural") {
+      if (fields.size() != 3) return error("plural expects 2 fields");
+      // Re-register through the singular so Singularize() works.
+      lexicon.AddNounWithPlural(fields[2]);
+      lexicon.AddWord(fields[1], Pos::kNoun);
+    } else {
+      return error("unknown record kind '" + fields[0] + "'");
+    }
+  }
+  return lexicon;
+}
+
+Status SaveLexiconToFile(const Lexicon& lexicon, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("cannot open '" + path + "' for writing");
+  return SaveLexicon(lexicon, os);
+}
+
+StatusOr<Lexicon> LoadLexiconFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("cannot open '" + path + "'");
+  return LoadLexicon(is);
+}
+
+}  // namespace surveyor

@@ -1,0 +1,33 @@
+#ifndef SURVEYOR_TEXT_LEXICON_IO_H_
+#define SURVEYOR_TEXT_LEXICON_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "text/lexicon.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Parses a POS name as written by PosName ("NOUN", "ADJ", ...).
+StatusOr<Pos> PosFromName(const std::string& name);
+
+/// Serializes the lexicon's open-class vocabulary as TSV lines:
+///   word <tab> WORD <tab> POS
+///   plural <tab> PLURAL <tab> SINGULAR
+/// Closed-class entries are built in and not written. Lines are sorted for
+/// deterministic output.
+Status SaveLexicon(const Lexicon& lexicon, std::ostream& os);
+
+/// Loads vocabulary written by SaveLexicon into a fresh lexicon (on top of
+/// the built-in closed-class words). Lines starting with '#' and blank
+/// lines are ignored.
+StatusOr<Lexicon> LoadLexicon(std::istream& is);
+
+Status SaveLexiconToFile(const Lexicon& lexicon, const std::string& path);
+StatusOr<Lexicon> LoadLexiconFromFile(const std::string& path);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TEXT_LEXICON_IO_H_

@@ -1,0 +1,288 @@
+#include "text/parser.h"
+
+#include <string>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+/// Treats out-of-lexicon words as nouns, like a tagger's fallback class.
+bool IsNounish(Pos pos) {
+  return pos == Pos::kNoun || pos == Pos::kUnknown;
+}
+
+bool IsSubjectHead(Pos pos) { return IsNounish(pos) || pos == Pos::kPronoun; }
+
+/// Recursive-descent parser state over one sentence.
+class ClauseParser {
+ public:
+  explicit ClauseParser(const std::vector<ParseUnit>& units)
+      : units_(units), tree_(units.size()) {}
+
+  StatusOr<DependencyTree> Run() {
+    SURVEYOR_ASSIGN_OR_RETURN(int root, ParseClause());
+    // Trailing punctuation attaches to the root.
+    while (!AtEnd() && Peek() == Pos::kPunctuation) {
+      tree_.SetArc(Consume(), root, DepRel::kPunct);
+    }
+    if (!AtEnd()) {
+      return Status::InvalidArgument(
+          StrFormat("trailing material at unit %zu ('%s')", pos_,
+                    units_[pos_].text.c_str()));
+    }
+    tree_.SetRoot(root);
+    SURVEYOR_RETURN_IF_ERROR(tree_.Validate());
+    return std::move(tree_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= units_.size(); }
+  Pos Peek(size_t ahead = 0) const {
+    return pos_ + ahead < units_.size() ? units_[pos_ + ahead].pos
+                                        : Pos::kPunctuation;
+  }
+  int Consume() { return static_cast<int>(pos_++); }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(StrFormat(
+        "%s at unit %zu%s", what.c_str(), pos_,
+        AtEnd() ? " (end of sentence)"
+                : (" ('" + units_[pos_].text + "')").c_str()));
+  }
+
+  // Clause := NP (AuxNeg? OpinionVerb (that? Clause) | Cop Predicate
+  //            | Verb Complements)
+  StatusOr<int> ParseClause() {
+    SURVEYOR_ASSIGN_OR_RETURN(int subj, ParseNounPhrase());
+    if (AtEnd()) return Error("expected a verb after the subject");
+
+    if (Peek() == Pos::kAux) {
+      const int aux = Consume();
+      std::vector<int> negs;
+      while (Peek() == Pos::kNegation) negs.push_back(Consume());
+      if (Peek() != Pos::kOpinionVerb && Peek() != Pos::kSmallClauseVerb) {
+        return Error("expected an opinion verb after the auxiliary");
+      }
+      const bool small_clause = Peek() == Pos::kSmallClauseVerb;
+      const int verb = Consume();
+      tree_.SetArc(aux, verb, DepRel::kAux);
+      for (int n : negs) tree_.SetArc(n, verb, DepRel::kNeg);
+      tree_.SetArc(subj, verb, DepRel::kNsubj);
+      if (small_clause) {
+        SURVEYOR_RETURN_IF_ERROR(ParseSmallClause(verb));
+      } else {
+        SURVEYOR_RETURN_IF_ERROR(ParseClausalComplement(verb));
+      }
+      return verb;
+    }
+
+    if (Peek() == Pos::kOpinionVerb) {
+      const int verb = Consume();
+      tree_.SetArc(subj, verb, DepRel::kNsubj);
+      SURVEYOR_RETURN_IF_ERROR(ParseClausalComplement(verb));
+      return verb;
+    }
+
+    if (Peek() == Pos::kSmallClauseVerb) {
+      const int verb = Consume();
+      tree_.SetArc(subj, verb, DepRel::kNsubj);
+      SURVEYOR_RETURN_IF_ERROR(ParseSmallClause(verb));
+      return verb;
+    }
+
+    if (Peek() == Pos::kToBe || Peek() == Pos::kCopulaOther) {
+      const int cop = Consume();
+      return ParseCopularPredicate(cop, subj);
+    }
+
+    if (Peek() == Pos::kVerb) {
+      const int verb = Consume();
+      tree_.SetArc(subj, verb, DepRel::kNsubj);
+      SURVEYOR_RETURN_IF_ERROR(ParseVerbComplements(verb));
+      return verb;
+    }
+
+    return Error("unsupported clause structure");
+  }
+
+  // "NP AdjP" small clause under `verb`: "I find [kittens] [cute]".
+  // The adjective heads an xcomp whose nsubj is the inner NP.
+  Status ParseSmallClause(int verb) {
+    SURVEYOR_ASSIGN_OR_RETURN(int subject, ParseNounPhrase());
+    std::vector<int> advs;
+    while (Peek() == Pos::kAdverb) advs.push_back(Consume());
+    if (Peek() != Pos::kAdjective) {
+      return Error("expected an adjective in the small clause");
+    }
+    const int adj = Consume();
+    for (int a : advs) tree_.SetArc(a, adj, DepRel::kAdvmod);
+    SURVEYOR_RETURN_IF_ERROR(ParseAdjectiveConjuncts(adj));
+    tree_.SetArc(subject, adj, DepRel::kNsubj);
+    tree_.SetArc(adj, verb, DepRel::kXcomp);
+    while (Peek() == Pos::kPreposition) {
+      SURVEYOR_RETURN_IF_ERROR(ParsePrepositionalPhrase(adj));
+    }
+    return Status::OK();
+  }
+
+  // "(that)? Clause" attached as ccomp under `verb`.
+  Status ParseClausalComplement(int verb) {
+    int mark = -1;
+    if (Peek() == Pos::kComplementizer) mark = Consume();
+    SURVEYOR_ASSIGN_OR_RETURN(int embedded, ParseClause());
+    if (mark >= 0) tree_.SetArc(mark, embedded, DepRel::kMark);
+    tree_.SetArc(embedded, verb, DepRel::kCcomp);
+    return Status::OK();
+  }
+
+  // NP := det? (adv* adj (conj-chain)?)* head-noun
+  StatusOr<int> ParseNounPhrase() {
+    int det = -1;
+    if (Peek() == Pos::kDeterminer) det = Consume();
+    std::vector<int> amods;
+    for (;;) {
+      std::vector<int> advs;
+      while (Peek() == Pos::kAdverb) advs.push_back(Consume());
+      if (Peek() == Pos::kAdjective) {
+        const int adj = Consume();
+        for (int a : advs) tree_.SetArc(a, adj, DepRel::kAdvmod);
+        SURVEYOR_RETURN_IF_ERROR(ParseAdjectiveConjuncts(adj));
+        amods.push_back(adj);
+      } else {
+        if (!advs.empty()) return Error("dangling adverb in noun phrase");
+        break;
+      }
+    }
+    if (!IsSubjectHead(Peek())) {
+      return Error("expected the head noun of a noun phrase");
+    }
+    const int head = Consume();
+    if (det >= 0) tree_.SetArc(det, head, DepRel::kDet);
+    for (int adj : amods) tree_.SetArc(adj, head, DepRel::kAmod);
+    return head;
+  }
+
+  // "(and|or) adv* adj" chains attached via cc/conj to `first`.
+  Status ParseAdjectiveConjuncts(int first) {
+    while (Peek() == Pos::kConjunction) {
+      // Only coordinate adjectives: look ahead past adverbs.
+      size_t ahead = 1;
+      while (Peek(ahead) == Pos::kAdverb) ++ahead;
+      if (Peek(ahead) != Pos::kAdjective) break;
+      const int cc = Consume();
+      tree_.SetArc(cc, first, DepRel::kCc);
+      std::vector<int> advs;
+      while (Peek() == Pos::kAdverb) advs.push_back(Consume());
+      const int adj = Consume();
+      for (int a : advs) tree_.SetArc(a, adj, DepRel::kAdvmod);
+      tree_.SetArc(adj, first, DepRel::kConj);
+    }
+    return Status::OK();
+  }
+
+  // Distinguishes "are dangerous" (adjectival complement) from
+  // "are dangerous animals" (predicate nominal with amod): looks past the
+  // adjective sequence (with adverbs and conjunctions) for a head noun.
+  bool AdjectivesLeadToNoun() const {
+    size_t ahead = 0;
+    for (;;) {
+      while (Peek(ahead) == Pos::kAdverb) ++ahead;
+      if (Peek(ahead) != Pos::kAdjective) return false;
+      ++ahead;
+      // Skip "and adv* adj" continuations.
+      while (Peek(ahead) == Pos::kConjunction) {
+        size_t next = ahead + 1;
+        while (Peek(next) == Pos::kAdverb) ++next;
+        if (Peek(next) != Pos::kAdjective) break;
+        ahead = next + 1;
+      }
+      if (IsNounish(Peek(ahead))) return true;
+      if (Peek(ahead) != Pos::kAdjective && Peek(ahead) != Pos::kAdverb) {
+        return false;
+      }
+    }
+  }
+
+  // Predicate := neg/adv* (AdjP | NP) PP*
+  StatusOr<int> ParseCopularPredicate(int cop, int subj) {
+    std::vector<int> negs;
+    std::vector<int> advs;
+    for (;;) {
+      if (Peek() == Pos::kNegation) {
+        negs.push_back(Consume());
+      } else if (Peek() == Pos::kAdverb) {
+        advs.push_back(Consume());
+      } else {
+        break;
+      }
+    }
+
+    int head = -1;
+    if (Peek() == Pos::kAdjective && !AdjectivesLeadToNoun()) {
+      head = Consume();
+      for (int a : advs) tree_.SetArc(a, head, DepRel::kAdvmod);
+      SURVEYOR_RETURN_IF_ERROR(ParseAdjectiveConjuncts(head));
+    } else if (Peek() == Pos::kDeterminer || IsNounish(Peek()) ||
+               Peek() == Pos::kAdjective) {
+      // Predicate nominal, possibly with leading adjectives
+      // ("are dangerous animals"); ParseNounPhrase attaches them as amod.
+      if (!advs.empty()) return Error("dangling adverb before predicate");
+      SURVEYOR_ASSIGN_OR_RETURN(head, ParseNounPhrase());
+    } else {
+      return Error("unsupported copular predicate");
+    }
+
+    for (int n : negs) tree_.SetArc(n, head, DepRel::kNeg);
+    tree_.SetArc(cop, head, DepRel::kCop);
+    tree_.SetArc(subj, head, DepRel::kNsubj);
+    while (Peek() == Pos::kPreposition) {
+      SURVEYOR_RETURN_IF_ERROR(ParsePrepositionalPhrase(head));
+    }
+    return head;
+  }
+
+  // Complements of a plain verb: adverbs, an optional object NP, PPs.
+  Status ParseVerbComplements(int verb) {
+    for (;;) {
+      if (Peek() == Pos::kAdverb) {
+        tree_.SetArc(Consume(), verb, DepRel::kAdvmod);
+      } else if (Peek() == Pos::kPreposition) {
+        SURVEYOR_RETURN_IF_ERROR(ParsePrepositionalPhrase(verb));
+      } else if (Peek() == Pos::kDeterminer || Peek() == Pos::kAdjective ||
+                 IsSubjectHead(Peek())) {
+        SURVEYOR_ASSIGN_OR_RETURN(int obj, ParseNounPhrase());
+        tree_.SetArc(obj, verb, DepRel::kDobj);
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  // PP := prep NP, attached under `head`.
+  Status ParsePrepositionalPhrase(int head) {
+    SURVEYOR_CHECK(Peek() == Pos::kPreposition);
+    const int prep = Consume();
+    SURVEYOR_ASSIGN_OR_RETURN(int obj, ParseNounPhrase());
+    tree_.SetArc(obj, prep, DepRel::kPobj);
+    tree_.SetArc(prep, head, DepRel::kPrep);
+    return Status::OK();
+  }
+
+  const std::vector<ParseUnit>& units_;
+  DependencyTree tree_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<DependencyTree> DependencyParser::Parse(
+    const std::vector<ParseUnit>& units) const {
+  if (units.empty()) return Status::InvalidArgument("empty sentence");
+  ClauseParser parser(units);
+  return parser.Run();
+}
+
+}  // namespace surveyor

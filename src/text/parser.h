@@ -1,0 +1,36 @@
+#ifndef SURVEYOR_TEXT_PARSER_H_
+#define SURVEYOR_TEXT_PARSER_H_
+
+#include <vector>
+
+#include "text/annotated.h"
+#include "text/dependency.h"
+#include "util/statusor.h"
+
+namespace surveyor {
+
+/// Deterministic rule-based dependency parser.
+///
+/// Produces Stanford-typed dependency trees for the sentence inventory that
+/// Web authors use to attribute properties to entities — copular clauses
+/// ("X is (not) (very) big"), predicate nominals ("X is a big city"),
+/// attributive noun phrases ("the cute kitten slept"), clausal complements
+/// ("I don't think that X is never big"), adjective coordination ("a fast
+/// and exciting sport"), prepositional attachment ("bad for parking"), and
+/// plain verb clauses. In the paper this analysis is performed upstream by
+/// a Stanford-parser-like annotation pipeline; this class plays that role
+/// for the synthetic snapshot. Sentences outside the grammar yield an
+/// error and are skipped by the annotator, exactly as noisy Web text that
+/// fails preprocessing is.
+class DependencyParser {
+ public:
+  DependencyParser() = default;
+
+  /// Parses one sentence (as entity-chunked units). Returns the typed
+  /// dependency tree or InvalidArgument for sentences outside the grammar.
+  StatusOr<DependencyTree> Parse(const std::vector<ParseUnit>& units) const;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TEXT_PARSER_H_

@@ -1,0 +1,45 @@
+#include "text/token.h"
+
+namespace surveyor {
+
+std::string_view PosName(Pos pos) {
+  switch (pos) {
+    case Pos::kNoun:
+      return "NOUN";
+    case Pos::kVerb:
+      return "VERB";
+    case Pos::kToBe:
+      return "TO_BE";
+    case Pos::kCopulaOther:
+      return "COPULA";
+    case Pos::kOpinionVerb:
+      return "OPINION_VERB";
+    case Pos::kSmallClauseVerb:
+      return "SMALL_CLAUSE_VERB";
+    case Pos::kAux:
+      return "AUX";
+    case Pos::kAdjective:
+      return "ADJ";
+    case Pos::kAdverb:
+      return "ADV";
+    case Pos::kNegation:
+      return "NEG";
+    case Pos::kDeterminer:
+      return "DET";
+    case Pos::kPreposition:
+      return "PREP";
+    case Pos::kConjunction:
+      return "CONJ";
+    case Pos::kComplementizer:
+      return "COMP";
+    case Pos::kPronoun:
+      return "PRON";
+    case Pos::kPunctuation:
+      return "PUNCT";
+    case Pos::kUnknown:
+      return "UNKNOWN";
+  }
+  return "INVALID";
+}
+
+}  // namespace surveyor

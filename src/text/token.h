@@ -1,0 +1,45 @@
+#ifndef SURVEYOR_TEXT_TOKEN_H_
+#define SURVEYOR_TEXT_TOKEN_H_
+
+#include <string>
+#include <string_view>
+
+namespace surveyor {
+
+/// Part-of-speech classes used by the rule-based dependency parser. This is
+/// a deliberately coarse tag set: it is exactly the granularity the
+/// extraction patterns of the paper (Fig. 4) and the intrinsicness filters
+/// need.
+enum class Pos {
+  kNoun,            ///< common noun (incl. entity mentions after tagging)
+  kVerb,            ///< ordinary verb ("slept", "visits")
+  kToBe,            ///< form of "to be" ("is", "are", "was", "were")
+  kCopulaOther,     ///< non-"to be" copular verb ("seems", "looks", "remains")
+  kOpinionVerb,     ///< clause-embedding verb ("think", "believe", "say")
+  kSmallClauseVerb, ///< small-clause verb ("find" in "I find kittens cute")
+  kAux,             ///< auxiliary ("do", "does", "did")
+  kAdjective,       ///< property adjective ("big", "cute")
+  kAdverb,          ///< intensity or manner adverb ("very", "densely")
+  kNegation,        ///< negator ("not", "n't", "never")
+  kDeterminer,      ///< "a", "an", "the"
+  kPreposition,     ///< "for", "in", "of", ...
+  kConjunction,     ///< coordinating conjunction ("and", "or", "but")
+  kComplementizer,  ///< "that" introducing a clausal complement
+  kPronoun,         ///< "i", "you", "we", ...
+  kPunctuation,     ///< sentence-internal punctuation
+  kUnknown,         ///< out-of-lexicon word
+};
+
+/// Returns a stable name for a POS tag (for debugging and tests).
+std::string_view PosName(Pos pos);
+
+/// A single surface token. Tokens are lower-cased by the tokenizer;
+/// `text` preserves the normalized form.
+struct Token {
+  std::string text;
+  Pos pos = Pos::kUnknown;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TEXT_TOKEN_H_

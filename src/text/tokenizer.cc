@@ -1,0 +1,71 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace surveyor {
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  std::string current;
+  for (char c : text) {
+    if (c == '.' || c == '!' || c == '?') {
+      const std::string trimmed = Trim(current);
+      if (!trimmed.empty()) sentences.push_back(trimmed);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const std::string trimmed = Trim(current);
+  if (!trimmed.empty()) sentences.push_back(trimmed);
+  return sentences;
+}
+
+namespace {
+
+// Emits `word` (if non-empty) as one or two tokens, expanding "xxxn't".
+void EmitWord(std::string&& word, const Lexicon& lexicon,
+              std::vector<Token>& tokens) {
+  if (word.empty()) return;
+  // Normalize the typographic apostrophe.
+  std::string w = ToLower(word);
+  if (EndsWith(w, "n't") && w.size() > 3) {
+    std::string base = w.substr(0, w.size() - 3);
+    // "don't" -> "do" + "n't"; "isn't" -> "is" + "n't"; "can't" -> "ca"
+    // is not in our vocabulary, so leave unsplittable bases alone.
+    if (lexicon.Contains(base)) {
+      tokens.push_back(Token{base, lexicon.Lookup(base)});
+      tokens.push_back(Token{"n't", Pos::kNegation});
+      return;
+    }
+  }
+  tokens.push_back(Token{w, lexicon.Lookup(w)});
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view sentence, const Lexicon& lexicon) {
+  std::vector<Token> tokens;
+  std::string current;
+  for (char c : sentence) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) || c == '\'' || c == '-') {
+      current += c;
+    } else if (std::isspace(uc)) {
+      EmitWord(std::move(current), lexicon, tokens);
+      current.clear();
+    } else if (c == ',' || c == ';' || c == ':') {
+      EmitWord(std::move(current), lexicon, tokens);
+      current.clear();
+      tokens.push_back(Token{std::string(1, c), Pos::kPunctuation});
+    }
+    // Any other character (quotes, brackets, stray bytes) is dropped,
+    // mirroring the robustness a Web-scale tokenizer needs.
+  }
+  EmitWord(std::move(current), lexicon, tokens);
+  return tokens;
+}
+
+}  // namespace surveyor

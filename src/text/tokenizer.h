@@ -1,0 +1,24 @@
+#ifndef SURVEYOR_TEXT_TOKENIZER_H_
+#define SURVEYOR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/lexicon.h"
+#include "text/token.h"
+
+namespace surveyor {
+
+/// Splits raw document text into sentences on terminal punctuation
+/// (. ! ?), keeping each sentence's text without the terminator.
+std::vector<std::string> SplitSentences(std::string_view text);
+
+/// Tokenizes one sentence: lower-cases, splits on whitespace and
+/// punctuation, expands the contractions "don't"/"isn't"/... into
+/// ["do", "n't"] / ["is", "n't"], and assigns POS tags from the lexicon.
+std::vector<Token> Tokenize(std::string_view sentence, const Lexicon& lexicon);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TEXT_TOKENIZER_H_

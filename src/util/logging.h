@@ -1,0 +1,76 @@
+#ifndef SURVEYOR_UTIL_LOGGING_H_
+#define SURVEYOR_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace surveyor {
+
+/// Log severity levels.
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Returns the minimum severity that is actually emitted. Messages below
+/// the threshold are swallowed (FATAL always aborts regardless).
+LogSeverity MinLogSeverity();
+
+/// Sets the minimum emitted severity; returns the previous value. Used by
+/// tests and benchmarks to silence INFO chatter.
+LogSeverity SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+/// Stream-style log message collector. Emits on destruction; aborts the
+/// process for FATAL severity.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log stream in the disabled branch of conditional logging
+/// macros; keeps the `<<` expression well-formed without evaluating it
+/// into any output.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace surveyor
+
+#define SURVEYOR_LOG(severity)                                        \
+  ::surveyor::internal::LogMessage(::surveyor::LogSeverity::k##severity, \
+                                   __FILE__, __LINE__)                \
+      .stream()
+
+/// Aborts with a message when `condition` is false. For programmer errors
+/// (invariant violations), not for recoverable failures.
+#define SURVEYOR_CHECK(condition)                              \
+  (condition) ? (void)0                                        \
+              : ::surveyor::internal::LogMessageVoidify() &    \
+                    SURVEYOR_LOG(Fatal) << "Check failed: " #condition " "
+
+#define SURVEYOR_CHECK_OK(expr)                                       \
+  do {                                                                \
+    const ::surveyor::Status _s = (expr);                             \
+    SURVEYOR_CHECK(_s.ok()) << _s.ToString();                         \
+  } while (0)
+
+#define SURVEYOR_CHECK_EQ(a, b) SURVEYOR_CHECK((a) == (b))
+#define SURVEYOR_CHECK_NE(a, b) SURVEYOR_CHECK((a) != (b))
+#define SURVEYOR_CHECK_LT(a, b) SURVEYOR_CHECK((a) < (b))
+#define SURVEYOR_CHECK_LE(a, b) SURVEYOR_CHECK((a) <= (b))
+#define SURVEYOR_CHECK_GT(a, b) SURVEYOR_CHECK((a) > (b))
+#define SURVEYOR_CHECK_GE(a, b) SURVEYOR_CHECK((a) >= (b))
+
+#endif  // SURVEYOR_UTIL_LOGGING_H_

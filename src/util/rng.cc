@@ -1,0 +1,153 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace surveyor {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  SURVEYOR_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SURVEYOR_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Normal() {
+  // Box-Muller; discards the second variate for simplicity.
+  double u1 = Uniform();
+  double u2 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+int64_t Rng::Poisson(double mean) {
+  SURVEYOR_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = Uniform();
+    int64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= Uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // simulator's large-mean draws and keeps generation O(1).
+  double draw = std::round(Normal(mean, std::sqrt(mean)));
+  if (draw < 0.0) draw = 0.0;
+  return static_cast<int64_t>(draw);
+}
+
+int64_t Rng::Binomial(int64_t n, double p) {
+  SURVEYOR_CHECK_GE(n, 0);
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double mean = static_cast<double>(n) * p;
+  if (n <= 64) {
+    int64_t successes = 0;
+    for (int64_t i = 0; i < n; ++i) successes += Bernoulli(p) ? 1 : 0;
+    return successes;
+  }
+  if (mean < 30.0) {
+    // Rare-event regime: Poisson approximation, truncated at n.
+    int64_t draw = Poisson(mean);
+    return draw > n ? n : draw;
+  }
+  const double variance = mean * (1.0 - p);
+  double draw = std::round(Normal(mean, std::sqrt(variance)));
+  if (draw < 0.0) draw = 0.0;
+  if (draw > static_cast<double>(n)) draw = static_cast<double>(n);
+  return static_cast<int64_t>(draw);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double exponent) {
+  SURVEYOR_CHECK_GT(n, 0u);
+  // Inverse-CDF sampling over the truncated harmonic weights via
+  // rejection against the continuous envelope (Devroye).
+  if (n == 1) return 0;
+  const double s = exponent;
+  for (;;) {
+    const double u = Uniform();
+    double x;
+    if (std::abs(s - 1.0) < 1e-9) {
+      x = std::pow(static_cast<double>(n), u);
+    } else {
+      const double t = std::pow(static_cast<double>(n), 1.0 - s);
+      x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    }
+    const uint64_t rank = static_cast<uint64_t>(x);
+    if (rank >= 1 && rank <= n) {
+      // Accept with probability proportional to the discrete/continuous
+      // density ratio; a cheap approximation accepting the floor is fine
+      // for workload generation purposes.
+      return rank - 1;
+    }
+  }
+}
+
+}  // namespace surveyor

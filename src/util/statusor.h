@@ -1,0 +1,77 @@
+#ifndef SURVEYOR_UTIL_STATUSOR_H_
+#define SURVEYOR_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace surveyor {
+
+/// `StatusOr<T>` holds either a value of type `T` or an error `Status`.
+/// Accessing the value of an error-holding `StatusOr` is a programmer error
+/// and aborts the process (matching the no-exceptions policy).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    SURVEYOR_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  /// Constructs from a value.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& value() const& {
+    SURVEYOR_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SURVEYOR_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SURVEYOR_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a `StatusOr<T>`), returns its status on error, and
+/// otherwise move-assigns the value into `lhs`.
+#define SURVEYOR_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  SURVEYOR_ASSIGN_OR_RETURN_IMPL_(                         \
+      SURVEYOR_STATUS_MACROS_CONCAT_(_status_or, __LINE__), lhs, rexpr)
+
+#define SURVEYOR_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define SURVEYOR_STATUS_MACROS_CONCAT_(x, y) \
+  SURVEYOR_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+#define SURVEYOR_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                    \
+  if (!statusor.ok()) return statusor.status();               \
+  lhs = std::move(statusor).value()
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_STATUSOR_H_

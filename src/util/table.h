@@ -1,0 +1,33 @@
+#ifndef SURVEYOR_UTIL_TABLE_H_
+#define SURVEYOR_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace surveyor {
+
+/// Plain-text table printer used by the benchmark harness to render the
+/// paper's tables and figure series as aligned rows on stdout.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 3);
+
+  /// Renders the table with aligned columns.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_TABLE_H_

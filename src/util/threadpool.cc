@@ -1,0 +1,78 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace surveyor {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    SURVEYOR_CHECK(!shutting_down_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  const size_t num_chunks = std::min(count, pool.num_threads() * 4);
+  const size_t chunk = (count + num_chunks - 1) / num_chunks;
+  for (size_t start = 0; start < count; start += chunk) {
+    const size_t end = std::min(start + chunk, count);
+    pool.Submit([start, end, &fn] {
+      for (size_t i = start; i < end; ++i) fn(i);
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace surveyor

@@ -1,0 +1,56 @@
+#ifndef SURVEYOR_UTIL_THREADPOOL_H_
+#define SURVEYOR_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace surveyor {
+
+/// A fixed-size worker pool. Stands in for the paper's compute cluster:
+/// document shards and property-type pairs are embarrassingly parallel, so
+/// the 1000-5000-node deployment maps directly onto threads at laptop
+/// scale.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for each i in [0, count), partitioned into contiguous
+/// chunks across `pool`. Blocks until all iterations complete.
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_THREADPOOL_H_

@@ -1,0 +1,31 @@
+#ifndef SURVEYOR_UTIL_TIMER_H_
+#define SURVEYOR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace surveyor {
+
+/// Wall-clock stopwatch for stage timing in the pipeline and benches.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_TIMER_H_

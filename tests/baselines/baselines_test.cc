@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "baselines/majority_vote.h"
+#include "baselines/webchild.h"
+#include "surveyor/surveyor_classifier.h"
+#include "util/rng.h"
+
+namespace surveyor {
+namespace {
+
+PropertyTypeEvidence MakeEvidence(std::vector<EvidenceCounts> counts) {
+  PropertyTypeEvidence evidence;
+  evidence.type = 0;
+  evidence.property = "big";
+  for (size_t i = 0; i < counts.size(); ++i) {
+    evidence.entities.push_back(static_cast<EntityId>(i));
+    evidence.total_statements += counts[i].total();
+  }
+  evidence.counts = std::move(counts);
+  return evidence;
+}
+
+TEST(MajorityVoteTest, BasicDecisions) {
+  MajorityVoteClassifier mv;
+  const auto result = mv.Classify(MakeEvidence({{3, 1}, {1, 3}, {2, 2}, {0, 0}}));
+  ASSERT_EQ(result.size(), 4u);
+  EXPECT_EQ(result[0], Polarity::kPositive);
+  EXPECT_EQ(result[1], Polarity::kNegative);
+  EXPECT_EQ(result[2], Polarity::kNeutral);
+  EXPECT_EQ(result[3], Polarity::kNeutral);
+}
+
+TEST(ScaledMajorityVoteTest, ScalesNegativeCounts) {
+  // Global positive/negative ratio 4: one negative statement outweighs up
+  // to three positives.
+  ScaledMajorityVoteClassifier smv(4.0);
+  const auto result = smv.Classify(MakeEvidence({{3, 1}, {5, 1}, {4, 1}}));
+  EXPECT_EQ(result[0], Polarity::kNegative);
+  EXPECT_EQ(result[1], Polarity::kPositive);
+  EXPECT_EQ(result[2], Polarity::kNeutral);
+}
+
+TEST(ScaledMajorityVoteTest, ZeroCountsStillNeutral) {
+  ScaledMajorityVoteClassifier smv(3.0);
+  const auto result = smv.Classify(MakeEvidence({{0, 0}}));
+  EXPECT_EQ(result[0], Polarity::kNeutral);
+}
+
+TEST(ScaledMajorityVoteTest, GlobalScaleComputation) {
+  std::vector<PropertyTypeEvidence> all;
+  all.push_back(MakeEvidence({{6, 1}, {2, 1}}));
+  EXPECT_DOUBLE_EQ(ScaledMajorityVoteClassifier::ComputeGlobalScale(all), 4.0);
+  // No negatives: scale defaults to 1.
+  std::vector<PropertyTypeEvidence> no_neg;
+  no_neg.push_back(MakeEvidence({{6, 0}}));
+  EXPECT_DOUBLE_EQ(ScaledMajorityVoteClassifier::ComputeGlobalScale(no_neg), 1.0);
+}
+
+EvidenceStatement Statement(EntityId entity, const std::string& property,
+                            bool positive) {
+  EvidenceStatement s;
+  s.entity = entity;
+  s.adjective = property;
+  s.property = property;
+  s.positive = positive;
+  return s;
+}
+
+TEST(WebChildTest, HarvestIgnoresPolarity) {
+  WebChildClassifier webchild(WebChildOptions{1, 1});
+  // Entity 0 is called "not big" twice: WebChild still tags it big.
+  webchild.Harvest({Statement(0, "big", false), Statement(0, "big", false)});
+  EXPECT_TRUE(webchild.Covers(0));
+  EXPECT_TRUE(webchild.HasAssociation(0, "big"));
+  const auto result = webchild.Classify(MakeEvidence({{0, 2}}));
+  EXPECT_EQ(result[0], Polarity::kPositive);
+}
+
+TEST(WebChildTest, AbsenceIsNegativeForCoveredEntities) {
+  WebChildClassifier webchild(WebChildOptions{1, 1});
+  webchild.Harvest({Statement(0, "cute", true)});
+  const auto result = webchild.Classify(MakeEvidence({{0, 0}, {0, 0}}));
+  // Entity 0 covered, no "big" association -> negative.
+  EXPECT_EQ(result[0], Polarity::kNegative);
+  // Entity 1 never mentioned -> not in the KB -> no output.
+  EXPECT_EQ(result[1], Polarity::kNeutral);
+}
+
+TEST(WebChildTest, MinOccurrenceThresholds) {
+  WebChildOptions options;
+  options.min_pair_occurrences = 2;
+  options.min_entity_occurrences = 2;
+  WebChildClassifier webchild(options);
+  webchild.Harvest({Statement(0, "big", true)});
+  EXPECT_FALSE(webchild.Covers(0));
+  webchild.Harvest({Statement(0, "big", true)});
+  EXPECT_TRUE(webchild.Covers(0));
+  EXPECT_TRUE(webchild.HasAssociation(0, "big"));
+}
+
+TEST(SurveyorClassifierTest, SeparatesClearClusters) {
+  std::vector<EvidenceCounts> counts;
+  for (int i = 0; i < 30; ++i) counts.push_back({50, 1});
+  for (int i = 0; i < 100; ++i) counts.push_back({0, 0});
+  SurveyorClassifier surveyor_method;
+  const auto result = surveyor_method.Classify(MakeEvidence(std::move(counts)));
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(result[i], Polarity::kPositive);
+  for (size_t i = 30; i < result.size(); ++i) {
+    EXPECT_EQ(result[i], Polarity::kNegative);
+  }
+}
+
+TEST(SurveyorClassifierTest, HigherThresholdLowersCoverage) {
+  std::vector<EvidenceCounts> counts;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    counts.push_back({rng.Poisson(3.0), rng.Poisson(2.0)});
+  }
+  const auto evidence = MakeEvidence(std::move(counts));
+  SurveyorClassifier loose;
+  SurveyorClassifier strict({}, 0.95);
+  const auto loose_result = loose.Classify(evidence);
+  const auto strict_result = strict.Classify(evidence);
+  auto coverage = [](const std::vector<Polarity>& result) {
+    int solved = 0;
+    for (Polarity p : result) solved += (p != Polarity::kNeutral) ? 1 : 0;
+    return solved;
+  };
+  EXPECT_LE(coverage(strict_result), coverage(loose_result));
+}
+
+TEST(SurveyorClassifierTest, NameIsStable) {
+  EXPECT_EQ(SurveyorClassifier().name(), "Surveyor");
+  EXPECT_EQ(MajorityVoteClassifier().name(), "Majority Vote");
+  EXPECT_EQ(ScaledMajorityVoteClassifier(2.0).name(), "Scaled Majority Vote");
+  EXPECT_EQ(WebChildClassifier().name(), "WebChild");
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,102 @@
+#include "corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/worlds.h"
+
+namespace surveyor {
+namespace {
+
+class GeneratorTest : public testing::Test {
+ protected:
+  GeneratorTest() : world_(World::Generate(MakeTinyWorldConfig()).value()) {}
+
+  World world_;
+};
+
+TEST_F(GeneratorTest, DeterministicGivenSeed) {
+  GeneratorOptions options;
+  options.seed = 5;
+  options.author_population = 2000;
+  CorpusGenerator generator(&world_, options);
+  const auto a = generator.Generate();
+  const auto b = generator.Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc_id, b[i].doc_id);
+    EXPECT_EQ(a[i].text, b[i].text);
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions options;
+  options.author_population = 2000;
+  options.seed = 1;
+  CorpusGenerator a(&world_, options);
+  options.seed = 2;
+  CorpusGenerator b(&world_, options);
+  EXPECT_NE(a.Generate().front().text, b.Generate().front().text);
+}
+
+TEST_F(GeneratorTest, ExpectedCountsScaleWithPopularityAndFraction) {
+  GeneratorOptions options;
+  options.author_population = 10000;
+  CorpusGenerator generator(&world_, options);
+  const PropertyGroundTruth& truth = *world_.FindGroundTruth(
+      world_.kb().TypeByName("animal").value(), "cute");
+  for (size_t i = 0; i < truth.entities.size(); ++i) {
+    const ExpectedCounts expected = generator.ExpectedCountsFor(truth, i);
+    const double exposed = generator.ExposedAuthors(truth.entities[i]);
+    EXPECT_NEAR(expected.positive,
+                exposed * truth.positive_fraction[i] *
+                    truth.spec->express_positive,
+                1e-9);
+    EXPECT_NEAR(expected.negative,
+                exposed * (1.0 - truth.positive_fraction[i]) *
+                    truth.spec->express_negative,
+                1e-9);
+  }
+}
+
+TEST_F(GeneratorTest, DocumentsHaveBoundedSize) {
+  GeneratorOptions options;
+  options.author_population = 3000;
+  options.mean_sentences_per_doc = 4;
+  CorpusGenerator generator(&world_, options);
+  const auto docs = generator.Generate();
+  ASSERT_FALSE(docs.empty());
+  for (const RawDocument& doc : docs) {
+    const size_t sentences =
+        static_cast<size_t>(std::count(doc.text.begin(), doc.text.end(), '.'));
+    EXPECT_GE(sentences, 1u);
+    EXPECT_LE(sentences, 8u);  // capped at 2 * mean_sentences_per_doc - 1
+  }
+}
+
+TEST_F(GeneratorTest, DocIdsAreSequential) {
+  GeneratorOptions options;
+  options.author_population = 2000;
+  CorpusGenerator generator(&world_, options);
+  const auto docs = generator.Generate();
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs[i].doc_id, static_cast<int64_t>(i));
+  }
+}
+
+TEST_F(GeneratorTest, CorpusVolumeTracksAuthorPopulation) {
+  GeneratorOptions small_options;
+  small_options.author_population = 1000;
+  GeneratorOptions big_options;
+  big_options.author_population = 8000;
+  const auto small_corpus = CorpusGenerator(&world_, small_options).Generate();
+  const auto big_corpus = CorpusGenerator(&world_, big_options).Generate();
+  size_t small_bytes = 0, big_bytes = 0;
+  for (const auto& d : small_corpus) small_bytes += d.text.size();
+  for (const auto& d : big_corpus) big_bytes += d.text.size();
+  EXPECT_GT(big_bytes, 4 * small_bytes);
+}
+
+}  // namespace
+}  // namespace surveyor

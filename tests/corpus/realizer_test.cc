@@ -1,0 +1,178 @@
+#include "corpus/realizer.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/worlds.h"
+#include "extraction/extractor.h"
+#include "text/annotator.h"
+
+namespace surveyor {
+namespace {
+
+class RealizerTest : public testing::Test {
+ protected:
+  RealizerTest() : world_(World::Generate(MakeTinyWorldConfig()).value()) {}
+
+  const PropertyGroundTruth& Truth(const std::string& type,
+                                   const std::string& property) {
+    const TypeId type_id = world_.kb().TypeByName(type).value();
+    const PropertyGroundTruth* truth =
+        world_.FindGroundTruth(type_id, property);
+    EXPECT_NE(truth, nullptr);
+    return *truth;
+  }
+
+  World world_;
+};
+
+TEST_F(RealizerTest, StatementsRoundTripThroughExtraction) {
+  // Every realized statement must be recovered by the annotation +
+  // extraction pipeline with the right entity, adjective, and polarity.
+  // (A small loss through v4's conservative filters is acceptable; what is
+  // recovered must be correct, and most must be recovered.)
+  SentenceRealizer realizer(&world_);
+  TextAnnotator annotator(&world_.kb(), &world_.lexicon());
+  EvidenceExtractor extractor;  // v4
+  Rng rng(31);
+  const PropertyGroundTruth& truth = Truth("animal", "cute");
+
+  int recovered = 0, total = 0, polarity_errors = 0, entity_errors = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const size_t index = rng.Index(truth.entities.size());
+    const bool positive = rng.Bernoulli(0.5);
+    const std::string sentence =
+        realizer.RealizeStatement(truth, index, positive, rng);
+    ++total;
+    const auto statements =
+        extractor.ExtractFromSentence(annotator.AnnotateSentence(sentence));
+    for (const EvidenceStatement& s : statements) {
+      if (s.adjective != "cute") continue;
+      ++recovered;
+      if (s.entity != truth.entities[index]) ++entity_errors;
+      if (s.positive != positive) ++polarity_errors;
+    }
+  }
+  EXPECT_GT(recovered, total * 7 / 10);
+  EXPECT_EQ(polarity_errors, 0);
+  EXPECT_EQ(entity_errors, 0);
+}
+
+TEST_F(RealizerTest, NonIntrinsicStatementsAreFiltered) {
+  SentenceRealizer realizer(&world_);
+  TextAnnotator annotator(&world_.kb(), &world_.lexicon());
+  EvidenceExtractor v4;
+  ExtractionOptions v2_options;
+  v2_options.version = PatternVersion::kV2AmodAcompCopula;
+  EvidenceExtractor v2(v2_options);
+  Rng rng(37);
+  const PropertyGroundTruth& truth = Truth("animal", "dangerous");
+
+  int v4_extracted = 0, v2_extracted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string sentence = realizer.RealizeNonIntrinsic(
+        truth, rng.Index(truth.entities.size()), rng.Bernoulli(0.5), rng);
+    const AnnotatedSentence annotated = annotator.AnnotateSentence(sentence);
+    v4_extracted += static_cast<int>(v4.ExtractFromSentence(annotated).size());
+    v2_extracted += static_cast<int>(v2.ExtractFromSentence(annotated).size());
+  }
+  EXPECT_EQ(v4_extracted, 0);   // checks reject every aspect-qualified use
+  EXPECT_GT(v2_extracted, 100); // unchecked patterns swallow them
+}
+
+TEST_F(RealizerTest, AttributiveOnlyExtractedWithoutChecks) {
+  SentenceRealizer realizer(&world_);
+  TextAnnotator annotator(&world_.kb(), &world_.lexicon());
+  EvidenceExtractor v4;
+  ExtractionOptions v1_options;
+  v1_options.version = PatternVersion::kV1AmodCopula;
+  EvidenceExtractor v1(v1_options);
+  Rng rng(41);
+  const EntityId kitten = world_.kb().EntitiesByName("kitten")[0];
+
+  int v4_count = 0, v1_count = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string sentence =
+        realizer.RealizeAttributive(kitten, "cute", rng);
+    const AnnotatedSentence annotated = annotator.AnnotateSentence(sentence);
+    v4_count += static_cast<int>(v4.ExtractFromSentence(annotated).size());
+    v1_count += static_cast<int>(v1.ExtractFromSentence(annotated).size());
+  }
+  EXPECT_EQ(v4_count, 0);
+  EXPECT_GT(v1_count, 60);
+}
+
+TEST_F(RealizerTest, FillerNeverYieldsEvidence) {
+  SentenceRealizer realizer(&world_);
+  TextAnnotator annotator(&world_.kb(), &world_.lexicon());
+  EvidenceExtractor extractor;
+  Rng rng(43);
+  const EntityId kitten = world_.kb().EntitiesByName("kitten")[0];
+  for (int trial = 0; trial < 100; ++trial) {
+    const EntityId entity = rng.Bernoulli(0.5) ? kitten : kInvalidEntity;
+    const std::string sentence = realizer.RealizeFiller(entity, rng);
+    EXPECT_TRUE(
+        extractor.ExtractFromSentence(annotator.AnnotateSentence(sentence))
+            .empty())
+        << sentence;
+  }
+}
+
+TEST_F(RealizerTest, DoubleNegationPreservesPolarity) {
+  RealizationOptions options;
+  options.double_negation_prob = 1.0;  // force the construction
+  SentenceRealizer realizer(&world_, options);
+  TextAnnotator annotator(&world_.kb(), &world_.lexicon());
+  EvidenceExtractor extractor;
+  Rng rng(47);
+  const PropertyGroundTruth& truth = Truth("animal", "cute");
+  int checked = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string sentence =
+        realizer.RealizeStatement(truth, 0, /*positive=*/true, rng);
+    EXPECT_NE(sentence.find("don't"), std::string::npos);
+    const auto statements =
+        extractor.ExtractFromSentence(annotator.AnnotateSentence(sentence));
+    for (const EvidenceStatement& s : statements) {
+      EXPECT_TRUE(s.positive) << sentence;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 40);
+}
+
+TEST_F(RealizerTest, CompoundPropertySurvivesRoundTrip) {
+  // A property with a fixed adverb ("densely populated") must come back as
+  // the full compound string.
+  WorldConfig config = MakeTinyWorldConfig();
+  PropertySpec compound;
+  compound.adjective = "populated";
+  compound.adverb = "densely";
+  compound.prevalence = 0.5;
+  compound.express_positive = 0.05;
+  compound.express_negative = 0.01;
+  config.types[1].properties.push_back(compound);
+  auto world = World::Generate(config);
+  ASSERT_TRUE(world.ok());
+  SentenceRealizer realizer(&*world);
+
+  TextAnnotator annotator(&world->kb(), &world->lexicon());
+  EvidenceExtractor extractor;
+  Rng rng(53);
+  const TypeId city = world->kb().TypeByName("city").value();
+  const PropertyGroundTruth* truth =
+      world->FindGroundTruth(city, "densely populated");
+  ASSERT_NE(truth, nullptr);
+  int matched = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string sentence =
+        realizer.RealizeStatement(*truth, 0, true, rng);
+    for (const EvidenceStatement& s : extractor.ExtractFromSentence(
+             annotator.AnnotateSentence(sentence))) {
+      if (s.property == "densely populated") ++matched;
+    }
+  }
+  EXPECT_GT(matched, 50);
+}
+
+}  // namespace
+}  // namespace surveyor

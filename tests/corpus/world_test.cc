@@ -1,0 +1,180 @@
+#include "corpus/world.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/worlds.h"
+
+namespace surveyor {
+namespace {
+
+TEST(WorldTest, GenerateTinyWorld) {
+  auto world = World::Generate(MakeTinyWorldConfig());
+  ASSERT_TRUE(world.ok()) << world.status();
+  EXPECT_EQ(world->kb().num_types(), 2u);
+  EXPECT_EQ(world->kb().num_entities(), 22u);
+  EXPECT_EQ(world->ground_truths().size(), 3u);
+}
+
+TEST(WorldTest, RejectsEmptyConfig) {
+  EXPECT_FALSE(World::Generate(WorldConfig{}).ok());
+}
+
+TEST(WorldTest, RejectsTooManySeeds) {
+  WorldConfig config = MakeTinyWorldConfig();
+  config.types[0].num_entities = 2;  // fewer than the seeds
+  EXPECT_FALSE(World::Generate(config).ok());
+}
+
+TEST(WorldTest, RejectsDuplicateProperty) {
+  WorldConfig config = MakeTinyWorldConfig();
+  config.types[0].properties.push_back(config.types[0].properties[0]);
+  EXPECT_FALSE(World::Generate(config).ok());
+}
+
+TEST(WorldTest, DeterministicGivenSeed) {
+  auto a = World::Generate(MakeTinyWorldConfig(42));
+  auto b = World::Generate(MakeTinyWorldConfig(42));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->kb().num_entities(), b->kb().num_entities());
+  for (EntityId e = 0; e < a->kb().num_entities(); ++e) {
+    EXPECT_EQ(a->kb().entity(e).canonical_name,
+              b->kb().entity(e).canonical_name);
+    EXPECT_DOUBLE_EQ(a->kb().entity(e).popularity,
+                     b->kb().entity(e).popularity);
+  }
+  for (size_t g = 0; g < a->ground_truths().size(); ++g) {
+    EXPECT_EQ(a->ground_truths()[g].positive_fraction,
+              b->ground_truths()[g].positive_fraction);
+  }
+}
+
+TEST(WorldTest, GroundTruthLookup) {
+  auto world = World::Generate(MakeTinyWorldConfig());
+  ASSERT_TRUE(world.ok());
+  const TypeId animal = world->kb().TypeByName("animal").value();
+  EXPECT_NE(world->FindGroundTruth(animal, "cute"), nullptr);
+  EXPECT_EQ(world->FindGroundTruth(animal, "gigantic"), nullptr);
+}
+
+TEST(WorldTest, FractionsConsistentWithDominant) {
+  auto world = World::Generate(MakeTinyWorldConfig());
+  ASSERT_TRUE(world.ok());
+  for (const PropertyGroundTruth& truth : world->ground_truths()) {
+    for (size_t i = 0; i < truth.entities.size(); ++i) {
+      const double fraction = truth.positive_fraction[i];
+      EXPECT_GE(fraction, 0.0);
+      EXPECT_LE(fraction, 1.0);
+      EXPECT_EQ(truth.dominant[i], fraction > 0.5 ? Polarity::kPositive
+                                                  : Polarity::kNegative);
+      // Oracle accessors agree with the stored vectors.
+      EXPECT_DOUBLE_EQ(
+          world->PositiveFraction(truth.entities[i], truth.property).value(),
+          fraction);
+      EXPECT_EQ(world->TrueDominant(truth.entities[i], truth.property).value(),
+                truth.dominant[i]);
+    }
+  }
+}
+
+TEST(WorldTest, AttributeDrivenOpinionCorrelatesWithAttribute) {
+  auto world = World::Generate(MakeBigCityWorldConfig(200));
+  ASSERT_TRUE(world.ok());
+  const PropertyGroundTruth& truth = world->ground_truths()[0];
+  int checked = 0;
+  for (size_t i = 0; i < truth.entities.size(); ++i) {
+    const double population =
+        world->kb().GetAttribute(truth.entities[i], "population").value();
+    if (population > 2e6) {
+      EXPECT_EQ(truth.dominant[i], Polarity::kPositive);
+      ++checked;
+    } else if (population < 2e4) {
+      EXPECT_EQ(truth.dominant[i], Polarity::kNegative);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);  // the log-uniform draw covers both tails
+}
+
+TEST(WorldTest, PopularityCorrelatesWithAttribute) {
+  auto world = World::Generate(MakeBigCityWorldConfig(300));
+  ASSERT_TRUE(world.ok());
+  // Big cities should be more popular (occurrence bias) on average.
+  double pop_big = 0.0, pop_small = 0.0;
+  int n_big = 0, n_small = 0;
+  for (EntityId e = 0; e < world->kb().num_entities(); ++e) {
+    const double population = world->kb().GetAttribute(e, "population").value();
+    if (population > 1e6) {
+      pop_big += world->NormalizedPopularity(e);
+      ++n_big;
+    } else if (population < 1e4) {
+      pop_small += world->NormalizedPopularity(e);
+      ++n_small;
+    }
+  }
+  ASSERT_GT(n_big, 0);
+  ASSERT_GT(n_small, 0);
+  EXPECT_GT(pop_big / n_big, 10 * pop_small / n_small);
+}
+
+TEST(WorldTest, LexiconKnowsVocabulary) {
+  auto world = World::Generate(MakeTinyWorldConfig());
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->lexicon().Lookup("cute"), Pos::kAdjective);
+  EXPECT_EQ(world->lexicon().Lookup("kitten"), Pos::kNoun);
+  EXPECT_EQ(world->lexicon().Lookup("animal"), Pos::kNoun);
+  EXPECT_EQ(world->lexicon().Lookup("animals"), Pos::kNoun);
+  EXPECT_EQ(world->lexicon().Lookup("city"), Pos::kNoun);
+}
+
+TEST(WorldTest, PaperWorldShape) {
+  auto world = World::Generate(MakePaperWorldConfig(100));
+  ASSERT_TRUE(world.ok()) << world.status();
+  EXPECT_EQ(world->kb().num_types(), 5u);
+  EXPECT_EQ(world->kb().num_entities(), 500u);
+  EXPECT_EQ(world->ground_truths().size(), 25u);  // 5 types x 5 properties
+  // The Fig. 10 animals exist.
+  EXPECT_FALSE(world->kb().EntitiesByName("kitten").empty());
+  EXPECT_FALSE(world->kb().EntitiesByName("grizzly bear").empty());
+}
+
+TEST(WorldTest, WebScaleWorldIsSkewed) {
+  auto world = World::Generate(MakeWebScaleWorldConfig(15, 99));
+  ASSERT_TRUE(world.ok()) << world.status();
+  EXPECT_EQ(world->kb().num_types(), 15u);
+  // Property counts vary across types.
+  std::vector<size_t> properties_per_type(15, 0);
+  for (const PropertyGroundTruth& truth : world->ground_truths()) {
+    ++properties_per_type[truth.type];
+  }
+  size_t min = 1000, max = 0;
+  for (size_t count : properties_per_type) {
+    min = std::min(min, count);
+    max = std::max(max, count);
+  }
+  EXPECT_GE(min, 1u);
+  EXPECT_GT(max, 2 * min);
+}
+
+TEST(WorldTest, NormalizedPopularityInUnitInterval) {
+  auto world = World::Generate(MakePaperWorldConfig(100));
+  ASSERT_TRUE(world.ok());
+  double max_seen = 0.0;
+  for (EntityId e = 0; e < world->kb().num_entities(); ++e) {
+    const double popularity = world->NormalizedPopularity(e);
+    EXPECT_GT(popularity, 0.0);
+    EXPECT_LE(popularity, 1.0);
+    max_seen = std::max(max_seen, popularity);
+  }
+  EXPECT_DOUBLE_EQ(max_seen, 1.0);
+}
+
+TEST(WorldTest, OracleErrorsOnUnknownInput) {
+  auto world = World::Generate(MakeTinyWorldConfig());
+  ASSERT_TRUE(world.ok());
+  EXPECT_FALSE(world->PositiveFraction(9999, "cute").ok());
+  EXPECT_FALSE(world->PositiveFraction(0, "nonexistent").ok());
+}
+
+}  // namespace
+}  // namespace surveyor

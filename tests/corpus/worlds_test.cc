@@ -1,0 +1,86 @@
+// Conformance of the canonical world configurations with the paper.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/worlds.h"
+
+namespace surveyor {
+namespace {
+
+TEST(WorldsTest, PaperWorldMatchesTableTwo) {
+  // Table 2 of the paper: five types with exactly these five properties.
+  const std::map<std::string, std::set<std::string>> expected = {
+      {"animal", {"dangerous", "cute", "big", "friendly", "deadly"}},
+      {"celebrity", {"cool", "crazy", "pretty", "quiet", "young"}},
+      {"city", {"big", "calm", "cheap", "hectic", "multicultural"}},
+      {"profession", {"dangerous", "exciting", "rare", "solid", "vital"}},
+      {"sport", {"addictive", "boring", "dangerous", "fast", "popular"}},
+  };
+  World world = World::Generate(MakePaperWorldConfig(60)).value();
+  ASSERT_EQ(world.kb().num_types(), expected.size());
+  std::map<std::string, std::set<std::string>> actual;
+  for (const PropertyGroundTruth& truth : world.ground_truths()) {
+    actual[world.kb().TypeName(truth.type)].insert(truth.property);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(WorldsTest, PaperWorldAgreementOrdering) {
+  // Section 7.3's observation must hold in the latent parameters:
+  // agreement(dangerous animals) > agreement(dangerous sports) >
+  // agreement(boring sports).
+  World world = World::Generate(MakePaperWorldConfig(60)).value();
+  auto agreement = [&](const char* type, const char* property) {
+    const TypeId t = world.kb().TypeByName(type).value();
+    const PropertyGroundTruth* truth = world.FindGroundTruth(t, property);
+    EXPECT_NE(truth, nullptr);
+    return truth->spec->agreement;
+  };
+  EXPECT_GT(agreement("animal", "dangerous"), agreement("sport", "dangerous"));
+  EXPECT_GT(agreement("sport", "dangerous"), agreement("sport", "boring"));
+}
+
+TEST(WorldsTest, PaperWorldHasPolarityBiasVariety) {
+  // Most pairs voice positives more; at least one pair is inverse.
+  World world = World::Generate(MakePaperWorldConfig(60)).value();
+  int positive_biased = 0, inverse_biased = 0;
+  for (const PropertyGroundTruth& truth : world.ground_truths()) {
+    if (truth.spec->express_positive > truth.spec->express_negative) {
+      ++positive_biased;
+    } else {
+      ++inverse_biased;
+    }
+  }
+  EXPECT_GT(positive_biased, 20);
+  EXPECT_GE(inverse_biased, 2);
+}
+
+TEST(WorldsTest, AttributeScenariosExposeBothTails) {
+  // Each Appendix-A world must contain clearly-positive and
+  // clearly-negative entities so the correlation studies have signal.
+  for (const WorldConfig& config :
+       {MakeBigCityWorldConfig(200), MakeWealthyCountryWorldConfig(),
+        MakeBigLakeWorldConfig(), MakeHighMountainWorldConfig()}) {
+    World world = World::Generate(config).value();
+    const PropertyGroundTruth& truth = world.ground_truths()[0];
+    int positive = 0, negative = 0;
+    for (Polarity p : truth.dominant) {
+      (p == Polarity::kPositive ? positive : negative)++;
+    }
+    EXPECT_GT(positive, 10);
+    EXPECT_GT(negative, 10);
+  }
+}
+
+TEST(WorldsTest, WebScaleWorldDeterministicPerSeed) {
+  World a = World::Generate(MakeWebScaleWorldConfig(8, 77)).value();
+  World b = World::Generate(MakeWebScaleWorldConfig(8, 77)).value();
+  EXPECT_EQ(a.kb().num_entities(), b.kb().num_entities());
+  EXPECT_EQ(a.ground_truths().size(), b.ground_truths().size());
+  World c = World::Generate(MakeWebScaleWorldConfig(8, 78)).value();
+  EXPECT_NE(a.kb().entity(0).canonical_name, c.kb().entity(0).canonical_name);
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,68 @@
+#include "eval/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+namespace surveyor {
+namespace {
+
+using CaseOutcome = ComparisonHarness::CaseOutcome;
+
+std::vector<CaseOutcome> MakeOutcomes(int solved_correct, int solved_wrong,
+                                      int unsolved) {
+  std::vector<CaseOutcome> outcomes;
+  for (int i = 0; i < solved_correct; ++i) outcomes.push_back({true, true});
+  for (int i = 0; i < solved_wrong; ++i) outcomes.push_back({true, false});
+  for (int i = 0; i < unsolved; ++i) outcomes.push_back({false, false});
+  return outcomes;
+}
+
+TEST(BootstrapTest, IntervalsContainPointEstimate) {
+  const auto outcomes = MakeOutcomes(60, 20, 20);
+  const BootstrapResult result = BootstrapMetrics(outcomes, 2000, 3);
+  // Point estimates: coverage 0.8, precision 0.75.
+  EXPECT_LT(result.coverage.lo, 0.8);
+  EXPECT_GT(result.coverage.hi, 0.8);
+  EXPECT_LT(result.precision.lo, 0.75);
+  EXPECT_GT(result.precision.hi, 0.75);
+  EXPECT_LT(result.f1.lo, result.f1.hi);
+  EXPECT_EQ(result.resamples, 2000);
+}
+
+TEST(BootstrapTest, IntervalsShrinkWithSampleSize) {
+  const auto small = MakeOutcomes(30, 10, 10);
+  const auto large = MakeOutcomes(600, 200, 200);
+  const BootstrapResult small_ci = BootstrapMetrics(small, 1000, 5);
+  const BootstrapResult large_ci = BootstrapMetrics(large, 1000, 5);
+  EXPECT_LT(large_ci.precision.hi - large_ci.precision.lo,
+            small_ci.precision.hi - small_ci.precision.lo);
+}
+
+TEST(BootstrapTest, DeterministicGivenSeed) {
+  const auto outcomes = MakeOutcomes(40, 20, 40);
+  const BootstrapResult a = BootstrapMetrics(outcomes, 500, 11);
+  const BootstrapResult b = BootstrapMetrics(outcomes, 500, 11);
+  EXPECT_DOUBLE_EQ(a.precision.lo, b.precision.lo);
+  EXPECT_DOUBLE_EQ(a.precision.hi, b.precision.hi);
+}
+
+TEST(BootstrapTest, DegenerateInputs) {
+  const BootstrapResult empty = BootstrapMetrics({}, 100, 1);
+  EXPECT_DOUBLE_EQ(empty.precision.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.precision.hi, 0.0);
+
+  // All-perfect outcomes give a zero-width interval at 1.
+  const BootstrapResult perfect = BootstrapMetrics(MakeOutcomes(50, 0, 0), 200, 1);
+  EXPECT_DOUBLE_EQ(perfect.coverage.lo, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.precision.hi, 1.0);
+}
+
+TEST(BootstrapTest, ConfidenceLevelWidensInterval) {
+  const auto outcomes = MakeOutcomes(45, 25, 30);
+  const BootstrapResult narrow = BootstrapMetrics(outcomes, 2000, 7, 0.80);
+  const BootstrapResult wide = BootstrapMetrics(outcomes, 2000, 7, 0.99);
+  EXPECT_LT(narrow.precision.hi - narrow.precision.lo,
+            wide.precision.hi - wide.precision.lo);
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,131 @@
+#include "eval/extraction_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corpus/generator.h"
+
+#include "corpus/world_io.h"
+#include "corpus/worlds.h"
+
+namespace surveyor {
+namespace {
+
+EvidenceStatement Statement(EntityId entity, const std::string& property) {
+  EvidenceStatement s;
+  s.entity = entity;
+  s.adjective = property;
+  s.property = property;
+  s.positive = true;
+  return s;
+}
+
+TEST(ExtractionStatsTest, ComputesAllThreeDistributions) {
+  KnowledgeBase kb;
+  const TypeId city = kb.AddType("city");
+  const TypeId animal = kb.AddType("animal");
+  const EntityId a = kb.AddEntity("a", city).value();
+  const EntityId b = kb.AddEntity("b", city).value();
+  const EntityId c = kb.AddEntity("c", animal).value();
+  (void)kb.AddEntity("d", animal).value();  // never mentioned
+
+  EvidenceAggregator aggregator;
+  for (int i = 0; i < 5; ++i) aggregator.Add(Statement(a, "big"));
+  aggregator.Add(Statement(b, "big"));
+  for (int i = 0; i < 3; ++i) aggregator.Add(Statement(a, "calm"));
+  aggregator.Add(Statement(c, "cute"));
+
+  const ExtractionStatistics stats =
+      ComputeExtractionStatistics(kb, aggregator, /*pair_threshold=*/3);
+
+  // 9(a): per entity, zeros included: a=8, b=1, c=1, d=0.
+  ASSERT_EQ(stats.statements_per_entity.size(), 4u);
+  EXPECT_EQ(stats.statements_per_entity[a], 8);
+  EXPECT_EQ(stats.statements_per_entity[b], 1);
+  EXPECT_EQ(stats.statements_per_entity[c], 1);
+  EXPECT_EQ(stats.statements_per_entity[3], 0);
+
+  // 9(b): pairs (city,big)=6, (city,calm)=3, (animal,cute)=1.
+  std::vector<double> pairs = stats.statements_per_pair;
+  std::sort(pairs.begin(), pairs.end());
+  EXPECT_EQ(pairs, (std::vector<double>{1, 3, 6}));
+
+  // 9(c): with threshold 3, city has 2 qualifying properties, animal 0.
+  ASSERT_EQ(stats.qualifying_properties_per_type.size(), 2u);
+  EXPECT_EQ(stats.qualifying_properties_per_type[city], 2);
+  EXPECT_EQ(stats.qualifying_properties_per_type[animal], 0);
+}
+
+TEST(ExtractionStatsTest, EmptyAggregator) {
+  KnowledgeBase kb;
+  kb.AddType("city");
+  (void)kb.AddEntity("a", 0).value();
+  EvidenceAggregator aggregator;
+  const ExtractionStatistics stats =
+      ComputeExtractionStatistics(kb, aggregator);
+  EXPECT_EQ(stats.statements_per_entity.size(), 1u);
+  EXPECT_TRUE(stats.statements_per_pair.empty());
+  EXPECT_EQ(stats.qualifying_properties_per_type.size(), 1u);
+}
+
+TEST(WorldIoTest, GroundTruthDumpMatchesOracle) {
+  World world = World::Generate(MakeTinyWorldConfig()).value();
+  std::ostringstream os;
+  ASSERT_TRUE(SaveGroundTruth(world, os).ok());
+  const std::string dump = os.str();
+
+  // One line per (pair, entity) plus the header.
+  size_t lines = 0;
+  for (char c : dump) lines += c == '\n';
+  size_t expected = 1;
+  for (const PropertyGroundTruth& truth : world.ground_truths()) {
+    expected += truth.entities.size();
+  }
+  EXPECT_EQ(lines, expected);
+
+  // Spot-check one entity's line against the oracle.
+  const EntityId kitten = world.kb().EntitiesByName("kitten")[0];
+  const Polarity dominant = world.TrueDominant(kitten, "cute").value();
+  const std::string needle =
+      std::string("truth\tanimal\tkitten\tcute\t");
+  const size_t pos = dump.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  const std::string line = dump.substr(pos, dump.find('\n', pos) - pos);
+  EXPECT_NE(line.find(std::string("\t") +
+                      std::string(PolarityName(dominant))),
+            std::string::npos);
+}
+
+TEST(WorldIoTest, GroundTruthRoundTripsThroughLoader) {
+  World world = World::Generate(MakeTinyWorldConfig()).value();
+  std::ostringstream os;
+  ASSERT_TRUE(SaveGroundTruth(world, os).ok());
+  std::istringstream is(os.str());
+  auto labels = LoadGroundTruth(is, world.kb());
+  ASSERT_TRUE(labels.ok()) << labels.status();
+
+  size_t expected = 0;
+  for (const PropertyGroundTruth& truth : world.ground_truths()) {
+    expected += truth.entities.size();
+  }
+  EXPECT_EQ(labels->size(), expected);
+  for (const auto& [key, polarity] : *labels) {
+    EXPECT_EQ(polarity, world.TrueDominant(key.first, key.second).value());
+  }
+}
+
+TEST(WorldIoTest, LoaderRejectsGarbage) {
+  World world = World::Generate(MakeTinyWorldConfig()).value();
+  std::istringstream wrong_kind("bogus\ta\tb\tc\td\te\n");
+  EXPECT_FALSE(LoadGroundTruth(wrong_kind, world.kb()).ok());
+  std::istringstream unknown_entity(
+      "truth\tanimal\tghost\tcute\t0.9\t+\n");
+  EXPECT_FALSE(LoadGroundTruth(unknown_entity, world.kb()).ok());
+  std::istringstream bad_polarity(
+      "truth\tanimal\tkitten\tcute\t0.9\t?\n");
+  EXPECT_FALSE(LoadGroundTruth(bad_polarity, world.kb()).ok());
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,88 @@
+#include "eval/hit_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/worlds.h"
+
+namespace surveyor {
+namespace {
+
+std::vector<RawDocument> Docs(std::vector<std::string> texts) {
+  std::vector<RawDocument> docs;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    RawDocument doc;
+    doc.doc_id = static_cast<int64_t>(i);
+    doc.text = std::move(texts[i]);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+TEST(PhraseHitCounterTest, CountsExactPhrases) {
+  PhraseHitCounter counter(Docs({
+      "Gotham is a big city. gotham is a big city indeed.",
+      "Some say gotham is a big city; others disagree.",
+      "gotham is not a big city.",
+  }));
+  EXPECT_EQ(counter.CountOccurrences("gotham is a big city"), 3);
+  EXPECT_EQ(counter.CountOccurrences("gotham is not a big city"), 1);
+  EXPECT_EQ(counter.CountOccurrences("gotham is a tiny city"), 0);
+}
+
+TEST(PhraseHitCounterTest, CaseAndWhitespaceInsensitive) {
+  PhraseHitCounter counter(Docs({"GOTHAM   Is\n A  BIG   city"}));
+  EXPECT_EQ(counter.CountOccurrences("gotham is a big city"), 1);
+  EXPECT_EQ(counter.CountOccurrences("  Gotham IS a\tbig CITY "), 1);
+}
+
+TEST(PhraseHitCounterTest, EmptyInputs) {
+  PhraseHitCounter empty_corpus(Docs({}));
+  EXPECT_EQ(empty_corpus.CountOccurrences("anything"), 0);
+  PhraseHitCounter counter(Docs({"text"}));
+  EXPECT_EQ(counter.CountOccurrences(""), 0);
+}
+
+TEST(PhraseHitCounterTest, QueryPairBuildsSectionTwoPhrases) {
+  PhraseHitCounter counter(Docs({
+      "gotham is a big city. gotham is not a big city. gotham is big.",
+  }));
+  const EvidenceCounts with_type = counter.QueryPair("gotham", "big", "city");
+  EXPECT_EQ(with_type.positive, 1);
+  EXPECT_EQ(with_type.negative, 1);
+  const EvidenceCounts bare = counter.QueryPair("gotham", "big", "");
+  EXPECT_EQ(bare.positive, 1);  // only the literal "gotham is big"
+  EXPECT_EQ(bare.negative, 0);
+}
+
+TEST(PhraseHitCounterTest, TracksSimulatedCorpusShape) {
+  // On the big-city corpus, the phrase counts must correlate with the
+  // richer pipeline story: big cities attract far more positive phrase
+  // hits than small ones.
+  World world = World::Generate(MakeBigCityWorldConfig(60)).value();
+  GeneratorOptions options;
+  options.author_population = 8000;
+  const auto corpus = CorpusGenerator(&world, options).Generate();
+  PhraseHitCounter counter(corpus);
+
+  double big_hits = 0, small_hits = 0;
+  int big_cities = 0, small_cities = 0;
+  for (EntityId e = 0; e < world.kb().num_entities(); ++e) {
+    const double population = world.kb().GetAttribute(e, "population").value();
+    const EvidenceCounts counts =
+        counter.QueryPair(world.kb().entity(e).canonical_name, "big", "city");
+    if (population > 1e6) {
+      big_hits += static_cast<double>(counts.positive);
+      ++big_cities;
+    } else if (population < 1e4) {
+      small_hits += static_cast<double>(counts.positive);
+      ++small_cities;
+    }
+  }
+  ASSERT_GT(big_cities, 0);
+  ASSERT_GT(small_cities, 0);
+  EXPECT_GT(big_hits / big_cities, 5 * (small_hits + 1) / small_cities);
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,134 @@
+#include "eval/objective_link.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace surveyor {
+namespace {
+
+TEST(ObjectiveLinkTest, RecoversSharpThreshold) {
+  // Labels flip exactly at value 1000.
+  std::vector<double> log_values;
+  std::vector<double> labels;
+  for (double value = 10; value < 100000; value *= 1.3) {
+    log_values.push_back(std::log(value));
+    labels.push_back(value > 1000.0 ? 1.0 : 0.0);
+  }
+  auto link = FitLogisticLink(log_values, labels);
+  ASSERT_TRUE(link.ok()) << link.status();
+  EXPECT_GT(link->slope, 0.0);
+  EXPECT_GT(link->threshold, 500.0);
+  EXPECT_LT(link->threshold, 2000.0);
+  EXPECT_DOUBLE_EQ(link->agreement, 1.0);
+}
+
+TEST(ObjectiveLinkTest, RecoversNoisyLogisticThreshold) {
+  Rng rng(5);
+  std::vector<double> log_values;
+  std::vector<double> labels;
+  const double true_threshold = std::log(5e4);
+  for (int i = 0; i < 2000; ++i) {
+    const double log_value = rng.Uniform(std::log(1e2), std::log(1e7));
+    const double p = 1.0 / (1.0 + std::exp(-1.5 * (log_value - true_threshold)));
+    log_values.push_back(log_value);
+    labels.push_back(rng.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  auto link = FitLogisticLink(log_values, labels);
+  ASSERT_TRUE(link.ok());
+  EXPECT_NEAR(std::log(link->threshold), true_threshold, 0.35);
+  EXPECT_NEAR(link->slope, 1.5, 0.5);
+  EXPECT_GT(link->agreement, 0.85);
+}
+
+TEST(ObjectiveLinkTest, HandlesInvertedCorrelation) {
+  // Property anti-correlated with the attribute ("small").
+  std::vector<double> log_values;
+  std::vector<double> labels;
+  for (double value = 10; value < 100000; value *= 1.4) {
+    log_values.push_back(std::log(value));
+    labels.push_back(value < 1000.0 ? 1.0 : 0.0);
+  }
+  auto link = FitLogisticLink(log_values, labels);
+  ASSERT_TRUE(link.ok());
+  EXPECT_LT(link->slope, 0.0);
+  EXPECT_GT(link->agreement, 0.95);
+}
+
+TEST(ObjectiveLinkTest, PredictMatchesFit) {
+  std::vector<double> log_values;
+  std::vector<double> labels;
+  for (double value = 10; value < 100000; value *= 1.3) {
+    log_values.push_back(std::log(value));
+    labels.push_back(value > 1000.0 ? 1.0 : 0.0);
+  }
+  auto link = FitLogisticLink(log_values, labels);
+  ASSERT_TRUE(link.ok());
+  EXPECT_LT(link->Predict(10.0), 0.2);
+  EXPECT_GT(link->Predict(100000.0), 0.8);
+  EXPECT_NEAR(link->Predict(link->threshold), 0.5, 0.05);
+}
+
+TEST(ObjectiveLinkTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitLogisticLink({1.0, 2.0}, {0.0, 1.0}).ok());  // too few
+  EXPECT_FALSE(FitLogisticLink({1, 2, 3}, {1, 1}).ok());       // mismatch
+  // Single class present.
+  EXPECT_FALSE(FitLogisticLink({1, 2, 3, 4}, {1, 1, 1, 1}).ok());
+  EXPECT_FALSE(FitLogisticLink({1, 2, 3, 4}, {0, 0, 0, 0}).ok());
+}
+
+TEST(ObjectiveLinkTest, LinksPipelineResultToAttribute) {
+  // Build a synthetic PropertyTypeResult directly: polarity follows an
+  // attribute threshold at 100.
+  KnowledgeBase kb;
+  const TypeId type = kb.AddType("city");
+  PropertyTypeResult result;
+  result.evidence.type = type;
+  result.evidence.property = "big";
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const EntityId id =
+        kb.AddEntity("city" + std::to_string(i), type).value();
+    const double value = std::pow(10.0, rng.Uniform(0.0, 4.0));
+    ASSERT_TRUE(kb.SetAttribute(id, "population", value).ok());
+    result.evidence.entities.push_back(id);
+    const bool positive = value > 100.0;
+    result.posterior.push_back(positive ? 0.95 : 0.05);
+    result.polarity.push_back(positive ? Polarity::kPositive
+                                       : Polarity::kNegative);
+  }
+  auto link = LinkObjectiveProperty(kb, result, "population");
+  ASSERT_TRUE(link.ok()) << link.status();
+  EXPECT_GT(link->threshold, 30.0);
+  EXPECT_LT(link->threshold, 300.0);
+  EXPECT_EQ(link->num_entities, 100);
+}
+
+TEST(ObjectiveLinkTest, SkipsNeutralAndMissingAttribute) {
+  KnowledgeBase kb;
+  const TypeId type = kb.AddType("city");
+  PropertyTypeResult result;
+  result.evidence.type = type;
+  for (int i = 0; i < 10; ++i) {
+    const EntityId id =
+        kb.AddEntity("c" + std::to_string(i), type).value();
+    result.evidence.entities.push_back(id);
+    if (i < 8) {
+      ASSERT_TRUE(kb.SetAttribute(id, "population", i < 4 ? 10.0 : 1e6).ok());
+    }
+    result.posterior.push_back(i < 4 ? 0.1 : 0.9);
+    result.polarity.push_back(i == 9 ? Polarity::kNeutral
+                              : i < 4 ? Polarity::kNegative
+                                      : Polarity::kPositive);
+  }
+  auto link = LinkObjectiveProperty(kb, result, "population");
+  ASSERT_TRUE(link.ok());
+  // Two entities dropped: one neutral (also lacking the attribute) and one
+  // decided but without the attribute.
+  EXPECT_EQ(link->num_entities, 8);
+}
+
+}  // namespace
+}  // namespace surveyor

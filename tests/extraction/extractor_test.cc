@@ -1,0 +1,254 @@
+#include "extraction/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/text/text_test_util.h"
+#include "text/annotator.h"
+
+namespace surveyor {
+namespace {
+
+class ExtractorTest : public testing::Test {
+ protected:
+  std::vector<EvidenceStatement> Extract(
+      const std::string& sentence,
+      ExtractionOptions options = {}) {
+    TextAnnotator annotator(&fixture_.kb, &fixture_.lexicon);
+    EvidenceExtractor extractor(options);
+    return extractor.ExtractFromSentence(annotator.AnnotateSentence(sentence));
+  }
+
+  TextFixture fixture_;
+};
+
+TEST_F(ExtractorTest, SimplePositiveComplement) {
+  const auto statements = Extract("san francisco is big");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0].entity, fixture_.sf);
+  EXPECT_EQ(statements[0].adjective, "big");
+  EXPECT_EQ(statements[0].property, "big");
+  EXPECT_TRUE(statements[0].positive);
+  EXPECT_EQ(statements[0].pattern, PatternKind::kAdjectivalComplement);
+}
+
+TEST_F(ExtractorTest, SimpleNegativeComplement) {
+  const auto statements = Extract("palo alto is not big");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0].entity, fixture_.palo_alto);
+  EXPECT_FALSE(statements[0].positive);
+}
+
+TEST_F(ExtractorTest, NeverIsNegation) {
+  const auto statements = Extract("tiger is never cute");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_FALSE(statements[0].positive);
+}
+
+TEST_F(ExtractorTest, AdverbJoinsProperty) {
+  const auto statements = Extract("san francisco is very big");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0].property, "very big");
+  EXPECT_EQ(statements[0].adjective, "big");
+}
+
+TEST_F(ExtractorTest, CompoundProperty) {
+  const auto statements = Extract("san francisco is densely populated");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0].property, "densely populated");
+}
+
+TEST_F(ExtractorTest, PredicateNominalViaCoreference) {
+  const auto statements = Extract("san francisco is a big city");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0].entity, fixture_.sf);
+  EXPECT_EQ(statements[0].pattern, PatternKind::kAdjectivalModifier);
+  EXPECT_TRUE(statements[0].positive);
+}
+
+TEST_F(ExtractorTest, NegatedPredicateNominal) {
+  const auto statements = Extract("palo alto is not a big city");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_FALSE(statements[0].positive);
+}
+
+TEST_F(ExtractorTest, PluralCoreference) {
+  const auto statements = Extract("snakes are dangerous animals");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0].entity, fixture_.snake);
+  EXPECT_EQ(statements[0].adjective, "dangerous");
+}
+
+TEST_F(ExtractorTest, EmbeddedClausePositive) {
+  const auto statements = Extract("i think that san francisco is big");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_TRUE(statements[0].positive);
+}
+
+TEST_F(ExtractorTest, EmbeddedClauseNegative) {
+  const auto statements = Extract("i don't think that san francisco is big");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_FALSE(statements[0].positive);
+}
+
+TEST_F(ExtractorTest, DoubleNegationIsPositive) {
+  // Figure 5: two negations cancel.
+  const auto statements =
+      Extract("i don't think that snakes are never dangerous");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0].entity, fixture_.snake);
+  EXPECT_TRUE(statements[0].positive);
+}
+
+TEST_F(ExtractorTest, NegationDetectionCanBeDisabled) {
+  ExtractionOptions options;
+  options.detect_negation = false;
+  const auto statements = Extract("palo alto is not big", options);
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_TRUE(statements[0].positive);
+}
+
+TEST_F(ExtractorTest, ConjunctionPattern) {
+  const auto statements = Extract("tiger is a fast and exciting animal");
+  ASSERT_EQ(statements.size(), 2u);
+  EXPECT_EQ(statements[0].adjective, "fast");
+  EXPECT_EQ(statements[0].pattern, PatternKind::kAdjectivalModifier);
+  EXPECT_EQ(statements[1].adjective, "exciting");
+  EXPECT_EQ(statements[1].pattern, PatternKind::kConjunction);
+  EXPECT_EQ(statements[1].entity, fixture_.tiger);
+}
+
+TEST_F(ExtractorTest, ConjunctionInComplement) {
+  const auto statements = Extract("tiger is fast and exciting");
+  ASSERT_EQ(statements.size(), 2u);
+  EXPECT_EQ(statements[1].adjective, "exciting");
+}
+
+TEST_F(ExtractorTest, NegationDistributesOverConjunction) {
+  const auto statements = Extract("tiger is not fast and exciting");
+  ASSERT_EQ(statements.size(), 2u);
+  EXPECT_FALSE(statements[0].positive);
+  EXPECT_FALSE(statements[1].positive);
+}
+
+TEST_F(ExtractorTest, IntrinsicnessFiltersPrepOnComplement) {
+  // v4 drops "bad for parking".
+  EXPECT_TRUE(Extract("san francisco is bad for parking").empty());
+  // v2 (no checks) keeps it.
+  ExtractionOptions v2;
+  v2.version = PatternVersion::kV2AmodAcompCopula;
+  EXPECT_EQ(Extract("san francisco is bad for parking", v2).size(), 1u);
+}
+
+TEST_F(ExtractorTest, IntrinsicnessFiltersPrepOnNominal) {
+  EXPECT_TRUE(Extract("san francisco is a big city in the north").empty());
+}
+
+TEST_F(ExtractorTest, CoreferenceRequirementFiltersDirectAmod) {
+  // "southern France is warm" pattern: adjective on the direct mention
+  // restricts to a part of the entity, so the checks reject both the amod
+  // ("southern") and the complement ("warm").
+  EXPECT_TRUE(Extract("the southern san francisco is warm").empty());
+  // Without checks (v2) the amod on the direct mention is extracted.
+  ExtractionOptions v2;
+  v2.version = PatternVersion::kV2AmodAcompCopula;
+  const auto statements = Extract("the southern san francisco is warm", v2);
+  // v2 extracts both the amod "southern" and the acomp "warm".
+  ASSERT_EQ(statements.size(), 2u);
+}
+
+TEST_F(ExtractorTest, AttributiveOnlyInUncheckedVersions) {
+  const std::string sentence = "the cute tiger slept";
+  EXPECT_TRUE(Extract(sentence).empty());  // v4
+  ExtractionOptions v1;
+  v1.version = PatternVersion::kV1AmodCopula;
+  const auto statements = Extract(sentence, v1);
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0].entity, fixture_.tiger);
+  EXPECT_EQ(statements[0].adjective, "cute");
+}
+
+TEST_F(ExtractorTest, SeemsOnlyInCopulaClassVersions) {
+  const std::string sentence = "tiger seems dangerous";
+  EXPECT_TRUE(Extract(sentence).empty());  // v4: to-be only
+  ExtractionOptions v2;
+  v2.version = PatternVersion::kV2AmodAcompCopula;
+  EXPECT_EQ(Extract(sentence, v2).size(), 1u);
+  ExtractionOptions v3;
+  v3.version = PatternVersion::kV3AcompToBeChecks;
+  EXPECT_TRUE(Extract(sentence, v3).empty());
+}
+
+TEST_F(ExtractorTest, V1HasNoComplementPattern) {
+  ExtractionOptions v1;
+  v1.version = PatternVersion::kV1AmodCopula;
+  EXPECT_TRUE(Extract("san francisco is big", v1).empty());
+  // But the amod pattern works.
+  EXPECT_EQ(Extract("san francisco is a big city", v1).size(), 1u);
+}
+
+TEST_F(ExtractorTest, V3HasNoAmodPattern) {
+  ExtractionOptions v3;
+  v3.version = PatternVersion::kV3AcompToBeChecks;
+  EXPECT_TRUE(Extract("san francisco is a big city", v3).empty());
+  EXPECT_EQ(Extract("san francisco is big", v3).size(), 1u);
+}
+
+TEST_F(ExtractorTest, ChecksOverrideForAblation) {
+  ExtractionOptions options;  // v4
+  options.intrinsic_checks_override = false;
+  EXPECT_EQ(Extract("san francisco is bad for parking", options).size(), 1u);
+}
+
+TEST_F(ExtractorTest, SmallClausePattern) {
+  const auto statements = Extract("i find snakes dangerous");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0].entity, fixture_.snake);
+  EXPECT_EQ(statements[0].adjective, "dangerous");
+  EXPECT_TRUE(statements[0].positive);
+  EXPECT_EQ(statements[0].pattern, PatternKind::kSmallClause);
+}
+
+TEST_F(ExtractorTest, NegatedSmallClause) {
+  const auto statements = Extract("i don't find snakes dangerous");
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_FALSE(statements[0].positive);
+}
+
+TEST_F(ExtractorTest, SmallClauseDisabledInV1) {
+  ExtractionOptions v1;
+  v1.version = PatternVersion::kV1AmodCopula;
+  EXPECT_TRUE(Extract("i find snakes dangerous", v1).empty());
+}
+
+TEST_F(ExtractorTest, SmallClauseChecksFilterConstriction) {
+  EXPECT_TRUE(Extract("i find snakes dangerous for parking").empty());
+}
+
+TEST_F(ExtractorTest, NoEntityNoExtraction) {
+  EXPECT_TRUE(Extract("the garden is big").empty());
+  EXPECT_TRUE(Extract("it is big").empty());
+}
+
+TEST_F(ExtractorTest, UnparsedSentenceYieldsNothing) {
+  EXPECT_TRUE(Extract("the harbor of san francisco is big").empty());
+}
+
+TEST_F(ExtractorTest, FillerYieldsNothing) {
+  EXPECT_TRUE(Extract("people visit san francisco").empty());
+  EXPECT_TRUE(Extract("san francisco has a harbor").empty());
+}
+
+TEST_F(ExtractorTest, DocumentExtractionTracksIds) {
+  TextAnnotator annotator(&fixture_.kb, &fixture_.lexicon);
+  EvidenceExtractor extractor;
+  const AnnotatedDocument doc = annotator.AnnotateDocument(
+      42, "san francisco is big. tiger is not cute.");
+  const auto statements = extractor.ExtractFromDocument(doc);
+  ASSERT_EQ(statements.size(), 2u);
+  EXPECT_EQ(statements[0].doc_id, 42);
+  EXPECT_EQ(statements[0].sentence_index, 0);
+  EXPECT_EQ(statements[1].sentence_index, 1);
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,93 @@
+#include "kb/kb_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace surveyor {
+namespace {
+
+KnowledgeBase MakeSample() {
+  KnowledgeBase kb;
+  const TypeId city = kb.AddType("city");
+  const TypeId animal = kb.AddType("animal");
+  const EntityId sf = kb.AddEntity("san francisco", city, 3.5).value();
+  const EntityId cat = kb.AddEntity("cat", animal, 9.0).value();
+  EXPECT_TRUE(kb.AddAlias("sf", sf).ok());
+  EXPECT_TRUE(kb.SetAttribute(sf, "population", 870000).ok());
+  EXPECT_TRUE(kb.SetAttribute(cat, "weight", 4.2).ok());
+  return kb;
+}
+
+TEST(KbIoTest, RoundTrip) {
+  const KnowledgeBase original = MakeSample();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveKnowledgeBase(original, stream).ok());
+  auto loaded = LoadKnowledgeBase(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->num_types(), original.num_types());
+  EXPECT_EQ(loaded->num_entities(), original.num_entities());
+  EXPECT_EQ(loaded->num_aliases(), original.num_aliases());
+
+  const auto sf_ids = loaded->EntitiesByName("san francisco");
+  ASSERT_EQ(sf_ids.size(), 1u);
+  const Entity& sf = loaded->entity(sf_ids[0]);
+  EXPECT_DOUBLE_EQ(sf.popularity, 3.5);
+  EXPECT_DOUBLE_EQ(loaded->GetAttribute(sf.id, "population").value(), 870000);
+  EXPECT_EQ(loaded->CandidatesForAlias("sf").size(), 1u);
+}
+
+TEST(KbIoTest, IgnoresCommentsAndBlankLines) {
+  std::stringstream stream(
+      "# comment\n"
+      "\n"
+      "type\tcity\n"
+      "entity\tcity\tparis\t1.5\n");
+  auto kb = LoadKnowledgeBase(stream);
+  ASSERT_TRUE(kb.ok()) << kb.status();
+  EXPECT_EQ(kb->num_entities(), 1u);
+}
+
+TEST(KbIoTest, RejectsUnknownRecordKind) {
+  std::stringstream stream("bogus\tx\n");
+  EXPECT_FALSE(LoadKnowledgeBase(stream).ok());
+}
+
+TEST(KbIoTest, RejectsEntityWithUnknownType) {
+  std::stringstream stream("entity\tcity\tparis\t1.0\n");
+  auto kb = LoadKnowledgeBase(stream);
+  EXPECT_FALSE(kb.ok());
+  EXPECT_EQ(kb.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KbIoTest, RejectsMalformedNumbers) {
+  std::stringstream stream(
+      "type\tcity\n"
+      "entity\tcity\tparis\tnot-a-number\n");
+  EXPECT_FALSE(LoadKnowledgeBase(stream).ok());
+}
+
+TEST(KbIoTest, RejectsAliasForMissingEntity) {
+  std::stringstream stream(
+      "type\tcity\n"
+      "alias\tcity\tghost\tg\n");
+  EXPECT_FALSE(LoadKnowledgeBase(stream).ok());
+}
+
+TEST(KbIoTest, FileRoundTrip) {
+  const KnowledgeBase original = MakeSample();
+  const std::string path = testing::TempDir() + "/kb_io_test.tsv";
+  ASSERT_TRUE(SaveKnowledgeBaseToFile(original, path).ok());
+  auto loaded = LoadKnowledgeBaseFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_entities(), original.num_entities());
+}
+
+TEST(KbIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadKnowledgeBaseFromFile("/nonexistent/nope.tsv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,123 @@
+#include "kb/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+namespace surveyor {
+namespace {
+
+TEST(KnowledgeBaseTest, AddTypeIsIdempotent) {
+  KnowledgeBase kb;
+  const TypeId a = kb.AddType("City");
+  const TypeId b = kb.AddType("city");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(kb.num_types(), 1u);
+  EXPECT_EQ(kb.TypeName(a), "city");
+}
+
+TEST(KnowledgeBaseTest, AddEntityBasics) {
+  KnowledgeBase kb;
+  const TypeId city = kb.AddType("city");
+  auto id = kb.AddEntity("San Francisco", city, 2.5);
+  ASSERT_TRUE(id.ok());
+  const Entity& entity = kb.entity(*id);
+  EXPECT_EQ(entity.canonical_name, "san francisco");
+  EXPECT_EQ(entity.most_notable_type, city);
+  EXPECT_DOUBLE_EQ(entity.popularity, 2.5);
+  EXPECT_EQ(kb.num_entities(), 1u);
+}
+
+TEST(KnowledgeBaseTest, RejectsUnknownTypeAndDuplicates) {
+  KnowledgeBase kb;
+  const TypeId city = kb.AddType("city");
+  EXPECT_FALSE(kb.AddEntity("x", city + 7).ok());
+  ASSERT_TRUE(kb.AddEntity("paris", city).ok());
+  EXPECT_EQ(kb.AddEntity("Paris", city).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(kb.AddEntity("", city).ok());
+}
+
+TEST(KnowledgeBaseTest, SameNameDifferentTypesAllowed) {
+  KnowledgeBase kb;
+  const TypeId city = kb.AddType("city");
+  const TypeId animal = kb.AddType("animal");
+  ASSERT_TRUE(kb.AddEntity("phoenix", city).ok());
+  ASSERT_TRUE(kb.AddEntity("phoenix", animal).ok());
+  EXPECT_EQ(kb.EntitiesByName("phoenix").size(), 2u);
+  EXPECT_EQ(kb.CandidatesForAlias("phoenix").size(), 2u);
+}
+
+TEST(KnowledgeBaseTest, AliasResolution) {
+  KnowledgeBase kb;
+  const TypeId city = kb.AddType("city");
+  const EntityId sf = kb.AddEntity("san francisco", city).value();
+  ASSERT_TRUE(kb.AddAlias("sf", sf).ok());
+  ASSERT_TRUE(kb.AddAlias("frisco", sf).ok());
+  // Idempotent alias registration.
+  ASSERT_TRUE(kb.AddAlias("sf", sf).ok());
+  EXPECT_EQ(kb.CandidatesForAlias("sf").size(), 1u);
+  EXPECT_EQ(kb.CandidatesForAlias("SF")[0], sf);
+  EXPECT_TRUE(kb.CandidatesForAlias("nope").empty());
+  // Canonical name + 2 aliases.
+  EXPECT_EQ(kb.entity(sf).aliases.size(), 3u);
+}
+
+TEST(KnowledgeBaseTest, SharedAliasAcrossEntities) {
+  KnowledgeBase kb;
+  const TypeId city = kb.AddType("city");
+  const TypeId animal = kb.AddType("animal");
+  const EntityId a = kb.AddEntity("springfield", city).value();
+  const EntityId b = kb.AddEntity("jaguar", animal).value();
+  ASSERT_TRUE(kb.AddAlias("spring", a).ok());
+  ASSERT_TRUE(kb.AddAlias("spring", b).ok());
+  EXPECT_EQ(kb.CandidatesForAlias("spring").size(), 2u);
+}
+
+TEST(KnowledgeBaseTest, AliasToUnknownEntityFails) {
+  KnowledgeBase kb;
+  EXPECT_FALSE(kb.AddAlias("x", 12).ok());
+}
+
+TEST(KnowledgeBaseTest, Attributes) {
+  KnowledgeBase kb;
+  const TypeId city = kb.AddType("city");
+  const EntityId sf = kb.AddEntity("san francisco", city).value();
+  ASSERT_TRUE(kb.SetAttribute(sf, "population", 870000).ok());
+  auto population = kb.GetAttribute(sf, "population");
+  ASSERT_TRUE(population.ok());
+  EXPECT_DOUBLE_EQ(*population, 870000);
+  EXPECT_EQ(kb.GetAttribute(sf, "area").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(kb.SetAttribute(99, "x", 1).ok());
+}
+
+TEST(KnowledgeBaseTest, EntitiesOfTypeInInsertionOrder) {
+  KnowledgeBase kb;
+  const TypeId animal = kb.AddType("animal");
+  const TypeId city = kb.AddType("city");
+  const EntityId cat = kb.AddEntity("cat", animal).value();
+  const EntityId dog = kb.AddEntity("dog", animal).value();
+  kb.AddEntity("paris", city).value();
+  EXPECT_EQ(kb.EntitiesOfType(animal), (std::vector<EntityId>{cat, dog}));
+  EXPECT_EQ(kb.EntitiesOfType(city).size(), 1u);
+}
+
+TEST(KnowledgeBaseTest, TypeByName) {
+  KnowledgeBase kb;
+  const TypeId animal = kb.AddType("animal");
+  auto found = kb.TypeByName("ANIMAL");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, animal);
+  EXPECT_FALSE(kb.TypeByName("plant").ok());
+}
+
+TEST(KnowledgeBaseTest, AllAliasesContainsCanonicalNames) {
+  KnowledgeBase kb;
+  const TypeId animal = kb.AddType("animal");
+  const EntityId cat = kb.AddEntity("cat", animal).value();
+  ASSERT_TRUE(kb.AddAlias("kitty", cat).ok());
+  const std::vector<std::string> aliases = kb.AllAliases();
+  EXPECT_EQ(aliases.size(), 2u);
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,117 @@
+#include "mapreduce/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+using WordCount = std::pair<std::string, int>;
+
+std::vector<WordCount> CountWords(const std::vector<std::string>& documents,
+                                  MapReduceOptions options) {
+  MapReduce<std::string, std::string, int, WordCount> job(options);
+  return job.Run(
+      documents,
+      [](const std::string& doc,
+         const std::function<void(std::string, int)>& emit) {
+        for (const std::string& word : SplitWhitespace(doc)) emit(word, 1);
+      },
+      [](const std::string& word, std::vector<int>& ones) {
+        int total = 0;
+        for (int one : ones) total += one;
+        return WordCount{word, total};
+      });
+}
+
+TEST(MapReduceTest, WordCount) {
+  const std::vector<std::string> docs = {"a b a", "b c", "a"};
+  const auto counts = CountWords(docs, {});
+  std::map<std::string, int> as_map(counts.begin(), counts.end());
+  EXPECT_EQ(as_map.size(), 3u);
+  EXPECT_EQ(as_map["a"], 3);
+  EXPECT_EQ(as_map["b"], 2);
+  EXPECT_EQ(as_map["c"], 1);
+}
+
+TEST(MapReduceTest, EmptyInput) {
+  EXPECT_TRUE(CountWords({}, {}).empty());
+}
+
+TEST(MapReduceTest, MapperMayEmitNothing) {
+  MapReduce<int, int, int, int> job;
+  const auto out = job.Run(
+      {1, 2, 3, 4},
+      [](const int& x, const std::function<void(int, int)>& emit) {
+        if (x % 2 == 0) emit(x, x);
+      },
+      [](const int& key, std::vector<int>&) { return key; });
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(MapReduceTest, DeterministicAcrossWorkerCounts) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 500; ++i) {
+    docs.push_back(StrFormat("w%d w%d w%d", i % 7, i % 13, i % 29));
+  }
+  MapReduceOptions one_worker;
+  one_worker.num_workers = 1;
+  MapReduceOptions eight_workers;
+  eight_workers.num_workers = 8;
+  const auto a = CountWords(docs, one_worker);
+  const auto b = CountWords(docs, eight_workers);
+  EXPECT_EQ(a, b);  // identical content AND order
+}
+
+TEST(MapReduceTest, DeterministicAcrossPartitionsContentwise) {
+  std::vector<std::string> docs = {"x y z", "x x", "z"};
+  MapReduceOptions few;
+  few.num_partitions = 1;
+  MapReduceOptions many;
+  many.num_partitions = 64;
+  auto a = CountWords(docs, few);
+  auto b = CountWords(docs, many);
+  // Partitioning changes the output order but not the multiset.
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(MapReduceTest, LargeFanOut) {
+  // Each input emits many keys; all must arrive.
+  MapReduce<int, int, int, std::pair<int, int>> job;
+  std::vector<int> inputs(64);
+  const auto out = job.Run(
+      inputs,
+      [](const int&, const std::function<void(int, int)>& emit) {
+        for (int k = 0; k < 100; ++k) emit(k, 1);
+      },
+      [](const int& key, std::vector<int>& values) {
+        return std::pair<int, int>{key, static_cast<int>(values.size())};
+      });
+  ASSERT_EQ(out.size(), 100u);
+  for (const auto& [key, count] : out) EXPECT_EQ(count, 64);
+}
+
+TEST(MapReduceTest, ReducerSeesAllValuesOfAKey) {
+  MapReduce<int, int, int, long> job;
+  std::vector<int> inputs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto out = job.Run(
+      inputs,
+      [](const int& x, const std::function<void(int, int)>& emit) {
+        emit(0, x);  // single key
+      },
+      [](const int&, std::vector<int>& values) {
+        long sum = 0;
+        for (int v : values) sum += v;
+        return sum;
+      });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 55);
+}
+
+}  // namespace
+}  // namespace surveyor

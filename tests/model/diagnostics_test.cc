@@ -1,0 +1,100 @@
+#include "model/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace surveyor {
+namespace {
+
+/// Draws counts from the model family itself.
+std::vector<EvidenceCounts> DrawFromModel(const ModelParams& params,
+                                          double prevalence, size_t entities,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  const PoissonRates rates = RatesFromParams(params);
+  std::vector<EvidenceCounts> counts(entities);
+  for (auto& c : counts) {
+    const bool positive = rng.Bernoulli(prevalence);
+    c.positive = rng.Poisson(positive ? rates.pos_given_pos : rates.pos_given_neg);
+    c.negative = rng.Poisson(positive ? rates.neg_given_pos : rates.neg_given_neg);
+  }
+  return counts;
+}
+
+TEST(DiagnosticsTest, OnModelDataFitsWell) {
+  const auto counts = DrawFromModel({0.9, 40.0, 6.0}, 0.3, 1500, 3);
+  auto fit = EmLearner().Fit(counts);
+  ASSERT_TRUE(fit.ok());
+  const ModelDiagnostics diagnostics = DiagnoseFit(counts, *fit);
+
+  // Statement-mass conservation: the M-step matches first moments.
+  EXPECT_NEAR(diagnostics.expected_positive_statements,
+              diagnostics.observed_positive_statements,
+              0.02 * diagnostics.observed_positive_statements + 2.0);
+  EXPECT_NEAR(diagnostics.expected_negative_statements,
+              diagnostics.observed_negative_statements,
+              0.05 * diagnostics.observed_negative_statements + 2.0);
+  EXPECT_NEAR(diagnostics.positive_entity_fraction, 0.3, 0.05);
+  // On-model data: the binned chi-square stays modest (7 bins, m=1500).
+  EXPECT_LT(diagnostics.positive_count_chi2, 60.0);
+  EXPECT_TRUE(std::isfinite(diagnostics.log_likelihood));
+  EXPECT_NEAR(diagnostics.aic, 6.0 - 2.0 * diagnostics.log_likelihood, 1e-9);
+}
+
+TEST(DiagnosticsTest, DetectsOffModelHeterogeneity) {
+  // Exposure heterogeneity: positive entities draw from TWO very different
+  // rates; the single-rate mixture must show a much larger chi-square than
+  // the on-model fit.
+  Rng rng(7);
+  std::vector<EvidenceCounts> counts;
+  for (int i = 0; i < 1500; ++i) {
+    EvidenceCounts c;
+    if (rng.Bernoulli(0.3)) {
+      const double rate = rng.Bernoulli(0.5) ? 150.0 : 8.0;
+      c.positive = rng.Poisson(rate);
+      c.negative = rng.Poisson(0.5);
+    } else {
+      c.positive = rng.Poisson(0.3);
+      c.negative = rng.Poisson(0.2);
+    }
+    counts.push_back(c);
+  }
+  auto fit = EmLearner().Fit(counts);
+  ASSERT_TRUE(fit.ok());
+  const ModelDiagnostics off_model = DiagnoseFit(counts, *fit);
+
+  const auto clean = DrawFromModel({0.9, 40.0, 6.0}, 0.3, 1500, 3);
+  auto clean_fit = EmLearner().Fit(clean);
+  ASSERT_TRUE(clean_fit.ok());
+  const ModelDiagnostics on_model = DiagnoseFit(clean, *clean_fit);
+
+  EXPECT_GT(off_model.positive_count_chi2, 5 * on_model.positive_count_chi2);
+}
+
+TEST(DiagnosticsTest, CountsUndecidedEntities) {
+  // Symmetric parameters put zero-count entities exactly at 1/2.
+  std::vector<EvidenceCounts> counts = {{5, 0}, {0, 5}, {0, 0}, {0, 0}};
+  EmFitResult fit;
+  fit.params = {0.9, 10.0, 10.0};
+  for (const EvidenceCounts& c : counts) {
+    fit.responsibilities.push_back(PosteriorPositive(c, fit.params));
+  }
+  const ModelDiagnostics diagnostics = DiagnoseFit(counts, fit);
+  EXPECT_EQ(diagnostics.undecided_entities, 2);
+}
+
+TEST(DiagnosticsTest, ToStringMentionsKeyNumbers) {
+  const auto counts = DrawFromModel({0.9, 20.0, 4.0}, 0.4, 200, 11);
+  auto fit = EmLearner().Fit(counts);
+  ASSERT_TRUE(fit.ok());
+  const std::string report = DiagnoseFit(counts, *fit).ToString();
+  EXPECT_NE(report.find("LL="), std::string::npos);
+  EXPECT_NE(report.find("chi2"), std::string::npos);
+  EXPECT_NE(report.find("positive-fraction="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace surveyor

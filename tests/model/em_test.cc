@@ -1,0 +1,252 @@
+#include "model/em.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace surveyor {
+namespace {
+
+/// Draws counts for `num_entities` entities from the model's own
+/// generative story with the given true parameters and prevalence.
+struct SyntheticData {
+  std::vector<EvidenceCounts> counts;
+  std::vector<bool> truth;  // dominant opinion positive?
+};
+
+SyntheticData DrawFromModel(const ModelParams& params, double prevalence,
+                            size_t num_entities, uint64_t seed) {
+  Rng rng(seed);
+  const PoissonRates rates = RatesFromParams(params);
+  SyntheticData data;
+  data.counts.resize(num_entities);
+  data.truth.resize(num_entities);
+  for (size_t i = 0; i < num_entities; ++i) {
+    const bool positive = rng.Bernoulli(prevalence);
+    data.truth[i] = positive;
+    data.counts[i].positive =
+        rng.Poisson(positive ? rates.pos_given_pos : rates.pos_given_neg);
+    data.counts[i].negative =
+        rng.Poisson(positive ? rates.neg_given_pos : rates.neg_given_neg);
+  }
+  return data;
+}
+
+TEST(EmTest, RejectsEmptyInput) {
+  EmLearner learner;
+  EXPECT_FALSE(learner.Fit({}).ok());
+}
+
+TEST(EmTest, RejectsBadOptions) {
+  EmOptions options;
+  options.max_iterations = 0;
+  EXPECT_FALSE(EmLearner(options).Fit({{1, 0}}).ok());
+
+  options = EmOptions();
+  options.agreement_grid = {};
+  EXPECT_FALSE(EmLearner(options).Fit({{1, 0}}).ok());
+
+  options = EmOptions();
+  options.agreement_grid = {0.4};  // must be > 0.5
+  EXPECT_FALSE(EmLearner(options).Fit({{1, 0}}).ok());
+
+  options = EmOptions();
+  options.agreement_grid = {1.0};  // must be < 1
+  EXPECT_FALSE(EmLearner(options).Fit({{1, 0}}).ok());
+}
+
+TEST(EmTest, MStepStatsMatchHandComputation) {
+  const std::vector<EvidenceCounts> counts = {{10, 2}, {0, 4}};
+  const std::vector<double> r = {0.9, 0.2};
+  const MStepStats stats = ComputeMStepStats(counts, r);
+  EXPECT_NEAR(stats.pos_statements_pos_entities, 10 * 0.9 + 0 * 0.2, 1e-12);
+  EXPECT_NEAR(stats.neg_statements_pos_entities, 2 * 0.9 + 4 * 0.2, 1e-12);
+  EXPECT_NEAR(stats.pos_statements_neg_entities, 10 * 0.1 + 0 * 0.8, 1e-12);
+  EXPECT_NEAR(stats.neg_statements_neg_entities, 2 * 0.1 + 4 * 0.8, 1e-12);
+  EXPECT_NEAR(stats.pos_entities, 1.1, 1e-12);
+  EXPECT_NEAR(stats.neg_entities, 0.9, 1e-12);
+}
+
+TEST(EmTest, ClosedFormMaximizerMatchesNumericalOptimum) {
+  // The closed-form mu's must maximize Q' for fixed pA: check against a
+  // fine grid search.
+  const std::vector<EvidenceCounts> counts = {{12, 1}, {0, 3}, {5, 2}, {0, 0}};
+  const std::vector<double> r = {0.95, 0.1, 0.7, 0.4};
+  const MStepStats stats = ComputeMStepStats(counts, r);
+  const double pa = 0.85;
+  const ModelParams closed_form = MaximizeGivenAgreement(stats, pa);
+  const double q_closed = EvaluateQ(stats, closed_form);
+  for (double mu_pos = 0.5; mu_pos < 20.0; mu_pos += 0.25) {
+    for (double mu_neg = 0.5; mu_neg < 10.0; mu_neg += 0.25) {
+      ModelParams candidate{pa, mu_pos, mu_neg};
+      EXPECT_LE(EvaluateQ(stats, candidate), q_closed + 1e-9);
+    }
+  }
+}
+
+TEST(EmTest, LogLikelihoodNonDecreasing) {
+  const SyntheticData data =
+      DrawFromModel({0.9, 40.0, 8.0}, 0.4, 300, /*seed=*/5);
+  EmLearner learner;
+  auto fit = learner.Fit(data.counts);
+  ASSERT_TRUE(fit.ok());
+  for (size_t i = 1; i < fit->log_likelihood_trace.size(); ++i) {
+    EXPECT_GE(fit->log_likelihood_trace[i],
+              fit->log_likelihood_trace[i - 1] - 1e-6);
+  }
+}
+
+TEST(EmTest, RecoversParametersOnModelData) {
+  const ModelParams truth{0.9, 60.0, 10.0};
+  const SyntheticData data = DrawFromModel(truth, 0.35, 2000, /*seed=*/7);
+  EmOptions options;
+  options.max_iterations = 100;
+  auto fit = EmLearner(options).Fit(data.counts);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->params.agreement, truth.agreement, 0.06);
+  EXPECT_NEAR(fit->params.mu_positive, truth.mu_positive,
+              0.15 * truth.mu_positive);
+  EXPECT_NEAR(fit->params.mu_negative, truth.mu_negative,
+              0.25 * truth.mu_negative);
+}
+
+TEST(EmTest, ClassifiesEntitiesOnModelData) {
+  const ModelParams truth{0.92, 80.0, 12.0};
+  const SyntheticData data = DrawFromModel(truth, 0.4, 1000, /*seed=*/11);
+  auto fit = EmLearner().Fit(data.counts);
+  ASSERT_TRUE(fit.ok());
+  int correct = 0;
+  for (size_t i = 0; i < data.counts.size(); ++i) {
+    const bool predicted = fit->responsibilities[i] > 0.5;
+    if (predicted == data.truth[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.counts.size(), 0.95);
+}
+
+TEST(EmTest, InfersNegativeForUnmentionedEntities) {
+  // Mirrors the big-city insight: positives produce many statements, so an
+  // entity with zero statements should be classified negative.
+  std::vector<EvidenceCounts> counts;
+  for (int i = 0; i < 20; ++i) counts.push_back({40 + i, 2});  // big cities
+  for (int i = 0; i < 200; ++i) counts.push_back({0, 0});      // unmentioned
+  auto fit = EmLearner().Fit(counts);
+  ASSERT_TRUE(fit.ok());
+  for (int i = 0; i < 20; ++i) EXPECT_GT(fit->responsibilities[i], 0.5);
+  for (size_t i = 20; i < counts.size(); ++i) {
+    EXPECT_LT(fit->responsibilities[i], 0.5) << "entity " << i;
+  }
+}
+
+TEST(EmTest, HandlesAllZeroCounts) {
+  std::vector<EvidenceCounts> counts(50);
+  auto fit = EmLearner().Fit(counts);
+  ASSERT_TRUE(fit.ok());
+  for (double r : fit->responsibilities) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(EmTest, HandlesSingleEntity) {
+  auto fit = EmLearner().Fit({{7, 1}});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(std::isfinite(fit->final_log_likelihood()));
+}
+
+TEST(EmTest, ConvergesAndReportsIterations) {
+  const SyntheticData data = DrawFromModel({0.85, 30.0, 5.0}, 0.4, 500, 13);
+  EmOptions options;
+  options.max_iterations = 200;
+  auto fit = EmLearner(options).Fit(data.counts);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->converged);
+  EXPECT_LT(fit->iterations, 200);
+  EXPECT_GT(fit->iterations, 0);
+}
+
+TEST(EmTest, PolarityBiasDoesNotFoolTheModel) {
+  // Strong polarity bias: negatives are rarely voiced. An entity with
+  // slightly more negative than positive statements relative to the global
+  // pattern should still be classified correctly.
+  const ModelParams truth{0.9, 50.0, 2.0};
+  const SyntheticData data = DrawFromModel(truth, 0.5, 1500, 17);
+  auto fit = EmLearner().Fit(data.counts);
+  ASSERT_TRUE(fit.ok());
+  int correct = 0;
+  for (size_t i = 0; i < data.counts.size(); ++i) {
+    if ((fit->responsibilities[i] > 0.5) == data.truth[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.counts.size(), 0.95);
+}
+
+TEST(EmTest, InitializationModesAgree) {
+  const SyntheticData data = DrawFromModel({0.9, 40.0, 6.0}, 0.3, 800, 19);
+  EmOptions mv_init;
+  mv_init.initialize_from_majority_vote = true;
+  EmOptions estep_init;
+  estep_init.initialize_from_majority_vote = false;
+  auto fit_a = EmLearner(mv_init).Fit(data.counts);
+  auto fit_b = EmLearner(estep_init).Fit(data.counts);
+  ASSERT_TRUE(fit_a.ok());
+  ASSERT_TRUE(fit_b.ok());
+  // Both land in the same basin on well-separated data.
+  EXPECT_NEAR(fit_a->params.agreement, fit_b->params.agreement, 0.11);
+  EXPECT_NEAR(fit_a->params.mu_positive, fit_b->params.mu_positive,
+              0.2 * fit_a->params.mu_positive);
+}
+
+// ---------------------------------------------------------------------------
+// Property-based sweep: EM must recover parameters across a grid of
+// regimes (agreement level x polarity bias x prevalence).
+// ---------------------------------------------------------------------------
+
+struct EmRecoveryCase {
+  double agreement;
+  double mu_positive;
+  double mu_negative;
+  double prevalence;
+};
+
+class EmRecoveryTest : public testing::TestWithParam<EmRecoveryCase> {};
+
+TEST_P(EmRecoveryTest, RecoversRegime) {
+  const EmRecoveryCase& param = GetParam();
+  const ModelParams truth{param.agreement, param.mu_positive,
+                          param.mu_negative};
+  const SyntheticData data =
+      DrawFromModel(truth, param.prevalence, 1500,
+                    /*seed=*/static_cast<uint64_t>(
+                        param.agreement * 1000 + param.mu_positive));
+  EmOptions options;
+  options.max_iterations = 150;
+  auto fit = EmLearner(options).Fit(data.counts);
+  ASSERT_TRUE(fit.ok());
+  // Parameter recovery within loose tolerances.
+  EXPECT_NEAR(fit->params.agreement, truth.agreement, 0.08);
+  EXPECT_NEAR(fit->params.mu_positive, truth.mu_positive,
+              0.2 * truth.mu_positive + 1.0);
+  // Classification accuracy is the property that matters downstream.
+  int correct = 0;
+  for (size_t i = 0; i < data.counts.size(); ++i) {
+    if ((fit->responsibilities[i] > 0.5) == data.truth[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.counts.size(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, EmRecoveryTest,
+    testing::Values(
+        EmRecoveryCase{0.80, 30.0, 5.0, 0.3},    // moderate everything
+        EmRecoveryCase{0.90, 60.0, 10.0, 0.5},   // balanced prevalence
+        EmRecoveryCase{0.95, 100.0, 3.0, 0.2},   // strong consensus
+        EmRecoveryCase{0.85, 20.0, 20.0, 0.4},   // no polarity bias
+        EmRecoveryCase{0.90, 8.0, 40.0, 0.4},    // inverted bias (mu- > mu+)
+        EmRecoveryCase{0.75, 50.0, 8.0, 0.35},   // low agreement
+        EmRecoveryCase{0.90, 200.0, 30.0, 0.25}, // heavy traffic
+        EmRecoveryCase{0.85, 12.0, 2.0, 0.6}));  // positive-majority world
+
+}  // namespace
+}  // namespace surveyor

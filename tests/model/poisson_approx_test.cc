@@ -1,0 +1,87 @@
+// Validates the paper's Poisson-product approximation of the multinomial
+// (Section 5.2, citing McDonald 1980 / Roos 1999): for Web-scale author
+// populations n, the posterior computed with two independent Poissons is
+// numerically indistinguishable from the exact multinomial posterior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/user_model.h"
+#include "util/math.h"
+
+namespace surveyor {
+namespace {
+
+/// Exact posterior under the multinomial model with population size n.
+/// The multinomial coefficient n!/(a!b!(n-a-b)!) is identical under both
+/// hypotheses and cancels from the posterior.
+double MultinomialPosterior(const EvidenceCounts& counts,
+                            const ModelParams& params, double n) {
+  const PoissonRates rates = RatesFromParams(params);
+  const double a = static_cast<double>(counts.positive);
+  const double b = static_cast<double>(counts.negative);
+  // Per-document statement probabilities under each dominant opinion.
+  const double pp_pos = rates.pos_given_pos / n;
+  const double pn_pos = rates.neg_given_pos / n;
+  const double pp_neg = rates.pos_given_neg / n;
+  const double pn_neg = rates.neg_given_neg / n;
+  const double log_pos = a * SafeLog(pp_pos) + b * SafeLog(pn_pos) +
+                         (n - a - b) * std::log1p(-(pp_pos + pn_pos));
+  const double log_neg = a * SafeLog(pp_neg) + b * SafeLog(pn_neg) +
+                         (n - a - b) * std::log1p(-(pp_neg + pn_neg));
+  return Sigmoid(log_pos - log_neg);
+}
+
+struct ApproxCase {
+  double n;           // author population
+  ModelParams params; // model parameters (rates scaled to n*pS)
+  EvidenceCounts counts;
+  double tolerance;
+};
+
+class PoissonApproxTest : public testing::TestWithParam<ApproxCase> {};
+
+TEST_P(PoissonApproxTest, PosteriorMatchesMultinomial) {
+  const ApproxCase& c = GetParam();
+  const double poisson = PosteriorPositive(c.counts, c.params);
+  const double multinomial = MultinomialPosterior(c.counts, c.params, c.n);
+  EXPECT_NEAR(poisson, multinomial, c.tolerance)
+      << "n=" << c.n << " counts=(" << c.counts.positive << ","
+      << c.counts.negative << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WebScalePopulations, PoissonApproxTest,
+    testing::Values(
+        // The paper's Example 3 parameters at increasing population sizes.
+        ApproxCase{1e4, {0.9, 100.0, 5.0}, {60, 3}, 1e-3},
+        ApproxCase{1e6, {0.9, 100.0, 5.0}, {60, 3}, 1e-5},
+        ApproxCase{1e8, {0.9, 100.0, 5.0}, {60, 3}, 1e-7},
+        // Borderline tuples where the decision could flip.
+        ApproxCase{1e6, {0.9, 100.0, 5.0}, {15, 1}, 1e-4},
+        ApproxCase{1e6, {0.8, 30.0, 10.0}, {8, 4}, 1e-4},
+        // Zero counts (the silence-as-evidence case).
+        ApproxCase{1e6, {0.9, 100.0, 5.0}, {0, 0}, 1e-5},
+        // Inverse bias.
+        ApproxCase{1e6, {0.85, 5.0, 80.0}, {2, 40}, 1e-5},
+        // Heavy counts.
+        ApproxCase{1e7, {0.95, 500.0, 50.0}, {450, 20}, 1e-5}));
+
+TEST(PoissonApproxTest, SmallPopulationsDiverge) {
+  // Sanity check on the test itself: with n comparable to the counts the
+  // approximation must be visibly worse than at Web scale.
+  // A borderline tuple keeps the posterior away from the saturated 0/1
+  // region where all differences round to zero.
+  const ModelParams params{0.9, 100.0, 5.0};
+  const EvidenceCounts counts{16, 1};
+  const double at_small_n =
+      std::abs(PosteriorPositive(counts, params) -
+               MultinomialPosterior(counts, params, /*n=*/150));
+  const double at_large_n =
+      std::abs(PosteriorPositive(counts, params) -
+               MultinomialPosterior(counts, params, /*n=*/1e8));
+  EXPECT_GT(at_small_n, 100 * at_large_n);
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,110 @@
+#include "model/user_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace surveyor {
+namespace {
+
+TEST(UserModelTest, RatesFromParamsMatchPaperEquations) {
+  // Example 3 of the paper: pA=0.9, np+S=100, np-S=5 gives
+  // l++ = 90, l-+ = 0.5, l-- = 4.5, l+- = 10.
+  ModelParams params{0.9, 100.0, 5.0};
+  const PoissonRates rates = RatesFromParams(params);
+  EXPECT_NEAR(rates.pos_given_pos, 90.0, 1e-12);
+  EXPECT_NEAR(rates.neg_given_pos, 0.5, 1e-12);
+  EXPECT_NEAR(rates.neg_given_neg, 4.5, 1e-12);
+  EXPECT_NEAR(rates.pos_given_neg, 10.0, 1e-12);
+}
+
+TEST(UserModelTest, ValidateParams) {
+  EXPECT_TRUE(ValidateParams({0.8, 1.0, 1.0}).ok());
+  EXPECT_FALSE(ValidateParams({0.0, 1.0, 1.0}).ok());
+  EXPECT_FALSE(ValidateParams({1.0, 1.0, 1.0}).ok());
+  EXPECT_FALSE(ValidateParams({0.8, -1.0, 1.0}).ok());
+  EXPECT_FALSE(ValidateParams({0.8, 1.0, std::nan("")}).ok());
+}
+
+TEST(UserModelTest, LikelihoodIsProductOfPoissons) {
+  ModelParams params{0.9, 100.0, 5.0};
+  EvidenceCounts counts{60, 3};
+  const double expected = PoissonLogPmf(60, 90.0) + PoissonLogPmf(3, 0.5);
+  EXPECT_NEAR(LogLikelihoodPositive(counts, params), expected, 1e-9);
+  const double expected_neg = PoissonLogPmf(60, 10.0) + PoissonLogPmf(3, 4.5);
+  EXPECT_NEAR(LogLikelihoodNegative(counts, params), expected_neg, 1e-9);
+}
+
+TEST(UserModelTest, Figure6TupleIsPositive) {
+  // The paper's Example 1: the evidence tuple (60, 3) is more likely under
+  // the positive-dominant-opinion distribution.
+  ModelParams params{0.9, 100.0, 5.0};
+  EXPECT_GT(PosteriorPositive({60, 3}, params), 0.5);
+}
+
+TEST(UserModelTest, ManyNegativesIsNegative) {
+  ModelParams params{0.9, 100.0, 5.0};
+  EXPECT_LT(PosteriorPositive({2, 6}, params), 0.5);
+}
+
+TEST(UserModelTest, UnmentionedEntityFollowsRateAsymmetry) {
+  // With mu+ > mu- and pA > 1/2, silence is evidence of a negative
+  // dominant opinion ("a city never mentioned is not big").
+  ModelParams big_city{0.9, 100.0, 5.0};
+  EXPECT_LT(PosteriorPositive({0, 0}, big_city), 0.5);
+  // With mu- > mu+ silence points the other way.
+  ModelParams inverse{0.9, 5.0, 100.0};
+  EXPECT_GT(PosteriorPositive({0, 0}, inverse), 0.5);
+}
+
+TEST(UserModelTest, PosteriorMonotoneInPositiveCount) {
+  ModelParams params{0.85, 50.0, 10.0};
+  double previous = 0.0;
+  for (int64_t c = 0; c <= 40; c += 5) {
+    const double posterior = PosteriorPositive({c, 5}, params);
+    if (c > 0) {
+      EXPECT_GT(posterior, previous);
+    }
+    previous = posterior;
+  }
+}
+
+TEST(UserModelTest, PriorShiftsPosterior) {
+  ModelParams params{0.8, 20.0, 20.0};
+  EvidenceCounts counts{4, 4};
+  // Symmetric rates and counts: posterior equals the prior.
+  EXPECT_NEAR(PosteriorPositive(counts, params, 0.5), 0.5, 1e-9);
+  EXPECT_GT(PosteriorPositive(counts, params, 0.9), 0.5);
+  EXPECT_LT(PosteriorPositive(counts, params, 0.1), 0.5);
+}
+
+TEST(UserModelTest, DecidePolarityDefaultThreshold) {
+  EXPECT_EQ(DecidePolarity(0.9), Polarity::kPositive);
+  EXPECT_EQ(DecidePolarity(0.1), Polarity::kNegative);
+  EXPECT_EQ(DecidePolarity(0.5), Polarity::kNeutral);
+}
+
+TEST(UserModelTest, DecidePolarityCustomThreshold) {
+  EXPECT_EQ(DecidePolarity(0.7, 0.8), Polarity::kNeutral);
+  EXPECT_EQ(DecidePolarity(0.85, 0.8), Polarity::kPositive);
+  EXPECT_EQ(DecidePolarity(0.15, 0.8), Polarity::kNegative);
+  EXPECT_EQ(DecidePolarity(0.25, 0.8), Polarity::kNeutral);
+}
+
+TEST(UserModelTest, PolarityNames) {
+  EXPECT_EQ(PolarityName(Polarity::kPositive), "+");
+  EXPECT_EQ(PolarityName(Polarity::kNegative), "-");
+  EXPECT_EQ(PolarityName(Polarity::kNeutral), "N");
+}
+
+TEST(UserModelTest, LargeCountsStayFinite) {
+  ModelParams params{0.9, 1e6, 1e3};
+  const double posterior = PosteriorPositive({900000, 500}, params);
+  EXPECT_TRUE(std::isfinite(posterior));
+  EXPECT_GT(posterior, 0.5);
+}
+
+}  // namespace
+}  // namespace surveyor

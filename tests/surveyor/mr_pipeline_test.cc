@@ -1,0 +1,97 @@
+#include "surveyor/mr_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/worlds.h"
+#include "surveyor/pipeline.h"
+
+namespace surveyor {
+namespace {
+
+class MrPipelineTest : public testing::Test {
+ protected:
+  MrPipelineTest() : world_(World::Generate(MakeTinyWorldConfig()).value()) {
+    GeneratorOptions options;
+    options.author_population = 6000;
+    options.seed = 404;
+    corpus_ = CorpusGenerator(&world_, options).Generate();
+  }
+
+  World world_;
+  std::vector<RawDocument> corpus_;
+};
+
+TEST_F(MrPipelineTest, EquivalentToThreadedPipeline) {
+  const int64_t rho = 20;
+  // Reference: the sharded pipeline's aggregation.
+  SurveyorConfig config;
+  config.min_statements = rho;
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  PipelineStats stats;
+  EvidenceAggregator aggregator = pipeline.ExtractEvidence(corpus_, &stats);
+  std::vector<PropertyTypeEvidence> expected =
+      aggregator.GroupByType(world_.kb(), rho);
+
+  // MapReduce formulation.
+  std::vector<PropertyTypeEvidence> actual = ExtractAndGroupMapReduce(
+      world_.kb(), world_.lexicon(), corpus_, rho);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t g = 0; g < actual.size(); ++g) {
+    EXPECT_EQ(actual[g].type, expected[g].type);
+    EXPECT_EQ(actual[g].property, expected[g].property);
+    EXPECT_EQ(actual[g].total_statements, expected[g].total_statements);
+    EXPECT_EQ(actual[g].entities, expected[g].entities);
+    EXPECT_EQ(actual[g].counts, expected[g].counts);
+  }
+}
+
+TEST_F(MrPipelineTest, DeterministicAcrossWorkerCounts) {
+  MapReduceOptions one;
+  one.num_workers = 1;
+  MapReduceOptions many;
+  many.num_workers = 8;
+  many.num_partitions = 3;
+  const auto a = ExtractAndGroupMapReduce(world_.kb(), world_.lexicon(),
+                                          corpus_, 20, {}, {}, one);
+  const auto b = ExtractAndGroupMapReduce(world_.kb(), world_.lexicon(),
+                                          corpus_, 20, {}, {}, many);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t g = 0; g < a.size(); ++g) {
+    EXPECT_EQ(a[g].property, b[g].property);
+    EXPECT_EQ(a[g].counts, b[g].counts);
+  }
+}
+
+TEST_F(MrPipelineTest, RhoFilterApplies) {
+  const auto loose = ExtractAndGroupMapReduce(world_.kb(), world_.lexicon(),
+                                              corpus_, 1);
+  const auto strict = ExtractAndGroupMapReduce(world_.kb(), world_.lexicon(),
+                                               corpus_, 500);
+  EXPECT_GT(loose.size(), strict.size());
+  for (const PropertyTypeEvidence& group : strict) {
+    EXPECT_GE(group.total_statements, 500);
+  }
+}
+
+TEST_F(MrPipelineTest, FeedsEmDirectly) {
+  // The MR output plugs straight into the model-learning stage.
+  const auto groups = ExtractAndGroupMapReduce(world_.kb(), world_.lexicon(),
+                                               corpus_, 20);
+  ASSERT_FALSE(groups.empty());
+  SurveyorConfig config;
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  auto result = pipeline.RunFromEvidence(groups);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.num_opinions, 0);
+}
+
+TEST_F(MrPipelineTest, EmptyCorpus) {
+  const auto groups =
+      ExtractAndGroupMapReduce(world_.kb(), world_.lexicon(), {}, 1);
+  EXPECT_TRUE(groups.empty());
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,141 @@
+#include "surveyor/opinion_store.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace surveyor {
+namespace {
+
+class OpinionStoreTest : public testing::Test {
+ protected:
+  OpinionStoreTest() {
+    city_ = kb_.AddType("city");
+    animal_ = kb_.AddType("animal");
+    sf_ = kb_.AddEntity("san francisco", city_).value();
+    pa_ = kb_.AddEntity("palo alto", city_).value();
+    cat_ = kb_.AddEntity("cat", animal_).value();
+  }
+
+  PairOpinion Opinion(EntityId entity, TypeId type, const std::string& property,
+                      Polarity polarity, double probability) {
+    PairOpinion opinion;
+    opinion.entity = entity;
+    opinion.type = type;
+    opinion.property = property;
+    opinion.polarity = polarity;
+    opinion.probability = probability;
+    return opinion;
+  }
+
+  KnowledgeBase kb_;
+  TypeId city_ = kInvalidType;
+  TypeId animal_ = kInvalidType;
+  EntityId sf_ = kInvalidEntity;
+  EntityId pa_ = kInvalidEntity;
+  EntityId cat_ = kInvalidEntity;
+};
+
+TEST_F(OpinionStoreTest, AddAndLookup) {
+  OpinionStore store(&kb_);
+  store.Add(Opinion(sf_, city_, "big", Polarity::kPositive, 0.98));
+  EXPECT_EQ(store.size(), 1u);
+  auto found = store.Lookup(sf_, "big");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->polarity, Polarity::kPositive);
+  EXPECT_DOUBLE_EQ(found->probability, 0.98);
+  EXPECT_FALSE(store.Lookup(sf_, "calm").ok());
+  EXPECT_FALSE(store.Lookup(pa_, "big").ok());
+}
+
+TEST_F(OpinionStoreTest, AddReplacesExisting) {
+  OpinionStore store(&kb_);
+  store.Add(Opinion(sf_, city_, "big", Polarity::kPositive, 0.9));
+  store.Add(Opinion(sf_, city_, "big", Polarity::kNegative, 0.1));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Lookup(sf_, "big")->polarity, Polarity::kNegative);
+}
+
+TEST_F(OpinionStoreTest, QueryReturnsPositivesSortedByProbability) {
+  OpinionStore store(&kb_);
+  store.Add(Opinion(sf_, city_, "big", Polarity::kPositive, 0.8));
+  store.Add(Opinion(pa_, city_, "big", Polarity::kPositive, 0.95));
+  store.Add(Opinion(cat_, animal_, "big", Polarity::kPositive, 0.99));
+  const auto result = store.Query(city_, "big");
+  ASSERT_EQ(result.size(), 2u);  // the cat is not a city
+  EXPECT_EQ(result[0].entity, pa_);
+  EXPECT_EQ(result[1].entity, sf_);
+}
+
+TEST_F(OpinionStoreTest, QueryExcludesNegativesAndHonorsLimit) {
+  OpinionStore store(&kb_);
+  store.Add(Opinion(sf_, city_, "big", Polarity::kPositive, 0.8));
+  store.Add(Opinion(pa_, city_, "big", Polarity::kNegative, 0.05));
+  EXPECT_EQ(store.Query(city_, "big").size(), 1u);
+  store.Add(Opinion(pa_, city_, "calm", Polarity::kPositive, 0.7));
+  store.Add(Opinion(sf_, city_, "calm", Polarity::kPositive, 0.9));
+  EXPECT_EQ(store.Query(city_, "calm", 1).size(), 1u);
+}
+
+TEST_F(OpinionStoreTest, PropertiesOfSortsAffirmedFirst) {
+  OpinionStore store(&kb_);
+  store.Add(Opinion(sf_, city_, "calm", Polarity::kNegative, 0.01));
+  store.Add(Opinion(sf_, city_, "big", Polarity::kPositive, 0.97));
+  store.Add(Opinion(sf_, city_, "cheap", Polarity::kNegative, 0.2));
+  const auto profile = store.PropertiesOf(sf_);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0].property, "big");
+  // Then negatives by confidence (distance from 1/2).
+  EXPECT_EQ(profile[1].property, "calm");
+  EXPECT_EQ(profile[2].property, "cheap");
+  EXPECT_TRUE(store.PropertiesOf(pa_).empty());
+}
+
+TEST_F(OpinionStoreTest, PairsDeduplicates) {
+  OpinionStore store(&kb_);
+  store.Add(Opinion(sf_, city_, "big", Polarity::kPositive, 0.9));
+  store.Add(Opinion(pa_, city_, "big", Polarity::kNegative, 0.2));
+  store.Add(Opinion(cat_, animal_, "cute", Polarity::kPositive, 0.9));
+  const auto pairs = store.Pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+}
+
+TEST_F(OpinionStoreTest, SaveLoadRoundTrip) {
+  OpinionStore store(&kb_);
+  store.Add(Opinion(sf_, city_, "big", Polarity::kPositive, 0.987654));
+  store.Add(Opinion(pa_, city_, "very big", Polarity::kNegative, 0.04));
+  store.Add(Opinion(cat_, animal_, "cute", Polarity::kPositive, 0.75));
+
+  std::stringstream stream;
+  ASSERT_TRUE(store.Save(stream).ok());
+
+  OpinionStore loaded(&kb_);
+  ASSERT_TRUE(loaded.Load(stream).ok());
+  EXPECT_EQ(loaded.size(), 3u);
+  auto opinion = loaded.Lookup(sf_, "big");
+  ASSERT_TRUE(opinion.ok());
+  EXPECT_NEAR(opinion->probability, 0.987654, 1e-6);
+  EXPECT_EQ(loaded.Lookup(pa_, "very big")->polarity, Polarity::kNegative);
+}
+
+TEST_F(OpinionStoreTest, LoadRejectsUnknownEntity) {
+  OpinionStore store(&kb_);
+  std::stringstream stream("opinion\tcity\tghost town\tbig\t+\t0.9\n");
+  EXPECT_FALSE(store.Load(stream).ok());
+}
+
+TEST_F(OpinionStoreTest, LoadRejectsMalformedLines) {
+  OpinionStore store(&kb_);
+  std::stringstream bad_polarity(
+      "opinion\tcity\tsan francisco\tbig\t?\t0.9\n");
+  EXPECT_FALSE(store.Load(bad_polarity).ok());
+  std::stringstream bad_probability(
+      "opinion\tcity\tsan francisco\tbig\t+\ttwo\n");
+  EXPECT_FALSE(store.Load(bad_probability).ok());
+  std::stringstream out_of_range(
+      "opinion\tcity\tsan francisco\tbig\t+\t1.5\n");
+  EXPECT_FALSE(store.Load(out_of_range).ok());
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,208 @@
+#include "surveyor/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "text/annotator.h"
+#include "corpus/worlds.h"
+
+namespace surveyor {
+namespace {
+
+class PipelineTest : public testing::Test {
+ protected:
+  PipelineTest() : world_(World::Generate(MakeTinyWorldConfig()).value()) {
+    GeneratorOptions options;
+    options.author_population = 8000;
+    options.seed = 77;
+    corpus_ = CorpusGenerator(&world_, options).Generate();
+  }
+
+  World world_;
+  std::vector<RawDocument> corpus_;
+};
+
+TEST_F(PipelineTest, EndToEndRunProducesOpinions) {
+  SurveyorConfig config;
+  config.min_statements = 20;
+  config.num_threads = 4;
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  auto result = pipeline.Run(corpus_);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  EXPECT_GT(result->stats.num_documents, 0);
+  EXPECT_GT(result->stats.num_sentences, 0);
+  EXPECT_GT(result->stats.num_parsed_sentences, 0);
+  EXPECT_LE(result->stats.num_parsed_sentences, result->stats.num_sentences);
+  EXPECT_GT(result->stats.num_statements, 0);
+  EXPECT_GT(result->stats.num_kept_property_type_pairs, 0);
+  EXPECT_LE(result->stats.num_kept_property_type_pairs,
+            result->stats.num_property_type_pairs);
+  EXPECT_GT(result->stats.num_opinions, 0);
+
+  // The three seeded property-type combinations should pass the threshold.
+  const TypeId animal = world_.kb().TypeByName("animal").value();
+  const TypeId city = world_.kb().TypeByName("city").value();
+  EXPECT_NE(result->Find(animal, "cute"), nullptr);
+  EXPECT_NE(result->Find(animal, "dangerous"), nullptr);
+  EXPECT_NE(result->Find(city, "big"), nullptr);
+}
+
+TEST_F(PipelineTest, OpinionsMostlyMatchGroundTruth) {
+  SurveyorConfig config;
+  config.min_statements = 20;
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  auto result = pipeline.Run(corpus_);
+  ASSERT_TRUE(result.ok());
+
+  int correct = 0, total = 0;
+  for (const PropertyTypeResult& pair : result->pairs) {
+    const PropertyGroundTruth* truth =
+        world_.FindGroundTruth(pair.evidence.type, pair.evidence.property);
+    if (truth == nullptr) continue;  // adverb-fragmented property
+    for (size_t i = 0; i < pair.evidence.entities.size(); ++i) {
+      if (pair.polarity[i] == Polarity::kNeutral) continue;
+      ++total;
+      if (pair.polarity[i] == truth->dominant[i]) ++correct;
+    }
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.8);
+}
+
+TEST_F(PipelineTest, PerEntityPolaritiesAlignWithPosterior) {
+  SurveyorConfig config;
+  config.min_statements = 20;
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  auto result = pipeline.Run(corpus_);
+  ASSERT_TRUE(result.ok());
+  for (const PropertyTypeResult& pair : result->pairs) {
+    ASSERT_EQ(pair.posterior.size(), pair.evidence.entities.size());
+    ASSERT_EQ(pair.polarity.size(), pair.evidence.entities.size());
+    for (size_t i = 0; i < pair.posterior.size(); ++i) {
+      EXPECT_EQ(pair.polarity[i], DecidePolarity(pair.posterior[i]));
+    }
+  }
+}
+
+TEST_F(PipelineTest, OpinionsFlattenNonNeutralOnly) {
+  SurveyorConfig config;
+  config.min_statements = 20;
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  auto result = pipeline.Run(corpus_);
+  ASSERT_TRUE(result.ok());
+  const auto opinions = result->Opinions();
+  EXPECT_EQ(static_cast<int64_t>(opinions.size()),
+            result->stats.num_opinions);
+  for (const PairOpinion& opinion : opinions) {
+    EXPECT_NE(opinion.polarity, Polarity::kNeutral);
+    if (opinion.polarity == Polarity::kPositive) {
+      EXPECT_GT(opinion.probability, 0.5);
+    } else {
+      EXPECT_LT(opinion.probability, 0.5);
+    }
+  }
+}
+
+TEST_F(PipelineTest, RhoThresholdControlsPairCount) {
+  SurveyorConfig loose;
+  loose.min_statements = 5;
+  SurveyorConfig strict;
+  strict.min_statements = 200;
+  auto loose_result =
+      SurveyorPipeline(&world_.kb(), &world_.lexicon(), loose).Run(corpus_);
+  auto strict_result =
+      SurveyorPipeline(&world_.kb(), &world_.lexicon(), strict).Run(corpus_);
+  ASSERT_TRUE(loose_result.ok());
+  ASSERT_TRUE(strict_result.ok());
+  EXPECT_GE(loose_result->stats.num_kept_property_type_pairs,
+            strict_result->stats.num_kept_property_type_pairs);
+}
+
+TEST_F(PipelineTest, SingleAndMultiThreadAgree) {
+  SurveyorConfig single;
+  single.min_statements = 20;
+  single.num_threads = 1;
+  SurveyorConfig multi = single;
+  multi.num_threads = 8;
+  auto a = SurveyorPipeline(&world_.kb(), &world_.lexicon(), single).Run(corpus_);
+  auto b = SurveyorPipeline(&world_.kb(), &world_.lexicon(), multi).Run(corpus_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->stats.num_statements, b->stats.num_statements);
+  EXPECT_EQ(a->stats.num_kept_property_type_pairs,
+            b->stats.num_kept_property_type_pairs);
+  EXPECT_EQ(a->stats.num_opinions, b->stats.num_opinions);
+  ASSERT_EQ(a->pairs.size(), b->pairs.size());
+  for (size_t p = 0; p < a->pairs.size(); ++p) {
+    EXPECT_EQ(a->pairs[p].evidence.property, b->pairs[p].evidence.property);
+    EXPECT_EQ(a->pairs[p].polarity, b->pairs[p].polarity);
+  }
+}
+
+TEST_F(PipelineTest, RunFromEvidenceValidatesThreshold) {
+  SurveyorConfig config;
+  config.decision_threshold = 0.4;  // invalid
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  EXPECT_FALSE(pipeline.RunFromEvidence({}).ok());
+}
+
+TEST_F(PipelineTest, ProvenanceLinksBackToDocuments) {
+  SurveyorConfig config;
+  config.min_statements = 20;
+  config.max_provenance_samples = 3;
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  auto result = pipeline.Run(corpus_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->provenance.empty());
+
+  TextAnnotator annotator(&world_.kb(), &world_.lexicon());
+  EvidenceExtractor extractor;
+  int verified = 0;
+  for (const auto& [key, refs] : result->provenance) {
+    ASSERT_LE(refs.size(), 3u);
+    for (const StatementRef& ref : refs) {
+      if (verified >= 20) break;
+      // The referenced document must actually contain a statement about
+      // the pair with the recorded polarity.
+      ASSERT_LT(static_cast<size_t>(ref.doc_id), corpus_.size());
+      const RawDocument& doc = corpus_[ref.doc_id];
+      EXPECT_EQ(doc.doc_id, ref.doc_id);
+      const AnnotatedDocument annotated =
+          annotator.AnnotateDocument(doc.doc_id, doc.text);
+      bool found = false;
+      for (const EvidenceStatement& statement :
+           extractor.ExtractFromDocument(annotated)) {
+        if (statement.entity == key.first && statement.property == key.second &&
+            statement.sentence_index == ref.sentence_index &&
+            statement.positive == ref.positive) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "pair " << key.second << " doc " << ref.doc_id;
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 5);
+}
+
+TEST_F(PipelineTest, ProvenanceOffByDefault) {
+  SurveyorConfig config;
+  config.min_statements = 20;
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  auto result = pipeline.Run(corpus_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->provenance.empty());
+}
+
+TEST_F(PipelineTest, EmptyCorpusYieldsEmptyResult) {
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon());
+  auto result = pipeline.Run({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.num_documents, 0);
+  EXPECT_EQ(result->stats.num_opinions, 0);
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+}  // namespace
+}  // namespace surveyor

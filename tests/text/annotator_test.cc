@@ -1,0 +1,89 @@
+#include "text/annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/text/text_test_util.h"
+
+namespace surveyor {
+namespace {
+
+class AnnotatorTest : public testing::Test {
+ protected:
+  AnnotatedSentence Annotate(const std::string& sentence) {
+    TextAnnotator annotator(&fixture_.kb, &fixture_.lexicon);
+    return annotator.AnnotateSentence(sentence);
+  }
+
+  TextFixture fixture_;
+};
+
+TEST_F(AnnotatorTest, DocumentSplitsSentences) {
+  TextAnnotator annotator(&fixture_.kb, &fixture_.lexicon);
+  const AnnotatedDocument doc = annotator.AnnotateDocument(
+      7, "san francisco is big. tiger is dangerous. ");
+  EXPECT_EQ(doc.doc_id, 7);
+  ASSERT_EQ(doc.sentences.size(), 2u);
+  EXPECT_TRUE(doc.sentences[0].parsed);
+  EXPECT_TRUE(doc.sentences[1].parsed);
+}
+
+TEST_F(AnnotatorTest, PredicateNominalCoreference) {
+  // "snakes are dangerous animals": "animals" corefers with the snake.
+  const AnnotatedSentence s = Annotate("snakes are dangerous animals");
+  ASSERT_TRUE(s.parsed);
+  int animals = -1;
+  for (size_t i = 0; i < s.units.size(); ++i) {
+    if (s.units[i].text == "animals") animals = static_cast<int>(i);
+  }
+  ASSERT_GE(animals, 0);
+  EXPECT_EQ(s.units[animals].coref_entity, fixture_.snake);
+  EXPECT_EQ(s.units[animals].ReferentEntity(), fixture_.snake);
+}
+
+TEST_F(AnnotatorTest, CoreferenceRequiresTypeMatch) {
+  // "san francisco is a dangerous animal": type mismatch, no coreference.
+  const AnnotatedSentence s = Annotate("san francisco is a dangerous animal");
+  ASSERT_TRUE(s.parsed);
+  for (const ParseUnit& unit : s.units) {
+    if (unit.text == "animal") {
+      EXPECT_EQ(unit.coref_entity, kInvalidEntity);
+    }
+  }
+}
+
+TEST_F(AnnotatorTest, CoreferenceMatchesSingularTypeNoun) {
+  const AnnotatedSentence s = Annotate("san francisco is a big city");
+  ASSERT_TRUE(s.parsed);
+  bool found = false;
+  for (const ParseUnit& unit : s.units) {
+    if (unit.text == "city") {
+      EXPECT_EQ(unit.coref_entity, fixture_.sf);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AnnotatorTest, NoCoreferenceWithoutEntitySubject) {
+  const AnnotatedSentence s = Annotate("garden is a big city");
+  ASSERT_TRUE(s.parsed);
+  for (const ParseUnit& unit : s.units) {
+    EXPECT_EQ(unit.coref_entity, kInvalidEntity);
+  }
+}
+
+TEST_F(AnnotatorTest, UnparsedSentenceKeepsUnits) {
+  const AnnotatedSentence s = Annotate("harbor of san francisco big is");
+  EXPECT_FALSE(s.parsed);
+  EXPECT_GT(s.units.size(), 0u);
+  EXPECT_EQ(s.raw_text, "harbor of san francisco big is");
+}
+
+TEST_F(AnnotatorTest, EmptyDocument) {
+  TextAnnotator annotator(&fixture_.kb, &fixture_.lexicon);
+  const AnnotatedDocument doc = annotator.AnnotateDocument(1, "");
+  EXPECT_TRUE(doc.sentences.empty());
+}
+
+}  // namespace
+}  // namespace surveyor

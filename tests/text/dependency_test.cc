@@ -1,0 +1,86 @@
+#include "text/dependency.h"
+
+#include <gtest/gtest.h>
+
+namespace surveyor {
+namespace {
+
+TEST(DependencyTreeTest, BasicArcs) {
+  // "snakes are dangerous": units 0=snakes 1=are 2=dangerous
+  DependencyTree tree(3);
+  tree.SetRoot(2);
+  tree.SetArc(0, 2, DepRel::kNsubj);
+  tree.SetArc(1, 2, DepRel::kCop);
+  EXPECT_EQ(tree.root(), 2);
+  EXPECT_EQ(tree.head(0), 2);
+  EXPECT_EQ(tree.rel(0), DepRel::kNsubj);
+  EXPECT_EQ(tree.head(2), -1);
+  EXPECT_EQ(tree.children(2).size(), 2u);
+  EXPECT_TRUE(tree.HasChildWithRel(2, DepRel::kCop));
+  EXPECT_FALSE(tree.HasChildWithRel(2, DepRel::kNeg));
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(DependencyTreeTest, ChildrenWithRel) {
+  DependencyTree tree(4);
+  tree.SetRoot(0);
+  tree.SetArc(1, 0, DepRel::kAmod);
+  tree.SetArc(2, 0, DepRel::kAmod);
+  tree.SetArc(3, 0, DepRel::kDet);
+  EXPECT_EQ(tree.ChildrenWithRel(0, DepRel::kAmod), (std::vector<int>{1, 2}));
+  EXPECT_EQ(tree.ChildrenWithRel(0, DepRel::kDet), (std::vector<int>{3}));
+  EXPECT_TRUE(tree.ChildrenWithRel(0, DepRel::kNeg).empty());
+}
+
+TEST(DependencyTreeTest, ReattachMovesChild) {
+  DependencyTree tree(3);
+  tree.SetRoot(0);
+  tree.SetArc(2, 0, DepRel::kAmod);
+  tree.SetArc(1, 0, DepRel::kDet);
+  tree.SetArc(2, 1, DepRel::kAdvmod);  // move 2 under 1
+  EXPECT_EQ(tree.head(2), 1);
+  EXPECT_FALSE(tree.HasChildWithRel(0, DepRel::kAmod));
+  EXPECT_TRUE(tree.HasChildWithRel(1, DepRel::kAdvmod));
+}
+
+TEST(DependencyTreeTest, PathToRoot) {
+  // chain: 3 -> 2 -> 1 -> 0(root)
+  DependencyTree tree(4);
+  tree.SetRoot(0);
+  tree.SetArc(1, 0, DepRel::kCcomp);
+  tree.SetArc(2, 1, DepRel::kAmod);
+  tree.SetArc(3, 2, DepRel::kAdvmod);
+  EXPECT_EQ(tree.PathToRoot(3), (std::vector<int>{3, 2, 1, 0}));
+  EXPECT_EQ(tree.PathToRoot(0), (std::vector<int>{0}));
+}
+
+TEST(DependencyTreeTest, PathToRootDetached) {
+  DependencyTree tree(3);
+  tree.SetRoot(0);
+  tree.SetArc(1, 0, DepRel::kDet);
+  // Unit 2 never attached.
+  EXPECT_TRUE(tree.PathToRoot(2).empty());
+}
+
+TEST(DependencyTreeTest, ValidateRejectsUnattached) {
+  DependencyTree tree(2);
+  tree.SetRoot(0);
+  EXPECT_FALSE(tree.Validate().ok());
+  tree.SetArc(1, 0, DepRel::kDet);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(DependencyTreeTest, ValidateRejectsNoRoot) {
+  DependencyTree tree(1);
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(DependencyTreeTest, RelNames) {
+  EXPECT_EQ(DepRelName(DepRel::kNsubj), "nsubj");
+  EXPECT_EQ(DepRelName(DepRel::kAmod), "amod");
+  EXPECT_EQ(DepRelName(DepRel::kNeg), "neg");
+  EXPECT_EQ(DepRelName(DepRel::kCcomp), "ccomp");
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,106 @@
+#include "text/entity_tagger.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/text/text_test_util.h"
+#include "text/tokenizer.h"
+
+namespace surveyor {
+namespace {
+
+class EntityTaggerTest : public testing::Test {
+ protected:
+  std::vector<ParseUnit> Tag(const std::string& sentence) {
+    EntityTagger tagger(&fixture_.kb);
+    return tagger.Tag(Tokenize(sentence, fixture_.lexicon));
+  }
+
+  TextFixture fixture_;
+};
+
+TEST_F(EntityTaggerTest, ChunksMultiWordMention) {
+  const auto units = Tag("san francisco is big");
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0].text, "san francisco");
+  EXPECT_EQ(units[0].entity, fixture_.sf);
+  EXPECT_EQ(units[0].pos, Pos::kNoun);
+}
+
+TEST_F(EntityTaggerTest, SingleTokenAlias) {
+  const auto units = Tag("sf is big");
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0].entity, fixture_.sf);
+}
+
+TEST_F(EntityTaggerTest, PluralAliasResolves) {
+  const auto units = Tag("snakes are dangerous");
+  EXPECT_EQ(units[0].entity, fixture_.snake);
+}
+
+TEST_F(EntityTaggerTest, UnknownWordsStayUntagged) {
+  const auto units = Tag("zorblax is big");
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0].entity, kInvalidEntity);
+  EXPECT_EQ(units[0].pos, Pos::kUnknown);
+}
+
+TEST_F(EntityTaggerTest, AmbiguousAliasResolvedByPopularity) {
+  // "phoenix" is a popular city and an obscure animal: popularity wins.
+  const auto units = Tag("phoenix is big");
+  EXPECT_EQ(units[0].entity, fixture_.phoenix_city);
+}
+
+TEST_F(EntityTaggerTest, AmbiguousAliasResolvedByTypeCue) {
+  // The type cue "animal" overrides the popularity prior.
+  const auto units = Tag("phoenix is a dangerous animal");
+  EXPECT_EQ(units[0].entity, fixture_.phoenix_animal);
+}
+
+TEST_F(EntityTaggerTest, TypeCuePluralWorks) {
+  const auto units = Tag("phoenix is one of the dangerous animals");
+  EXPECT_EQ(units[0].entity, fixture_.phoenix_animal);
+}
+
+TEST_F(EntityTaggerTest, TooCloseAmbiguityLeftUnresolved) {
+  // Two same-popularity candidates, no cue: must stay untagged.
+  KnowledgeBase kb;
+  const TypeId city = kb.AddType("city");
+  const TypeId animal = kb.AddType("animal");
+  const EntityId a = kb.AddEntity("springfield", city, 2.0).value();
+  ASSERT_TRUE(kb.AddEntity("springfield bird", animal, 2.0).ok());
+  ASSERT_TRUE(kb.AddAlias("springfield", kb.EntitiesByName("springfield bird")[0]).ok());
+  (void)a;
+  EntityTagger tagger(&kb);
+  Lexicon lexicon;
+  const auto units = tagger.Tag(Tokenize("springfield is big", lexicon));
+  EXPECT_EQ(units[0].entity, kInvalidEntity);
+  // But it is still chunked as a noun.
+  EXPECT_EQ(units[0].pos, Pos::kNoun);
+}
+
+TEST_F(EntityTaggerTest, ResolveDirectly) {
+  EntityTagger tagger(&fixture_.kb);
+  std::unordered_set<std::string> no_context;
+  EXPECT_EQ(tagger.Resolve("sf", no_context), fixture_.sf);
+  EXPECT_EQ(tagger.Resolve("unknown-alias", no_context), kInvalidEntity);
+  std::unordered_set<std::string> animal_context = {"animal"};
+  EXPECT_EQ(tagger.Resolve("phoenix", animal_context), fixture_.phoenix_animal);
+}
+
+TEST_F(EntityTaggerTest, LongestMatchWins) {
+  // "phoenix bird" must match the two-token alias, not "phoenix" alone.
+  const auto units = Tag("phoenix bird is dangerous");
+  EXPECT_EQ(units[0].text, "phoenix bird");
+  EXPECT_EQ(units[0].entity, fixture_.phoenix_animal);
+}
+
+TEST_F(EntityTaggerTest, MentionsDoNotCrossPunctuation) {
+  const auto units = Tag("san, francisco");
+  // No "san francisco" chunk across the comma.
+  for (const auto& unit : units) {
+    EXPECT_NE(unit.text, "san francisco");
+  }
+}
+
+}  // namespace
+}  // namespace surveyor

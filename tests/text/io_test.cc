@@ -1,0 +1,123 @@
+// Tests for corpus and lexicon (de)serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "text/document.h"
+#include "text/lexicon_io.h"
+
+namespace surveyor {
+namespace {
+
+TEST(CorpusIoTest, RoundTrip) {
+  std::vector<RawDocument> corpus;
+  RawDocument a;
+  a.doc_id = 7;
+  a.domain = "us";
+  a.text = "kitten is cute. tiger is big. ";
+  RawDocument b;
+  b.doc_id = 8;
+  b.text = "palo alto is not big. ";
+  corpus.push_back(a);
+  corpus.push_back(b);
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveCorpus(corpus, stream).ok());
+  auto loaded = LoadCorpus(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].doc_id, 7);
+  EXPECT_EQ((*loaded)[0].domain, "us");
+  EXPECT_EQ((*loaded)[0].text, a.text);
+  EXPECT_EQ((*loaded)[1].domain, "");
+}
+
+TEST(CorpusIoTest, RejectsTabsInText) {
+  std::vector<RawDocument> corpus(1);
+  corpus[0].text = "a\tb";
+  std::stringstream stream;
+  EXPECT_FALSE(SaveCorpus(corpus, stream).ok());
+}
+
+TEST(CorpusIoTest, RejectsMalformedLines) {
+  std::stringstream missing_fields("1\tonly-two-fields\n");
+  EXPECT_FALSE(LoadCorpus(missing_fields).ok());
+  std::stringstream bad_id("x\tus\ttext\n");
+  EXPECT_FALSE(LoadCorpus(bad_id).ok());
+}
+
+TEST(CorpusIoTest, SkipsComments) {
+  std::stringstream stream("# header\n1\t\thello there. \n");
+  auto loaded = LoadCorpus(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(DomainFilterTest, FiltersAndPassesThrough) {
+  std::vector<RawDocument> corpus(3);
+  corpus[0].domain = "us";
+  corpus[1].domain = "cn";
+  corpus[2].domain = "us";
+  EXPECT_EQ(FilterByDomain(corpus, "us").size(), 2u);
+  EXPECT_EQ(FilterByDomain(corpus, "cn").size(), 1u);
+  EXPECT_EQ(FilterByDomain(corpus, "de").size(), 0u);
+  EXPECT_EQ(FilterByDomain(corpus, "").size(), 3u);  // empty = everything
+}
+
+TEST(LexiconIoTest, PosNameRoundTrip) {
+  for (Pos pos : {Pos::kNoun, Pos::kAdjective, Pos::kAdverb, Pos::kVerb,
+                  Pos::kSmallClauseVerb, Pos::kUnknown}) {
+    auto parsed = PosFromName(std::string(PosName(pos)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, pos);
+  }
+  EXPECT_FALSE(PosFromName("NOT_A_POS").ok());
+}
+
+TEST(LexiconIoTest, RoundTripPreservesVocabulary) {
+  Lexicon lexicon;
+  lexicon.AddWord("cute", Pos::kAdjective);
+  lexicon.AddWord("densely", Pos::kAdverb);
+  lexicon.AddWord("kitten", Pos::kNoun);
+  lexicon.AddWord("visited", Pos::kVerb);
+  lexicon.AddNounWithPlural("city");
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveLexicon(lexicon, stream).ok());
+  auto loaded = LoadLexicon(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->Lookup("cute"), Pos::kAdjective);
+  EXPECT_EQ(loaded->Lookup("densely"), Pos::kAdverb);
+  EXPECT_EQ(loaded->Lookup("kitten"), Pos::kNoun);
+  EXPECT_EQ(loaded->Lookup("visited"), Pos::kVerb);
+  EXPECT_EQ(loaded->Lookup("cities"), Pos::kNoun);
+  EXPECT_EQ(loaded->Singularize("cities"), "city");
+  // Closed-class words come back through the built-in table.
+  EXPECT_EQ(loaded->Lookup("is"), Pos::kToBe);
+  EXPECT_EQ(loaded->Lookup("n't"), Pos::kNegation);
+}
+
+TEST(LexiconIoTest, SavedFormIsStable) {
+  Lexicon lexicon;
+  lexicon.AddWord("zeta", Pos::kAdjective);
+  lexicon.AddWord("alpha", Pos::kNoun);
+  std::stringstream a, b;
+  ASSERT_TRUE(SaveLexicon(lexicon, a).ok());
+  ASSERT_TRUE(SaveLexicon(lexicon, b).ok());
+  EXPECT_EQ(a.str(), b.str());
+  // Sorted: alpha before zeta.
+  EXPECT_LT(a.str().find("alpha"), a.str().find("zeta"));
+}
+
+TEST(LexiconIoTest, LoadRejectsGarbage) {
+  std::stringstream unknown_kind("frobnicate\tx\ty\n");
+  EXPECT_FALSE(LoadLexicon(unknown_kind).ok());
+  std::stringstream bad_pos("word\tfoo\tNOT_A_POS\n");
+  EXPECT_FALSE(LoadLexicon(bad_pos).ok());
+  std::stringstream wrong_arity("word\tfoo\n");
+  EXPECT_FALSE(LoadLexicon(wrong_arity).ok());
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,258 @@
+#include "text/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/text/text_test_util.h"
+#include "text/annotator.h"
+
+namespace surveyor {
+namespace {
+
+class ParserTest : public testing::Test {
+ protected:
+  AnnotatedSentence Parse(const std::string& sentence) {
+    TextAnnotator annotator(&fixture_.kb, &fixture_.lexicon);
+    return annotator.AnnotateSentence(sentence);
+  }
+
+  static int FindUnit(const AnnotatedSentence& sentence,
+                      const std::string& text) {
+    for (size_t i = 0; i < sentence.units.size(); ++i) {
+      if (sentence.units[i].text == text) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  TextFixture fixture_;
+};
+
+TEST_F(ParserTest, SimpleCopularClause) {
+  const AnnotatedSentence s = Parse("san francisco is big");
+  ASSERT_TRUE(s.parsed);
+  const int big = FindUnit(s, "big");
+  const int sf = FindUnit(s, "san francisco");
+  const int is = FindUnit(s, "is");
+  ASSERT_GE(big, 0);
+  ASSERT_GE(sf, 0);
+  EXPECT_EQ(s.tree.root(), big);
+  EXPECT_EQ(s.tree.rel(sf), DepRel::kNsubj);
+  EXPECT_EQ(s.tree.head(sf), big);
+  EXPECT_EQ(s.tree.rel(is), DepRel::kCop);
+}
+
+TEST_F(ParserTest, NegatedCopularClause) {
+  const AnnotatedSentence s = Parse("palo alto is not big");
+  ASSERT_TRUE(s.parsed);
+  const int big = FindUnit(s, "big");
+  const int neg = FindUnit(s, "not");
+  EXPECT_EQ(s.tree.head(neg), big);
+  EXPECT_EQ(s.tree.rel(neg), DepRel::kNeg);
+}
+
+TEST_F(ParserTest, AdverbAttachesToAdjective) {
+  const AnnotatedSentence s = Parse("san francisco is very big");
+  ASSERT_TRUE(s.parsed);
+  const int big = FindUnit(s, "big");
+  const int very = FindUnit(s, "very");
+  EXPECT_EQ(s.tree.head(very), big);
+  EXPECT_EQ(s.tree.rel(very), DepRel::kAdvmod);
+}
+
+TEST_F(ParserTest, PredicateNominal) {
+  const AnnotatedSentence s = Parse("san francisco is a big city");
+  ASSERT_TRUE(s.parsed);
+  const int city = FindUnit(s, "city");
+  const int big = FindUnit(s, "big");
+  const int a = FindUnit(s, "a");
+  const int sf = FindUnit(s, "san francisco");
+  EXPECT_EQ(s.tree.root(), city);
+  EXPECT_EQ(s.tree.rel(big), DepRel::kAmod);
+  EXPECT_EQ(s.tree.head(big), city);
+  EXPECT_EQ(s.tree.rel(a), DepRel::kDet);
+  EXPECT_EQ(s.tree.rel(sf), DepRel::kNsubj);
+}
+
+TEST_F(ParserTest, NegatedPredicateNominal) {
+  const AnnotatedSentence s = Parse("palo alto is not a big city");
+  ASSERT_TRUE(s.parsed);
+  const int city = FindUnit(s, "city");
+  const int neg = FindUnit(s, "not");
+  EXPECT_EQ(s.tree.head(neg), city);
+  EXPECT_EQ(s.tree.rel(neg), DepRel::kNeg);
+}
+
+TEST_F(ParserTest, EmbeddedClause) {
+  const AnnotatedSentence s = Parse("i think that san francisco is big");
+  ASSERT_TRUE(s.parsed);
+  const int think = FindUnit(s, "think");
+  const int big = FindUnit(s, "big");
+  const int that = FindUnit(s, "that");
+  EXPECT_EQ(s.tree.root(), think);
+  EXPECT_EQ(s.tree.rel(big), DepRel::kCcomp);
+  EXPECT_EQ(s.tree.head(big), think);
+  EXPECT_EQ(s.tree.rel(that), DepRel::kMark);
+  EXPECT_EQ(s.tree.head(that), big);
+}
+
+TEST_F(ParserTest, DoubleNegationFigureFive) {
+  // "I don't think that snakes are never dangerous" (paper Fig. 5).
+  const AnnotatedSentence s =
+      Parse("i don't think that snakes are never dangerous");
+  ASSERT_TRUE(s.parsed);
+  const int think = FindUnit(s, "think");
+  const int dangerous = FindUnit(s, "dangerous");
+  const int nt = FindUnit(s, "n't");
+  const int never = FindUnit(s, "never");
+  const int do_unit = FindUnit(s, "do");
+  EXPECT_EQ(s.tree.root(), think);
+  EXPECT_EQ(s.tree.rel(nt), DepRel::kNeg);
+  EXPECT_EQ(s.tree.head(nt), think);
+  EXPECT_EQ(s.tree.rel(do_unit), DepRel::kAux);
+  EXPECT_EQ(s.tree.rel(never), DepRel::kNeg);
+  EXPECT_EQ(s.tree.head(never), dangerous);
+  EXPECT_EQ(s.tree.rel(dangerous), DepRel::kCcomp);
+}
+
+TEST_F(ParserTest, AdjectiveConjunction) {
+  const AnnotatedSentence s = Parse("tiger is a fast and exciting animal");
+  ASSERT_TRUE(s.parsed);
+  const int fast = FindUnit(s, "fast");
+  const int exciting = FindUnit(s, "exciting");
+  const int and_unit = FindUnit(s, "and");
+  const int animal = FindUnit(s, "animal");
+  EXPECT_EQ(s.tree.rel(fast), DepRel::kAmod);
+  EXPECT_EQ(s.tree.head(fast), animal);
+  EXPECT_EQ(s.tree.rel(exciting), DepRel::kConj);
+  EXPECT_EQ(s.tree.head(exciting), fast);
+  EXPECT_EQ(s.tree.rel(and_unit), DepRel::kCc);
+}
+
+TEST_F(ParserTest, ConjunctionInComplement) {
+  const AnnotatedSentence s = Parse("tiger is fast and exciting");
+  ASSERT_TRUE(s.parsed);
+  const int fast = FindUnit(s, "fast");
+  const int exciting = FindUnit(s, "exciting");
+  EXPECT_EQ(s.tree.root(), fast);
+  EXPECT_EQ(s.tree.rel(exciting), DepRel::kConj);
+}
+
+TEST_F(ParserTest, PrepositionalConstriction) {
+  const AnnotatedSentence s = Parse("san francisco is bad for parking");
+  ASSERT_TRUE(s.parsed);
+  const int bad = FindUnit(s, "bad");
+  const int for_unit = FindUnit(s, "for");
+  const int parking = FindUnit(s, "parking");
+  EXPECT_EQ(s.tree.root(), bad);
+  EXPECT_EQ(s.tree.rel(for_unit), DepRel::kPrep);
+  EXPECT_EQ(s.tree.head(for_unit), bad);
+  EXPECT_EQ(s.tree.rel(parking), DepRel::kPobj);
+  EXPECT_EQ(s.tree.head(parking), for_unit);
+}
+
+TEST_F(ParserTest, PrepositionOnPredicateNominal) {
+  const AnnotatedSentence s = Parse("san francisco is a big city in the north");
+  ASSERT_TRUE(s.parsed);
+  const int city = FindUnit(s, "city");
+  const int in = FindUnit(s, "in");
+  EXPECT_EQ(s.tree.rel(in), DepRel::kPrep);
+  EXPECT_EQ(s.tree.head(in), city);
+}
+
+TEST_F(ParserTest, AttributiveSubject) {
+  const AnnotatedSentence s = Parse("the big san francisco impressed the garden");
+  ASSERT_TRUE(s.parsed);
+  const int big = FindUnit(s, "big");
+  const int sf = FindUnit(s, "san francisco");
+  const int verb = FindUnit(s, "impressed");
+  EXPECT_EQ(s.tree.root(), verb);
+  EXPECT_EQ(s.tree.rel(big), DepRel::kAmod);
+  EXPECT_EQ(s.tree.head(big), sf);
+  EXPECT_EQ(s.tree.rel(sf), DepRel::kNsubj);
+}
+
+TEST_F(ParserTest, VerbClauseWithObjectAndPp) {
+  const AnnotatedSentence s = Parse("we visited san francisco during the garden");
+  ASSERT_TRUE(s.parsed);
+  const int verb = FindUnit(s, "visited");
+  const int sf = FindUnit(s, "san francisco");
+  const int during = FindUnit(s, "during");
+  EXPECT_EQ(s.tree.root(), verb);
+  EXPECT_EQ(s.tree.rel(sf), DepRel::kDobj);
+  EXPECT_EQ(s.tree.rel(during), DepRel::kPrep);
+  EXPECT_EQ(s.tree.head(during), verb);
+}
+
+TEST_F(ParserTest, SeemsCopula) {
+  const AnnotatedSentence s = Parse("tiger seems dangerous");
+  ASSERT_TRUE(s.parsed);
+  const int dangerous = FindUnit(s, "dangerous");
+  const int seems = FindUnit(s, "seems");
+  EXPECT_EQ(s.tree.root(), dangerous);
+  EXPECT_EQ(s.tree.rel(seems), DepRel::kCop);
+}
+
+TEST_F(ParserTest, SmallClause) {
+  // The paper's opening example: "I find kittens cute".
+  const AnnotatedSentence s = Parse("i find snakes dangerous");
+  ASSERT_TRUE(s.parsed);
+  const int find = FindUnit(s, "find");
+  const int snakes = FindUnit(s, "snakes");
+  const int dangerous = FindUnit(s, "dangerous");
+  EXPECT_EQ(s.tree.root(), find);
+  EXPECT_EQ(s.tree.rel(dangerous), DepRel::kXcomp);
+  EXPECT_EQ(s.tree.head(dangerous), find);
+  EXPECT_EQ(s.tree.rel(snakes), DepRel::kNsubj);
+  EXPECT_EQ(s.tree.head(snakes), dangerous);
+}
+
+TEST_F(ParserTest, NegatedSmallClause) {
+  const AnnotatedSentence s = Parse("i don't find snakes dangerous");
+  ASSERT_TRUE(s.parsed);
+  const int find = FindUnit(s, "find");
+  const int nt = FindUnit(s, "n't");
+  EXPECT_EQ(s.tree.rel(nt), DepRel::kNeg);
+  EXPECT_EQ(s.tree.head(nt), find);
+}
+
+TEST_F(ParserTest, SmallClauseWithAdverb) {
+  const AnnotatedSentence s = Parse("we consider tiger very dangerous");
+  ASSERT_TRUE(s.parsed);
+  const int very = FindUnit(s, "very");
+  const int dangerous = FindUnit(s, "dangerous");
+  EXPECT_EQ(s.tree.head(very), dangerous);
+}
+
+TEST_F(ParserTest, UnparseableSentenceFlagged) {
+  // Subject NP with a PP is outside the grammar.
+  const AnnotatedSentence s = Parse("the harbor of san francisco is big");
+  EXPECT_FALSE(s.parsed);
+  // Units are still available for statistics.
+  EXPECT_FALSE(s.units.empty());
+}
+
+TEST_F(ParserTest, GarbageSentenceFlagged) {
+  EXPECT_FALSE(Parse("harbor harbor harbor").parsed);
+  EXPECT_FALSE(Parse("and").parsed);
+}
+
+TEST_F(ParserTest, EmptySentence) {
+  const AnnotatedSentence s = Parse("");
+  EXPECT_FALSE(s.parsed);
+}
+
+TEST_F(ParserTest, ValidatedTreeOnEveryParse) {
+  for (const char* text : {
+           "san francisco is big",
+           "palo alto is not a big city",
+           "i don't think that snakes are never dangerous",
+           "tiger is fast and exciting",
+           "san francisco is bad for parking",
+       }) {
+    const AnnotatedSentence s = Parse(text);
+    ASSERT_TRUE(s.parsed) << text;
+    EXPECT_TRUE(s.tree.Validate().ok()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,64 @@
+#ifndef SURVEYOR_TESTS_TEXT_TEXT_TEST_UTIL_H_
+#define SURVEYOR_TESTS_TEXT_TEXT_TEST_UTIL_H_
+
+#include "kb/knowledge_base.h"
+#include "text/lexicon.h"
+
+namespace surveyor {
+
+/// Shared tiny world for text-pipeline tests: two types, a multi-word
+/// entity, plural aliases, and an ambiguous name shared across types.
+struct TextFixture {
+  KnowledgeBase kb;
+  Lexicon lexicon;
+  TypeId city = kInvalidType;
+  TypeId animal = kInvalidType;
+  EntityId sf = kInvalidEntity;
+  EntityId palo_alto = kInvalidEntity;
+  EntityId snake = kInvalidEntity;
+  EntityId tiger = kInvalidEntity;
+  EntityId phoenix_city = kInvalidEntity;
+  EntityId phoenix_animal = kInvalidEntity;
+
+  TextFixture() {
+    city = kb.AddType("city");
+    animal = kb.AddType("animal");
+    sf = kb.AddEntity("san francisco", city, /*popularity=*/10.0).value();
+    palo_alto = kb.AddEntity("palo alto", city, 3.0).value();
+    snake = kb.AddEntity("snake", animal, 5.0).value();
+    tiger = kb.AddEntity("tiger", animal, 4.0).value();
+    // Ambiguous alias: a city and an animal called "phoenix"; the city is
+    // far more popular.
+    phoenix_city = kb.AddEntity("phoenix", city, 8.0).value();
+    phoenix_animal = kb.AddEntity("phoenix bird", animal, 0.5).value();
+    EXPECT_TRUE(kb.AddAlias("phoenix", phoenix_animal).ok());
+    EXPECT_TRUE(kb.AddAlias("sf", sf).ok());
+    EXPECT_TRUE(kb.AddAlias("snakes", snake).ok());
+
+    lexicon.AddNounWithPlural("city");
+    lexicon.AddNounWithPlural("animal");
+    for (const char* adjective :
+         {"big", "cute", "dangerous", "bad", "warm", "southern", "fast",
+          "exciting", "small", "populated"}) {
+      lexicon.AddWord(adjective, Pos::kAdjective);
+    }
+    lexicon.AddWord("densely", Pos::kAdverb);
+    for (const char* noun : {"parking", "harbor", "north", "mat", "garden"}) {
+      lexicon.AddWord(noun, Pos::kNoun);
+    }
+    for (const char* verb : {"slept", "visit", "visited", "impressed",
+                             "has", "love"}) {
+      lexicon.AddWord(verb, Pos::kVerb);
+    }
+    for (const char* entity_word :
+         {"san", "francisco", "palo", "alto", "snake", "tiger", "phoenix",
+          "sf", "bird"}) {
+      lexicon.AddWord(entity_word, Pos::kNoun);
+    }
+    lexicon.AddWord("snakes", Pos::kNoun);
+  }
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TESTS_TEXT_TEXT_TEST_UTIL_H_

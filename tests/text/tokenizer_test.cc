@@ -1,0 +1,93 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace surveyor {
+namespace {
+
+TEST(SentenceSplitterTest, SplitsOnTerminators) {
+  const auto sentences = SplitSentences("A b. C d! E f? G");
+  ASSERT_EQ(sentences.size(), 4u);
+  EXPECT_EQ(sentences[0], "A b");
+  EXPECT_EQ(sentences[1], "C d");
+  EXPECT_EQ(sentences[2], "E f");
+  EXPECT_EQ(sentences[3], "G");
+}
+
+TEST(SentenceSplitterTest, SkipsEmptySentences) {
+  EXPECT_EQ(SplitSentences("a.. b.").size(), 2u);
+  EXPECT_TRUE(SplitSentences("...").empty());
+  EXPECT_TRUE(SplitSentences("").empty());
+}
+
+TEST(TokenizerTest, LowercasesAndTags) {
+  Lexicon lexicon;
+  lexicon.AddWord("big", Pos::kAdjective);
+  const auto tokens = Tokenize("Chicago IS Big", lexicon);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "chicago");
+  EXPECT_EQ(tokens[0].pos, Pos::kUnknown);
+  EXPECT_EQ(tokens[1].text, "is");
+  EXPECT_EQ(tokens[1].pos, Pos::kToBe);
+  EXPECT_EQ(tokens[2].text, "big");
+  EXPECT_EQ(tokens[2].pos, Pos::kAdjective);
+}
+
+TEST(TokenizerTest, ExpandsContractions) {
+  Lexicon lexicon;
+  const auto tokens = Tokenize("I don't know", lexicon);
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].text, "do");
+  EXPECT_EQ(tokens[1].pos, Pos::kAux);
+  EXPECT_EQ(tokens[2].text, "n't");
+  EXPECT_EQ(tokens[2].pos, Pos::kNegation);
+}
+
+TEST(TokenizerTest, ExpandsIsnt) {
+  Lexicon lexicon;
+  const auto tokens = Tokenize("it isn't", lexicon);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "is");
+  EXPECT_EQ(tokens[2].text, "n't");
+}
+
+TEST(TokenizerTest, KeepsUnknownContractionWhole) {
+  Lexicon lexicon;
+  // "shan't" -> base "sha" unknown, kept whole.
+  const auto tokens = Tokenize("shan't", lexicon);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "shan't");
+}
+
+TEST(TokenizerTest, EmitsCommaAsPunctuation) {
+  Lexicon lexicon;
+  const auto tokens = Tokenize("a, b", lexicon);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, ",");
+  EXPECT_EQ(tokens[1].pos, Pos::kPunctuation);
+}
+
+TEST(TokenizerTest, DropsStrayCharacters) {
+  Lexicon lexicon;
+  const auto tokens = Tokenize("\"hello\" (world)", lexicon);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "world");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Lexicon lexicon;
+  EXPECT_TRUE(Tokenize("", lexicon).empty());
+  EXPECT_TRUE(Tokenize("   ", lexicon).empty());
+}
+
+TEST(TokenizerTest, HyphensAndDigitsStayInWords) {
+  Lexicon lexicon;
+  const auto tokens = Tokenize("well-known route66", lexicon);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "well-known");
+  EXPECT_EQ(tokens[1].text, "route66");
+}
+
+}  // namespace
+}  // namespace surveyor

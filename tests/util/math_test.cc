@@ -1,0 +1,103 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace surveyor {
+namespace {
+
+TEST(MathTest, LogFactorialSmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-6);
+}
+
+TEST(MathTest, PoissonPmfSumsToOne) {
+  const double lambda = 4.2;
+  double total = 0.0;
+  for (int k = 0; k < 60; ++k) total += PoissonPmf(k, lambda);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MathTest, PoissonPmfMatchesClosedForm) {
+  // P(k=3; lambda=2) = 2^3 e^-2 / 6
+  EXPECT_NEAR(PoissonPmf(3, 2.0), 8.0 * std::exp(-2.0) / 6.0, 1e-12);
+}
+
+TEST(MathTest, PoissonLogPmfHandlesZeroRate) {
+  // Zero counts under (clamped) zero rate are ~certain.
+  EXPECT_NEAR(PoissonLogPmf(0, 0.0), 0.0, 1e-9);
+  // Positive counts under zero rate are extremely unlikely but finite.
+  const double ll = PoissonLogPmf(3, 0.0);
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_LT(ll, -50.0);
+}
+
+TEST(MathTest, LogSumExpStable) {
+  EXPECT_NEAR(LogSumExp(0.0, 0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp(-1000.0, 0.0), 0.0, 1e-9);
+  EXPECT_NEAR(LogSumExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, SigmoidProperties) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(MathTest, MeanAndVariance) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(Mean({1, 2, 3, 4}), 2.5, 1e-12);
+  EXPECT_EQ(Variance({1.0}), 0.0);
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0, 1e-12);
+}
+
+TEST(MathTest, PercentileInterpolation) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(Percentile(values, 0), 1.0, 1e-12);
+  EXPECT_NEAR(Percentile(values, 100), 5.0, 1e-12);
+  EXPECT_NEAR(Percentile(values, 50), 3.0, 1e-12);
+  EXPECT_NEAR(Percentile(values, 25), 2.0, 1e-12);
+  EXPECT_NEAR(Percentile(values, 10), 1.4, 1e-12);
+}
+
+TEST(MathTest, PercentileUnsortedInput) {
+  EXPECT_NEAR(Percentile({5, 1, 3, 2, 4}, 50), 3.0, 1e-12);
+}
+
+TEST(MathTest, PercentileEmptyAndSingle) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+  EXPECT_EQ(Percentile({42.0}, 99), 42.0);
+}
+
+TEST(MathTest, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(MathTest, PearsonZeroVariance) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(MathTest, SpearmanMonotoneNonlinear) {
+  // Monotone but nonlinear relation: Spearman is exactly 1.
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(MathTest, SpearmanHandlesTies) {
+  std::vector<double> x = {1, 2, 2, 3};
+  std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(MathTest, SpearmanShortInput) {
+  EXPECT_EQ(SpearmanCorrelation({1.0}, {2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace surveyor

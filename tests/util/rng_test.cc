@@ -1,0 +1,181 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace surveyor {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 15);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng split = a.Split();
+  // The split stream must not replay the parent's stream.
+  Rng parent_copy(7);
+  parent_copy.Next();  // advance past the split draw
+  int collisions = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (split.Next() == parent_copy.Next()) ++collisions;
+  }
+  EXPECT_LT(collisions, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 10000; ++i) ++histogram[rng.UniformInt(uint64_t{10})];
+  for (int count : histogram) EXPECT_GT(count, 700);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(15);
+  int successes = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) successes += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(successes) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(variance, 4.0, 0.15);
+}
+
+TEST(RngTest, PoissonSmallMeanMoments) {
+  Rng rng(21);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(2.5));
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(RngTest, PoissonLargeMeanMoments) {
+  Rng rng(23);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(25);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, BinomialBounds) {
+  Rng rng(27);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t draw = rng.Binomial(100, 0.5);
+    EXPECT_GE(draw, 0);
+    EXPECT_LE(draw, 100);
+  }
+}
+
+TEST(RngTest, BinomialMeanSmallN) {
+  Rng rng(29);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Binomial(20, 0.25));
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BinomialMeanLargeNSmallP) {
+  Rng rng(31);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Binomial(100000, 1e-4));
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(RngTest, BinomialDegenerate) {
+  Rng rng(33);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.Binomial(10, 0.0), 0);
+  EXPECT_EQ(rng.Binomial(10, 1.0), 10);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(35);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t rank = rng.Zipf(1000, 1.1);
+    EXPECT_LT(rank, 1000u);
+    if (rank < 10) ++low;
+    if (rank >= 500) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+}  // namespace
+}  // namespace surveyor

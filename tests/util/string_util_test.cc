@@ -1,0 +1,55 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace surveyor {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc \n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("San Francisco"), "san francisco");
+  EXPECT_EQ(ToLower("ABC123"), "abc123");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace surveyor

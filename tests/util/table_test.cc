@@ -1,0 +1,36 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace surveyor {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"Name", "Value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string output = os.str();
+  EXPECT_NE(output.find("Name"), std::string::npos);
+  EXPECT_NE(output.find("long-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(output.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(0.7777, 2), "0.78");
+  EXPECT_EQ(TextTable::Num(3.0, 0), "3");
+}
+
+TEST(TextTableTest, EmptyTableStillPrintsHeader) {
+  TextTable table({"OnlyHeader"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("OnlyHeader"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -1,0 +1,367 @@
+// surveyor_cli — command-line front end for the Surveyor library.
+//
+//   surveyor_cli worldgen <scenario> <outdir> [authors]
+//       Generates a synthetic world + Web corpus and writes kb.tsv,
+//       lexicon.tsv and corpus.tsv to <outdir>.
+//       Scenarios: tiny, paper, bigcity, webscale.
+//
+//   surveyor_cli mine <dir> [--min-statements N] [--threshold T]
+//                     [--domain D] [--out FILE] [--provenance N]
+//       Runs the full pipeline over <dir>/corpus.tsv with <dir>/kb.tsv and
+//       <dir>/lexicon.tsv; writes the mined opinions (default
+//       <dir>/opinions.tsv). With --provenance N, also writes up to N
+//       supporting document references per pair to <dir>/provenance.tsv.
+//
+//   surveyor_cli query <dir> <type> <property> [limit]
+//       Answers a subjective query ("city big") from mined opinions.
+//
+//   surveyor_cli profile <dir> <entity>
+//       Prints every mined property of an entity.
+//
+//   surveyor_cli repl <dir>
+//       Interactive subjective search: "<type> <property>" queries,
+//       "profile <entity>", "quit".
+//
+//   surveyor_cli score <dir>
+//       Scores <dir>/opinions.tsv against the simulator's oracle
+//       (<dir>/truth.tsv): coverage, precision and F1 per type and
+//       overall.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/worlds.h"
+#include "corpus/world_io.h"
+#include "kb/kb_io.h"
+#include "surveyor/opinion_store.h"
+#include "surveyor/pipeline.h"
+#include "text/lexicon_io.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace surveyor {
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  surveyor_cli worldgen <tiny|paper|bigcity|webscale> <outdir> "
+         "[authors]\n"
+      << "  surveyor_cli mine <dir> [--min-statements N] [--threshold T]"
+         " [--domain D] [--out FILE] [--provenance N]\n"
+      << "  surveyor_cli query <dir> <type> <property> [limit]\n"
+      << "  surveyor_cli profile <dir> <entity>\n"
+      << "  surveyor_cli repl <dir>\n"
+      << "  surveyor_cli score <dir>\n";
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+StatusOr<WorldConfig> ScenarioConfig(const std::string& name) {
+  if (name == "tiny") return MakeTinyWorldConfig();
+  if (name == "paper") return MakePaperWorldConfig();
+  if (name == "bigcity") return MakeBigCityWorldConfig();
+  if (name == "webscale") return MakeWebScaleWorldConfig();
+  return Status::InvalidArgument("unknown scenario '" + name + "'");
+}
+
+int RunWorldgen(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto config = ScenarioConfig(args[0]);
+  if (!config.ok()) return Fail(config.status());
+  const std::string outdir = args[1];
+
+  auto world = World::Generate(*config);
+  if (!world.ok()) return Fail(world.status());
+
+  GeneratorOptions options;
+  options.author_population = args.size() > 2 ? std::atof(args[2].c_str())
+                                              : 2000.0;
+  const std::vector<RawDocument> corpus =
+      CorpusGenerator(&*world, options).Generate();
+
+  Status status = SaveKnowledgeBaseToFile(world->kb(), outdir + "/kb.tsv");
+  if (!status.ok()) return Fail(status);
+  status = SaveLexiconToFile(world->lexicon(), outdir + "/lexicon.tsv");
+  if (!status.ok()) return Fail(status);
+  status = SaveCorpusToFile(corpus, outdir + "/corpus.tsv");
+  if (!status.ok()) return Fail(status);
+  // The simulator's oracle, for scoring mined opinions externally.
+  status = SaveGroundTruthToFile(*world, outdir + "/truth.tsv");
+  if (!status.ok()) return Fail(status);
+
+  std::cout << "wrote " << outdir << "/{kb,lexicon,corpus,truth}.tsv: "
+            << world->kb().num_entities() << " entities, " << corpus.size()
+            << " documents\n";
+  return 0;
+}
+
+struct LoadedWorkspace {
+  KnowledgeBase kb;
+  Lexicon lexicon;
+};
+
+StatusOr<LoadedWorkspace> LoadWorkspace(const std::string& dir) {
+  LoadedWorkspace ws;
+  SURVEYOR_ASSIGN_OR_RETURN(ws.kb, LoadKnowledgeBaseFromFile(dir + "/kb.tsv"));
+  SURVEYOR_ASSIGN_OR_RETURN(ws.lexicon,
+                            LoadLexiconFromFile(dir + "/lexicon.tsv"));
+  return ws;
+}
+
+int RunMine(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const std::string dir = args[0];
+  SurveyorConfig config;
+  std::string domain;
+  std::string out = dir + "/opinions.tsv";
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string& {
+      static const std::string empty;
+      return i + 1 < args.size() ? args[++i] : empty;
+    };
+    if (args[i] == "--min-statements") {
+      config.min_statements = std::atoll(next().c_str());
+    } else if (args[i] == "--threshold") {
+      config.decision_threshold = std::atof(next().c_str());
+    } else if (args[i] == "--domain") {
+      domain = next();
+    } else if (args[i] == "--out") {
+      out = next();
+    } else if (args[i] == "--provenance") {
+      config.max_provenance_samples = std::atoi(next().c_str());
+    } else {
+      std::cerr << "unknown flag '" << args[i] << "'\n";
+      return Usage();
+    }
+  }
+
+  auto workspace = LoadWorkspace(dir);
+  if (!workspace.ok()) return Fail(workspace.status());
+  auto corpus = LoadCorpusFromFile(dir + "/corpus.tsv");
+  if (!corpus.ok()) return Fail(corpus.status());
+  const std::vector<RawDocument> input = FilterByDomain(*corpus, domain);
+
+  SurveyorPipeline pipeline(&workspace->kb, &workspace->lexicon, config);
+  auto result = pipeline.Run(input);
+  if (!result.ok()) return Fail(result.status());
+
+  OpinionStore store(&workspace->kb);
+  store.AddAll(*result);
+  Status status = store.SaveToFile(out);
+  if (!status.ok()) return Fail(status);
+
+  if (config.max_provenance_samples > 0) {
+    std::ofstream prov(dir + "/provenance.tsv");
+    if (!prov) return Fail(Status::NotFound("cannot write provenance.tsv"));
+    prov << "# entity <tab> property <tab> doc_id:sentence:polarity ...\n";
+    for (const auto& [key, refs] : result->provenance) {
+      prov << workspace->kb.entity(key.first).canonical_name << "\t"
+           << key.second;
+      for (const StatementRef& ref : refs) {
+        prov << "\t" << ref.doc_id << ":" << ref.sentence_index << ":"
+             << (ref.positive ? "+" : "-");
+      }
+      prov << "\n";
+    }
+  }
+
+  const PipelineStats& stats = result->stats;
+  std::cout << StrFormat(
+      "mined %lld opinions from %lld documents (%lld statements, "
+      "%lld/%lld property-type pairs kept) -> %s\n",
+      static_cast<long long>(stats.num_opinions),
+      static_cast<long long>(stats.num_documents),
+      static_cast<long long>(stats.num_statements),
+      static_cast<long long>(stats.num_kept_property_type_pairs),
+      static_cast<long long>(stats.num_property_type_pairs), out.c_str());
+  return 0;
+}
+
+StatusOr<OpinionStore> LoadOpinions(const LoadedWorkspace& workspace,
+                                    const std::string& dir) {
+  OpinionStore store(&workspace.kb);
+  SURVEYOR_RETURN_IF_ERROR(store.LoadFromFile(dir + "/opinions.tsv"));
+  return store;
+}
+
+int RunQuery(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  auto workspace = LoadWorkspace(args[0]);
+  if (!workspace.ok()) return Fail(workspace.status());
+  auto store = LoadOpinions(*workspace, args[0]);
+  if (!store.ok()) return Fail(store.status());
+  auto type = workspace->kb.TypeByName(args[1]);
+  if (!type.ok()) return Fail(type.status());
+  const size_t limit = args.size() > 3
+                           ? static_cast<size_t>(std::atoll(args[3].c_str()))
+                           : 15;
+
+  TextTable table({args[2] + " " + Lexicon::Pluralize(args[1]),
+                   "probability"});
+  for (const PairOpinion& opinion : store->Query(*type, args[2], limit)) {
+    table.AddRow({workspace->kb.entity(opinion.entity).canonical_name,
+                  TextTable::Num(opinion.probability, 3)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunProfile(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto workspace = LoadWorkspace(args[0]);
+  if (!workspace.ok()) return Fail(workspace.status());
+  auto store = LoadOpinions(*workspace, args[0]);
+  if (!store.ok()) return Fail(store.status());
+  const std::vector<EntityId> ids = workspace->kb.EntitiesByName(args[1]);
+  if (ids.empty()) {
+    return Fail(Status::NotFound("unknown entity '" + args[1] + "'"));
+  }
+
+  for (EntityId id : ids) {
+    const Entity& entity = workspace->kb.entity(id);
+    std::cout << entity.canonical_name << " ("
+              << workspace->kb.TypeName(entity.most_notable_type) << ")\n";
+    TextTable table({"property", "polarity", "probability"});
+    for (const PairOpinion& opinion : store->PropertiesOf(id)) {
+      table.AddRow({opinion.property,
+                    std::string(PolarityName(opinion.polarity)),
+                    TextTable::Num(opinion.probability, 3)});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
+int RunRepl(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto workspace = LoadWorkspace(args[0]);
+  if (!workspace.ok()) return Fail(workspace.status());
+  auto store = LoadOpinions(*workspace, args[0]);
+  if (!store.ok()) return Fail(store.status());
+
+  std::cout << "subjective search over " << store->size()
+            << " mined opinions. Try \"city big\" or \"profile <entity>\"; "
+               "\"quit\" exits.\n";
+  std::string line;
+  while (std::cout << "> " && std::getline(std::cin, line)) {
+    const std::vector<std::string> words = SplitWhitespace(line);
+    if (words.empty()) continue;
+    if (words[0] == "quit" || words[0] == "exit") break;
+    if (words[0] == "profile" && words.size() >= 2) {
+      std::string name = words[1];
+      for (size_t w = 2; w < words.size(); ++w) name += " " + words[w];
+      const std::vector<EntityId> ids = workspace->kb.EntitiesByName(name);
+      if (ids.empty()) {
+        std::cout << "unknown entity '" << name << "'\n";
+        continue;
+      }
+      for (const PairOpinion& opinion : store->PropertiesOf(ids[0])) {
+        std::cout << "  " << PolarityName(opinion.polarity) << " "
+                  << opinion.property << " ("
+                  << TextTable::Num(opinion.probability, 3) << ")\n";
+      }
+      continue;
+    }
+    if (words.size() >= 2) {
+      auto type = workspace->kb.TypeByName(words[0]);
+      if (!type.ok()) {
+        std::cout << "unknown type '" << words[0] << "'\n";
+        continue;
+      }
+      const auto results = store->Query(*type, words[1], 10);
+      if (results.empty()) {
+        std::cout << "no " << words[1] << " " << Lexicon::Pluralize(words[0])
+                  << " found\n";
+      }
+      for (const PairOpinion& opinion : results) {
+        std::cout << "  "
+                  << workspace->kb.entity(opinion.entity).canonical_name
+                  << " (" << TextTable::Num(opinion.probability, 3) << ")\n";
+      }
+      continue;
+    }
+    std::cout << "usage: <type> <property> | profile <entity> | quit\n";
+  }
+  return 0;
+}
+
+int RunScore(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto workspace = LoadWorkspace(args[0]);
+  if (!workspace.ok()) return Fail(workspace.status());
+  auto store = LoadOpinions(*workspace, args[0]);
+  if (!store.ok()) return Fail(store.status());
+  auto truth =
+      LoadGroundTruthFromFile(args[0] + "/truth.tsv", workspace->kb);
+  if (!truth.ok()) return Fail(truth.status());
+
+  // Per-type tallies plus an overall row.
+  struct Tally {
+    int64_t total = 0;
+    int64_t solved = 0;
+    int64_t correct = 0;
+  };
+  std::map<TypeId, Tally> per_type;
+  Tally overall;
+  for (const auto& [key, polarity] : *truth) {
+    const TypeId type = workspace->kb.entity(key.first).most_notable_type;
+    Tally& tally = per_type[type];
+    ++tally.total;
+    ++overall.total;
+    auto mined = store->Lookup(key.first, key.second);
+    if (!mined.ok()) continue;
+    ++tally.solved;
+    ++overall.solved;
+    if (mined->polarity == polarity) {
+      ++tally.correct;
+      ++overall.correct;
+    }
+  }
+
+  TextTable table({"type", "cases", "coverage", "precision", "F1"});
+  auto add_row = [&](const std::string& label, const Tally& tally) {
+    const double coverage =
+        tally.total > 0 ? static_cast<double>(tally.solved) / tally.total : 0;
+    const double precision =
+        tally.solved > 0 ? static_cast<double>(tally.correct) / tally.solved
+                         : 0;
+    const double f1 = (coverage + precision) > 0
+                          ? 2 * coverage * precision / (coverage + precision)
+                          : 0;
+    table.AddRow({label, StrFormat("%lld", (long long)tally.total),
+                  TextTable::Num(coverage), TextTable::Num(precision),
+                  TextTable::Num(f1)});
+  };
+  for (const auto& [type, tally] : per_type) {
+    add_row(workspace->kb.TypeName(type), tally);
+  }
+  add_row("OVERALL", overall);
+  table.Print(std::cout);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "worldgen") return RunWorldgen(args);
+  if (command == "mine") return RunMine(args);
+  if (command == "query") return RunQuery(args);
+  if (command == "profile") return RunProfile(args);
+  if (command == "repl") return RunRepl(args);
+  if (command == "score") return RunScore(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace surveyor
+
+int main(int argc, char** argv) { return surveyor::Main(argc, argv); }
