@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_objective_link.dir/extension_objective_link.cc.o"
+  "CMakeFiles/extension_objective_link.dir/extension_objective_link.cc.o.d"
+  "extension_objective_link"
+  "extension_objective_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_objective_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_empirical_study.dir/fig03_empirical_study.cc.o"
+  "CMakeFiles/fig03_empirical_study.dir/fig03_empirical_study.cc.o.d"
+  "fig03_empirical_study"
+  "fig03_empirical_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_empirical_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

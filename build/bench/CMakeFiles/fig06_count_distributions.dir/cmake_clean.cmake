@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_count_distributions.dir/fig06_count_distributions.cc.o"
+  "CMakeFiles/fig06_count_distributions.dir/fig06_count_distributions.cc.o.d"
+  "fig06_count_distributions"
+  "fig06_count_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_count_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

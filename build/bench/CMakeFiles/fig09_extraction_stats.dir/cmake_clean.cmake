@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_extraction_stats.dir/fig09_extraction_stats.cc.o"
+  "CMakeFiles/fig09_extraction_stats.dir/fig09_extraction_stats.cc.o.d"
+  "fig09_extraction_stats"
+  "fig09_extraction_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_extraction_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_amt_cute_animals.dir/fig10_amt_cute_animals.cc.o"
+  "CMakeFiles/fig10_amt_cute_animals.dir/fig10_amt_cute_animals.cc.o.d"
+  "fig10_amt_cute_animals"
+  "fig10_amt_cute_animals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_amt_cute_animals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

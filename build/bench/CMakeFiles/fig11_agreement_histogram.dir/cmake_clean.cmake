@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_agreement_histogram.dir/fig11_agreement_histogram.cc.o"
+  "CMakeFiles/fig11_agreement_histogram.dir/fig11_agreement_histogram.cc.o.d"
+  "fig11_agreement_histogram"
+  "fig11_agreement_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_agreement_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_agreement_sweep.dir/fig12_agreement_sweep.cc.o"
+  "CMakeFiles/fig12_agreement_sweep.dir/fig12_agreement_sweep.cc.o.d"
+  "fig12_agreement_sweep"
+  "fig12_agreement_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_agreement_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

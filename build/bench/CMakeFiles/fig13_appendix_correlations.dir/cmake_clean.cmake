@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_appendix_correlations.dir/fig13_appendix_correlations.cc.o"
+  "CMakeFiles/fig13_appendix_correlations.dir/fig13_appendix_correlations.cc.o.d"
+  "fig13_appendix_correlations"
+  "fig13_appendix_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_appendix_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_example_extractions.dir/table1_example_extractions.cc.o"
+  "CMakeFiles/table1_example_extractions.dir/table1_example_extractions.cc.o.d"
+  "table1_example_extractions"
+  "table1_example_extractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_example_extractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

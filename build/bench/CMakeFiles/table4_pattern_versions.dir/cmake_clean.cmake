@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pattern_versions.dir/table4_pattern_versions.cc.o"
+  "CMakeFiles/table4_pattern_versions.dir/table4_pattern_versions.cc.o.d"
+  "table4_pattern_versions"
+  "table4_pattern_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pattern_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_random_sample.dir/table5_random_sample.cc.o"
+  "CMakeFiles/table5_random_sample.dir/table5_random_sample.cc.o.d"
+  "table5_random_sample"
+  "table5_random_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_random_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

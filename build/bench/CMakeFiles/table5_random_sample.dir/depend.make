@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_random_sample.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_cities.dir/big_cities.cpp.o"
+  "CMakeFiles/big_cities.dir/big_cities.cpp.o.d"
+  "big_cities"
+  "big_cities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_cities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

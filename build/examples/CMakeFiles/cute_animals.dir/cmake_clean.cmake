@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cute_animals.dir/cute_animals.cpp.o"
+  "CMakeFiles/cute_animals.dir/cute_animals.cpp.o.d"
+  "cute_animals"
+  "cute_animals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cute_animals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

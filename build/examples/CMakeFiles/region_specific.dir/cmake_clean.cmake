@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_specific.dir/region_specific.cpp.o"
+  "CMakeFiles/region_specific.dir/region_specific.cpp.o.d"
+  "region_specific"
+  "region_specific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_specific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

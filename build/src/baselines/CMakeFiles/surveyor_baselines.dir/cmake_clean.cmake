@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_baselines.dir/majority_vote.cc.o"
+  "CMakeFiles/surveyor_baselines.dir/majority_vote.cc.o.d"
+  "CMakeFiles/surveyor_baselines.dir/webchild.cc.o"
+  "CMakeFiles/surveyor_baselines.dir/webchild.cc.o.d"
+  "libsurveyor_baselines.a"
+  "libsurveyor_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

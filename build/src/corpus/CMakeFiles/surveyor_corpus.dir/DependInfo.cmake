@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/surveyor_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/surveyor_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/name_generator.cc" "src/corpus/CMakeFiles/surveyor_corpus.dir/name_generator.cc.o" "gcc" "src/corpus/CMakeFiles/surveyor_corpus.dir/name_generator.cc.o.d"
+  "/root/repo/src/corpus/realizer.cc" "src/corpus/CMakeFiles/surveyor_corpus.dir/realizer.cc.o" "gcc" "src/corpus/CMakeFiles/surveyor_corpus.dir/realizer.cc.o.d"
+  "/root/repo/src/corpus/world.cc" "src/corpus/CMakeFiles/surveyor_corpus.dir/world.cc.o" "gcc" "src/corpus/CMakeFiles/surveyor_corpus.dir/world.cc.o.d"
+  "/root/repo/src/corpus/world_io.cc" "src/corpus/CMakeFiles/surveyor_corpus.dir/world_io.cc.o" "gcc" "src/corpus/CMakeFiles/surveyor_corpus.dir/world_io.cc.o.d"
+  "/root/repo/src/corpus/worlds.cc" "src/corpus/CMakeFiles/surveyor_corpus.dir/worlds.cc.o" "gcc" "src/corpus/CMakeFiles/surveyor_corpus.dir/worlds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/surveyor_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/surveyor_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/surveyor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surveyor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_corpus.dir/generator.cc.o"
+  "CMakeFiles/surveyor_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/surveyor_corpus.dir/name_generator.cc.o"
+  "CMakeFiles/surveyor_corpus.dir/name_generator.cc.o.d"
+  "CMakeFiles/surveyor_corpus.dir/realizer.cc.o"
+  "CMakeFiles/surveyor_corpus.dir/realizer.cc.o.d"
+  "CMakeFiles/surveyor_corpus.dir/world.cc.o"
+  "CMakeFiles/surveyor_corpus.dir/world.cc.o.d"
+  "CMakeFiles/surveyor_corpus.dir/world_io.cc.o"
+  "CMakeFiles/surveyor_corpus.dir/world_io.cc.o.d"
+  "CMakeFiles/surveyor_corpus.dir/worlds.cc.o"
+  "CMakeFiles/surveyor_corpus.dir/worlds.cc.o.d"
+  "libsurveyor_corpus.a"
+  "libsurveyor_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/amt.cc" "src/eval/CMakeFiles/surveyor_eval.dir/amt.cc.o" "gcc" "src/eval/CMakeFiles/surveyor_eval.dir/amt.cc.o.d"
+  "/root/repo/src/eval/bootstrap.cc" "src/eval/CMakeFiles/surveyor_eval.dir/bootstrap.cc.o" "gcc" "src/eval/CMakeFiles/surveyor_eval.dir/bootstrap.cc.o.d"
+  "/root/repo/src/eval/extraction_stats.cc" "src/eval/CMakeFiles/surveyor_eval.dir/extraction_stats.cc.o" "gcc" "src/eval/CMakeFiles/surveyor_eval.dir/extraction_stats.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/eval/CMakeFiles/surveyor_eval.dir/harness.cc.o" "gcc" "src/eval/CMakeFiles/surveyor_eval.dir/harness.cc.o.d"
+  "/root/repo/src/eval/hit_counter.cc" "src/eval/CMakeFiles/surveyor_eval.dir/hit_counter.cc.o" "gcc" "src/eval/CMakeFiles/surveyor_eval.dir/hit_counter.cc.o.d"
+  "/root/repo/src/eval/objective_link.cc" "src/eval/CMakeFiles/surveyor_eval.dir/objective_link.cc.o" "gcc" "src/eval/CMakeFiles/surveyor_eval.dir/objective_link.cc.o.d"
+  "/root/repo/src/eval/testcases.cc" "src/eval/CMakeFiles/surveyor_eval.dir/testcases.cc.o" "gcc" "src/eval/CMakeFiles/surveyor_eval.dir/testcases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/surveyor/CMakeFiles/surveyor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/surveyor_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/surveyor_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/extraction/CMakeFiles/surveyor_extraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/surveyor_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/surveyor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/surveyor_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surveyor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_eval.dir/amt.cc.o"
+  "CMakeFiles/surveyor_eval.dir/amt.cc.o.d"
+  "CMakeFiles/surveyor_eval.dir/bootstrap.cc.o"
+  "CMakeFiles/surveyor_eval.dir/bootstrap.cc.o.d"
+  "CMakeFiles/surveyor_eval.dir/extraction_stats.cc.o"
+  "CMakeFiles/surveyor_eval.dir/extraction_stats.cc.o.d"
+  "CMakeFiles/surveyor_eval.dir/harness.cc.o"
+  "CMakeFiles/surveyor_eval.dir/harness.cc.o.d"
+  "CMakeFiles/surveyor_eval.dir/hit_counter.cc.o"
+  "CMakeFiles/surveyor_eval.dir/hit_counter.cc.o.d"
+  "CMakeFiles/surveyor_eval.dir/objective_link.cc.o"
+  "CMakeFiles/surveyor_eval.dir/objective_link.cc.o.d"
+  "CMakeFiles/surveyor_eval.dir/testcases.cc.o"
+  "CMakeFiles/surveyor_eval.dir/testcases.cc.o.d"
+  "libsurveyor_eval.a"
+  "libsurveyor_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extraction/aggregator.cc" "src/extraction/CMakeFiles/surveyor_extraction.dir/aggregator.cc.o" "gcc" "src/extraction/CMakeFiles/surveyor_extraction.dir/aggregator.cc.o.d"
+  "/root/repo/src/extraction/extractor.cc" "src/extraction/CMakeFiles/surveyor_extraction.dir/extractor.cc.o" "gcc" "src/extraction/CMakeFiles/surveyor_extraction.dir/extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/surveyor_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/surveyor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/surveyor_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surveyor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

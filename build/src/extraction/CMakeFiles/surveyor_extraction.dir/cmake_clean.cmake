@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_extraction.dir/aggregator.cc.o"
+  "CMakeFiles/surveyor_extraction.dir/aggregator.cc.o.d"
+  "CMakeFiles/surveyor_extraction.dir/extractor.cc.o"
+  "CMakeFiles/surveyor_extraction.dir/extractor.cc.o.d"
+  "libsurveyor_extraction.a"
+  "libsurveyor_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

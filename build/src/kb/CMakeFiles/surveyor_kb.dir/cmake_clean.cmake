@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_kb.dir/kb_io.cc.o"
+  "CMakeFiles/surveyor_kb.dir/kb_io.cc.o.d"
+  "CMakeFiles/surveyor_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/surveyor_kb.dir/knowledge_base.cc.o.d"
+  "libsurveyor_kb.a"
+  "libsurveyor_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_model.dir/diagnostics.cc.o"
+  "CMakeFiles/surveyor_model.dir/diagnostics.cc.o.d"
+  "CMakeFiles/surveyor_model.dir/em.cc.o"
+  "CMakeFiles/surveyor_model.dir/em.cc.o.d"
+  "CMakeFiles/surveyor_model.dir/user_model.cc.o"
+  "CMakeFiles/surveyor_model.dir/user_model.cc.o.d"
+  "libsurveyor_model.a"
+  "libsurveyor_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_core.dir/mr_pipeline.cc.o"
+  "CMakeFiles/surveyor_core.dir/mr_pipeline.cc.o.d"
+  "CMakeFiles/surveyor_core.dir/opinion_store.cc.o"
+  "CMakeFiles/surveyor_core.dir/opinion_store.cc.o.d"
+  "CMakeFiles/surveyor_core.dir/pipeline.cc.o"
+  "CMakeFiles/surveyor_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/surveyor_core.dir/surveyor_classifier.cc.o"
+  "CMakeFiles/surveyor_core.dir/surveyor_classifier.cc.o.d"
+  "libsurveyor_core.a"
+  "libsurveyor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

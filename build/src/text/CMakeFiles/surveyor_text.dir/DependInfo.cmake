@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/annotator.cc" "src/text/CMakeFiles/surveyor_text.dir/annotator.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/annotator.cc.o.d"
+  "/root/repo/src/text/dependency.cc" "src/text/CMakeFiles/surveyor_text.dir/dependency.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/dependency.cc.o.d"
+  "/root/repo/src/text/document.cc" "src/text/CMakeFiles/surveyor_text.dir/document.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/document.cc.o.d"
+  "/root/repo/src/text/document_source.cc" "src/text/CMakeFiles/surveyor_text.dir/document_source.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/document_source.cc.o.d"
+  "/root/repo/src/text/entity_tagger.cc" "src/text/CMakeFiles/surveyor_text.dir/entity_tagger.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/entity_tagger.cc.o.d"
+  "/root/repo/src/text/lexicon.cc" "src/text/CMakeFiles/surveyor_text.dir/lexicon.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/lexicon.cc.o.d"
+  "/root/repo/src/text/lexicon_io.cc" "src/text/CMakeFiles/surveyor_text.dir/lexicon_io.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/lexicon_io.cc.o.d"
+  "/root/repo/src/text/parser.cc" "src/text/CMakeFiles/surveyor_text.dir/parser.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/parser.cc.o.d"
+  "/root/repo/src/text/token.cc" "src/text/CMakeFiles/surveyor_text.dir/token.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/token.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/surveyor_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/surveyor_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/surveyor_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surveyor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

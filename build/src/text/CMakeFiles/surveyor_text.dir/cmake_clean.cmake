@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_text.dir/annotator.cc.o"
+  "CMakeFiles/surveyor_text.dir/annotator.cc.o.d"
+  "CMakeFiles/surveyor_text.dir/dependency.cc.o"
+  "CMakeFiles/surveyor_text.dir/dependency.cc.o.d"
+  "CMakeFiles/surveyor_text.dir/document.cc.o"
+  "CMakeFiles/surveyor_text.dir/document.cc.o.d"
+  "CMakeFiles/surveyor_text.dir/document_source.cc.o"
+  "CMakeFiles/surveyor_text.dir/document_source.cc.o.d"
+  "CMakeFiles/surveyor_text.dir/entity_tagger.cc.o"
+  "CMakeFiles/surveyor_text.dir/entity_tagger.cc.o.d"
+  "CMakeFiles/surveyor_text.dir/lexicon.cc.o"
+  "CMakeFiles/surveyor_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/surveyor_text.dir/lexicon_io.cc.o"
+  "CMakeFiles/surveyor_text.dir/lexicon_io.cc.o.d"
+  "CMakeFiles/surveyor_text.dir/parser.cc.o"
+  "CMakeFiles/surveyor_text.dir/parser.cc.o.d"
+  "CMakeFiles/surveyor_text.dir/token.cc.o"
+  "CMakeFiles/surveyor_text.dir/token.cc.o.d"
+  "CMakeFiles/surveyor_text.dir/tokenizer.cc.o"
+  "CMakeFiles/surveyor_text.dir/tokenizer.cc.o.d"
+  "libsurveyor_text.a"
+  "libsurveyor_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_util.dir/logging.cc.o"
+  "CMakeFiles/surveyor_util.dir/logging.cc.o.d"
+  "CMakeFiles/surveyor_util.dir/math.cc.o"
+  "CMakeFiles/surveyor_util.dir/math.cc.o.d"
+  "CMakeFiles/surveyor_util.dir/rng.cc.o"
+  "CMakeFiles/surveyor_util.dir/rng.cc.o.d"
+  "CMakeFiles/surveyor_util.dir/status.cc.o"
+  "CMakeFiles/surveyor_util.dir/status.cc.o.d"
+  "CMakeFiles/surveyor_util.dir/string_util.cc.o"
+  "CMakeFiles/surveyor_util.dir/string_util.cc.o.d"
+  "CMakeFiles/surveyor_util.dir/table.cc.o"
+  "CMakeFiles/surveyor_util.dir/table.cc.o.d"
+  "CMakeFiles/surveyor_util.dir/threadpool.cc.o"
+  "CMakeFiles/surveyor_util.dir/threadpool.cc.o.d"
+  "libsurveyor_util.a"
+  "libsurveyor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

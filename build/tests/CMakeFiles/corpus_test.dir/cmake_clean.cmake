@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_test.dir/corpus/generator_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/generator_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/realizer_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/realizer_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/region_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/region_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/world_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/world_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/worlds_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/worlds_test.cc.o.d"
+  "corpus_test"
+  "corpus_test.pdb"
+  "corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

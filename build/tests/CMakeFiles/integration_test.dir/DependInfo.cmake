@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/property_sweep_test.cc" "tests/CMakeFiles/integration_test.dir/integration/property_sweep_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/property_sweep_test.cc.o.d"
+  "/root/repo/tests/integration/robustness_test.cc" "tests/CMakeFiles/integration_test.dir/integration/robustness_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/surveyor_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/surveyor_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/surveyor/CMakeFiles/surveyor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/surveyor_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/extraction/CMakeFiles/surveyor_extraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/surveyor_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/surveyor_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/surveyor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surveyor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_test.dir/surveyor/mr_pipeline_test.cc.o"
+  "CMakeFiles/surveyor_test.dir/surveyor/mr_pipeline_test.cc.o.d"
+  "CMakeFiles/surveyor_test.dir/surveyor/opinion_store_test.cc.o"
+  "CMakeFiles/surveyor_test.dir/surveyor/opinion_store_test.cc.o.d"
+  "CMakeFiles/surveyor_test.dir/surveyor/pipeline_test.cc.o"
+  "CMakeFiles/surveyor_test.dir/surveyor/pipeline_test.cc.o.d"
+  "surveyor_test"
+  "surveyor_test.pdb"
+  "surveyor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

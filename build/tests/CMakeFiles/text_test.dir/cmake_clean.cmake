@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_test.dir/text/annotator_test.cc.o"
+  "CMakeFiles/text_test.dir/text/annotator_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/dependency_test.cc.o"
+  "CMakeFiles/text_test.dir/text/dependency_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/document_source_test.cc.o"
+  "CMakeFiles/text_test.dir/text/document_source_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/entity_tagger_test.cc.o"
+  "CMakeFiles/text_test.dir/text/entity_tagger_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/io_test.cc.o"
+  "CMakeFiles/text_test.dir/text/io_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/lexicon_test.cc.o"
+  "CMakeFiles/text_test.dir/text/lexicon_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/parser_test.cc.o"
+  "CMakeFiles/text_test.dir/text/parser_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o.d"
+  "text_test"
+  "text_test.pdb"
+  "text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

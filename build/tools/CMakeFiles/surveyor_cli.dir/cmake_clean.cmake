@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveyor_cli.dir/surveyor_cli.cc.o"
+  "CMakeFiles/surveyor_cli.dir/surveyor_cli.cc.o.d"
+  "surveyor_cli"
+  "surveyor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveyor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
