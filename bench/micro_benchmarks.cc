@@ -1,12 +1,14 @@
 // google-benchmark micro-benchmarks for the hot paths: tokenization,
 // entity tagging, dependency parsing, evidence extraction, the EM
-// iteration, and posterior inference.
+// iteration, posterior inference, and the observability primitives.
 #include <benchmark/benchmark.h>
 
 #include "corpus/generator.h"
 #include "corpus/worlds.h"
 #include "extraction/extractor.h"
 #include "model/em.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/annotator.h"
 #include "text/tokenizer.h"
 #include "util/rng.h"
@@ -129,6 +131,57 @@ void BM_PosteriorInference(benchmark::State& state) {
   benchmark::DoNotOptimize(sum);
 }
 BENCHMARK(BM_PosteriorInference);
+
+// --- Observability primitives -----------------------------------------------
+// The instrumentation rides inside extraction/EM inner loops, so its cost
+// budget is tight: counter increment < 20 ns, disabled span < 5 ns.
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  static obs::MetricRegistry registry;
+  obs::Counter* counter = registry.GetCounter("bench_counter_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncrement)->ThreadRange(1, 8);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  static obs::MetricRegistry registry;
+  obs::Histogram* histogram = registry.GetHistogram("bench_histogram");
+  double value = 0.0;
+  for (auto _ : state) {
+    histogram->Record(value);
+    value += 1.0;
+    if (value > 100000.0) value = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Tracer::Global().SetEnabled(false);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.disabled");
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.enabled");
+    benchmark::DoNotOptimize(span);
+  }
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 }  // namespace
 }  // namespace surveyor

@@ -134,6 +134,7 @@ StatusOr<EmFitResult> EmLearner::Fit(
     for (double pa : options_.agreement_grid) {
       const ModelParams candidate = MaximizeGivenAgreement(stats, pa);
       const double q = EvaluateQ(stats, candidate);
+      ++result.grid_evaluations;
       if (q > best_q) {
         best_q = q;
         best_params = candidate;

@@ -1,6 +1,7 @@
 #ifndef SURVEYOR_MODEL_EM_H_
 #define SURVEYOR_MODEL_EM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "model/opinion.h"
@@ -41,6 +42,9 @@ struct EmFitResult {
   /// Observed-data log-likelihood after each iteration.
   std::vector<double> log_likelihood_trace;
   int iterations = 0;
+  /// Candidate (pA, closed-form mu's) evaluations across the grid search,
+  /// for instrumentation: iterations * |agreement_grid|.
+  int64_t grid_evaluations = 0;
   bool converged = false;
 
   double final_log_likelihood() const {

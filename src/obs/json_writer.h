@@ -1,0 +1,62 @@
+#ifndef SURVEYOR_OBS_JSON_WRITER_H_
+#define SURVEYOR_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surveyor {
+namespace obs {
+
+/// Minimal streaming JSON writer: handles commas, nesting and string
+/// escaping so exporters and the run report cannot emit malformed JSON.
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject().Key("n").Value(3).Key("xs").BeginArray()
+///       .Value("a").EndArray().EndObject();
+///   w.str();  // {"n":3,"xs":["a"]}
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by a value or container.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(double value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) {
+    return Value(std::string_view(value));
+  }
+
+  /// The document so far. Call after every container has been closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Emits a separating comma when needed (before a sibling element).
+  void Prefix();
+
+  std::string out_;
+  /// One flag per open container: has it emitted an element yet?
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+/// Appends `text` to `out` with JSON string escaping (no quotes added).
+void AppendJsonEscaped(std::string_view text, std::string* out);
+
+/// Renders a double the way JSON expects: integral values without an
+/// exponent where possible, non-finite values as null.
+std::string JsonNumber(double value);
+
+}  // namespace obs
+}  // namespace surveyor
+
+#endif  // SURVEYOR_OBS_JSON_WRITER_H_

@@ -1,0 +1,179 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+#include "util/logging.h"
+
+namespace surveyor {
+namespace obs {
+
+uint32_t CurrentThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+Histogram::Histogram(HistogramOptions options) {
+  SURVEYOR_CHECK_GT(options.num_finite_buckets, 0);
+  SURVEYOR_CHECK_GT(options.growth, 1.0);
+  SURVEYOR_CHECK_GT(options.first_bound, 0.0);
+  bounds_.reserve(static_cast<size_t>(options.num_finite_buckets));
+  double bound = options.first_bound;
+  for (int i = 0; i < options.num_finite_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+  buckets_ =
+      std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t b = 0; b <= bounds_.size(); ++b) buckets_[b] = 0;
+}
+
+void Histogram::Record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.Add(value);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t b = 0; b < counts.size(); ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::string_view MetricKindName(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter:
+      return "counter";
+    case MetricSnapshot::Kind::kGauge:
+      return "gauge";
+    case MetricSnapshot::Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return slot.get();
+}
+
+std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> snapshots;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshots.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, counter] : counters_) {
+      MetricSnapshot snapshot;
+      snapshot.name = name;
+      snapshot.kind = MetricSnapshot::Kind::kCounter;
+      snapshot.value = static_cast<double>(counter->Value());
+      snapshots.push_back(std::move(snapshot));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      MetricSnapshot snapshot;
+      snapshot.name = name;
+      snapshot.kind = MetricSnapshot::Kind::kGauge;
+      snapshot.value = gauge->Value();
+      snapshots.push_back(std::move(snapshot));
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      MetricSnapshot snapshot;
+      snapshot.name = name;
+      snapshot.kind = MetricSnapshot::Kind::kHistogram;
+      snapshot.value = histogram->Sum();
+      snapshot.count = histogram->Count();
+      snapshot.bucket_bounds = histogram->bucket_bounds();
+      snapshot.bucket_counts = histogram->BucketCounts();
+      snapshots.push_back(std::move(snapshot));
+    }
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snapshots;
+}
+
+std::string MetricRegistry::ToPrometheusText() const {
+  std::string out;
+  for (const MetricSnapshot& metric : Snapshot()) {
+    out += "# TYPE " + metric.name + " " +
+           std::string(MetricKindName(metric.kind)) + "\n";
+    if (metric.kind != MetricSnapshot::Kind::kHistogram) {
+      out += metric.name + " " + JsonNumber(metric.value) + "\n";
+      continue;
+    }
+    // Prometheus histograms are cumulative over the bucket bounds.
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < metric.bucket_bounds.size(); ++b) {
+      cumulative += metric.bucket_counts[b];
+      out += metric.name + "_bucket{le=\"" +
+             JsonNumber(metric.bucket_bounds[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric.name + "_bucket{le=\"+Inf\"} " +
+           std::to_string(metric.count) + "\n";
+    out += metric.name + "_sum " + JsonNumber(metric.value) + "\n";
+    out += metric.name + "_count " + std::to_string(metric.count) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void WriteMetricValue(const MetricSnapshot& metric, JsonWriter& writer) {
+  if (metric.kind != MetricSnapshot::Kind::kHistogram) {
+    writer.Value(metric.value);
+    return;
+  }
+  writer.BeginObject()
+      .Key("count")
+      .Value(metric.count)
+      .Key("sum")
+      .Value(metric.value)
+      .Key("bounds")
+      .BeginArray();
+  for (const double bound : metric.bucket_bounds) writer.Value(bound);
+  writer.EndArray().Key("buckets").BeginArray();
+  for (const int64_t count : metric.bucket_counts) writer.Value(count);
+  writer.EndArray().EndObject();
+}
+
+}  // namespace
+
+std::string MetricRegistry::ToJson() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  for (const MetricSnapshot& metric : Snapshot()) {
+    writer.Key(metric.name);
+    WriteMetricValue(metric, writer);
+  }
+  writer.EndObject();
+  return writer.str();
+}
+
+}  // namespace obs
+}  // namespace surveyor

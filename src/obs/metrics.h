@@ -1,0 +1,170 @@
+#ifndef SURVEYOR_OBS_METRICS_H_
+#define SURVEYOR_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surveyor {
+namespace obs {
+
+/// Number of independent atomic shards per counter. Worker threads hash to
+/// a shard, so concurrent increments from different threads almost never
+/// touch the same cache line — the laptop-scale version of the per-node
+/// counters the deployed Surveyor aggregated across 5000 machines.
+inline constexpr size_t kCounterShards = 16;
+
+/// Stable small index for the calling thread, assigned on first use.
+/// Shared by counters and spans to pick shards / label trace records.
+uint32_t CurrentThreadIndex();
+
+/// A monotonically increasing sum. Increment is wait-free (one relaxed
+/// atomic add on a thread-local shard); Value() folds the shards.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(int64_t delta = 1) {
+    shards_[CurrentThreadIndex() % kCounterShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Shard, kCounterShards> shards_{};
+};
+
+/// A value that can go up and down (queue depth, idle seconds, thread
+/// counts). Set/Add are atomic; Add uses a CAS loop so it works on
+/// toolchains without std::atomic<double>::fetch_add.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout of a histogram: fixed log-scaled upper bounds
+/// first_bound * growth^i for i in [0, num_finite_buckets), plus an
+/// implicit overflow bucket for values above the last bound.
+struct HistogramOptions {
+  double first_bound = 1.0;
+  double growth = 2.0;
+  int num_finite_buckets = 16;
+};
+
+/// A distribution with fixed log-scaled buckets. Record is lock-free (one
+/// atomic add on the bucket plus count/sum updates).
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.Value(); }
+
+  /// Finite upper bounds, ascending. A value lands in the first bucket
+  /// whose bound is >= value; values above the last bound land in the
+  /// overflow bucket.
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+
+  /// Per-bucket observation counts; size bucket_bounds().size() + 1, the
+  /// last entry being the overflow bucket.
+  std::vector<int64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  Gauge sum_;
+};
+
+/// A read-only copy of one metric, used by exporters and run reports.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// Counter/gauge value; histogram sum of observations.
+  double value = 0.0;
+  /// Histogram observation count (0 for counters/gauges).
+  int64_t count = 0;
+  std::vector<double> bucket_bounds;
+  std::vector<int64_t> bucket_counts;
+};
+
+std::string_view MetricKindName(MetricSnapshot::Kind kind);
+
+/// Owns named metrics. Lookup takes a mutex; hot paths resolve their
+/// metric pointers once and increment lock-free afterwards. Metric names
+/// follow the scheme surveyor_<stage>_<name> (see DESIGN.md §7).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// The pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          HistogramOptions options = {});
+
+  /// Copies every metric, sorted by name (counters, gauges and histograms
+  /// interleaved).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count
+  /// series for histograms).
+  std::string ToPrometheusText() const;
+
+  /// JSON object {"name": value, ...}; histograms expand to an object with
+  /// count/sum/buckets.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace surveyor
+
+#endif  // SURVEYOR_OBS_METRICS_H_

@@ -1,0 +1,45 @@
+#include "obs/progress.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace surveyor {
+namespace obs {
+
+ProgressReporter::ProgressReporter(double interval_seconds,
+                                   std::function<void()> report) {
+  SURVEYOR_CHECK_GT(interval_seconds, 0.0);
+  thread_ = std::thread([this, interval_seconds,
+                         report = std::move(report)] {
+    Loop(interval_seconds, report);
+  });
+}
+
+void ProgressReporter::Loop(double interval_seconds,
+                            const std::function<void()>& report) {
+  const auto interval = std::chrono::duration<double>(interval_seconds);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+      return;
+    }
+    // Report outside the lock so a slow sink cannot block the destructor.
+    lock.unlock();
+    report();
+    lock.lock();
+  }
+}
+
+ProgressReporter::~ProgressReporter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+}  // namespace obs
+}  // namespace surveyor

@@ -1,0 +1,40 @@
+#ifndef SURVEYOR_OBS_PROGRESS_H_
+#define SURVEYOR_OBS_PROGRESS_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace surveyor {
+namespace obs {
+
+/// Invokes a callback at a fixed interval from a background thread, for
+/// periodic progress lines during long streaming runs (docs/sec,
+/// statements/sec, queue depth). The callback runs only on the reporter
+/// thread and never after the destructor returns; destruction does not
+/// wait for the interval to elapse.
+class ProgressReporter {
+ public:
+  /// Starts reporting every `interval_seconds` (must be > 0). The first
+  /// call happens one interval after construction, so runs shorter than
+  /// the interval stay silent.
+  ProgressReporter(double interval_seconds, std::function<void()> report);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+ private:
+  void Loop(double interval_seconds, const std::function<void()>& report);
+
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace surveyor
+
+#endif  // SURVEYOR_OBS_PROGRESS_H_

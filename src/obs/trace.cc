@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace surveyor {
+namespace obs {
+namespace {
+
+/// Innermost live span on this thread; 0 at top level.
+thread_local uint64_t tls_current_span = 0;
+
+double SecondsSince(std::chrono::steady_clock::time_point from,
+                    std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  if (spans_.size() > capacity_) spans_.resize(capacity_);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  next_id_.store(1, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::chrono::steady_clock::time_point Tracer::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+void Tracer::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  std::vector<TraceSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans = spans_;
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.start_seconds != b.start_seconds) {
+                return a.start_seconds < b.start_seconds;
+              }
+              return a.id < b.id;
+            });
+  return spans;
+}
+
+uint64_t CurrentSpanId() { return tls_current_span; }
+
+void ScopedSpan::Start(std::string_view name, uint64_t parent_id) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  recording_ = true;
+  restore_parent_ = true;
+  id_ = tracer.NextId();
+  saved_parent_ = tls_current_span;
+  tls_current_span = id_;
+  name_ = std::string(name);
+  // Stash the parent in the saved slot only for linkage; the span record
+  // carries the explicit parent.
+  parent_id_for_record_ = parent_id;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  Start(name, tls_current_span);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, uint64_t parent_id) {
+  Start(name, parent_id);
+}
+
+void ScopedSpan::End() {
+  if (restore_parent_) {
+    tls_current_span = saved_parent_;
+    restore_parent_ = false;
+  }
+  if (!recording_) return;
+  recording_ = false;
+  Tracer& tracer = Tracer::Global();
+  const auto now = std::chrono::steady_clock::now();
+  final_seconds_ = SecondsSince(start_, now);
+  TraceSpan span;
+  span.id = id_;
+  span.parent_id = parent_id_for_record_;
+  span.name = std::move(name_);
+  span.thread_index = CurrentThreadIndex();
+  span.start_seconds = SecondsSince(tracer.epoch(), start_);
+  span.duration_seconds = final_seconds_;
+  tracer.Record(std::move(span));
+}
+
+ScopedSpan::~ScopedSpan() { End(); }
+
+double ScopedSpan::ElapsedSeconds() const {
+  if (recording_) {
+    return SecondsSince(start_, std::chrono::steady_clock::now());
+  }
+  return final_seconds_;
+}
+
+TraceSession::TraceSession(Tracer& tracer)
+    : tracer_(&tracer), previous_enabled_(tracer.enabled()) {
+  tracer_->Clear();
+  tracer_->SetEnabled(true);
+}
+
+TraceSession::~TraceSession() { tracer_->SetEnabled(previous_enabled_); }
+
+}  // namespace obs
+}  // namespace surveyor

@@ -1,0 +1,151 @@
+#ifndef SURVEYOR_OBS_TRACE_H_
+#define SURVEYOR_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surveyor {
+namespace obs {
+
+/// One completed tracing span. Times are relative to the tracer epoch
+/// (the last Clear()), so a run report is self-contained.
+struct TraceSpan {
+  uint64_t id = 0;
+  /// 0 for a root span.
+  uint64_t parent_id = 0;
+  std::string name;
+  /// Small per-process thread index (CurrentThreadIndex()).
+  uint32_t thread_index = 0;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+/// Bounded in-memory span buffer. Disabled by default: a SURVEYOR_SPAN in
+/// a hot loop costs one relaxed atomic load until tracing is switched on.
+/// Spans above the capacity are dropped and counted, never reallocated —
+/// tracing a web-scale run must not grow memory without bound.
+class Tracer {
+ public:
+  /// The process-wide tracer used by SURVEYOR_SPAN.
+  static Tracer& Global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Maximum buffered spans (default 16384); takes effect immediately.
+  void SetCapacity(size_t capacity);
+
+  /// Drops all buffered spans, resets ids, the drop counter and the epoch.
+  void Clear();
+
+  /// Copies the buffered spans, ordered by start time (ties by id), so
+  /// parents precede their children.
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// Spans discarded because the buffer was full since the last Clear().
+  int64_t dropped_spans() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // --- Used by ScopedSpan; not part of the public surface. ---
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  void Record(TraceSpan span);
+  std::chrono::steady_clock::time_point epoch() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<int64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  size_t capacity_ = 16384;
+  std::vector<TraceSpan> spans_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// The innermost live span id on this thread (0 when none). Capture it on
+/// the submitting thread and pass it to ScopedSpan on a worker thread to
+/// keep parent linkage across thread boundaries.
+uint64_t CurrentSpanId();
+
+/// RAII span: records wall time, thread index and parent linkage into the
+/// global tracer. When tracing is disabled the constructor is a single
+/// atomic load and nothing else runs.
+class ScopedSpan {
+ public:
+  /// Parent is the innermost live span of the current thread.
+  explicit ScopedSpan(std::string_view name);
+  /// Explicit parent, for spans that start on a different thread than the
+  /// logical parent (e.g. extraction shards under the "extract" span).
+  ScopedSpan(std::string_view name, uint64_t parent_id);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span early (idempotent); the destructor becomes a no-op.
+  void End();
+
+  /// Seconds since construction (after End(): the final duration).
+  /// 0 when the span is not recording (tracing disabled at construction).
+  double ElapsedSeconds() const;
+
+  /// This span's id (0 when not recording).
+  uint64_t id() const { return id_; }
+
+ private:
+  void Start(std::string_view name, uint64_t parent_id);
+
+  bool recording_ = false;
+  bool restore_parent_ = false;
+  uint64_t id_ = 0;
+  uint64_t saved_parent_ = 0;
+  uint64_t parent_id_for_record_ = 0;
+  double final_seconds_ = 0.0;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Scoped tracing session: clears the global tracer, enables it, and
+/// restores the previous enabled state on destruction. One pipeline run =
+/// one session; concurrent sessions interleave into the same buffer.
+class TraceSession {
+ public:
+  explicit TraceSession(Tracer& tracer = Tracer::Global());
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  std::vector<TraceSpan> Snapshot() const { return tracer_->Snapshot(); }
+  int64_t dropped_spans() const { return tracer_->dropped_spans(); }
+
+ private:
+  Tracer* tracer_;
+  bool previous_enabled_;
+};
+
+}  // namespace obs
+}  // namespace surveyor
+
+#define SURVEYOR_SPAN_CONCAT_INNER(a, b) a##b
+#define SURVEYOR_SPAN_CONCAT(a, b) SURVEYOR_SPAN_CONCAT_INNER(a, b)
+
+/// Declares an RAII tracing span covering the rest of the scope:
+///   SURVEYOR_SPAN("extract.shard");
+#define SURVEYOR_SPAN(name) \
+  ::surveyor::obs::ScopedSpan SURVEYOR_SPAN_CONCAT(_surveyor_span_, \
+                                                   __LINE__)(name)
+
+#endif  // SURVEYOR_OBS_TRACE_H_

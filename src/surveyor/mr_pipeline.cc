@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/trace.h"
 #include "text/annotator.h"
 
 namespace surveyor {
@@ -47,6 +48,7 @@ std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
   const EvidenceExtractor extractor(extraction);
 
   // --- Job 1: extract -----------------------------------------------------
+  obs::ScopedSpan extract_span("mr.extract");
   MapReduce<RawDocument, PairKey, EvidenceCounts, PairCounts, PairKeyHasher>
       extract_job(mr_options);
   const std::vector<PairCounts> pair_counts = extract_job.Run(
@@ -72,6 +74,7 @@ std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
         }
         return out;
       });
+  extract_span.End();
 
   // Precompute each entity's slot within its type's member list so the
   // grouping reducer is O(pairs) instead of O(pairs * type size).
@@ -84,6 +87,7 @@ std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
   }
 
   // --- Job 2: group by (most-notable type, property) -----------------------
+  obs::ScopedSpan group_span("mr.group");
   using EntityCounts = std::pair<EntityId, EvidenceCounts>;
   MapReduce<PairCounts, TypePropertyKey, EntityCounts, PropertyTypeEvidence,
             TypePropertyKeyHasher>
@@ -110,6 +114,7 @@ std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
         }
         return evidence;
       });
+  group_span.End();
 
   // --- rho filter + deterministic global order ------------------------------
   std::vector<PropertyTypeEvidence> kept;

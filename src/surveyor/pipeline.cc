@@ -1,10 +1,17 @@
 #include "surveyor/pipeline.h"
 
 #include <algorithm>
+#include <array>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "model/diagnostics.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
 
@@ -47,156 +54,319 @@ SurveyorPipeline::SurveyorPipeline(const KnowledgeBase* kb,
 
 namespace {
 
+constexpr int kNumPatternKinds = 4;
+
 size_t EffectiveThreads(int configured) {
   if (configured > 0) return static_cast<size_t>(configured);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : hw;
 }
 
+/// Counter handles of the extraction stage, resolved once per run so the
+/// per-document hot path is pure lock-free increments. Both the batch and
+/// the streaming path count through this one type, which is what keeps
+/// their PipelineStats in lockstep.
+struct ExtractionCounters {
+  explicit ExtractionCounters(obs::MetricRegistry& registry) {
+    documents = registry.GetCounter("surveyor_extract_documents_total");
+    sentences = registry.GetCounter("surveyor_extract_sentences_total");
+    parsed_sentences =
+        registry.GetCounter("surveyor_extract_parsed_sentences_total");
+    parse_failures =
+        registry.GetCounter("surveyor_extract_parse_failures_total");
+    statements = registry.GetCounter("surveyor_extract_statements_total");
+    negative_statements =
+        registry.GetCounter("surveyor_extract_negative_statements_total");
+    for (int kind = 0; kind < kNumPatternKinds; ++kind) {
+      by_pattern[static_cast<size_t>(kind)] = registry.GetCounter(
+          "surveyor_extract_statements_" +
+          std::string(PatternKindName(static_cast<PatternKind>(kind))) +
+          "_total");
+    }
+  }
+
+  void CountDocument(const AnnotatedDocument& doc,
+                     const std::vector<EvidenceStatement>& extracted) const {
+    documents->Increment();
+    sentences->Increment(static_cast<int64_t>(doc.sentences.size()));
+    int64_t parsed = 0;
+    for (const AnnotatedSentence& sentence : doc.sentences) {
+      if (sentence.parsed) ++parsed;
+    }
+    parsed_sentences->Increment(parsed);
+    parse_failures->Increment(static_cast<int64_t>(doc.sentences.size()) -
+                              parsed);
+    statements->Increment(static_cast<int64_t>(extracted.size()));
+    for (const EvidenceStatement& statement : extracted) {
+      if (!statement.positive) negative_statements->Increment();
+      by_pattern[static_cast<size_t>(statement.pattern)]->Increment();
+    }
+  }
+
+  obs::Counter* documents = nullptr;
+  obs::Counter* sentences = nullptr;
+  obs::Counter* parsed_sentences = nullptr;
+  obs::Counter* parse_failures = nullptr;
+  obs::Counter* statements = nullptr;
+  obs::Counter* negative_statements = nullptr;
+  std::array<obs::Counter*, kNumPatternKinds> by_pattern{};
+};
+
+/// Derives the extraction slice of PipelineStats from the registry — the
+/// registry is the single source of truth, the struct is a view.
+void FillExtractionStats(const ExtractionCounters& counters,
+                         obs::MetricRegistry& registry,
+                         const EvidenceAggregator& merged,
+                         PipelineStats* stats) {
+  registry.GetGauge("surveyor_extract_entity_property_pairs")
+      ->Set(static_cast<double>(merged.num_pairs()));
+  if (stats == nullptr) return;
+  stats->num_documents = counters.documents->Value();
+  stats->num_sentences = counters.sentences->Value();
+  stats->num_parsed_sentences = counters.parsed_sentences->Value();
+  stats->parse_failure_count = counters.parse_failures->Value();
+  stats->num_statements = counters.statements->Value();
+  stats->num_negative_statements = counters.negative_statements->Value();
+  stats->statements_by_pattern.clear();
+  for (int kind = 0; kind < kNumPatternKinds; ++kind) {
+    stats->statements_by_pattern[std::string(
+        PatternKindName(static_cast<PatternKind>(kind)))] =
+        counters.by_pattern[static_cast<size_t>(kind)]->Value();
+  }
+  stats->num_entity_property_pairs = static_cast<int64_t>(merged.num_pairs());
+}
+
+/// Copies a pool's usage counters into the registry under a stage prefix.
+void RecordPoolMetrics(obs::MetricRegistry& registry, const ThreadPool& pool,
+                       const std::string& stage) {
+  const ThreadPoolStats pool_stats = pool.stats();
+  registry.GetCounter("surveyor_" + stage + "_pool_tasks_total")
+      ->Increment(pool_stats.tasks_submitted);
+  registry.GetGauge("surveyor_" + stage + "_pool_idle_seconds")
+      ->Add(pool_stats.idle_seconds);
+  registry.GetGauge("surveyor_" + stage + "_pool_threads")
+      ->Set(static_cast<double>(pool.num_threads()));
+}
+
+/// Mirrors PipelineStats as name -> value for the run report, so report
+/// consumers can cross-check the struct against the raw counters.
+std::map<std::string, double> StatsToMap(const PipelineStats& stats) {
+  std::map<std::string, double> map = {
+      {"num_documents", static_cast<double>(stats.num_documents)},
+      {"num_sentences", static_cast<double>(stats.num_sentences)},
+      {"num_parsed_sentences",
+       static_cast<double>(stats.num_parsed_sentences)},
+      {"parse_failure_count", static_cast<double>(stats.parse_failure_count)},
+      {"num_statements", static_cast<double>(stats.num_statements)},
+      {"num_negative_statements",
+       static_cast<double>(stats.num_negative_statements)},
+      {"num_entity_property_pairs",
+       static_cast<double>(stats.num_entity_property_pairs)},
+      {"num_property_type_pairs",
+       static_cast<double>(stats.num_property_type_pairs)},
+      {"num_kept_property_type_pairs",
+       static_cast<double>(stats.num_kept_property_type_pairs)},
+      {"num_opinions", static_cast<double>(stats.num_opinions)},
+      {"extraction_seconds", stats.extraction_seconds},
+      {"grouping_seconds", stats.grouping_seconds},
+      {"em_seconds", stats.em_seconds},
+  };
+  for (const auto& [pattern, count] : stats.statements_by_pattern) {
+    map["statements_" + pattern] = static_cast<double>(count);
+  }
+  return map;
+}
+
+/// Final report assembly: metric snapshot, span tree, stage seconds and
+/// the PipelineStats mirror.
+void AssembleReport(obs::MetricRegistry& registry,
+                    const obs::TraceSession& trace,
+                    const PipelineStats& stats, obs::RunReport* report) {
+  report->metrics = registry.Snapshot();
+  report->spans = trace.Snapshot();
+  report->dropped_spans = trace.dropped_spans();
+  report->stage_seconds = {{"extract", stats.extraction_seconds},
+                           {"group", stats.grouping_seconds},
+                           {"em", stats.em_seconds}};
+  report->pipeline_stats = StatsToMap(stats);
+}
+
 }  // namespace
 
-EvidenceAggregator SurveyorPipeline::ExtractEvidence(
-    const std::vector<RawDocument>& corpus, PipelineStats* stats) const {
+EvidenceAggregator SurveyorPipeline::ExtractEvidenceWithRegistry(
+    const std::vector<RawDocument>& corpus, obs::MetricRegistry& registry,
+    PipelineStats* stats) const {
   const size_t num_threads = EffectiveThreads(config_.num_threads);
   ThreadPool pool(num_threads);
   const size_t num_shards = num_threads;
 
-  struct ShardState {
-    EvidenceAggregator aggregator;
-    int64_t sentences = 0;
-    int64_t parsed = 0;
-  };
-  std::vector<ShardState> shards(num_shards);
-  for (ShardState& shard : shards) {
-    shard.aggregator = EvidenceAggregator(config_.max_provenance_samples);
+  std::vector<EvidenceAggregator> shards(num_shards);
+  for (EvidenceAggregator& shard : shards) {
+    shard = EvidenceAggregator(config_.max_provenance_samples);
   }
 
+  ExtractionCounters counters(registry);
   TextAnnotator annotator(kb_, lexicon_, config_.tagger);
   EvidenceExtractor extractor(config_.extraction);
 
   // Documents are independent: shard them across workers, merge counters
   // at the end — the paper's map-reduce at thread scale.
+  const uint64_t parent_span = obs::CurrentSpanId();
   const size_t docs_per_shard = (corpus.size() + num_shards - 1) / num_shards;
   for (size_t shard = 0; shard < num_shards; ++shard) {
     const size_t begin = shard * docs_per_shard;
     const size_t end = std::min(corpus.size(), begin + docs_per_shard);
     if (begin >= end) continue;
-    pool.Submit([&, shard, begin, end] {
-      ShardState& state = shards[shard];
+    pool.Submit([&, shard, begin, end, parent_span] {
+      obs::ScopedSpan span("extract.shard", parent_span);
+      EvidenceAggregator& aggregator = shards[shard];
       for (size_t d = begin; d < end; ++d) {
         const AnnotatedDocument doc =
             annotator.AnnotateDocument(corpus[d].doc_id, corpus[d].text);
-        state.sentences += static_cast<int64_t>(doc.sentences.size());
-        for (const AnnotatedSentence& sentence : doc.sentences) {
-          if (sentence.parsed) ++state.parsed;
-        }
-        state.aggregator.AddAll(extractor.ExtractFromDocument(doc));
+        const std::vector<EvidenceStatement> statements =
+            extractor.ExtractFromDocument(doc);
+        counters.CountDocument(doc, statements);
+        aggregator.AddAll(statements);
       }
     });
   }
   pool.Wait();
 
   EvidenceAggregator merged(config_.max_provenance_samples);
-  int64_t sentences = 0;
-  int64_t parsed = 0;
-  for (const ShardState& state : shards) {
-    merged.Merge(state.aggregator);
-    sentences += state.sentences;
-    parsed += state.parsed;
-  }
-  if (stats != nullptr) {
-    stats->num_documents = static_cast<int64_t>(corpus.size());
-    stats->num_sentences = sentences;
-    stats->num_parsed_sentences = parsed;
-    stats->num_statements = merged.total_statements();
-    stats->num_entity_property_pairs = static_cast<int64_t>(merged.num_pairs());
-  }
+  for (const EvidenceAggregator& shard : shards) merged.Merge(shard);
+  RecordPoolMetrics(registry, pool, "extract");
+  FillExtractionStats(counters, registry, merged, stats);
   return merged;
+}
+
+EvidenceAggregator SurveyorPipeline::ExtractEvidenceStreamingWithRegistry(
+    DocumentSource& source, obs::MetricRegistry& registry,
+    PipelineStats* stats) const {
+  const size_t num_threads = EffectiveThreads(config_.num_threads);
+  ThreadPool pool(num_threads);
+
+  std::vector<EvidenceAggregator> shards(num_threads);
+  for (EvidenceAggregator& shard : shards) {
+    shard = EvidenceAggregator(config_.max_provenance_samples);
+  }
+
+  ExtractionCounters counters(registry);
+  TextAnnotator annotator(kb_, lexicon_, config_.tagger);
+  EvidenceExtractor extractor(config_.extraction);
+
+  // The snapshot never fits in memory, so the operator's only window into
+  // a streaming run is this periodic progress line.
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  if (config_.progress_interval_seconds > 0) {
+    struct RateState {
+      int64_t documents = 0;
+      int64_t statements = 0;
+      WallTimer timer;
+    };
+    auto previous = std::make_shared<RateState>();
+    obs::Counter* documents_counter = counters.documents;
+    obs::Counter* statements_counter = counters.statements;
+    ThreadPool* pool_ptr = &pool;
+    reporter = std::make_unique<obs::ProgressReporter>(
+        config_.progress_interval_seconds,
+        [previous, documents_counter, statements_counter, pool_ptr] {
+          const int64_t documents = documents_counter->Value();
+          const int64_t statements = statements_counter->Value();
+          const double seconds = previous->timer.ElapsedSeconds();
+          const double doc_rate =
+              seconds > 0 ? (documents - previous->documents) / seconds : 0.0;
+          const double statement_rate =
+              seconds > 0 ? (statements - previous->statements) / seconds
+                          : 0.0;
+          previous->documents = documents;
+          previous->statements = statements;
+          previous->timer.Reset();
+          SURVEYOR_LOG(Info) << StrFormat(
+              "extract: %lld docs (%.0f/s), %lld statements (%.0f/s), "
+              "queue depth %zu",
+              static_cast<long long>(documents), doc_rate,
+              static_cast<long long>(statements), statement_rate,
+              pool_ptr->queue_depth());
+        });
+  }
+
+  // Each worker pulls documents until the source runs dry; the source is
+  // the only point of coordination.
+  const uint64_t parent_span = obs::CurrentSpanId();
+  for (size_t shard = 0; shard < num_threads; ++shard) {
+    pool.Submit([&, shard, parent_span] {
+      obs::ScopedSpan span("extract.shard", parent_span);
+      EvidenceAggregator& aggregator = shards[shard];
+      for (;;) {
+        std::optional<RawDocument> doc = source.Next();
+        if (!doc.has_value()) return;
+        const AnnotatedDocument annotated =
+            annotator.AnnotateDocument(doc->doc_id, doc->text);
+        const std::vector<EvidenceStatement> statements =
+            extractor.ExtractFromDocument(annotated);
+        counters.CountDocument(annotated, statements);
+        aggregator.AddAll(statements);
+      }
+    });
+  }
+  pool.Wait();
+  reporter.reset();
+
+  EvidenceAggregator merged(config_.max_provenance_samples);
+  for (const EvidenceAggregator& shard : shards) merged.Merge(shard);
+  RecordPoolMetrics(registry, pool, "extract");
+  FillExtractionStats(counters, registry, merged, stats);
+  return merged;
+}
+
+EvidenceAggregator SurveyorPipeline::ExtractEvidence(
+    const std::vector<RawDocument>& corpus, PipelineStats* stats) const {
+  obs::MetricRegistry registry;
+  return ExtractEvidenceWithRegistry(corpus, registry, stats);
 }
 
 EvidenceAggregator SurveyorPipeline::ExtractEvidenceStreaming(
     DocumentSource& source, PipelineStats* stats) const {
-  const size_t num_threads = EffectiveThreads(config_.num_threads);
-  ThreadPool pool(num_threads);
-
-  struct ShardState {
-    EvidenceAggregator aggregator;
-    int64_t documents = 0;
-    int64_t sentences = 0;
-    int64_t parsed = 0;
-  };
-  std::vector<ShardState> shards(num_threads);
-  for (ShardState& shard : shards) {
-    shard.aggregator = EvidenceAggregator(config_.max_provenance_samples);
-  }
-
-  TextAnnotator annotator(kb_, lexicon_, config_.tagger);
-  EvidenceExtractor extractor(config_.extraction);
-
-  // Each worker pulls documents until the source runs dry; the source is
-  // the only point of coordination.
-  for (size_t shard = 0; shard < num_threads; ++shard) {
-    pool.Submit([&, shard] {
-      ShardState& state = shards[shard];
-      for (;;) {
-        std::optional<RawDocument> doc = source.Next();
-        if (!doc.has_value()) return;
-        ++state.documents;
-        const AnnotatedDocument annotated =
-            annotator.AnnotateDocument(doc->doc_id, doc->text);
-        state.sentences += static_cast<int64_t>(annotated.sentences.size());
-        for (const AnnotatedSentence& sentence : annotated.sentences) {
-          if (sentence.parsed) ++state.parsed;
-        }
-        state.aggregator.AddAll(extractor.ExtractFromDocument(annotated));
-      }
-    });
-  }
-  pool.Wait();
-
-  EvidenceAggregator merged(config_.max_provenance_samples);
-  int64_t documents = 0;
-  int64_t sentences = 0;
-  int64_t parsed = 0;
-  for (const ShardState& state : shards) {
-    merged.Merge(state.aggregator);
-    documents += state.documents;
-    sentences += state.sentences;
-    parsed += state.parsed;
-  }
-  if (stats != nullptr) {
-    stats->num_documents = documents;
-    stats->num_sentences = sentences;
-    stats->num_parsed_sentences = parsed;
-    stats->num_statements = merged.total_statements();
-    stats->num_entity_property_pairs = static_cast<int64_t>(merged.num_pairs());
-  }
-  return merged;
+  obs::MetricRegistry registry;
+  return ExtractEvidenceStreamingWithRegistry(source, registry, stats);
 }
 
-namespace {
-
 /// Shared tail of Run/RunStreaming: group, filter, learn, merge stats.
-StatusOr<PipelineResult> FinishRun(const SurveyorPipeline& pipeline,
-                                   const KnowledgeBase& kb,
-                                   const SurveyorConfig& config,
-                                   EvidenceAggregator aggregator,
-                                   PipelineStats stats) {
-  WallTimer timer;
-  std::vector<PropertyTypeEvidence> all_pairs =
-      aggregator.GroupByType(kb, /*min_statements=*/1);
-  stats.num_property_type_pairs = static_cast<int64_t>(all_pairs.size());
+StatusOr<PipelineResult> SurveyorPipeline::FinishRun(
+    EvidenceAggregator aggregator, PipelineStats stats,
+    obs::MetricRegistry& registry, obs::RunReport* report) const {
   std::vector<PropertyTypeEvidence> kept;
-  for (PropertyTypeEvidence& pair : all_pairs) {
-    if (pair.total_statements >= config.min_statements) {
-      kept.push_back(std::move(pair));
+  {
+    obs::ScopedSpan span("group");
+    std::vector<PropertyTypeEvidence> all_pairs =
+        aggregator.GroupByType(*kb_, /*min_statements=*/1);
+    obs::Counter* total_pairs =
+        registry.GetCounter("surveyor_group_property_type_pairs_total");
+    obs::Counter* kept_pairs =
+        registry.GetCounter("surveyor_group_pairs_kept_total");
+    obs::Counter* dropped_pairs =
+        registry.GetCounter("surveyor_group_pairs_dropped_total");
+    obs::Counter* dropped_statements =
+        registry.GetCounter("surveyor_group_statements_dropped_total");
+    total_pairs->Increment(static_cast<int64_t>(all_pairs.size()));
+    for (PropertyTypeEvidence& pair : all_pairs) {
+      if (pair.total_statements >= config_.min_statements) {
+        kept_pairs->Increment();
+        kept.push_back(std::move(pair));
+      } else {
+        dropped_pairs->Increment();
+        dropped_statements->Increment(pair.total_statements);
+      }
     }
+    stats.num_property_type_pairs = total_pairs->Value();
+    span.End();
+    stats.grouping_seconds = span.ElapsedSeconds();
   }
-  stats.grouping_seconds = timer.ElapsedSeconds();
 
-  SURVEYOR_ASSIGN_OR_RETURN(PipelineResult result,
-                            pipeline.RunFromEvidence(std::move(kept)));
-  if (config.max_provenance_samples > 0) {
+  SURVEYOR_ASSIGN_OR_RETURN(
+      PipelineResult result,
+      RunFromEvidenceWithRegistry(std::move(kept), registry, report));
+  if (config_.max_provenance_samples > 0) {
     for (auto& [entity, property, refs] :
          aggregator.AllSupportingStatements()) {
       result.provenance[{entity, property}] = std::move(refs);
@@ -212,33 +382,67 @@ StatusOr<PipelineResult> FinishRun(const SurveyorPipeline& pipeline,
   return result;
 }
 
-}  // namespace
-
 StatusOr<PipelineResult> SurveyorPipeline::RunStreaming(
     DocumentSource& source) const {
+  obs::MetricRegistry registry;
+  obs::TraceSession trace;
+  obs::RunReport report;
+  report.em.max_worst_fits = config_.report_worst_fits;
   PipelineStats stats;
-  WallTimer timer;
-  EvidenceAggregator aggregator = ExtractEvidenceStreaming(source, &stats);
-  stats.extraction_seconds = timer.ElapsedSeconds();
-  return FinishRun(*this, *kb_, config_, std::move(aggregator), stats);
+  StatusOr<PipelineResult> result = [&]() -> StatusOr<PipelineResult> {
+    obs::ScopedSpan root("pipeline.run");
+    EvidenceAggregator aggregator = [&] {
+      obs::ScopedSpan span("extract");
+      EvidenceAggregator extracted =
+          ExtractEvidenceStreamingWithRegistry(source, registry, &stats);
+      span.End();
+      stats.extraction_seconds = span.ElapsedSeconds();
+      return extracted;
+    }();
+    return FinishRun(std::move(aggregator), stats, registry, &report);
+  }();
+  if (!result.ok()) return result;
+  AssembleReport(registry, trace, result->stats, &report);
+  result->report = std::move(report);
+  return result;
 }
 
-StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
-    std::vector<PropertyTypeEvidence> evidence) const {
+StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
+    std::vector<PropertyTypeEvidence> evidence, obs::MetricRegistry& registry,
+    obs::RunReport* report) const {
   if (!(config_.decision_threshold >= 0.5 && config_.decision_threshold < 1.0)) {
     return Status::InvalidArgument("decision threshold must be in [0.5, 1)");
   }
   PipelineResult result;
   result.pairs.resize(evidence.size());
 
+  obs::Counter* fits = registry.GetCounter("surveyor_em_fits_total");
+  obs::Counter* iterations =
+      registry.GetCounter("surveyor_em_iterations_total");
+  obs::Counter* grid_evaluations =
+      registry.GetCounter("surveyor_em_grid_evaluations_total");
+  obs::Counter* convergence_failures =
+      registry.GetCounter("surveyor_em_convergence_failures_total");
+  obs::Histogram* iteration_histogram = registry.GetHistogram(
+      "surveyor_em_iterations",
+      obs::HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                            /*num_finite_buckets=*/8});
+
+  const bool collect_diagnostics =
+      config_.collect_fit_diagnostics && report != nullptr;
+  std::vector<obs::EmFitDiagnostics> fit_diagnostics(
+      collect_diagnostics ? evidence.size() : 0);
+
   const EmLearner learner(config_.em);
   ThreadPool pool(EffectiveThreads(config_.num_threads));
   std::mutex error_mutex;
   Status first_error = Status::OK();
 
-  WallTimer timer;
+  obs::ScopedSpan em_span("em");
+  const uint64_t em_parent = obs::CurrentSpanId();
   // Property-type combinations are independent: one EM per combination.
   ParallelFor(pool, evidence.size(), [&](size_t i) {
+    obs::ScopedSpan span("em.fit", em_parent);
     PropertyTypeResult& pair = result.pairs[i];
     pair.evidence = std::move(evidence[i]);
     auto fit = learner.Fit(pair.evidence.counts);
@@ -246,6 +450,25 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
       std::lock_guard<std::mutex> lock(error_mutex);
       if (first_error.ok()) first_error = fit.status();
       return;
+    }
+    fits->Increment();
+    iterations->Increment(fit->iterations);
+    grid_evaluations->Increment(fit->grid_evaluations);
+    if (!fit->converged) convergence_failures->Increment();
+    iteration_histogram->Record(static_cast<double>(fit->iterations));
+    if (collect_diagnostics) {
+      const ModelDiagnostics diagnostics =
+          DiagnoseFit(pair.evidence.counts, *fit);
+      obs::EmFitDiagnostics& out = fit_diagnostics[i];
+      out.type_name = kb_->TypeName(pair.evidence.type);
+      out.property = pair.evidence.property;
+      out.total_statements = pair.evidence.total_statements;
+      out.iterations = fit->iterations;
+      out.converged = fit->converged;
+      out.log_likelihood = diagnostics.log_likelihood;
+      out.aic = diagnostics.aic;
+      out.chi2_positive = diagnostics.positive_count_chi2;
+      out.chi2_negative = diagnostics.negative_count_chi2;
     }
     pair.params = fit->params;
     pair.posterior = std::move(fit->responsibilities);
@@ -257,25 +480,71 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
     }
   });
   if (!first_error.ok()) return first_error;
+  em_span.End();
+  RecordPoolMetrics(registry, pool, "em");
 
-  result.stats.em_seconds = timer.ElapsedSeconds();
-  result.stats.num_kept_property_type_pairs =
-      static_cast<int64_t>(result.pairs.size());
-  for (const PropertyTypeResult& pair : result.pairs) {
-    for (Polarity polarity : pair.polarity) {
-      if (polarity != Polarity::kNeutral) ++result.stats.num_opinions;
+  if (collect_diagnostics) {
+    report->em.max_worst_fits = config_.report_worst_fits;
+    for (obs::EmFitDiagnostics& diagnostics : fit_diagnostics) {
+      report->em.Add(std::move(diagnostics));
     }
   }
+
+  result.stats.em_seconds = em_span.ElapsedSeconds();
+  result.stats.num_kept_property_type_pairs =
+      static_cast<int64_t>(result.pairs.size());
+  obs::Counter* opinions =
+      registry.GetCounter("surveyor_infer_opinions_total");
+  obs::Counter* neutral = registry.GetCounter("surveyor_infer_neutral_total");
+  for (const PropertyTypeResult& pair : result.pairs) {
+    for (Polarity polarity : pair.polarity) {
+      if (polarity != Polarity::kNeutral) {
+        opinions->Increment();
+      } else {
+        neutral->Increment();
+      }
+    }
+  }
+  result.stats.num_opinions = opinions->Value();
+  return result;
+}
+
+StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
+    std::vector<PropertyTypeEvidence> evidence) const {
+  obs::MetricRegistry registry;
+  obs::TraceSession trace;
+  obs::RunReport report;
+  StatusOr<PipelineResult> result =
+      RunFromEvidenceWithRegistry(std::move(evidence), registry, &report);
+  if (!result.ok()) return result;
+  AssembleReport(registry, trace, result->stats, &report);
+  result->report = std::move(report);
   return result;
 }
 
 StatusOr<PipelineResult> SurveyorPipeline::Run(
     const std::vector<RawDocument>& corpus) const {
+  obs::MetricRegistry registry;
+  obs::TraceSession trace;
+  obs::RunReport report;
+  report.em.max_worst_fits = config_.report_worst_fits;
   PipelineStats stats;
-  WallTimer timer;
-  EvidenceAggregator aggregator = ExtractEvidence(corpus, &stats);
-  stats.extraction_seconds = timer.ElapsedSeconds();
-  return FinishRun(*this, *kb_, config_, std::move(aggregator), stats);
+  StatusOr<PipelineResult> result = [&]() -> StatusOr<PipelineResult> {
+    obs::ScopedSpan root("pipeline.run");
+    EvidenceAggregator aggregator = [&] {
+      obs::ScopedSpan span("extract");
+      EvidenceAggregator extracted =
+          ExtractEvidenceWithRegistry(corpus, registry, &stats);
+      span.End();
+      stats.extraction_seconds = span.ElapsedSeconds();
+      return extracted;
+    }();
+    return FinishRun(std::move(aggregator), stats, registry, &report);
+  }();
+  if (!result.ok()) return result;
+  AssembleReport(registry, trace, result->stats, &report);
+  result->report = std::move(report);
+  return result;
 }
 
 }  // namespace surveyor

@@ -10,6 +10,7 @@
 #include "extraction/extractor.h"
 #include "kb/knowledge_base.h"
 #include "model/em.h"
+#include "obs/report.h"
 #include "text/annotator.h"
 #include "text/document.h"
 #include "text/document_source.h"
@@ -35,6 +36,14 @@ struct SurveyorConfig {
   /// the paper's 5000-node cluster.
   int num_threads = 0;
   EntityTaggerOptions tagger;
+  /// Streaming extraction logs a progress line (docs/sec, statements/sec,
+  /// queue depth) every this many seconds; 0 disables the reporter.
+  double progress_interval_seconds = 5.0;
+  /// When true, Run* computes per-pair ModelDiagnostics and aggregates
+  /// them into the run report (worst-chi2 misfit ranking).
+  bool collect_fit_diagnostics = true;
+  /// How many worst-fitting pairs the run report keeps.
+  int report_worst_fits = 10;
 };
 
 /// Fitted model and inferences for one property-type combination.
@@ -58,12 +67,19 @@ struct PairOpinion {
 };
 
 /// Throughput and volume statistics of one pipeline run (the Section 7.1
-/// numbers at laptop scale).
+/// numbers at laptop scale). Every counter is derived from the run's
+/// metrics registry, so Run and RunStreaming cannot drift and the values
+/// match the run report exactly.
 struct PipelineStats {
   int64_t num_documents = 0;
   int64_t num_sentences = 0;
   int64_t num_parsed_sentences = 0;
+  int64_t parse_failure_count = 0;         ///< sentences the parser rejected
   int64_t num_statements = 0;
+  int64_t num_negative_statements = 0;     ///< polarity flipped by negation
+  /// Statements per extraction pattern, keyed by PatternKindName
+  /// ("amod", "acomp", "conj", "xcomp").
+  std::map<std::string, int64_t> statements_by_pattern;
   int64_t num_entity_property_pairs = 0;   ///< pairs with evidence (60M analog)
   int64_t num_property_type_pairs = 0;     ///< before the rho filter (7M analog)
   int64_t num_kept_property_type_pairs = 0;  ///< after the filter (380k analog)
@@ -77,6 +93,9 @@ struct PipelineStats {
 struct PipelineResult {
   std::vector<PropertyTypeResult> pairs;
   PipelineStats stats;
+  /// Machine-readable run artifact: every metric, the span tree, stage
+  /// seconds and aggregate EM diagnostics (see DESIGN.md §7).
+  obs::RunReport report;
   /// Supporting-statement samples per (entity, property); populated only
   /// when SurveyorConfig::max_provenance_samples > 0. These are the
   /// "links to supporting content" a subjective-query result can show.
@@ -126,6 +145,20 @@ class SurveyorPipeline {
   const SurveyorConfig& config() const { return config_; }
 
  private:
+  EvidenceAggregator ExtractEvidenceWithRegistry(
+      const std::vector<RawDocument>& corpus, obs::MetricRegistry& registry,
+      PipelineStats* stats) const;
+  EvidenceAggregator ExtractEvidenceStreamingWithRegistry(
+      DocumentSource& source, obs::MetricRegistry& registry,
+      PipelineStats* stats) const;
+  StatusOr<PipelineResult> RunFromEvidenceWithRegistry(
+      std::vector<PropertyTypeEvidence> evidence,
+      obs::MetricRegistry& registry, obs::RunReport* report) const;
+  StatusOr<PipelineResult> FinishRun(EvidenceAggregator aggregator,
+                                     PipelineStats stats,
+                                     obs::MetricRegistry& registry,
+                                     obs::RunReport* report) const;
+
   const KnowledgeBase* kb_;
   const Lexicon* lexicon_;
   SurveyorConfig config_;

@@ -1,6 +1,7 @@
 #include "util/threadpool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/logging.h"
 
@@ -29,6 +30,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     SURVEYOR_CHECK(!shutting_down_);
     queue_.push(std::move(task));
     ++in_flight_;
+    ++tasks_submitted_;
   }
   work_available_.notify_one();
 }
@@ -38,13 +40,33 @@ void ThreadPool::Wait() {
   work_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ThreadPoolStats stats;
+  stats.tasks_submitted = tasks_submitted_;
+  stats.tasks_completed = tasks_completed_;
+  stats.queue_depth = queue_.size();
+  stats.idle_seconds = idle_seconds_;
+  return stats;
+}
+
 void ThreadPool::WorkerLoop() {
+  using Clock = std::chrono::steady_clock;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      const Clock::time_point wait_start = Clock::now();
       work_available_.wait(
           lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // The wait returns holding the lock, so this accumulation is safe.
+      idle_seconds_ +=
+          std::chrono::duration<double>(Clock::now() - wait_start).count();
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -56,6 +78,7 @@ void ThreadPool::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;
+      ++tasks_completed_;
       if (in_flight_ == 0) work_done_.notify_all();
     }
   }

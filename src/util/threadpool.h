@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -10,6 +11,18 @@
 #include <vector>
 
 namespace surveyor {
+
+/// Point-in-time usage statistics of a ThreadPool, for the observability
+/// layer (src/obs): the pipeline copies these into its metrics registry.
+struct ThreadPoolStats {
+  int64_t tasks_submitted = 0;
+  int64_t tasks_completed = 0;
+  /// Tasks queued but not yet picked up by a worker.
+  size_t queue_depth = 0;
+  /// Total seconds workers spent parked waiting for work (summed across
+  /// threads), a direct measure of scheduling slack.
+  double idle_seconds = 0.0;
+};
 
 /// A fixed-size worker pool. Stands in for the paper's compute cluster:
 /// document shards and property-type pairs are embarrassingly parallel, so
@@ -34,16 +47,26 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Tasks queued but not yet running (cheap; safe to poll from a
+  /// progress reporter while workers run).
+  size_t queue_depth() const;
+
+  /// Usage counters since construction.
+  ThreadPoolStats stats() const;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable work_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  int64_t tasks_submitted_ = 0;
+  int64_t tasks_completed_ = 0;
+  double idle_seconds_ = 0.0;
 };
 
 /// Runs `fn(i)` for each i in [0, count), partitioned into contiguous

@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace surveyor {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Increment();
+  counter.Increment(5);
+  EXPECT_EQ(counter.Value(), 6);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_EQ(gauge.Value(), 1.5);
+}
+
+TEST(GaugeTest, ConcurrentAddsSumExactly) {
+  Gauge gauge;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(gauge.Value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, LogScaledBounds) {
+  Histogram histogram(
+      HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                       /*num_finite_buckets=*/4});
+  const std::vector<double> expected = {1.0, 2.0, 4.0, 8.0};
+  EXPECT_EQ(histogram.bucket_bounds(), expected);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram histogram(
+      HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                       /*num_finite_buckets=*/4});
+  histogram.Record(0.5);  // below the first bound -> bucket 0
+  histogram.Record(1.0);  // exactly on a bound -> that bucket
+  histogram.Record(1.5);
+  histogram.Record(8.0);  // exactly on the last finite bound
+  histogram.Record(9.0);  // above every bound -> overflow bucket
+  const std::vector<int64_t> expected = {2, 1, 0, 1, 1};
+  EXPECT_EQ(histogram.BucketCounts(), expected);
+  EXPECT_EQ(histogram.Count(), 5);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.5 + 1.0 + 1.5 + 8.0 + 9.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsPreserveTotalCount) {
+  Histogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(),
+            static_cast<int64_t>(kThreads) * kPerThread);
+  int64_t bucketed = 0;
+  for (const int64_t count : histogram.BucketCounts()) bucketed += count;
+  EXPECT_EQ(bucketed, histogram.Count());
+}
+
+TEST(MetricRegistryTest, ReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("surveyor_test_a_total");
+  EXPECT_EQ(counter, registry.GetCounter("surveyor_test_a_total"));
+  EXPECT_NE(counter, registry.GetCounter("surveyor_test_b_total"));
+  Gauge* gauge = registry.GetGauge("surveyor_test_depth");
+  EXPECT_EQ(gauge, registry.GetGauge("surveyor_test_depth"));
+  Histogram* histogram = registry.GetHistogram("surveyor_test_latency");
+  EXPECT_EQ(histogram, registry.GetHistogram("surveyor_test_latency"));
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedByName) {
+  MetricRegistry registry;
+  registry.GetCounter("surveyor_z_total")->Increment(3);
+  registry.GetGauge("surveyor_a_depth")->Set(1.5);
+  registry.GetHistogram("surveyor_m_hist")->Record(2.0);
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "surveyor_a_depth");
+  EXPECT_EQ(snapshot[0].kind, MetricSnapshot::Kind::kGauge);
+  EXPECT_EQ(snapshot[0].value, 1.5);
+  EXPECT_EQ(snapshot[1].name, "surveyor_m_hist");
+  EXPECT_EQ(snapshot[1].kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snapshot[1].count, 1);
+  EXPECT_EQ(snapshot[2].name, "surveyor_z_total");
+  EXPECT_EQ(snapshot[2].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_EQ(snapshot[2].value, 3.0);
+}
+
+TEST(MetricRegistryTest, PrometheusTextExposition) {
+  MetricRegistry registry;
+  registry.GetCounter("surveyor_docs_total")->Increment(7);
+  Histogram* histogram = registry.GetHistogram(
+      "surveyor_latency",
+      HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                       /*num_finite_buckets=*/2});
+  histogram->Record(1.0);
+  histogram->Record(3.0);  // overflow
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE surveyor_docs_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("surveyor_docs_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE surveyor_latency histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative; +Inf equals the total count.
+  EXPECT_NE(text.find("surveyor_latency_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("surveyor_latency_bucket{le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("surveyor_latency_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("surveyor_latency_sum 4\n"), std::string::npos);
+  EXPECT_NE(text.find("surveyor_latency_count 2\n"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, JsonExport) {
+  MetricRegistry registry;
+  registry.GetCounter("surveyor_docs_total")->Increment(2);
+  registry.GetGauge("surveyor_depth")->Set(1.5);
+  registry.GetHistogram("surveyor_hist")->Record(1.0);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"surveyor_docs_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"surveyor_depth\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"surveyor_hist\":{\"count\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricRegistryTest, ConcurrentLookupAndIncrement) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* counter = registry.GetCounter("surveyor_shared_total");
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("surveyor_shared_total")->Value(),
+            static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace surveyor

@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace surveyor {
+namespace obs {
+namespace {
+
+TEST(TracerTest, DisabledByDefaultRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    ScopedSpan span("noop");
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(span.ElapsedSeconds(), 0.0);
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(CurrentSpanId(), 0u);
+}
+
+TEST(TracerTest, NestedSpansLinkParents) {
+  TraceSession session;
+  {
+    ScopedSpan outer("outer");
+    ASSERT_NE(outer.id(), 0u);
+    EXPECT_EQ(CurrentSpanId(), outer.id());
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(CurrentSpanId(), inner.id());
+    }
+    EXPECT_EQ(CurrentSpanId(), outer.id());
+  }
+  EXPECT_EQ(CurrentSpanId(), 0u);
+
+  const std::vector<TraceSpan> spans = session.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start time: the outer span started first.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_GE(spans[1].start_seconds, spans[0].start_seconds);
+  EXPECT_LE(spans[1].duration_seconds, spans[0].duration_seconds);
+}
+
+TEST(TracerTest, ExplicitParentCrossesThreads) {
+  TraceSession session;
+  uint64_t outer_id = 0;
+  {
+    ScopedSpan outer("submit");
+    outer_id = outer.id();
+    const uint64_t parent = CurrentSpanId();
+    std::thread worker([parent] {
+      // The worker thread has no live span of its own; the explicit
+      // parent keeps the linkage.
+      EXPECT_EQ(CurrentSpanId(), 0u);
+      ScopedSpan span("work", parent);
+    });
+    worker.join();
+  }
+  const std::vector<TraceSpan> spans = session.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].name, "work");
+  EXPECT_EQ(spans[1].parent_id, outer_id);
+  EXPECT_NE(spans[1].thread_index, spans[0].thread_index);
+}
+
+TEST(TracerTest, CapacityBoundsBufferAndCountsDrops) {
+  TraceSession session;
+  Tracer::Global().SetCapacity(3);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("s");
+  }
+  EXPECT_EQ(session.Snapshot().size(), 3u);
+  EXPECT_EQ(session.dropped_spans(), 2);
+  Tracer::Global().SetCapacity(16384);
+}
+
+TEST(TracerTest, EndIsIdempotentAndFreezesElapsed) {
+  TraceSession session;
+  ScopedSpan span("once");
+  span.End();
+  const double elapsed = span.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.0);
+  span.End();  // no-op
+  EXPECT_EQ(span.ElapsedSeconds(), elapsed);
+  EXPECT_EQ(session.Snapshot().size(), 1u);
+}
+
+TEST(TracerTest, SessionRestoresPreviousState) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    TraceSession session;
+    EXPECT_TRUE(tracer.enabled());
+  }
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(TracerTest, ClearResetsSpansAndDropCounter) {
+  TraceSession session;
+  Tracer::Global().SetCapacity(1);
+  {
+    ScopedSpan a("a");
+  }
+  {
+    ScopedSpan b("b");
+  }
+  EXPECT_EQ(session.dropped_spans(), 1);
+  Tracer::Global().Clear();
+  EXPECT_TRUE(session.Snapshot().empty());
+  EXPECT_EQ(session.dropped_spans(), 0);
+  Tracer::Global().SetCapacity(16384);
+}
+
+TEST(TracerTest, SpanMacroCompilesAndRecords) {
+  TraceSession session;
+  {
+    SURVEYOR_SPAN("macro.scope");
+  }
+  const std::vector<TraceSpan> spans = session.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "macro.scope");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace surveyor

@@ -7,10 +7,13 @@
 //
 //   surveyor_cli mine <dir> [--min-statements N] [--threshold T]
 //                     [--domain D] [--out FILE] [--provenance N]
+//                     [--report FILE]
 //       Runs the full pipeline over <dir>/corpus.tsv with <dir>/kb.tsv and
 //       <dir>/lexicon.tsv; writes the mined opinions (default
 //       <dir>/opinions.tsv). With --provenance N, also writes up to N
 //       supporting document references per pair to <dir>/provenance.tsv.
+//       With --report FILE, writes the JSON run report (metrics, tracing
+//       spans, EM diagnostics; see DESIGN.md §7) to FILE.
 //
 //   surveyor_cli query <dir> <type> <property> [limit]
 //       Answers a subjective query ("city big") from mined opinions.
@@ -51,7 +54,7 @@ int Usage() {
       << "  surveyor_cli worldgen <tiny|paper|bigcity|webscale> <outdir> "
          "[authors]\n"
       << "  surveyor_cli mine <dir> [--min-statements N] [--threshold T]"
-         " [--domain D] [--out FILE] [--provenance N]\n"
+         " [--domain D] [--out FILE] [--provenance N] [--report FILE]\n"
       << "  surveyor_cli query <dir> <type> <property> [limit]\n"
       << "  surveyor_cli profile <dir> <entity>\n"
       << "  surveyor_cli repl <dir>\n"
@@ -64,6 +67,18 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Commands that take only positional arguments reject anything that looks
+/// like a flag instead of silently ignoring it.
+bool HasUnknownFlag(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return true;
+    }
+  }
+  return false;
+}
+
 StatusOr<WorldConfig> ScenarioConfig(const std::string& name) {
   if (name == "tiny") return MakeTinyWorldConfig();
   if (name == "paper") return MakePaperWorldConfig();
@@ -73,6 +88,7 @@ StatusOr<WorldConfig> ScenarioConfig(const std::string& name) {
 }
 
 int RunWorldgen(const std::vector<std::string>& args) {
+  if (HasUnknownFlag(args)) return Usage();
   if (args.size() < 2) return Usage();
   auto config = ScenarioConfig(args[0]);
   if (!config.ok()) return Fail(config.status());
@@ -122,24 +138,33 @@ int RunMine(const std::vector<std::string>& args) {
   SurveyorConfig config;
   std::string domain;
   std::string out = dir + "/opinions.tsv";
+  std::string report_path;
   for (size_t i = 1; i < args.size(); ++i) {
-    auto next = [&]() -> const std::string& {
-      static const std::string empty;
-      return i + 1 < args.size() ? args[++i] : empty;
-    };
-    if (args[i] == "--min-statements") {
-      config.min_statements = std::atoll(next().c_str());
-    } else if (args[i] == "--threshold") {
-      config.decision_threshold = std::atof(next().c_str());
-    } else if (args[i] == "--domain") {
-      domain = next();
-    } else if (args[i] == "--out") {
-      out = next();
-    } else if (args[i] == "--provenance") {
-      config.max_provenance_samples = std::atoi(next().c_str());
-    } else {
-      std::cerr << "unknown flag '" << args[i] << "'\n";
+    const std::string& flag = args[i];
+    const bool known = flag == "--min-statements" || flag == "--threshold" ||
+                       flag == "--domain" || flag == "--out" ||
+                       flag == "--provenance" || flag == "--report";
+    if (!known) {
+      std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
+    }
+    if (i + 1 >= args.size()) {
+      std::cerr << "flag '" << flag << "' requires a value\n";
+      return Usage();
+    }
+    const std::string& value = args[++i];
+    if (flag == "--min-statements") {
+      config.min_statements = std::atoll(value.c_str());
+    } else if (flag == "--threshold") {
+      config.decision_threshold = std::atof(value.c_str());
+    } else if (flag == "--domain") {
+      domain = value;
+    } else if (flag == "--out") {
+      out = value;
+    } else if (flag == "--provenance") {
+      config.max_provenance_samples = std::atoi(value.c_str());
+    } else {
+      report_path = value;
     }
   }
 
@@ -173,6 +198,16 @@ int RunMine(const std::vector<std::string>& args) {
     }
   }
 
+  if (!report_path.empty()) {
+    std::ofstream report_file(report_path);
+    if (!report_file) {
+      return Fail(Status::NotFound("cannot write " + report_path));
+    }
+    result->report.label = "mine " + dir;
+    report_file << result->report.ToJson() << "\n";
+    std::cout << "wrote run report to " << report_path << "\n";
+  }
+
   const PipelineStats& stats = result->stats;
   std::cout << StrFormat(
       "mined %lld opinions from %lld documents (%lld statements, "
@@ -193,6 +228,7 @@ StatusOr<OpinionStore> LoadOpinions(const LoadedWorkspace& workspace,
 }
 
 int RunQuery(const std::vector<std::string>& args) {
+  if (HasUnknownFlag(args)) return Usage();
   if (args.size() < 3) return Usage();
   auto workspace = LoadWorkspace(args[0]);
   if (!workspace.ok()) return Fail(workspace.status());
@@ -215,6 +251,7 @@ int RunQuery(const std::vector<std::string>& args) {
 }
 
 int RunProfile(const std::vector<std::string>& args) {
+  if (HasUnknownFlag(args)) return Usage();
   if (args.size() < 2) return Usage();
   auto workspace = LoadWorkspace(args[0]);
   if (!workspace.ok()) return Fail(workspace.status());
@@ -241,6 +278,7 @@ int RunProfile(const std::vector<std::string>& args) {
 }
 
 int RunRepl(const std::vector<std::string>& args) {
+  if (HasUnknownFlag(args)) return Usage();
   if (args.empty()) return Usage();
   auto workspace = LoadWorkspace(args[0]);
   if (!workspace.ok()) return Fail(workspace.status());
@@ -294,6 +332,7 @@ int RunRepl(const std::vector<std::string>& args) {
 }
 
 int RunScore(const std::vector<std::string>& args) {
+  if (HasUnknownFlag(args)) return Usage();
   if (args.empty()) return Usage();
   auto workspace = LoadWorkspace(args[0]);
   if (!workspace.ok()) return Fail(workspace.status());
