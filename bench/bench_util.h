@@ -1,6 +1,7 @@
 #ifndef SURVEYOR_BENCH_BENCH_UTIL_H_
 #define SURVEYOR_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -11,7 +12,6 @@
 #include "eval/testcases.h"
 #include "text/document.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 namespace surveyor {
 namespace bench {
@@ -20,6 +20,28 @@ namespace bench {
 inline void PrintHeader(const std::string& title) {
   std::cout << "\n==== " << title << " ====\n\n";
 }
+
+/// Wall-clock stopwatch for bench-table timings. Production stage timing
+/// lives in src/obs (SURVEYOR_SPAN + metrics); this stays bench-local.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
 
 /// A world + corpus + prepared comparison harness, the common setup of the
 /// evaluation benches.
@@ -33,7 +55,7 @@ struct PreparedWorld {
   PreparedWorld(WorldConfig config, GeneratorOptions generator_options)
       : world(World::Generate(config).value()),
         harness(&world.kb(), &world.lexicon()) {
-    WallTimer timer;
+    Stopwatch timer;
     corpus = CorpusGenerator(&world, generator_options).Generate();
     generate_seconds = timer.ElapsedSeconds();
     timer.Reset();

@@ -74,7 +74,7 @@ void ThreadScaleSweep() {
     config.num_threads = threads;
     SurveyorPipeline pipeline(&world.kb(), &world.lexicon(), config);
     PipelineStats stats;
-    WallTimer timer;
+    bench::Stopwatch timer;
     pipeline.ExtractEvidence(corpus, &stats);
     const double seconds = timer.ElapsedSeconds();
     if (threads == 1) base = seconds;
@@ -97,7 +97,7 @@ void MapReduceComparison() {
   SurveyorConfig config;
   config.min_statements = 100;
   SurveyorPipeline pipeline(&world.kb(), &world.lexicon(), config);
-  WallTimer timer;
+  bench::Stopwatch timer;
   PipelineStats stats;
   EvidenceAggregator aggregator = pipeline.ExtractEvidence(corpus, &stats);
   const auto sharded = aggregator.GroupByType(world.kb(), 100);
@@ -134,7 +134,7 @@ void EmLinearitySweep() {
     EmOptions options;
     options.max_iterations = 20;
     options.tolerance = 0.0;  // fixed iteration count for fair scaling
-    WallTimer timer;
+    bench::Stopwatch timer;
     auto fit = EmLearner(options).Fit(counts);
     SURVEYOR_CHECK(fit.ok());
     const double ms = timer.ElapsedMillis();

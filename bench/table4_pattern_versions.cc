@@ -45,7 +45,7 @@ void Run() {
     ExtractionOptions options;
     options.version = row.version;
     ComparisonHarness harness(&world.kb(), &world.lexicon(), options);
-    WallTimer timer;
+    bench::Stopwatch timer;
     SURVEYOR_CHECK_OK(harness.Prepare(corpus));
     const double seconds = timer.ElapsedSeconds();
     SurveyorClassifier surveyor_method;

@@ -1,0 +1,338 @@
+#include "obs/admin_server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define SURVEYOR_HAVE_SOCKETS 1
+#endif
+
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace obs {
+
+namespace {
+
+std::string_view StatusLine(int status) {
+  switch (status) {
+    case 200:
+      return "200 OK";
+    case 404:
+      return "404 Not Found";
+    case 405:
+      return "405 Method Not Allowed";
+    case 503:
+      return "503 Service Unavailable";
+    default:
+      return "500 Internal Server Error";
+  }
+}
+
+/// Strips the query string: "/logz?n=5" -> "/logz".
+std::string_view PathOf(std::string_view target) {
+  const size_t query = target.find('?');
+  return query == std::string_view::npos ? target : target.substr(0, query);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(const MetricRegistry* registry,
+                         const StageTracker* stage, const LogRing* log_ring,
+                         AdminServerOptions options)
+    : registry_(registry),
+      stage_(stage),
+      log_ring_(log_ring),
+      options_(std::move(options)) {
+  SURVEYOR_CHECK(registry_ != nullptr);
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+AdminResponse AdminServer::Handle(std::string_view method,
+                                  std::string_view target) const {
+  if (method != "GET" && method != "HEAD") {
+    AdminResponse response;
+    response.status = 405;
+    response.body = "only GET is supported\n";
+    return response;
+  }
+  const std::string_view path = PathOf(target);
+  if (path == "/metrics") return MetricsText();
+  if (path == "/metrics.json") return MetricsJson();
+  if (path == "/healthz") return Healthz();
+  if (path == "/readyz") return Readyz();
+  if (path == "/statusz") return Statusz();
+  if (path == "/logz") return Logz();
+  if (path == "/" || path.empty()) return Index();
+  AdminResponse response;
+  response.status = 404;
+  response.body = "unknown endpoint; see /\n";
+  return response;
+}
+
+AdminResponse AdminServer::MetricsText() const {
+  AdminResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = registry_->ToPrometheusText();
+  if (log_ring_ != nullptr) {
+    log_ring_->AppendPrometheusText(&response.body);
+  }
+  return response;
+}
+
+AdminResponse AdminServer::MetricsJson() const {
+  AdminResponse response;
+  response.content_type = "application/json";
+  response.body = registry_->ToJson() + "\n";
+  return response;
+}
+
+AdminResponse AdminServer::Healthz() const {
+  AdminResponse response;
+  response.body = "ok\n";
+  return response;
+}
+
+AdminResponse AdminServer::Readyz() const {
+  AdminResponse response;
+  if (stage_ == nullptr) {
+    response.body = "ok\n";
+    return response;
+  }
+  const PipelineStage stage = stage_->stage();
+  response.status = stage_->ready() ? 200 : 503;
+  response.body = std::string(PipelineStageName(stage)) + "\n";
+  return response;
+}
+
+AdminResponse AdminServer::Statusz() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  if (stage_ != nullptr) {
+    writer.Key("stage").Value(PipelineStageName(stage_->stage()));
+    writer.Key("ready").Value(stage_->ready());
+    writer.Key("uptime_seconds").Value(stage_->UptimeSeconds());
+    writer.Key("stage_seconds").BeginObject();
+    for (const auto& [name, seconds] : stage_->StageSeconds()) {
+      writer.Key(name).Value(seconds);
+    }
+    writer.EndObject();
+  }
+  // The live span stack per thread: what every worker is doing right now.
+  writer.Key("active_spans").BeginArray();
+  for (const ActiveSpan& span : Tracer::Global().ActiveSpans()) {
+    writer.BeginObject()
+        .Key("thread")
+        .Value(static_cast<int64_t>(span.thread_index))
+        .Key("name")
+        .Value(span.name)
+        .Key("id")
+        .Value(span.id)
+        .Key("parent_id")
+        .Value(span.parent_id)
+        .Key("start_seconds")
+        .Value(span.start_seconds)
+        .EndObject();
+  }
+  writer.EndArray();
+  if (log_ring_ != nullptr) {
+    writer.Key("log_messages").BeginObject();
+    for (const LogSeverity severity :
+         {LogSeverity::kInfo, LogSeverity::kWarning, LogSeverity::kError,
+          LogSeverity::kFatal}) {
+      writer.Key(LogSeverityLabel(severity))
+          .Value(log_ring_->MessageCount(severity));
+    }
+    writer.EndObject();
+  }
+  writer.EndObject();
+  AdminResponse response;
+  response.content_type = "application/json";
+  response.body = writer.str() + "\n";
+  return response;
+}
+
+AdminResponse AdminServer::Logz() const {
+  AdminResponse response;
+  if (log_ring_ == nullptr) return response;
+  std::vector<LogRing::Line> lines = log_ring_->Snapshot();
+  const size_t keep = options_.max_log_lines;
+  const size_t begin = lines.size() > keep ? lines.size() - keep : 0;
+  for (size_t i = begin; i < lines.size(); ++i) {
+    response.body += StrFormat("%lld %s %s\n",
+                               static_cast<long long>(lines[i].sequence),
+                               std::string(LogSeverityLabel(lines[i].severity))
+                                   .c_str(),
+                               lines[i].text.c_str());
+  }
+  return response;
+}
+
+AdminResponse AdminServer::Index() const {
+  AdminResponse response;
+  response.body =
+      "surveyor admin server\n"
+      "  /metrics       Prometheus text exposition\n"
+      "  /metrics.json  metrics as JSON\n"
+      "  /healthz       liveness\n"
+      "  /readyz        pipeline-stage readiness\n"
+      "  /statusz       stage, stage seconds, live spans, log counters\n"
+      "  /logz          recent log lines\n";
+  return response;
+}
+
+#ifdef SURVEYOR_HAVE_SOCKETS
+
+Status AdminServer::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("admin server already started");
+  }
+  if (options_.port < 0 || options_.port > 65535) {
+    return Status::InvalidArgument("admin port out of range");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind(" + options_.bind_address + ":" +
+                            std::to_string(options_.port) + "): " + error);
+  }
+  if (::listen(fd, /*backlog=*/16) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen(): " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+  stopping_.store(false);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void AdminServer::AcceptLoop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load()) {
+      if (client >= 0) ::close(client);
+      return;
+    }
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // Listening socket gone; nothing sensible left to do.
+    }
+    ServeConnection(client);
+  }
+}
+
+void AdminServer::ServeConnection(int client_fd) const {
+  // Read until the end of the request head (or a defensive cap). The
+  // admin plane only serves GETs, so the head is all there is.
+  std::string request;
+  char buffer[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::read(client_fd, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    request.append(buffer, static_cast<size_t>(n));
+  }
+
+  // Parse the request line: METHOD SP TARGET SP VERSION.
+  std::string method = "GET";
+  std::string target = "/";
+  const size_t line_end = request.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t method_end = line.find(' ');
+  if (method_end != std::string::npos) {
+    method = line.substr(0, method_end);
+    const size_t target_end = line.find(' ', method_end + 1);
+    target = line.substr(method_end + 1,
+                         target_end == std::string::npos
+                             ? std::string::npos
+                             : target_end - method_end - 1);
+  }
+
+  const AdminResponse response = Handle(method, target);
+  std::string head = "HTTP/1.0 " + std::string(StatusLine(response.status)) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  std::string out = std::move(head);
+  if (method != "HEAD") out += response.body;
+  size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n =
+        ::write(client_fd, out.data() + written, out.size() - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+  ::close(client_fd);
+}
+
+void AdminServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // Unblock the accept(): shutdown() wakes it on Linux...
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  // ...and a best-effort self-connect covers platforms where it does not.
+  const int self = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (self >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::connect(self, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(self);
+  }
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+#else  // !SURVEYOR_HAVE_SOCKETS
+
+Status AdminServer::Start() {
+  return Status::Unimplemented("admin server needs POSIX sockets");
+}
+
+void AdminServer::AcceptLoop() {}
+
+void AdminServer::ServeConnection(int) const {}
+
+void AdminServer::Stop() {}
+
+#endif  // SURVEYOR_HAVE_SOCKETS
+
+}  // namespace obs
+}  // namespace surveyor

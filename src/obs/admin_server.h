@@ -1,0 +1,115 @@
+#ifndef SURVEYOR_OBS_ADMIN_SERVER_H_
+#define SURVEYOR_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/log_ring.h"
+#include "obs/metrics.h"
+#include "obs/stage.h"
+#include "util/status.h"
+
+namespace surveyor {
+namespace obs {
+
+/// Configuration of the embedded admin HTTP server.
+struct AdminServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (port() reports the
+  /// one actually bound — used by tests).
+  int port = 0;
+  /// Admin planes are debugging surfaces, not public APIs: bind loopback
+  /// only unless the operator explicitly opens it up.
+  std::string bind_address = "127.0.0.1";
+  /// Maximum log lines /logz returns (newest kept).
+  size_t max_log_lines = 100;
+};
+
+/// One materialized HTTP response, exposed so tests can exercise the
+/// endpoint logic without a socket.
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Dependency-free embedded HTTP/1.0 admin server: one blocking
+/// accept-loop thread serving the live observability state of this
+/// process — the laptop-scale version of the per-node status pages the
+/// deployed Surveyor aggregated across 5000 machines, in the pull-based
+/// exposition style modern pipelines scrape.
+///
+/// Endpoints:
+///   /metrics       Prometheus text: the registry + log counters
+///   /metrics.json  the registry as JSON
+///   /healthz       liveness — 200 whenever the process can answer
+///   /readyz        readiness — 200 once the stage machine reaches
+///                  serving/done, 503 (with the stage name) before
+///   /statusz       JSON snapshot: stage, stage seconds, uptime, live
+///                  span stack per thread, log counters
+///   /logz          recent log lines from the LogRing
+///
+/// Requests are handled sequentially on the accept thread; every response
+/// closes the connection (HTTP/1.0 semantics). That is deliberate — an
+/// admin plane serves one scraper and the occasional curl, and a single
+/// thread cannot be wedged into unbounded concurrency by a misbehaving
+/// client.
+class AdminServer {
+ public:
+  /// None of the dependencies are owned; all must outlive the server.
+  /// `stage` and `log_ring` may be null (readyz then reports 200 "ok" and
+  /// /logz is empty).
+  AdminServer(const MetricRegistry* registry, const StageTracker* stage,
+              const LogRing* log_ring, AdminServerOptions options = {});
+
+  /// Stops the server if still running.
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds, listens and starts the accept thread. Fails with
+  /// InvalidArgument/Internal when the port cannot be bound.
+  Status Start();
+
+  /// Graceful shutdown: unblocks the accept loop (shutdown() on the
+  /// listening socket plus a self-connect fallback) and joins the thread.
+  /// Idempotent.
+  void Stop();
+
+  /// The port actually bound (useful with options.port == 0); 0 before
+  /// Start().
+  int port() const { return port_; }
+
+  /// Pure request dispatch: `target` is the request path plus optional
+  /// query string. Exposed for tests.
+  AdminResponse Handle(std::string_view method, std::string_view target) const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd) const;
+
+  AdminResponse MetricsText() const;
+  AdminResponse MetricsJson() const;
+  AdminResponse Healthz() const;
+  AdminResponse Readyz() const;
+  AdminResponse Statusz() const;
+  AdminResponse Logz() const;
+  AdminResponse Index() const;
+
+  const MetricRegistry* registry_;
+  const StageTracker* stage_;
+  const LogRing* log_ring_;
+  AdminServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace surveyor
+
+#endif  // SURVEYOR_OBS_ADMIN_SERVER_H_

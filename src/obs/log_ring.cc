@@ -1,0 +1,115 @@
+#include "obs/log_ring.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace surveyor {
+namespace obs {
+
+namespace {
+
+void GlobalTee(LogSeverity severity, std::string_view line) {
+  LogRing::Global().Append(severity, line);
+}
+
+size_t SeverityIndex(LogSeverity severity) {
+  const size_t index = static_cast<size_t>(severity);
+  return index < 4 ? index : 3;
+}
+
+}  // namespace
+
+std::string_view LogSeverityLabel(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "info";
+    case LogSeverity::kWarning:
+      return "warning";
+    case LogSeverity::kError:
+      return "error";
+    case LogSeverity::kFatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+LogRing& LogRing::Global() {
+  static LogRing* ring = new LogRing();
+  return *ring;
+}
+
+LogRing::LogRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  lines_.reserve(std::min<size_t>(capacity_, kDefaultCapacity));
+}
+
+void LogRing::Append(LogSeverity severity, std::string_view line) {
+  counts_[SeverityIndex(severity)].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Line entry;
+  entry.sequence = next_sequence_++;
+  entry.severity = severity;
+  entry.text = std::string(line);
+  // lines_ stays in sequence order; evicting the oldest is a front erase.
+  // O(capacity) worst case, which is fine — logging is never a hot loop.
+  if (lines_.size() == capacity_) lines_.erase(lines_.begin());
+  lines_.push_back(std::move(entry));
+}
+
+std::vector<LogRing::Line> LogRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+int64_t LogRing::MessageCount(LogSeverity severity) const {
+  return counts_[SeverityIndex(severity)].load(std::memory_order_relaxed);
+}
+
+int64_t LogRing::TotalMessages() const {
+  int64_t total = 0;
+  for (const auto& count : counts_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void LogRing::SetCapacity(size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  if (lines_.size() > capacity_) {
+    lines_.erase(lines_.begin(),
+                 lines_.begin() +
+                     static_cast<ptrdiff_t>(lines_.size() - capacity_));
+  }
+}
+
+void LogRing::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.clear();
+  next_sequence_ = 0;
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+}
+
+void LogRing::AppendPrometheusText(std::string* out) const {
+  const std::string name = "surveyor_log_messages_total";
+  *out += "# HELP " + name + " Log messages emitted, by severity.\n";
+  *out += "# TYPE " + name + " counter\n";
+  for (const LogSeverity severity :
+       {LogSeverity::kInfo, LogSeverity::kWarning, LogSeverity::kError,
+        LogSeverity::kFatal}) {
+    *out += name + "{severity=\"" +
+            EscapeLabelValue(LogSeverityLabel(severity)) + "\"} " +
+            std::to_string(MessageCount(severity)) + "\n";
+  }
+}
+
+void LogRing::InstallGlobalTee() {
+  Global();  // Force construction before the tee can fire.
+  SetLogTee(&GlobalTee);
+}
+
+void LogRing::UninstallGlobalTee() { SetLogTee(nullptr); }
+
+}  // namespace obs
+}  // namespace surveyor

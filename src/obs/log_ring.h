@@ -1,0 +1,91 @@
+#ifndef SURVEYOR_OBS_LOG_RING_H_
+#define SURVEYOR_OBS_LOG_RING_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace surveyor {
+namespace obs {
+
+/// Bounded in-memory buffer of recent log lines plus per-severity message
+/// counters. The admin server's /logz endpoint serves the buffered lines
+/// and /metrics exposes the counters
+/// (surveyor_log_messages_total{severity="..."}), so an operator can see
+/// what a multi-minute run is saying without tailing stderr. Appends are
+/// mutex-protected (logging is never a hot loop); the buffer wraps,
+/// keeping the newest `capacity` lines — a web-scale run must not grow
+/// memory without bound.
+class LogRing {
+ public:
+  /// The process-wide ring that InstallGlobalTee routes SURVEYOR_LOG into.
+  static LogRing& Global();
+
+  /// One buffered line. `sequence` increases monotonically from 0 across
+  /// the ring's lifetime, so consumers can detect dropped lines.
+  struct Line {
+    int64_t sequence = 0;
+    LogSeverity severity = LogSeverity::kInfo;
+    std::string text;
+  };
+
+  explicit LogRing(size_t capacity = kDefaultCapacity);
+  LogRing(const LogRing&) = delete;
+  LogRing& operator=(const LogRing&) = delete;
+
+  /// Appends one line (thread-safe), evicting the oldest when full.
+  void Append(LogSeverity severity, std::string_view line);
+
+  /// The buffered lines, oldest first.
+  std::vector<Line> Snapshot() const;
+
+  /// Total messages appended at `severity` since construction/Clear —
+  /// counts every message, including lines the ring has since evicted.
+  int64_t MessageCount(LogSeverity severity) const;
+
+  /// Total messages appended across all severities.
+  int64_t TotalMessages() const;
+
+  /// Changes the capacity (>= 1), keeping the newest lines.
+  void SetCapacity(size_t capacity);
+
+  /// Drops all lines and resets the counters and sequence numbers.
+  void Clear();
+
+  /// Appends Prometheus exposition for the per-severity counters:
+  ///   surveyor_log_messages_total{severity="info"} 3 ...
+  void AppendPrometheusText(std::string* out) const;
+
+  /// Routes every SURVEYOR_LOG message in the process into Global()
+  /// (idempotent). Stderr behavior is unchanged; the ring sees messages
+  /// below the stderr min-severity threshold too.
+  static void InstallGlobalTee();
+
+  /// Removes the tee installed by InstallGlobalTee.
+  static void UninstallGlobalTee();
+
+  static constexpr size_t kDefaultCapacity = 256;
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  int64_t next_sequence_ = 0;
+  /// Buffered lines in sequence order; append evicts from the front.
+  std::vector<Line> lines_;
+  std::array<std::atomic<int64_t>, 4> counts_{};
+};
+
+/// Lower-case severity label for metric labels and /logz ("info",
+/// "warning", "error", "fatal").
+std::string_view LogSeverityLabel(LogSeverity severity);
+
+}  // namespace obs
+}  // namespace surveyor
+
+#endif  // SURVEYOR_OBS_LOG_RING_H_

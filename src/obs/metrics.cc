@@ -58,6 +58,43 @@ std::string_view MetricKindName(MetricSnapshot::Kind kind) {
   return "?";
 }
 
+std::string SanitizeMetricName(std::string_view name) {
+  std::string sanitized;
+  sanitized.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (i == 0 && digit) sanitized.push_back('_');
+    sanitized.push_back(alpha || digit ? c : '_');
+  }
+  if (sanitized.empty()) sanitized = "_";
+  return sanitized;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
 Counter* MetricRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
@@ -80,16 +117,27 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+void MetricRegistry::SetHelp(const std::string& name,
+                             const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_[name] = help;
+}
+
 std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
   std::vector<MetricSnapshot> snapshots;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     snapshots.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    const auto help_for = [this](const std::string& name) {
+      const auto it = help_.find(name);
+      return it == help_.end() ? std::string() : it->second;
+    };
     for (const auto& [name, counter] : counters_) {
       MetricSnapshot snapshot;
       snapshot.name = name;
       snapshot.kind = MetricSnapshot::Kind::kCounter;
       snapshot.value = static_cast<double>(counter->Value());
+      snapshot.help = help_for(name);
       snapshots.push_back(std::move(snapshot));
     }
     for (const auto& [name, gauge] : gauges_) {
@@ -97,6 +145,7 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
       snapshot.name = name;
       snapshot.kind = MetricSnapshot::Kind::kGauge;
       snapshot.value = gauge->Value();
+      snapshot.help = help_for(name);
       snapshots.push_back(std::move(snapshot));
     }
     for (const auto& [name, histogram] : histograms_) {
@@ -107,6 +156,7 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
       snapshot.count = histogram->Count();
       snapshot.bucket_bounds = histogram->bucket_bounds();
       snapshot.bucket_counts = histogram->BucketCounts();
+      snapshot.help = help_for(name);
       snapshots.push_back(std::move(snapshot));
     }
   }
@@ -117,27 +167,53 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
   return snapshots;
 }
 
+namespace {
+
+/// Escapes help text for a # HELP line: only backslash and newline are
+/// special there (exposition-format rules; quotes stay literal).
+std::string EscapeHelpText(std::string_view help) {
+  std::string escaped;
+  escaped.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      escaped += "\\\\";
+    } else if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+}  // namespace
+
 std::string MetricRegistry::ToPrometheusText() const {
   std::string out;
   for (const MetricSnapshot& metric : Snapshot()) {
-    out += "# TYPE " + metric.name + " " +
+    const std::string name = SanitizeMetricName(metric.name);
+    if (!metric.help.empty()) {
+      out += "# HELP " + name + " " + EscapeHelpText(metric.help) + "\n";
+    }
+    out += "# TYPE " + name + " " +
            std::string(MetricKindName(metric.kind)) + "\n";
     if (metric.kind != MetricSnapshot::Kind::kHistogram) {
-      out += metric.name + " " + JsonNumber(metric.value) + "\n";
+      out += name + " " + JsonNumber(metric.value) + "\n";
       continue;
     }
-    // Prometheus histograms are cumulative over the bucket bounds.
+    // Prometheus histograms are cumulative over the bucket bounds, with a
+    // trailing +Inf sample equal to the total observation count.
     int64_t cumulative = 0;
     for (size_t b = 0; b < metric.bucket_bounds.size(); ++b) {
       cumulative += metric.bucket_counts[b];
-      out += metric.name + "_bucket{le=\"" +
-             JsonNumber(metric.bucket_bounds[b]) + "\"} " +
+      out += name + "_bucket{le=\"" +
+             EscapeLabelValue(JsonNumber(metric.bucket_bounds[b])) + "\"} " +
              std::to_string(cumulative) + "\n";
     }
-    out += metric.name + "_bucket{le=\"+Inf\"} " +
-           std::to_string(metric.count) + "\n";
-    out += metric.name + "_sum " + JsonNumber(metric.value) + "\n";
-    out += metric.name + "_count " + std::to_string(metric.count) + "\n";
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(metric.count) +
+           "\n";
+    out += name + "_sum " + JsonNumber(metric.value) + "\n";
+    out += name + "_count " + std::to_string(metric.count) + "\n";
   }
   return out;
 }

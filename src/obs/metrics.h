@@ -125,9 +125,20 @@ struct MetricSnapshot {
   int64_t count = 0;
   std::vector<double> bucket_bounds;
   std::vector<int64_t> bucket_counts;
+  /// Help text for the # HELP exposition line (may be empty).
+  std::string help;
 };
 
 std::string_view MetricKindName(MetricSnapshot::Kind kind);
+
+/// Rewrites `name` into a valid Prometheus metric name
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid characters become '_' and a
+/// leading digit gains a '_' prefix. Valid names pass through unchanged.
+std::string SanitizeMetricName(std::string_view name);
+
+/// Escapes a Prometheus label value: backslash, double quote and newline
+/// become \\, \" and \n (exposition-format rules).
+std::string EscapeLabelValue(std::string_view value);
 
 /// Owns named metrics. Lookup takes a mutex; hot paths resolve their
 /// metric pointers once and increment lock-free afterwards. Metric names
@@ -144,6 +155,9 @@ class MetricRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name,
                           HistogramOptions options = {});
+
+  /// Sets the help text emitted on the metric's # HELP exposition line.
+  void SetHelp(const std::string& name, const std::string& help);
 
   /// Copies every metric, sorted by name (counters, gauges and histograms
   /// interleaved).
@@ -162,6 +176,7 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace obs

@@ -1,0 +1,147 @@
+#include "obs/resource_sampler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#include <unistd.h>
+#define SURVEYOR_HAVE_POSIX 1
+#endif
+
+namespace surveyor {
+namespace obs {
+
+namespace {
+
+/// Counts the entries of /proc/self/fd (excluding . and ..); -1 when the
+/// directory cannot be opened.
+double CountOpenFds() {
+#ifdef SURVEYOR_HAVE_POSIX
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1.0;
+  double count = 0.0;
+  while (dirent* entry = readdir(dir)) {
+    if (std::strcmp(entry->d_name, ".") == 0 ||
+        std::strcmp(entry->d_name, "..") == 0) {
+      continue;
+    }
+    ++count;
+  }
+  closedir(dir);
+  // The opendir itself holds one descriptor; don't count it.
+  return count > 0 ? count - 1 : count;
+#else
+  return -1.0;
+#endif
+}
+
+/// Parses "VmHWM:   12345 kB" out of /proc/self/status; 0 when absent.
+double ReadPeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    double kilobytes = 0.0;
+    fields >> kilobytes;
+    return kilobytes * 1024.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+bool ResourceSamplingSupported() {
+  std::ifstream statm("/proc/self/statm");
+  return statm.good();
+}
+
+ResourceSample SampleProcessResources() {
+  ResourceSample sample;
+#ifdef SURVEYOR_HAVE_POSIX
+  std::ifstream statm("/proc/self/statm");
+  if (!statm.good()) return sample;  // /proc absent: portable no-op.
+  double total_pages = 0.0;
+  double resident_pages = 0.0;
+  statm >> total_pages >> resident_pages;
+  const double page_bytes = static_cast<double>(sysconf(_SC_PAGESIZE));
+  sample.rss_bytes = resident_pages * page_bytes;
+  sample.peak_rss_bytes = ReadPeakRssBytes();
+
+  // /proc/self/stat: the comm field (2) may contain spaces and parens, so
+  // parse from the last ')'. After it, field 3 is the state; utime/stime
+  // are fields 14/15 and num_threads is field 20 (1-indexed).
+  std::ifstream stat_file("/proc/self/stat");
+  std::string stat_line;
+  if (std::getline(stat_file, stat_line)) {
+    const size_t close_paren = stat_line.rfind(')');
+    if (close_paren != std::string::npos) {
+      std::istringstream fields(stat_line.substr(close_paren + 1));
+      std::string token;
+      double utime = 0.0, stime = 0.0, num_threads = 0.0;
+      // After ')' the next token is field 3.
+      for (int field = 3; field <= 20 && (fields >> token); ++field) {
+        if (field == 14) utime = std::atof(token.c_str());
+        if (field == 15) stime = std::atof(token.c_str());
+        if (field == 20) num_threads = std::atof(token.c_str());
+      }
+      const double ticks_per_second =
+          static_cast<double>(sysconf(_SC_CLK_TCK));
+      if (ticks_per_second > 0) {
+        sample.cpu_seconds = (utime + stime) / ticks_per_second;
+      }
+      sample.num_threads = num_threads;
+    }
+  }
+
+  const double fds = CountOpenFds();
+  sample.open_fds = fds >= 0 ? fds : 0.0;
+  sample.valid = true;
+#endif
+  return sample;
+}
+
+ResourceSampler::ResourceSampler(MetricRegistry* registry,
+                                 double interval_seconds)
+    : rss_(registry->GetGauge("surveyor_process_rss_bytes")),
+      peak_rss_(registry->GetGauge("surveyor_process_peak_rss_bytes")),
+      cpu_seconds_(registry->GetGauge("surveyor_process_cpu_seconds_total")),
+      open_fds_(registry->GetGauge("surveyor_process_open_fds")),
+      threads_(registry->GetGauge("surveyor_process_threads")) {
+  registry->SetHelp("surveyor_process_rss_bytes",
+                    "Resident set size of this process in bytes.");
+  registry->SetHelp("surveyor_process_peak_rss_bytes",
+                    "Peak resident set size (VmHWM) in bytes.");
+  registry->SetHelp("surveyor_process_cpu_seconds_total",
+                    "User plus system CPU seconds consumed.");
+  registry->SetHelp("surveyor_process_open_fds",
+                    "Open file descriptors.");
+  registry->SetHelp("surveyor_process_threads", "Live threads.");
+  SampleOnce();
+  if (interval_seconds > 0) {
+    reporter_ = std::make_unique<ProgressReporter>(interval_seconds,
+                                                   [this] { SampleOnce(); });
+  }
+}
+
+ResourceSampler::~ResourceSampler() {
+  reporter_.reset();
+  SampleOnce();  // Final reading so short runs report their true peak.
+}
+
+void ResourceSampler::SampleOnce() {
+  const ResourceSample sample = SampleProcessResources();
+  if (!sample.valid) return;
+  rss_->Set(sample.rss_bytes);
+  peak_rss_->Set(sample.peak_rss_bytes);
+  cpu_seconds_->Set(sample.cpu_seconds);
+  open_fds_->Set(sample.open_fds);
+  threads_->Set(sample.num_threads);
+}
+
+}  // namespace obs
+}  // namespace surveyor

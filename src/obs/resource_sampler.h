@@ -1,0 +1,68 @@
+#ifndef SURVEYOR_OBS_RESOURCE_SAMPLER_H_
+#define SURVEYOR_OBS_RESOURCE_SAMPLER_H_
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+
+namespace surveyor {
+namespace obs {
+
+/// One reading of the process's OS resource usage. Populated from
+/// /proc/self on Linux; `valid` is false (and every field 0) when /proc
+/// is absent, so callers degrade to a no-op on other platforms.
+struct ResourceSample {
+  bool valid = false;
+  double rss_bytes = 0.0;       ///< resident set size (statm)
+  double peak_rss_bytes = 0.0;  ///< high-water mark (status VmHWM)
+  double cpu_seconds = 0.0;     ///< user+system CPU since process start
+  double open_fds = 0.0;        ///< open file descriptors (/proc/self/fd)
+  double num_threads = 0.0;     ///< live threads (stat field 20)
+};
+
+/// Reads the current process's resource usage from /proc. Cheap enough to
+/// call every few hundred milliseconds.
+ResourceSample SampleProcessResources();
+
+/// True when /proc/self is readable on this platform.
+bool ResourceSamplingSupported();
+
+/// Background thread that periodically samples the OS resource usage of
+/// this process into registry gauges — the admin server serves them via
+/// /metrics so a scrape shows memory/CPU next to the pipeline counters:
+///   surveyor_process_rss_bytes         resident set size
+///   surveyor_process_peak_rss_bytes    RSS high-water mark
+///   surveyor_process_cpu_seconds_total user+system CPU time
+///   surveyor_process_open_fds          open file descriptors
+///   surveyor_process_threads           live threads
+/// When /proc is absent every gauge stays 0 and the thread idles — a
+/// portable no-op.
+class ResourceSampler {
+ public:
+  /// Starts sampling every `interval_seconds` into `registry` (not
+  /// owned, must outlive the sampler). Samples once synchronously on
+  /// construction so short runs still record their footprint.
+  explicit ResourceSampler(MetricRegistry* registry,
+                           double interval_seconds = 1.0);
+  ~ResourceSampler();
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  /// Takes one sample now (also what the background thread calls).
+  void SampleOnce();
+
+ private:
+  Gauge* rss_;
+  Gauge* peak_rss_;
+  Gauge* cpu_seconds_;
+  Gauge* open_fds_;
+  Gauge* threads_;
+  std::unique_ptr<ProgressReporter> reporter_;
+};
+
+}  // namespace obs
+}  // namespace surveyor
+
+#endif  // SURVEYOR_OBS_RESOURCE_SAMPLER_H_

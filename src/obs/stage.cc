@@ -1,0 +1,92 @@
+#include "obs/stage.h"
+
+namespace surveyor {
+namespace obs {
+
+namespace {
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+std::string_view PipelineStageName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kStarting:
+      return "starting";
+    case PipelineStage::kExtracting:
+      return "extracting";
+    case PipelineStage::kFitting:
+      return "fitting";
+    case PipelineStage::kServing:
+      return "serving";
+    case PipelineStage::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+StageTracker::StageTracker()
+    : start_(Clock::now()), stage_start_(start_) {
+  accumulated_.emplace_back(std::string(PipelineStageName(stage_)), 0.0);
+}
+
+PipelineStage StageTracker::stage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stage_;
+}
+
+void StageTracker::SetStage(PipelineStage stage) {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Close the open interval of the outgoing stage.
+  const std::string outgoing(PipelineStageName(stage_));
+  for (auto& [name, seconds] : accumulated_) {
+    if (name == outgoing) {
+      seconds += SecondsBetween(stage_start_, now);
+      break;
+    }
+  }
+  stage_ = stage;
+  stage_start_ = now;
+  const std::string incoming(PipelineStageName(stage));
+  for (const auto& [name, seconds] : accumulated_) {
+    if (name == incoming) return;
+  }
+  accumulated_.emplace_back(incoming, 0.0);
+}
+
+bool StageTracker::ready() const {
+  const PipelineStage current = stage();
+  return current == PipelineStage::kServing || current == PipelineStage::kDone;
+}
+
+double StageTracker::SecondsInStage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return SecondsBetween(stage_start_, Clock::now());
+}
+
+double StageTracker::UptimeSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return SecondsBetween(start_, Clock::now());
+}
+
+std::vector<std::pair<std::string, double>> StageTracker::StageSeconds()
+    const {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> seconds = accumulated_;
+  const std::string current(PipelineStageName(stage_));
+  for (auto& [name, total] : seconds) {
+    if (name == current) {
+      total += SecondsBetween(stage_start_, now);
+      break;
+    }
+  }
+  return seconds;
+}
+
+}  // namespace obs
+}  // namespace surveyor

@@ -1,0 +1,74 @@
+#ifndef SURVEYOR_OBS_STAGE_H_
+#define SURVEYOR_OBS_STAGE_H_
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace surveyor {
+namespace obs {
+
+/// Readiness state machine of a mining process, advanced by
+/// SurveyorPipeline::Run* and served by the admin server's /readyz:
+/// starting → extracting → fitting → serving/done. A scraper (or a load
+/// balancer, once the opinion store serves traffic) treats serving/done as
+/// ready and everything earlier as warming up.
+enum class PipelineStage {
+  kStarting = 0,
+  kExtracting,
+  kFitting,
+  kServing,
+  kDone,
+};
+
+/// Lower-case stage name ("starting", "extracting", ...).
+std::string_view PipelineStageName(PipelineStage stage);
+
+/// Thread-safe holder of the current PipelineStage plus per-stage wall
+/// time, shared between the pipeline (writer) and the admin server
+/// (reader). Stages may be revisited (e.g. a second Run on the same
+/// tracker); seconds accumulate per stage name.
+class StageTracker {
+ public:
+  StageTracker();
+  StageTracker(const StageTracker&) = delete;
+  StageTracker& operator=(const StageTracker&) = delete;
+
+  PipelineStage stage() const;
+
+  /// Enters `stage`, closing the time account of the previous one.
+  void SetStage(PipelineStage stage);
+
+  /// True once the process finished warming up (kServing or kDone).
+  bool ready() const;
+
+  /// Seconds since the current stage was entered.
+  double SecondsInStage() const;
+
+  /// Seconds since the tracker was constructed.
+  double UptimeSeconds() const;
+
+  /// Accumulated seconds per stage in first-entered order, the current
+  /// stage counted up to now.
+  std::vector<std::pair<std::string, double>> StageSeconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mutex_;
+  PipelineStage stage_ = PipelineStage::kStarting;
+  Clock::time_point start_;
+  Clock::time_point stage_start_;
+  /// (stage name, accumulated seconds) for every stage entered so far, in
+  /// first-entered order; the current stage's entry excludes the open
+  /// interval.
+  std::vector<std::pair<std::string, double>> accumulated_;
+};
+
+}  // namespace obs
+}  // namespace surveyor
+
+#endif  // SURVEYOR_OBS_STAGE_H_

@@ -32,6 +32,7 @@ void Tracer::SetCapacity(size_t capacity) {
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
+  active_.clear();
   next_id_.store(1, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
@@ -49,6 +50,36 @@ void Tracer::Record(TraceSpan span) {
     return;
   }
   spans_.push_back(std::move(span));
+}
+
+void Tracer::RegisterActive(ActiveSpan span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.push_back(std::move(span));
+}
+
+void Tracer::UnregisterActive(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].id != id) continue;
+    active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+    return;
+  }
+}
+
+std::vector<ActiveSpan> Tracer::ActiveSpans() const {
+  std::vector<ActiveSpan> active;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active = active_;
+  }
+  std::sort(active.begin(), active.end(),
+            [](const ActiveSpan& a, const ActiveSpan& b) {
+              if (a.thread_index != b.thread_index) {
+                return a.thread_index < b.thread_index;
+              }
+              return a.start_seconds < b.start_seconds;
+            });
+  return active;
 }
 
 std::vector<TraceSpan> Tracer::Snapshot() const {
@@ -82,6 +113,13 @@ void ScopedSpan::Start(std::string_view name, uint64_t parent_id) {
   // carries the explicit parent.
   parent_id_for_record_ = parent_id;
   start_ = std::chrono::steady_clock::now();
+  ActiveSpan active;
+  active.id = id_;
+  active.parent_id = parent_id;
+  active.name = name_;
+  active.thread_index = CurrentThreadIndex();
+  active.start_seconds = SecondsSince(tracer.epoch(), start_);
+  tracer.RegisterActive(std::move(active));
 }
 
 ScopedSpan::ScopedSpan(std::string_view name) {
@@ -100,6 +138,7 @@ void ScopedSpan::End() {
   if (!recording_) return;
   recording_ = false;
   Tracer& tracer = Tracer::Global();
+  tracer.UnregisterActive(id_);
   const auto now = std::chrono::steady_clock::now();
   final_seconds_ = SecondsSince(start_, now);
   TraceSpan span;

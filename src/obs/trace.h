@@ -25,6 +25,17 @@ struct TraceSpan {
   double duration_seconds = 0.0;
 };
 
+/// A span that has started but not yet ended — the live call stack the
+/// admin server's /statusz shows per thread while a run is in flight.
+struct ActiveSpan {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  uint32_t thread_index = 0;
+  /// Seconds since the tracer epoch at which the span started.
+  double start_seconds = 0.0;
+};
+
 /// Bounded in-memory span buffer. Disabled by default: a SURVEYOR_SPAN in
 /// a hot loop costs one relaxed atomic load until tracing is switched on.
 /// Spans above the capacity are dropped and counted, never reallocated —
@@ -58,9 +69,15 @@ class Tracer {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Spans currently live (started, not ended), ordered by thread index
+  /// then start time — per-thread entries read as innermost-last stacks.
+  std::vector<ActiveSpan> ActiveSpans() const;
+
   // --- Used by ScopedSpan; not part of the public surface. ---
   uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
   void Record(TraceSpan span);
+  void RegisterActive(ActiveSpan span);
+  void UnregisterActive(uint64_t id);
   std::chrono::steady_clock::time_point epoch() const;
 
  private:
@@ -70,6 +87,9 @@ class Tracer {
   mutable std::mutex mutex_;
   size_t capacity_ = 16384;
   std::vector<TraceSpan> spans_;
+  /// Live spans keyed by id; bounded by the number of concurrently open
+  /// scopes, which is O(threads × nesting depth).
+  std::vector<ActiveSpan> active_;
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -13,7 +14,6 @@
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/threadpool.h"
-#include "util/timer.h"
 
 namespace surveyor {
 
@@ -60,6 +60,11 @@ size_t EffectiveThreads(int configured) {
   if (configured > 0) return static_cast<size_t>(configured);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : hw;
+}
+
+/// Advances the admin plane's readiness machine when one is attached.
+void EnterStage(obs::StageTracker* tracker, obs::PipelineStage stage) {
+  if (tracker != nullptr) tracker->SetStage(stage);
 }
 
 /// Counter handles of the extraction stage, resolved once per run so the
@@ -261,7 +266,8 @@ EvidenceAggregator SurveyorPipeline::ExtractEvidenceStreamingWithRegistry(
     struct RateState {
       int64_t documents = 0;
       int64_t statements = 0;
-      WallTimer timer;
+      std::chrono::steady_clock::time_point last =
+          std::chrono::steady_clock::now();
     };
     auto previous = std::make_shared<RateState>();
     obs::Counter* documents_counter = counters.documents;
@@ -272,7 +278,9 @@ EvidenceAggregator SurveyorPipeline::ExtractEvidenceStreamingWithRegistry(
         [previous, documents_counter, statements_counter, pool_ptr] {
           const int64_t documents = documents_counter->Value();
           const int64_t statements = statements_counter->Value();
-          const double seconds = previous->timer.ElapsedSeconds();
+          const auto now = std::chrono::steady_clock::now();
+          const double seconds =
+              std::chrono::duration<double>(now - previous->last).count();
           const double doc_rate =
               seconds > 0 ? (documents - previous->documents) / seconds : 0.0;
           const double statement_rate =
@@ -280,7 +288,7 @@ EvidenceAggregator SurveyorPipeline::ExtractEvidenceStreamingWithRegistry(
                           : 0.0;
           previous->documents = documents;
           previous->statements = statements;
-          previous->timer.Reset();
+          previous->last = now;
           SURVEYOR_LOG(Info) << StrFormat(
               "extract: %lld docs (%.0f/s), %lld statements (%.0f/s), "
               "queue depth %zu",
@@ -384,7 +392,9 @@ StatusOr<PipelineResult> SurveyorPipeline::FinishRun(
 
 StatusOr<PipelineResult> SurveyorPipeline::RunStreaming(
     DocumentSource& source) const {
-  obs::MetricRegistry registry;
+  obs::MetricRegistry local_registry;
+  obs::MetricRegistry& registry =
+      config_.live_metrics != nullptr ? *config_.live_metrics : local_registry;
   obs::TraceSession trace;
   obs::RunReport report;
   report.em.max_worst_fits = config_.report_worst_fits;
@@ -392,6 +402,7 @@ StatusOr<PipelineResult> SurveyorPipeline::RunStreaming(
   StatusOr<PipelineResult> result = [&]() -> StatusOr<PipelineResult> {
     obs::ScopedSpan root("pipeline.run");
     EvidenceAggregator aggregator = [&] {
+      EnterStage(config_.stage_tracker, obs::PipelineStage::kExtracting);
       obs::ScopedSpan span("extract");
       EvidenceAggregator extracted =
           ExtractEvidenceStreamingWithRegistry(source, registry, &stats);
@@ -404,6 +415,7 @@ StatusOr<PipelineResult> SurveyorPipeline::RunStreaming(
   if (!result.ok()) return result;
   AssembleReport(registry, trace, result->stats, &report);
   result->report = std::move(report);
+  EnterStage(config_.stage_tracker, obs::PipelineStage::kDone);
   return result;
 }
 
@@ -413,6 +425,7 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
   if (!(config_.decision_threshold >= 0.5 && config_.decision_threshold < 1.0)) {
     return Status::InvalidArgument("decision threshold must be in [0.5, 1)");
   }
+  EnterStage(config_.stage_tracker, obs::PipelineStage::kFitting);
   PipelineResult result;
   result.pairs.resize(evidence.size());
 
@@ -511,7 +524,9 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
 
 StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
     std::vector<PropertyTypeEvidence> evidence) const {
-  obs::MetricRegistry registry;
+  obs::MetricRegistry local_registry;
+  obs::MetricRegistry& registry =
+      config_.live_metrics != nullptr ? *config_.live_metrics : local_registry;
   obs::TraceSession trace;
   obs::RunReport report;
   StatusOr<PipelineResult> result =
@@ -519,12 +534,15 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
   if (!result.ok()) return result;
   AssembleReport(registry, trace, result->stats, &report);
   result->report = std::move(report);
+  EnterStage(config_.stage_tracker, obs::PipelineStage::kDone);
   return result;
 }
 
 StatusOr<PipelineResult> SurveyorPipeline::Run(
     const std::vector<RawDocument>& corpus) const {
-  obs::MetricRegistry registry;
+  obs::MetricRegistry local_registry;
+  obs::MetricRegistry& registry =
+      config_.live_metrics != nullptr ? *config_.live_metrics : local_registry;
   obs::TraceSession trace;
   obs::RunReport report;
   report.em.max_worst_fits = config_.report_worst_fits;
@@ -532,6 +550,7 @@ StatusOr<PipelineResult> SurveyorPipeline::Run(
   StatusOr<PipelineResult> result = [&]() -> StatusOr<PipelineResult> {
     obs::ScopedSpan root("pipeline.run");
     EvidenceAggregator aggregator = [&] {
+      EnterStage(config_.stage_tracker, obs::PipelineStage::kExtracting);
       obs::ScopedSpan span("extract");
       EvidenceAggregator extracted =
           ExtractEvidenceWithRegistry(corpus, registry, &stats);
@@ -544,6 +563,7 @@ StatusOr<PipelineResult> SurveyorPipeline::Run(
   if (!result.ok()) return result;
   AssembleReport(registry, trace, result->stats, &report);
   result->report = std::move(report);
+  EnterStage(config_.stage_tracker, obs::PipelineStage::kDone);
   return result;
 }
 

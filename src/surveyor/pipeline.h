@@ -11,6 +11,7 @@
 #include "kb/knowledge_base.h"
 #include "model/em.h"
 #include "obs/report.h"
+#include "obs/stage.h"
 #include "text/annotator.h"
 #include "text/document.h"
 #include "text/document_source.h"
@@ -44,6 +45,15 @@ struct SurveyorConfig {
   bool collect_fit_diagnostics = true;
   /// How many worst-fitting pairs the run report keeps.
   int report_worst_fits = 10;
+  /// Live metrics registry for the admin plane (not owned, must outlive
+  /// the pipeline). When set, Run* records its counters here — so an
+  /// embedded obs::AdminServer scraping the same registry sees them move
+  /// mid-run — instead of into a run-local registry. Reports and
+  /// PipelineStats are derived from the same registry either way.
+  obs::MetricRegistry* live_metrics = nullptr;
+  /// Readiness state machine for /readyz (not owned). When set, Run*
+  /// advances it: extracting -> fitting -> done.
+  obs::StageTracker* stage_tracker = nullptr;
 };
 
 /// Fitted model and inferences for one property-type combination.

@@ -6,6 +6,7 @@ namespace surveyor {
 namespace {
 
 std::atomic<LogSeverity> g_min_severity{LogSeverity::kWarning};
+std::atomic<LogTee> g_tee{nullptr};
 
 const char* SeverityTag(LogSeverity severity) {
   switch (severity) {
@@ -29,6 +30,8 @@ LogSeverity SetMinLogSeverity(LogSeverity severity) {
   return g_min_severity.exchange(severity);
 }
 
+LogTee SetLogTee(LogTee tee) { return g_tee.exchange(tee); }
+
 namespace internal {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
@@ -37,8 +40,12 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
+  const std::string line = stream_.str();
+  if (const LogTee tee = g_tee.load()) {
+    tee(severity_, line);
+  }
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    std::cerr << line << std::endl;
   }
   if (severity_ == LogSeverity::kFatal) {
     std::abort();

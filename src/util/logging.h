@@ -5,6 +5,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace surveyor {
 
@@ -18,6 +19,18 @@ LogSeverity MinLogSeverity();
 /// Sets the minimum emitted severity; returns the previous value. Used by
 /// tests and benchmarks to silence INFO chatter.
 LogSeverity SetMinLogSeverity(LogSeverity severity);
+
+/// Observer of every composed log message, called *before* the
+/// min-severity filter (so INFO lines reach the observability layer even
+/// when stderr stays quiet) and before a FATAL message aborts. Must be
+/// safe to call from any thread and must not log itself. src/util cannot
+/// depend on src/obs, so the obs log ring installs itself through this
+/// hook (obs::LogRing::InstallGlobalTee).
+using LogTee = void (*)(LogSeverity severity, std::string_view line);
+
+/// Atomically installs `tee` (nullptr uninstalls); returns the previous
+/// tee. The tee does not change stderr emission in any way.
+LogTee SetLogTee(LogTee tee);
 
 namespace internal {
 

@@ -1,0 +1,281 @@
+#include "obs/admin_server.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define SURVEYOR_TEST_HAVE_SOCKETS 1
+#endif
+
+#include "gtest/gtest.h"
+#include "obs/log_ring.h"
+#include "obs/metrics.h"
+#include "obs/stage.h"
+#include "obs/trace.h"
+
+namespace surveyor {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Socketless dispatch tests via Handle().
+
+TEST(AdminServerHandleTest, HealthzAlwaysOk) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr);
+  const AdminResponse response = server.Handle("GET", "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+}
+
+TEST(AdminServerHandleTest, ReadyzFollowsStageMachine) {
+  MetricRegistry registry;
+  StageTracker stage;
+  AdminServer server(&registry, &stage, nullptr);
+
+  AdminResponse response = server.Handle("GET", "/readyz");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_EQ(response.body, "starting\n");
+
+  stage.SetStage(PipelineStage::kExtracting);
+  EXPECT_EQ(server.Handle("GET", "/readyz").status, 503);
+  EXPECT_EQ(server.Handle("GET", "/readyz").body, "extracting\n");
+
+  stage.SetStage(PipelineStage::kFitting);
+  EXPECT_EQ(server.Handle("GET", "/readyz").status, 503);
+
+  stage.SetStage(PipelineStage::kServing);
+  response = server.Handle("GET", "/readyz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "serving\n");
+
+  stage.SetStage(PipelineStage::kDone);
+  EXPECT_EQ(server.Handle("GET", "/readyz").status, 200);
+}
+
+TEST(AdminServerHandleTest, ReadyzWithoutTrackerReportsOk) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr);
+  EXPECT_EQ(server.Handle("GET", "/readyz").status, 200);
+}
+
+TEST(AdminServerHandleTest, MetricsServesRegistryAndLogCounters) {
+  MetricRegistry registry;
+  registry.GetCounter("surveyor_extraction_documents_total")->Increment(7);
+  LogRing ring;
+  ring.Append(LogSeverity::kWarning, "careful");
+  AdminServer server(&registry, nullptr, &ring);
+
+  const AdminResponse response = server.Handle("GET", "/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(response.body.find("surveyor_extraction_documents_total 7"),
+            std::string::npos);
+  EXPECT_NE(
+      response.body.find("surveyor_log_messages_total{severity=\"warning\"} 1"),
+      std::string::npos);
+}
+
+TEST(AdminServerHandleTest, MetricsJsonIsServed) {
+  MetricRegistry registry;
+  registry.GetCounter("surveyor_x_total")->Increment(3);
+  AdminServer server(&registry, nullptr, nullptr);
+  const AdminResponse response = server.Handle("GET", "/metrics.json");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_NE(response.body.find("\"surveyor_x_total\""), std::string::npos);
+}
+
+TEST(AdminServerHandleTest, StatuszReportsStageSecondsAndActiveSpans) {
+  MetricRegistry registry;
+  StageTracker stage;
+  stage.SetStage(PipelineStage::kExtracting);
+  AdminServer server(&registry, &stage, nullptr);
+
+  Tracer::Global().Clear();
+  Tracer::Global().SetEnabled(true);
+  {
+    ScopedSpan span("statusz.live");
+    const AdminResponse response = server.Handle("GET", "/statusz");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.content_type, "application/json");
+    EXPECT_NE(response.body.find("\"stage\":\"extracting\""),
+              std::string::npos);
+    EXPECT_NE(response.body.find("\"stage_seconds\""), std::string::npos);
+    EXPECT_NE(response.body.find("statusz.live"), std::string::npos);
+  }
+  Tracer::Global().SetEnabled(false);
+  // After the span ends it leaves the live stack.
+  EXPECT_EQ(server.Handle("GET", "/statusz").body.find("statusz.live"),
+            std::string::npos);
+}
+
+TEST(AdminServerHandleTest, LogzServesNewestLines) {
+  MetricRegistry registry;
+  LogRing ring(128);
+  for (int i = 0; i < 20; ++i) {
+    ring.Append(LogSeverity::kInfo, "line " + std::to_string(i));
+  }
+  AdminServerOptions options;
+  options.max_log_lines = 5;
+  AdminServer server(&registry, nullptr, &ring, options);
+  const AdminResponse response = server.Handle("GET", "/logz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.find("line 14"), std::string::npos);
+  EXPECT_NE(response.body.find("line 15"), std::string::npos);
+  EXPECT_NE(response.body.find("line 19"), std::string::npos);
+}
+
+TEST(AdminServerHandleTest, UnknownPathIs404AndBadMethodIs405) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr);
+  EXPECT_EQ(server.Handle("GET", "/nope").status, 404);
+  EXPECT_EQ(server.Handle("POST", "/metrics").status, 405);
+  EXPECT_EQ(server.Handle("GET", "/").status, 200);
+  // Query strings are ignored for routing.
+  EXPECT_EQ(server.Handle("GET", "/healthz?verbose=1").status, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Real-socket tests.
+
+#ifdef SURVEYOR_TEST_HAVE_SOCKETS
+
+/// Minimal blocking HTTP GET against 127.0.0.1:port; returns the full
+/// response (head + body) or "" on connection failure.
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[2048];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(AdminServerSocketTest, ScrapesMetricsWhileWorkersIncrement) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("surveyor_extraction_statements_total");
+  AdminServer server(&registry, nullptr, nullptr);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  // Hammer the counter from workers while scraping over a real socket —
+  // the situation the admin plane exists for.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([counter, &stop] {
+      while (!stop.load()) counter->Increment();
+    });
+  }
+  std::string last;
+  for (int i = 0; i < 10; ++i) {
+    last = HttpGet(server.port(), "/metrics");
+    ASSERT_FALSE(last.empty());
+    EXPECT_NE(last.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(last.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(last.find("# TYPE surveyor_extraction_statements_total counter"),
+              std::string::npos);
+  }
+  stop.store(true);
+  for (std::thread& worker : workers) worker.join();
+
+  // The scraped value is a well-formed integer on its own sample line.
+  const size_t pos = last.rfind("surveyor_extraction_statements_total ");
+  ASSERT_NE(pos, std::string::npos);
+  const long long scraped = std::stoll(
+      last.substr(pos + std::string("surveyor_extraction_statements_total ")
+                            .size()));
+  EXPECT_GT(scraped, 0);
+  EXPECT_LE(scraped, counter->Value());
+  server.Stop();
+}
+
+TEST(AdminServerSocketTest, HealthzAndReadyzOverSocket) {
+  MetricRegistry registry;
+  StageTracker stage;
+  AdminServer server(&registry, &stage, nullptr);
+  ASSERT_TRUE(server.Start().ok());
+
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("HTTP/1.0 200 OK"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/readyz").find("HTTP/1.0 503"),
+            std::string::npos);
+  stage.SetStage(PipelineStage::kDone);
+  EXPECT_NE(HttpGet(server.port(), "/readyz").find("HTTP/1.0 200 OK"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServerSocketTest, StopIsIdempotentAndRestartable) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr);
+  ASSERT_TRUE(server.Start().ok());
+  const int first_port = server.port();
+  EXPECT_FALSE(server.Start().ok());  // already running
+  server.Stop();
+  server.Stop();  // idempotent
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+  EXPECT_TRUE(HttpGet(server.port(), "/healthz").find("200 OK") !=
+              std::string::npos);
+  server.Stop();
+  (void)first_port;
+}
+
+TEST(AdminServerSocketTest, MalformedRequestDoesNotWedgeTheServer) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A client that connects and immediately disconnects.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    ::close(fd);
+  }
+  // The next well-formed request still succeeds.
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  server.Stop();
+}
+
+#endif  // SURVEYOR_TEST_HAVE_SOCKETS
+
+}  // namespace
+}  // namespace obs
+}  // namespace surveyor

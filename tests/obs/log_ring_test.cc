@@ -1,0 +1,146 @@
+#include "obs/log_ring.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/logging.h"
+
+namespace surveyor {
+namespace obs {
+namespace {
+
+TEST(LogRingTest, AppendsInSequenceOrder) {
+  LogRing ring(8);
+  ring.Append(LogSeverity::kInfo, "first");
+  ring.Append(LogSeverity::kWarning, "second");
+  const std::vector<LogRing::Line> lines = ring.Snapshot();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].sequence, 0);
+  EXPECT_EQ(lines[0].text, "first");
+  EXPECT_EQ(lines[0].severity, LogSeverity::kInfo);
+  EXPECT_EQ(lines[1].sequence, 1);
+  EXPECT_EQ(lines[1].text, "second");
+  EXPECT_EQ(lines[1].severity, LogSeverity::kWarning);
+}
+
+TEST(LogRingTest, WraparoundKeepsNewestLines) {
+  const size_t capacity = 4;
+  LogRing ring(capacity);
+  for (int i = 0; i < 10; ++i) {
+    ring.Append(LogSeverity::kInfo, "line " + std::to_string(i));
+  }
+  const std::vector<LogRing::Line> lines = ring.Snapshot();
+  ASSERT_EQ(lines.size(), capacity);
+  // The newest `capacity` lines survive, oldest first.
+  for (size_t i = 0; i < capacity; ++i) {
+    const int expected = 10 - static_cast<int>(capacity) + static_cast<int>(i);
+    EXPECT_EQ(lines[i].sequence, expected);
+    EXPECT_EQ(lines[i].text, "line " + std::to_string(expected));
+  }
+  // Counters see every message, evicted or not.
+  EXPECT_EQ(ring.MessageCount(LogSeverity::kInfo), 10);
+  EXPECT_EQ(ring.TotalMessages(), 10);
+}
+
+TEST(LogRingTest, CountsPerSeverity) {
+  LogRing ring;
+  ring.Append(LogSeverity::kInfo, "i");
+  ring.Append(LogSeverity::kInfo, "i");
+  ring.Append(LogSeverity::kWarning, "w");
+  ring.Append(LogSeverity::kError, "e");
+  EXPECT_EQ(ring.MessageCount(LogSeverity::kInfo), 2);
+  EXPECT_EQ(ring.MessageCount(LogSeverity::kWarning), 1);
+  EXPECT_EQ(ring.MessageCount(LogSeverity::kError), 1);
+  EXPECT_EQ(ring.MessageCount(LogSeverity::kFatal), 0);
+  EXPECT_EQ(ring.TotalMessages(), 4);
+}
+
+TEST(LogRingTest, SetCapacityTruncatesFromFront) {
+  LogRing ring(8);
+  for (int i = 0; i < 6; ++i) {
+    ring.Append(LogSeverity::kInfo, std::to_string(i));
+  }
+  ring.SetCapacity(2);
+  std::vector<LogRing::Line> lines = ring.Snapshot();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "4");
+  EXPECT_EQ(lines[1].text, "5");
+  // Growing back does not resurrect evicted lines; new appends fill up to
+  // the new capacity.
+  ring.SetCapacity(4);
+  ring.Append(LogSeverity::kInfo, "6");
+  lines = ring.Snapshot();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines.back().text, "6");
+}
+
+TEST(LogRingTest, ClearResetsEverything) {
+  LogRing ring;
+  ring.Append(LogSeverity::kError, "boom");
+  ring.Clear();
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.TotalMessages(), 0);
+  ring.Append(LogSeverity::kInfo, "fresh");
+  EXPECT_EQ(ring.Snapshot().front().sequence, 0);
+}
+
+TEST(LogRingTest, PrometheusTextExposesSeverityCounters) {
+  LogRing ring;
+  ring.Append(LogSeverity::kInfo, "i");
+  ring.Append(LogSeverity::kWarning, "w");
+  ring.Append(LogSeverity::kWarning, "w");
+  std::string text;
+  ring.AppendPrometheusText(&text);
+  EXPECT_NE(text.find("# TYPE surveyor_log_messages_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("surveyor_log_messages_total{severity=\"info\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("surveyor_log_messages_total{severity=\"warning\"} 2"),
+            std::string::npos);
+}
+
+TEST(LogRingTest, GlobalTeeCapturesLogMacro) {
+  LogRing::Global().Clear();
+  LogRing::InstallGlobalTee();
+  // INFO is below the default stderr threshold but must reach the ring.
+  const int64_t before = LogRing::Global().MessageCount(LogSeverity::kInfo);
+  SURVEYOR_LOG(Info) << "tee me";
+  EXPECT_EQ(LogRing::Global().MessageCount(LogSeverity::kInfo), before + 1);
+  const std::vector<LogRing::Line> lines = LogRing::Global().Snapshot();
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().text.find("tee me"), std::string::npos);
+
+  LogRing::UninstallGlobalTee();
+  SURVEYOR_LOG(Info) << "not seen";
+  EXPECT_EQ(LogRing::Global().MessageCount(LogSeverity::kInfo), before + 1);
+}
+
+TEST(LogRingTest, ConcurrentAppendsKeepCountsExact) {
+  const int kThreads = 8;
+  const int kPerThread = 500;
+  LogRing ring(16);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ring.Append(LogSeverity::kInfo,
+                    "t" + std::to_string(t) + " " + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(ring.TotalMessages(), kThreads * kPerThread);
+  const std::vector<LogRing::Line> lines = ring.Snapshot();
+  EXPECT_EQ(lines.size(), 16u);
+  // Sequences are unique and ascending even under contention.
+  for (size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_LT(lines[i - 1].sequence, lines[i].sequence);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace surveyor

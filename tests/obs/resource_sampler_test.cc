@@ -1,0 +1,73 @@
+#include "obs/resource_sampler.h"
+
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace surveyor {
+namespace obs {
+namespace {
+
+TEST(ResourceSamplerTest, DirectSampleMatchesPlatformSupport) {
+  const ResourceSample sample = SampleProcessResources();
+  if (ResourceSamplingSupported()) {
+    ASSERT_TRUE(sample.valid);
+    // A live test process certainly has memory, CPU time, a few open
+    // descriptors and at least one thread.
+    EXPECT_GT(sample.rss_bytes, 0.0);
+    EXPECT_GE(sample.peak_rss_bytes, sample.rss_bytes * 0.5);
+    EXPECT_GE(sample.cpu_seconds, 0.0);
+    EXPECT_GT(sample.open_fds, 0.0);
+    EXPECT_GE(sample.num_threads, 1.0);
+  } else {
+    // Portable no-op: invalid sample, all zeros.
+    EXPECT_FALSE(sample.valid);
+    EXPECT_EQ(sample.rss_bytes, 0.0);
+  }
+}
+
+TEST(ResourceSamplerTest, ConstructorSamplesSynchronously) {
+  MetricRegistry registry;
+  // interval 0 = no background thread; the constructor still samples once.
+  ResourceSampler sampler(&registry, /*interval_seconds=*/0.0);
+  if (!ResourceSamplingSupported()) GTEST_SKIP() << "/proc not available";
+  EXPECT_GT(registry.GetGauge("surveyor_process_rss_bytes")->Value(), 0.0);
+  EXPECT_GE(registry.GetGauge("surveyor_process_threads")->Value(), 1.0);
+  EXPECT_GT(registry.GetGauge("surveyor_process_open_fds")->Value(), 0.0);
+}
+
+TEST(ResourceSamplerTest, BackgroundThreadUpdatesGauges) {
+  if (!ResourceSamplingSupported()) GTEST_SKIP() << "/proc not available";
+  MetricRegistry registry;
+  Gauge* rss = registry.GetGauge("surveyor_process_rss_bytes");
+  {
+    ResourceSampler sampler(&registry, /*interval_seconds=*/0.01);
+    // Clobber the constructor's sample; the background thread must
+    // overwrite the sentinel within a few intervals.
+    rss->Set(-1.0);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (rss->Value() < 0.0 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_GT(rss->Value(), 0.0);
+}
+
+TEST(ResourceSamplerTest, ExposesHelpTextInPrometheusOutput) {
+  if (!ResourceSamplingSupported()) GTEST_SKIP() << "/proc not available";
+  MetricRegistry registry;
+  ResourceSampler sampler(&registry, /*interval_seconds=*/0.0);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP surveyor_process_rss_bytes"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE surveyor_process_rss_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("surveyor_process_cpu_seconds_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace surveyor

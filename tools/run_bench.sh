@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Refreshes the repo's perf snapshot: builds the benches, runs the
+# end-to-end scaling bench plus the obs micro-benchmarks, and writes
+# BENCH_pipeline.json at the repo root (commit it to track the perf
+# trajectory over time).
+#
+#   tools/run_bench.sh [build_dir]      (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" -j --target bench_report scaling_pipeline \
+  micro_benchmarks
+
+echo "== machine-readable snapshot (BENCH_pipeline.json) =="
+(cd "$repo_root" && "$build_dir/bench/bench_report" BENCH_pipeline.json)
+
+echo
+echo "== obs micro-benchmarks (google-benchmark) =="
+"$build_dir/bench/micro_benchmarks" \
+  --benchmark_min_time=0.05s 2>/dev/null ||
+  "$build_dir/bench/micro_benchmarks" --benchmark_min_time=0.05
+
+echo
+echo "== pipeline scaling tables =="
+"$build_dir/bench/scaling_pipeline"

@@ -7,13 +7,22 @@
 //
 //   surveyor_cli mine <dir> [--min-statements N] [--threshold T]
 //                     [--domain D] [--out FILE] [--provenance N]
-//                     [--report FILE]
+//                     [--report FILE] [--admin-port N]
 //       Runs the full pipeline over <dir>/corpus.tsv with <dir>/kb.tsv and
 //       <dir>/lexicon.tsv; writes the mined opinions (default
 //       <dir>/opinions.tsv). With --provenance N, also writes up to N
 //       supporting document references per pair to <dir>/provenance.tsv.
 //       With --report FILE, writes the JSON run report (metrics, tracing
-//       spans, EM diagnostics; see DESIGN.md §7) to FILE.
+//       spans, EM diagnostics; see DESIGN.md §7) to FILE. With
+//       --admin-port N (0 = off, the default), serves the live admin
+//       plane on 127.0.0.1:N for the duration of the run: /metrics,
+//       /metrics.json, /healthz, /readyz, /statusz, /logz.
+//
+//   surveyor_cli serve <dir> [mine flags] [--admin-port N]
+//       Mines like `mine`, then keeps the process alive so the final
+//       metrics, the run's stage history and the opinion store stay
+//       scrapeable (readiness flips to "serving"). Admin port defaults
+//       to 8080 for serve.
 //
 //   surveyor_cli query <dir> <type> <property> [limit]
 //       Answers a subjective query ("city big") from mined opinions.
@@ -29,16 +38,23 @@
 //       Scores <dir>/opinions.tsv against the simulator's oracle
 //       (<dir>/truth.tsv): coverage, precision and F1 per type and
 //       overall.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "corpus/generator.h"
 #include "corpus/worlds.h"
 #include "corpus/world_io.h"
 #include "kb/kb_io.h"
+#include "obs/admin_server.h"
+#include "obs/log_ring.h"
+#include "obs/resource_sampler.h"
+#include "obs/stage.h"
 #include "surveyor/opinion_store.h"
 #include "surveyor/pipeline.h"
 #include "text/lexicon_io.h"
@@ -54,7 +70,9 @@ int Usage() {
       << "  surveyor_cli worldgen <tiny|paper|bigcity|webscale> <outdir> "
          "[authors]\n"
       << "  surveyor_cli mine <dir> [--min-statements N] [--threshold T]"
-         " [--domain D] [--out FILE] [--provenance N] [--report FILE]\n"
+         " [--domain D] [--out FILE] [--provenance N] [--report FILE]"
+         " [--admin-port N]\n"
+      << "  surveyor_cli serve <dir> [mine flags] [--admin-port N]\n"
       << "  surveyor_cli query <dir> <type> <property> [limit]\n"
       << "  surveyor_cli profile <dir> <entity>\n"
       << "  surveyor_cli repl <dir>\n"
@@ -132,18 +150,25 @@ StatusOr<LoadedWorkspace> LoadWorkspace(const std::string& dir) {
   return ws;
 }
 
-int RunMine(const std::vector<std::string>& args) {
+/// Shared implementation of `mine` and `serve` (serve = mine, then stay
+/// alive with the admin plane up).
+int RunMine(const std::vector<std::string>& args, bool serve) {
   if (args.empty()) return Usage();
   const std::string dir = args[0];
   SurveyorConfig config;
   std::string domain;
   std::string out = dir + "/opinions.tsv";
   std::string report_path;
+  // serve without an admin plane would just be a parked process, so it
+  // defaults to the conventional local admin port; mine defaults to off.
+  int admin_port = serve ? 8080 : 0;
+  bool admin_enabled = serve;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& flag = args[i];
     const bool known = flag == "--min-statements" || flag == "--threshold" ||
                        flag == "--domain" || flag == "--out" ||
-                       flag == "--provenance" || flag == "--report";
+                       flag == "--provenance" || flag == "--report" ||
+                       flag == "--admin-port";
     if (!known) {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
@@ -163,9 +188,37 @@ int RunMine(const std::vector<std::string>& args) {
       out = value;
     } else if (flag == "--provenance") {
       config.max_provenance_samples = std::atoi(value.c_str());
+    } else if (flag == "--admin-port") {
+      admin_port = std::atoi(value.c_str());
+      // 0 disables for mine; serve binds an ephemeral port instead of
+      // running headless.
+      admin_enabled = serve || admin_port != 0;
     } else {
       report_path = value;
     }
+  }
+
+  // The admin plane: a live registry + readiness machine the pipeline
+  // writes into, an OS resource sampler, the process log ring, and the
+  // HTTP server that serves all three while the run is in flight.
+  obs::MetricRegistry live_registry;
+  obs::StageTracker stage_tracker;
+  std::unique_ptr<obs::ResourceSampler> sampler;
+  std::unique_ptr<obs::AdminServer> admin;
+  if (admin_enabled) {
+    obs::LogRing::InstallGlobalTee();
+    config.live_metrics = &live_registry;
+    config.stage_tracker = &stage_tracker;
+    sampler = std::make_unique<obs::ResourceSampler>(&live_registry);
+    obs::AdminServerOptions admin_options;
+    admin_options.port = admin_port;
+    admin = std::make_unique<obs::AdminServer>(
+        &live_registry, &stage_tracker, &obs::LogRing::Global(),
+        admin_options);
+    const Status started = admin->Start();
+    if (!started.ok()) return Fail(started);
+    std::cout << "admin plane on http://127.0.0.1:" << admin->port()
+              << " (/metrics /healthz /readyz /statusz /logz)\n";
   }
 
   auto workspace = LoadWorkspace(dir);
@@ -217,6 +270,21 @@ int RunMine(const std::vector<std::string>& args) {
       static_cast<long long>(stats.num_statements),
       static_cast<long long>(stats.num_kept_property_type_pairs),
       static_cast<long long>(stats.num_property_type_pairs), out.c_str());
+
+  if (serve) {
+    // Park the process with the admin plane up: readiness flips to
+    // "serving", the final counters and stage history stay scrapeable,
+    // and the mined store size is exported as a gauge.
+    stage_tracker.SetStage(obs::PipelineStage::kServing);
+    obs::Gauge* store_size =
+        live_registry.GetGauge("surveyor_opinion_store_size");
+    live_registry.SetHelp("surveyor_opinion_store_size",
+                          "Mined opinions held by the serving process.");
+    store_size->Set(static_cast<double>(store.size()));
+    std::cout << "serving; scrape http://127.0.0.1:" << admin->port()
+              << "/metrics (Ctrl-C to stop)\n";
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+  }
   return 0;
 }
 
@@ -392,7 +460,8 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "worldgen") return RunWorldgen(args);
-  if (command == "mine") return RunMine(args);
+  if (command == "mine") return RunMine(args, /*serve=*/false);
+  if (command == "serve") return RunMine(args, /*serve=*/true);
   if (command == "query") return RunQuery(args);
   if (command == "profile") return RunProfile(args);
   if (command == "repl") return RunRepl(args);
