@@ -1,7 +1,7 @@
 #include "obs/admin_server.h"
 
 #include <cerrno>
-#include <cstring>
+#include <system_error>
 #include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -201,7 +201,8 @@ Status AdminServer::Start() {
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+    return Status::Internal("socket(): " +
+                            std::system_category().message(errno));
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -216,13 +217,15 @@ Status AdminServer::Start() {
                                    options_.bind_address + "'");
   }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string error = std::strerror(errno);
+    // std::strerror is not thread-safe (concurrency-mt-unsafe); the
+    // system_category message is.
+    const std::string error = std::system_category().message(errno);
     ::close(fd);
     return Status::Internal("bind(" + options_.bind_address + ":" +
                             std::to_string(options_.port) + "): " + error);
   }
   if (::listen(fd, /*backlog=*/16) != 0) {
-    const std::string error = std::strerror(errno);
+    const std::string error = std::system_category().message(errno);
     ::close(fd);
     return Status::Internal("listen(): " + error);
   }

@@ -40,12 +40,15 @@ LogRing& LogRing::Global() {
 }
 
 LogRing::LogRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  // No sharing yet, but constructor bodies are analyzed like any other
+  // function, so take the lock for the guarded reserve.
+  MutexLock lock(mutex_);
   lines_.reserve(std::min<size_t>(capacity_, kDefaultCapacity));
 }
 
 void LogRing::Append(LogSeverity severity, std::string_view line) {
   counts_[SeverityIndex(severity)].fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Line entry;
   entry.sequence = next_sequence_++;
   entry.severity = severity;
@@ -57,7 +60,7 @@ void LogRing::Append(LogSeverity severity, std::string_view line) {
 }
 
 std::vector<LogRing::Line> LogRing::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lines_;
 }
 
@@ -75,7 +78,7 @@ int64_t LogRing::TotalMessages() const {
 
 void LogRing::SetCapacity(size_t capacity) {
   if (capacity == 0) capacity = 1;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_ = capacity;
   if (lines_.size() > capacity_) {
     lines_.erase(lines_.begin(),
@@ -85,7 +88,7 @@ void LogRing::SetCapacity(size_t capacity) {
 }
 
 void LogRing::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lines_.clear();
   next_sequence_ = 0;
   for (auto& count : counts_) count.store(0, std::memory_order_relaxed);

@@ -4,12 +4,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace surveyor {
 namespace obs {
@@ -40,10 +41,11 @@ class LogRing {
   LogRing& operator=(const LogRing&) = delete;
 
   /// Appends one line (thread-safe), evicting the oldest when full.
-  void Append(LogSeverity severity, std::string_view line);
+  void Append(LogSeverity severity, std::string_view line)
+      SURVEYOR_EXCLUDES(mutex_);
 
   /// The buffered lines, oldest first.
-  std::vector<Line> Snapshot() const;
+  std::vector<Line> Snapshot() const SURVEYOR_EXCLUDES(mutex_);
 
   /// Total messages appended at `severity` since construction/Clear —
   /// counts every message, including lines the ring has since evicted.
@@ -53,10 +55,10 @@ class LogRing {
   int64_t TotalMessages() const;
 
   /// Changes the capacity (>= 1), keeping the newest lines.
-  void SetCapacity(size_t capacity);
+  void SetCapacity(size_t capacity) SURVEYOR_EXCLUDES(mutex_);
 
   /// Drops all lines and resets the counters and sequence numbers.
-  void Clear();
+  void Clear() SURVEYOR_EXCLUDES(mutex_);
 
   /// Appends Prometheus exposition for the per-severity counters:
   ///   surveyor_log_messages_total{severity="info"} 3 ...
@@ -73,11 +75,13 @@ class LogRing {
   static constexpr size_t kDefaultCapacity = 256;
 
  private:
-  mutable std::mutex mutex_;
-  size_t capacity_;
-  int64_t next_sequence_ = 0;
+  mutable Mutex mutex_;
+  size_t capacity_ SURVEYOR_GUARDED_BY(mutex_);
+  int64_t next_sequence_ SURVEYOR_GUARDED_BY(mutex_) = 0;
   /// Buffered lines in sequence order; append evicts from the front.
-  std::vector<Line> lines_;
+  std::vector<Line> lines_ SURVEYOR_GUARDED_BY(mutex_);
+  /// Atomic, not guarded: MessageCount is called from /metrics scrapes
+  /// that must not contend with the append path.
   std::array<std::atomic<int64_t>, 4> counts_{};
 };
 

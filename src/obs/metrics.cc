@@ -96,14 +96,14 @@ std::string EscapeLabelValue(std::string_view value) {
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -111,7 +111,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         HistogramOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(options);
   return slot.get();
@@ -119,25 +119,26 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 
 void MetricRegistry::SetHelp(const std::string& name,
                              const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   help_[name] = help;
+}
+
+std::string MetricRegistry::HelpForLocked(const std::string& name) const {
+  const auto it = help_.find(name);
+  return it == help_.end() ? std::string() : it->second;
 }
 
 std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
   std::vector<MetricSnapshot> snapshots;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     snapshots.reserve(counters_.size() + gauges_.size() + histograms_.size());
-    const auto help_for = [this](const std::string& name) {
-      const auto it = help_.find(name);
-      return it == help_.end() ? std::string() : it->second;
-    };
     for (const auto& [name, counter] : counters_) {
       MetricSnapshot snapshot;
       snapshot.name = name;
       snapshot.kind = MetricSnapshot::Kind::kCounter;
       snapshot.value = static_cast<double>(counter->Value());
-      snapshot.help = help_for(name);
+      snapshot.help = HelpForLocked(name);
       snapshots.push_back(std::move(snapshot));
     }
     for (const auto& [name, gauge] : gauges_) {
@@ -145,7 +146,7 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
       snapshot.name = name;
       snapshot.kind = MetricSnapshot::Kind::kGauge;
       snapshot.value = gauge->Value();
-      snapshot.help = help_for(name);
+      snapshot.help = HelpForLocked(name);
       snapshots.push_back(std::move(snapshot));
     }
     for (const auto& [name, histogram] : histograms_) {
@@ -156,7 +157,7 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
       snapshot.count = histogram->Count();
       snapshot.bucket_bounds = histogram->bucket_bounds();
       snapshot.bucket_counts = histogram->BucketCounts();
-      snapshot.help = help_for(name);
+      snapshot.help = HelpForLocked(name);
       snapshots.push_back(std::move(snapshot));
     }
   }

@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace surveyor {
 namespace obs {
@@ -151,17 +153,19 @@ class MetricRegistry {
 
   /// Returns the metric registered under `name`, creating it on first use.
   /// The pointer stays valid for the registry's lifetime.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) SURVEYOR_EXCLUDES(mutex_);
+  Gauge* GetGauge(const std::string& name) SURVEYOR_EXCLUDES(mutex_);
   Histogram* GetHistogram(const std::string& name,
-                          HistogramOptions options = {});
+                          HistogramOptions options = {})
+      SURVEYOR_EXCLUDES(mutex_);
 
   /// Sets the help text emitted on the metric's # HELP exposition line.
-  void SetHelp(const std::string& name, const std::string& help);
+  void SetHelp(const std::string& name, const std::string& help)
+      SURVEYOR_EXCLUDES(mutex_);
 
   /// Copies every metric, sorted by name (counters, gauges and histograms
   /// interleaved).
-  std::vector<MetricSnapshot> Snapshot() const;
+  std::vector<MetricSnapshot> Snapshot() const SURVEYOR_EXCLUDES(mutex_);
 
   /// Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count
   /// series for histograms).
@@ -172,11 +176,20 @@ class MetricRegistry {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::string> help_;
+  /// Help text registered for `name`, or empty. Factored out of
+  /// Snapshot() so the guarded lookup carries an explicit REQUIRES
+  /// contract instead of hiding in a lambda the analysis cannot see into.
+  std::string HelpForLocked(const std::string& name) const
+      SURVEYOR_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SURVEYOR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      SURVEYOR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SURVEYOR_GUARDED_BY(mutex_);
+  std::map<std::string, std::string> help_ SURVEYOR_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

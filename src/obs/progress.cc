@@ -19,22 +19,31 @@ ProgressReporter::ProgressReporter(double interval_seconds,
 
 void ProgressReporter::Loop(double interval_seconds,
                             const std::function<void()>& report) {
-  const auto interval = std::chrono::duration<double>(interval_seconds);
-  std::unique_lock<std::mutex> lock(mutex_);
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(interval_seconds));
+  // Explicit Lock/Unlock instead of a scoped lock: the loop drops the
+  // mutex around report() so a slow sink cannot block the destructor, and
+  // the analysis tracks the hand-over-hand state across the iterations.
+  mutex_.Lock();
   for (;;) {
-    if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
-      return;
+    const Clock::time_point deadline = Clock::now() + interval;
+    // Deadline loop instead of the predicate overload: lambda bodies are
+    // analyzed as separate functions that do not hold mutex_.
+    while (!stopping_ && Clock::now() < deadline) {
+      stop_cv_.wait_until(mutex_, deadline);
     }
-    // Report outside the lock so a slow sink cannot block the destructor.
-    lock.unlock();
+    if (stopping_) break;
+    mutex_.Unlock();
     report();
-    lock.lock();
+    mutex_.Lock();
   }
+  mutex_.Unlock();
 }
 
 ProgressReporter::~ProgressReporter() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   stop_cv_.notify_all();

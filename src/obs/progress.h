@@ -3,8 +3,10 @@
 
 #include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace surveyor {
 namespace obs {
@@ -26,11 +28,12 @@ class ProgressReporter {
   ProgressReporter& operator=(const ProgressReporter&) = delete;
 
  private:
-  void Loop(double interval_seconds, const std::function<void()>& report);
+  void Loop(double interval_seconds, const std::function<void()>& report)
+      SURVEYOR_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable stop_cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::condition_variable_any stop_cv_;
+  bool stopping_ SURVEYOR_GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

@@ -24,7 +24,9 @@ double CountOpenFds() {
   DIR* dir = opendir("/proc/self/fd");
   if (dir == nullptr) return -1.0;
   double count = 0.0;
-  while (dirent* entry = readdir(dir)) {
+  // readdir is only conditionally thread-safe, but each call here walks a
+  // private DIR stream, which glibc guarantees is safe.
+  while (dirent* entry = readdir(dir)) {  // NOLINT(concurrency-mt-unsafe)
     if (std::strcmp(entry->d_name, ".") == 0 ||
         std::strcmp(entry->d_name, "..") == 0) {
       continue;

@@ -30,17 +30,20 @@ std::string_view PipelineStageName(PipelineStage stage) {
 
 StageTracker::StageTracker()
     : start_(Clock::now()), stage_start_(start_) {
+  // Constructor bodies are analyzed like any other function; lock for the
+  // guarded members even though nothing can share the tracker yet.
+  MutexLock lock(mutex_);
   accumulated_.emplace_back(std::string(PipelineStageName(stage_)), 0.0);
 }
 
 PipelineStage StageTracker::stage() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stage_;
 }
 
 void StageTracker::SetStage(PipelineStage stage) {
   const Clock::time_point now = Clock::now();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Close the open interval of the outgoing stage.
   const std::string outgoing(PipelineStageName(stage_));
   for (auto& [name, seconds] : accumulated_) {
@@ -64,19 +67,19 @@ bool StageTracker::ready() const {
 }
 
 double StageTracker::SecondsInStage() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return SecondsBetween(stage_start_, Clock::now());
 }
 
 double StageTracker::UptimeSeconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return SecondsBetween(start_, Clock::now());
 }
 
 std::vector<std::pair<std::string, double>> StageTracker::StageSeconds()
     const {
   const Clock::time_point now = Clock::now();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, double>> seconds = accumulated_;
   const std::string current(PipelineStageName(stage_));
   for (auto& [name, total] : seconds) {

@@ -2,11 +2,13 @@
 #define SURVEYOR_OBS_STAGE_H_
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace surveyor {
 namespace obs {
@@ -37,35 +39,38 @@ class StageTracker {
   StageTracker(const StageTracker&) = delete;
   StageTracker& operator=(const StageTracker&) = delete;
 
-  PipelineStage stage() const;
+  PipelineStage stage() const SURVEYOR_EXCLUDES(mutex_);
 
   /// Enters `stage`, closing the time account of the previous one.
-  void SetStage(PipelineStage stage);
+  void SetStage(PipelineStage stage) SURVEYOR_EXCLUDES(mutex_);
 
   /// True once the process finished warming up (kServing or kDone).
-  bool ready() const;
+  bool ready() const SURVEYOR_EXCLUDES(mutex_);
 
   /// Seconds since the current stage was entered.
-  double SecondsInStage() const;
+  double SecondsInStage() const SURVEYOR_EXCLUDES(mutex_);
 
   /// Seconds since the tracker was constructed.
-  double UptimeSeconds() const;
+  double UptimeSeconds() const SURVEYOR_EXCLUDES(mutex_);
 
   /// Accumulated seconds per stage in first-entered order, the current
   /// stage counted up to now.
-  std::vector<std::pair<std::string, double>> StageSeconds() const;
+  std::vector<std::pair<std::string, double>> StageSeconds() const
+      SURVEYOR_EXCLUDES(mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
 
-  mutable std::mutex mutex_;
-  PipelineStage stage_ = PipelineStage::kStarting;
+  mutable Mutex mutex_;
+  PipelineStage stage_ SURVEYOR_GUARDED_BY(mutex_) = PipelineStage::kStarting;
+  /// Construction time; immutable afterwards.
   Clock::time_point start_;
-  Clock::time_point stage_start_;
+  Clock::time_point stage_start_ SURVEYOR_GUARDED_BY(mutex_);
   /// (stage name, accumulated seconds) for every stage entered so far, in
   /// first-entered order; the current stage's entry excludes the open
   /// interval.
-  std::vector<std::pair<std::string, double>> accumulated_;
+  std::vector<std::pair<std::string, double>> accumulated_
+      SURVEYOR_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -24,13 +24,13 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_ = capacity;
   if (spans_.size() > capacity_) spans_.resize(capacity_);
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   spans_.clear();
   active_.clear();
   next_id_.store(1, std::memory_order_relaxed);
@@ -39,12 +39,12 @@ void Tracer::Clear() {
 }
 
 std::chrono::steady_clock::time_point Tracer::epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return epoch_;
 }
 
 void Tracer::Record(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (spans_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -53,12 +53,12 @@ void Tracer::Record(TraceSpan span) {
 }
 
 void Tracer::RegisterActive(ActiveSpan span) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   active_.push_back(std::move(span));
 }
 
 void Tracer::UnregisterActive(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (size_t i = 0; i < active_.size(); ++i) {
     if (active_[i].id != id) continue;
     active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
@@ -69,7 +69,7 @@ void Tracer::UnregisterActive(uint64_t id) {
 std::vector<ActiveSpan> Tracer::ActiveSpans() const {
   std::vector<ActiveSpan> active;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     active = active_;
   }
   std::sort(active.begin(), active.end(),
@@ -85,7 +85,7 @@ std::vector<ActiveSpan> Tracer::ActiveSpans() const {
 std::vector<TraceSpan> Tracer::Snapshot() const {
   std::vector<TraceSpan> spans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     spans = spans_;
   }
   std::sort(spans.begin(), spans.end(),

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace surveyor {
 namespace obs {
@@ -55,14 +57,14 @@ class Tracer {
   }
 
   /// Maximum buffered spans (default 16384); takes effect immediately.
-  void SetCapacity(size_t capacity);
+  void SetCapacity(size_t capacity) SURVEYOR_EXCLUDES(mutex_);
 
   /// Drops all buffered spans, resets ids, the drop counter and the epoch.
-  void Clear();
+  void Clear() SURVEYOR_EXCLUDES(mutex_);
 
   /// Copies the buffered spans, ordered by start time (ties by id), so
   /// parents precede their children.
-  std::vector<TraceSpan> Snapshot() const;
+  std::vector<TraceSpan> Snapshot() const SURVEYOR_EXCLUDES(mutex_);
 
   /// Spans discarded because the buffer was full since the last Clear().
   int64_t dropped_spans() const {
@@ -71,26 +73,27 @@ class Tracer {
 
   /// Spans currently live (started, not ended), ordered by thread index
   /// then start time — per-thread entries read as innermost-last stacks.
-  std::vector<ActiveSpan> ActiveSpans() const;
+  std::vector<ActiveSpan> ActiveSpans() const SURVEYOR_EXCLUDES(mutex_);
 
   // --- Used by ScopedSpan; not part of the public surface. ---
   uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
-  void Record(TraceSpan span);
-  void RegisterActive(ActiveSpan span);
-  void UnregisterActive(uint64_t id);
-  std::chrono::steady_clock::time_point epoch() const;
+  void Record(TraceSpan span) SURVEYOR_EXCLUDES(mutex_);
+  void RegisterActive(ActiveSpan span) SURVEYOR_EXCLUDES(mutex_);
+  void UnregisterActive(uint64_t id) SURVEYOR_EXCLUDES(mutex_);
+  std::chrono::steady_clock::time_point epoch() const
+      SURVEYOR_EXCLUDES(mutex_);
 
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<int64_t> dropped_{0};
-  mutable std::mutex mutex_;
-  size_t capacity_ = 16384;
-  std::vector<TraceSpan> spans_;
+  mutable Mutex mutex_;
+  size_t capacity_ SURVEYOR_GUARDED_BY(mutex_) = 16384;
+  std::vector<TraceSpan> spans_ SURVEYOR_GUARDED_BY(mutex_);
   /// Live spans keyed by id; bounded by the number of concurrently open
   /// scopes, which is O(threads × nesting depth).
-  std::vector<ActiveSpan> active_;
-  std::chrono::steady_clock::time_point epoch_ =
+  std::vector<ActiveSpan> active_ SURVEYOR_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point epoch_ SURVEYOR_GUARDED_BY(mutex_) =
       std::chrono::steady_clock::now();
 };
 

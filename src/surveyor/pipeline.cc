@@ -4,7 +4,6 @@
 #include <array>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "model/diagnostics.h"
@@ -12,6 +11,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
 #include "util/threadpool.h"
 
@@ -448,7 +448,7 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
 
   const EmLearner learner(config_.em);
   ThreadPool pool(EffectiveThreads(config_.num_threads));
-  std::mutex error_mutex;
+  Mutex error_mutex;
   Status first_error = Status::OK();
 
   obs::ScopedSpan em_span("em");
@@ -460,7 +460,7 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
     pair.evidence = std::move(evidence[i]);
     auto fit = learner.Fit(pair.evidence.counts);
     if (!fit.ok()) {
-      std::lock_guard<std::mutex> lock(error_mutex);
+      MutexLock lock(error_mutex);
       if (first_error.ok()) first_error = fit.status();
       return;
     }

@@ -11,20 +11,28 @@ VectorDocumentSource::VectorDocumentSource(
 }
 
 std::optional<RawDocument> VectorDocumentSource::Next() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (next_ >= corpus_->size()) return std::nullopt;
   return (*corpus_)[next_++];
 }
 
-FileDocumentSource::FileDocumentSource(const std::string& path)
-    : stream_(path) {
+FileDocumentSource::FileDocumentSource(const std::string& path) {
+  // No other thread can see a half-constructed source, but the analysis
+  // checks constructor bodies like any other function.
+  MutexLock lock(mutex_);
+  stream_.open(path);
   if (!stream_) {
     status_ = Status::NotFound("cannot open '" + path + "'");
   }
 }
 
+Status FileDocumentSource::status() const {
+  MutexLock lock(mutex_);
+  return status_;
+}
+
 std::optional<RawDocument> FileDocumentSource::Next() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!status_.ok()) return std::nullopt;
   std::string line;
   while (std::getline(stream_, line)) {

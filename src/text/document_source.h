@@ -2,13 +2,14 @@
 #define SURVEYOR_TEXT_DOCUMENT_SOURCE_H_
 
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "text/document.h"
+#include "util/mutex.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace surveyor {
 
@@ -31,12 +32,12 @@ class VectorDocumentSource : public DocumentSource {
   /// `corpus` must outlive the source.
   explicit VectorDocumentSource(const std::vector<RawDocument>* corpus);
 
-  std::optional<RawDocument> Next() override;
+  std::optional<RawDocument> Next() override SURVEYOR_EXCLUDES(mutex_);
 
  private:
   const std::vector<RawDocument>* corpus_;
-  std::mutex mutex_;
-  size_t next_ = 0;
+  Mutex mutex_;
+  size_t next_ SURVEYOR_GUARDED_BY(mutex_) = 0;
 };
 
 /// Streams a corpus.tsv file (the format of SaveCorpus) from disk without
@@ -47,16 +48,17 @@ class FileDocumentSource : public DocumentSource {
   explicit FileDocumentSource(const std::string& path);
 
   /// OK when the file opened; parsing errors surface here after the
-  /// offending Next() returned nullopt.
-  const Status& status() const { return status_; }
+  /// offending Next() returned nullopt. Returns a copy: workers may be
+  /// writing the status under the mutex while a coordinator polls it.
+  Status status() const SURVEYOR_EXCLUDES(mutex_);
 
-  std::optional<RawDocument> Next() override;
+  std::optional<RawDocument> Next() override SURVEYOR_EXCLUDES(mutex_);
 
  private:
-  std::ifstream stream_;
-  std::mutex mutex_;
-  Status status_;
-  int line_number_ = 0;
+  mutable Mutex mutex_;
+  std::ifstream stream_ SURVEYOR_GUARDED_BY(mutex_);
+  Status status_ SURVEYOR_GUARDED_BY(mutex_);
+  int line_number_ SURVEYOR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace surveyor

@@ -1,0 +1,54 @@
+#ifndef SURVEYOR_UTIL_MUTEX_H_
+#define SURVEYOR_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace surveyor {
+
+/// std::mutex wrapper that carries the Clang thread-safety `capability`
+/// annotation. libstdc++'s std::mutex is unannotated, so GUARDED_BY
+/// declarations against it are invisible to -Wthread-safety; every
+/// mutex-protected member in this codebase is guarded by one of these
+/// instead (DESIGN.md §8).
+///
+/// The lower-case lock()/unlock() aliases satisfy BasicLockable so a
+/// std::condition_variable_any can wait on a Mutex directly; prefer the
+/// capitalized names (or MutexLock) in ordinary code.
+class SURVEYOR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SURVEYOR_ACQUIRE() { mu_.lock(); }
+  void Unlock() SURVEYOR_RELEASE() { mu_.unlock(); }
+  bool TryLock() SURVEYOR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable interface for std::condition_variable_any.
+  void lock() SURVEYOR_ACQUIRE() { mu_.lock(); }
+  void unlock() SURVEYOR_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex, the annotated analogue of std::lock_guard.
+/// Scoped-capability tracking lets -Wthread-safety prove GUARDED_BY
+/// accesses inside the scope.
+class SURVEYOR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SURVEYOR_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SURVEYOR_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_MUTEX_H_

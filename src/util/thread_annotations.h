@@ -1,0 +1,69 @@
+#ifndef SURVEYOR_UTIL_THREAD_ANNOTATIONS_H_
+#define SURVEYOR_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (-Wthread-safety). On Clang
+/// these expand to the capability attributes the analysis consumes; on
+/// every other compiler they expand to nothing, so annotated code stays
+/// portable. Build with -DSURVEYOR_THREAD_SAFETY=ON (Clang only) to turn
+/// the analysis into hard errors; see DESIGN.md §8 for the conventions.
+///
+/// The vocabulary (mirroring the Clang documentation and Abseil):
+///   SURVEYOR_CAPABILITY(name)     a class is a lockable capability
+///   SURVEYOR_SCOPED_CAPABILITY    a class is an RAII lock holder
+///   SURVEYOR_GUARDED_BY(mu)      data member readable/writable only
+///                                while holding mu
+///   SURVEYOR_PT_GUARDED_BY(mu)   the pointee is guarded by mu
+///   SURVEYOR_REQUIRES(mu)        function must be called with mu held
+///   SURVEYOR_ACQUIRE(mu...)      function acquires mu and does not
+///                                release it
+///   SURVEYOR_RELEASE(mu...)      function releases mu
+///   SURVEYOR_TRY_ACQUIRE(b, mu)  function acquires mu iff it returns b
+///   SURVEYOR_EXCLUDES(mu...)     caller must NOT hold mu (non-reentrant
+///                                public entry points)
+///   SURVEYOR_ASSERT_CAPABILITY(mu)  runtime assertion that mu is held
+///   SURVEYOR_RETURN_CAPABILITY(mu)  function returns a reference to mu
+///   SURVEYOR_NO_THREAD_SAFETY_ANALYSIS  opt a function out entirely
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op off Clang
+#endif
+
+#define SURVEYOR_CAPABILITY(x) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define SURVEYOR_SCOPED_CAPABILITY \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define SURVEYOR_GUARDED_BY(x) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define SURVEYOR_PT_GUARDED_BY(x) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define SURVEYOR_REQUIRES(...) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define SURVEYOR_ACQUIRE(...) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define SURVEYOR_RELEASE(...) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define SURVEYOR_TRY_ACQUIRE(...) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define SURVEYOR_EXCLUDES(...) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define SURVEYOR_ASSERT_CAPABILITY(x) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define SURVEYOR_RETURN_CAPABILITY(x) \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define SURVEYOR_NO_THREAD_SAFETY_ANALYSIS \
+  SURVEYOR_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // SURVEYOR_UTIL_THREAD_ANNOTATIONS_H_

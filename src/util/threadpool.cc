@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     SURVEYOR_CHECK(!shutting_down_);
     queue_.push(std::move(task));
     ++in_flight_;
@@ -36,17 +36,20 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit predicate loop (not the lambda overload): thread-safety
+  // analysis treats lambda bodies as separate functions that do not hold
+  // mutex_, so guarded reads belong in this scope.
+  while (in_flight_ != 0) work_done_.wait(mutex_);
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 ThreadPoolStats ThreadPool::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ThreadPoolStats stats;
   stats.tasks_submitted = tasks_submitted_;
   stats.tasks_completed = tasks_completed_;
@@ -60,10 +63,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       const Clock::time_point wait_start = Clock::now();
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      while (!shutting_down_ && queue_.empty()) work_available_.wait(mutex_);
       // The wait returns holding the lock, so this accumulation is safe.
       idle_seconds_ +=
           std::chrono::duration<double>(Clock::now() - wait_start).count();
@@ -76,7 +78,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       ++tasks_completed_;
       if (in_flight_ == 0) work_done_.notify_all();

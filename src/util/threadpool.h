@@ -5,10 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace surveyor {
 
@@ -40,33 +42,36 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SURVEYOR_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() SURVEYOR_EXCLUDES(mutex_);
 
   size_t num_threads() const { return threads_.size(); }
 
   /// Tasks queued but not yet running (cheap; safe to poll from a
   /// progress reporter while workers run).
-  size_t queue_depth() const;
+  size_t queue_depth() const SURVEYOR_EXCLUDES(mutex_);
 
   /// Usage counters since construction.
-  ThreadPoolStats stats() const;
+  ThreadPoolStats stats() const SURVEYOR_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SURVEYOR_EXCLUDES(mutex_);
 
+  /// Immutable after construction; joined (never resized) on destruction.
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable work_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  int64_t tasks_submitted_ = 0;
-  int64_t tasks_completed_ = 0;
-  double idle_seconds_ = 0.0;
+
+  mutable Mutex mutex_;
+  /// Condition-variable-any so workers can wait on the annotated Mutex.
+  std::condition_variable_any work_available_;
+  std::condition_variable_any work_done_;
+  std::queue<std::function<void()>> queue_ SURVEYOR_GUARDED_BY(mutex_);
+  size_t in_flight_ SURVEYOR_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ SURVEYOR_GUARDED_BY(mutex_) = false;
+  int64_t tasks_submitted_ SURVEYOR_GUARDED_BY(mutex_) = 0;
+  int64_t tasks_completed_ SURVEYOR_GUARDED_BY(mutex_) = 0;
+  double idle_seconds_ SURVEYOR_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Runs `fn(i)` for each i in [0, count), partitioned into contiguous

@@ -1,0 +1,226 @@
+#include "tools/check_layers_lib.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace surveyor {
+namespace layers {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Materializes a fixture source tree under a per-test temp directory and
+/// removes it on teardown.
+class CheckLayersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("check_layers_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& relative, const std::string& contents) {
+    const fs::path path = root_ / relative;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << contents;
+  }
+
+  /// Rules for a miniature repo mirroring the real one's bottom layers.
+  static LayerRules MiniRules() {
+    return LayerRules{
+        {"util", {}},
+        {"obs", {"util"}},
+        {"text", {"util"}},
+    };
+  }
+
+  std::string Lint(const LayerRules& rules) {
+    return FormatViolations(AnalyzeTree(root_.string(), rules));
+  }
+
+  fs::path root_;
+};
+
+TEST_F(CheckLayersTest, LegalDagIsClean) {
+  WriteFile("util/logging.h",
+            "#ifndef SURVEYOR_UTIL_LOGGING_H_\n"
+            "#define SURVEYOR_UTIL_LOGGING_H_\n"
+            "#endif  // SURVEYOR_UTIL_LOGGING_H_\n");
+  WriteFile("obs/metrics.h",
+            "#ifndef SURVEYOR_OBS_METRICS_H_\n"
+            "#define SURVEYOR_OBS_METRICS_H_\n"
+            "#include \"util/logging.h\"\n"
+            "#endif  // SURVEYOR_OBS_METRICS_H_\n");
+  WriteFile("obs/metrics.cc",
+            "#include \"obs/metrics.h\"\n"
+            "#include \"util/logging.h\"\n");
+  EXPECT_EQ(Lint(MiniRules()), "");
+}
+
+TEST_F(CheckLayersTest, UtilIncludingObsIsReported) {
+  WriteFile("obs/metrics.h",
+            "#ifndef SURVEYOR_OBS_METRICS_H_\n"
+            "#define SURVEYOR_OBS_METRICS_H_\n"
+            "#endif  // SURVEYOR_OBS_METRICS_H_\n");
+  WriteFile("util/logging.cc",
+            "#include \"util/logging.h\"\n"
+            "#include \"obs/metrics.h\"\n");
+  WriteFile("util/logging.h",
+            "#ifndef SURVEYOR_UTIL_LOGGING_H_\n"
+            "#define SURVEYOR_UTIL_LOGGING_H_\n"
+            "#endif  // SURVEYOR_UTIL_LOGGING_H_\n");
+  EXPECT_EQ(Lint(MiniRules()),
+            "util/logging.cc:2: layer: layer 'util' may not include 'obs' "
+            "(allowed: (nothing))\n");
+}
+
+TEST_F(CheckLayersTest, DisallowedSiblingEdgeListsAllowedLayers) {
+  WriteFile("text/parser.cc", "#include \"obs/metrics.h\"\n");
+  EXPECT_EQ(Lint(MiniRules()),
+            "text/parser.cc:1: layer: layer 'text' may not include 'obs' "
+            "(allowed: util)\n");
+}
+
+TEST_F(CheckLayersTest, UndeclaredLayersAreReported) {
+  WriteFile("rogue/thing.cc", "#include \"util/logging.h\"\n");
+  WriteFile("util/a.cc", "#include \"vendored/blob.h\"\n");
+  EXPECT_EQ(Lint(MiniRules()),
+            "rogue/thing.cc:1: layer: file is under 'rogue', which is not a "
+            "declared layer\n"
+            "util/a.cc:1: layer: include \"vendored/blob.h\" does not resolve "
+            "to a declared layer\n");
+}
+
+TEST_F(CheckLayersTest, MismatchedHeaderGuardIsReported) {
+  WriteFile("util/rng.h",
+            "#ifndef SURVEYOR_UTIL_RANDOM_H_\n"
+            "#define SURVEYOR_UTIL_RANDOM_H_\n"
+            "#endif  // SURVEYOR_UTIL_RANDOM_H_\n");
+  EXPECT_EQ(Lint(MiniRules()),
+            "util/rng.h:1: header-guard: guard 'SURVEYOR_UTIL_RANDOM_H_' "
+            "should be 'SURVEYOR_UTIL_RNG_H_'\n");
+}
+
+TEST_F(CheckLayersTest, MissingGuardAndMismatchedDefineAreReported) {
+  WriteFile("util/a.h", "int x;\n");
+  WriteFile("util/b.h",
+            "#ifndef SURVEYOR_UTIL_B_H_\n"
+            "#define SURVEYOR_UTIL_B_H\n"
+            "#endif\n");
+  EXPECT_EQ(Lint(MiniRules()),
+            "util/a.h:0: header-guard: missing include guard "
+            "'SURVEYOR_UTIL_A_H_'\n"
+            "util/b.h:2: header-guard: #define after #ifndef should be "
+            "'SURVEYOR_UTIL_B_H_'\n");
+}
+
+TEST_F(CheckLayersTest, UsingNamespaceInHeaderIsReported) {
+  WriteFile("util/bad.h",
+            "#ifndef SURVEYOR_UTIL_BAD_H_\n"
+            "#define SURVEYOR_UTIL_BAD_H_\n"
+            "using namespace std;\n"
+            "#endif  // SURVEYOR_UTIL_BAD_H_\n");
+  // Source files may (sparingly) use using-directives; only headers are
+  // checked.
+  WriteFile("util/fine.cc", "using namespace std;\n");
+  EXPECT_EQ(Lint(MiniRules()),
+            "util/bad.h:3: using-namespace: headers must not contain 'using "
+            "namespace'\n");
+}
+
+TEST_F(CheckLayersTest, SelfAndSystemIncludesAreIgnored) {
+  WriteFile("obs/trace.cc",
+            "#include \"obs/trace.h\"\n"
+            "#include <vector>\n"
+            "#include \"local_helper.h\"\n");
+  EXPECT_EQ(Lint(MiniRules()), "");
+}
+
+TEST(ExpectedGuardTest, MapsPathToGuardToken) {
+  EXPECT_EQ(ExpectedGuard("util/threadpool.h", {}),
+            "SURVEYOR_UTIL_THREADPOOL_H_");
+  EXPECT_EQ(ExpectedGuard("obs/log_ring.h", {}), "SURVEYOR_OBS_LOG_RING_H_");
+  Options prefixed;
+  prefixed.guard_prefix = "MY_";
+  EXPECT_EQ(ExpectedGuard("a/b-c.d.h", prefixed), "MY_A_B_C_D_H_");
+}
+
+TEST(ValidateRulesTest, AcceptsTheRepoRules) {
+  EXPECT_EQ(ValidateRules(DefaultRules()), "");
+}
+
+TEST(ValidateRulesTest, RejectsUndeclaredDependency) {
+  const LayerRules rules{{"a", {"ghost"}}};
+  EXPECT_EQ(ValidateRules(rules),
+            "layer 'a' depends on undeclared layer 'ghost'");
+}
+
+TEST(ValidateRulesTest, RejectsSelfDependency) {
+  const LayerRules rules{{"a", {"a"}}};
+  EXPECT_EQ(ValidateRules(rules), "layer 'a' lists itself as a dependency");
+}
+
+TEST(ValidateRulesTest, RejectsCycles) {
+  const LayerRules rules{{"a", {"b"}}, {"b", {"c"}}, {"c", {"a"}}};
+  const std::string error = ValidateRules(rules);
+  EXPECT_NE(error.find("cycle"), std::string::npos) << error;
+}
+
+TEST(ParseRulesFileTest, ParsesCommentsAndEntries) {
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "check_layers_rules.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment\n"
+           "util:\n"
+           "obs: util  # trailing comment\n"
+           "\n"
+           "surveyor: obs util\n";
+  }
+  LayerRules rules;
+  std::string error;
+  ASSERT_TRUE(ParseRulesFile(path.string(), &rules, &error)) << error;
+  EXPECT_EQ(rules.size(), 3u);
+  EXPECT_TRUE(rules.at("util").empty());
+  EXPECT_EQ(rules.at("obs"), (std::set<std::string>{"util"}));
+  EXPECT_EQ(rules.at("surveyor"), (std::set<std::string>{"obs", "util"}));
+  fs::remove(path);
+}
+
+TEST(ParseRulesFileTest, RejectsMalformedLines) {
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "check_layers_bad_rules.txt";
+  {
+    std::ofstream out(path);
+    out << "util\n";
+  }
+  LayerRules rules;
+  std::string error;
+  EXPECT_FALSE(ParseRulesFile(path.string(), &rules, &error));
+  EXPECT_NE(error.find("expected 'layer: dep dep ...'"), std::string::npos)
+      << error;
+  fs::remove(path);
+}
+
+TEST(ViolationsToJsonTest, EscapesAndStructures) {
+  const std::vector<Violation> violations{
+      {"util/a.h", 3, "header-guard", "guard \"X\" wrong"}};
+  EXPECT_EQ(ViolationsToJson(violations),
+            "[\n  {\"file\": \"util/a.h\", \"line\": 3, "
+            "\"rule\": \"header-guard\", "
+            "\"message\": \"guard \\\"X\\\" wrong\"}\n]\n");
+  EXPECT_EQ(ViolationsToJson({}), "[]\n");
+}
+
+}  // namespace
+}  // namespace layers
+}  // namespace surveyor

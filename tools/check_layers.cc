@@ -1,0 +1,94 @@
+// check_layers: dependency-DAG and include-hygiene linter for src/.
+//
+//   check_layers [--root DIR] [--rules FILE] [--json FILE]
+//                [--guard-prefix PREFIX]
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+// Violations print to stdout as "file:line: rule: message"; --json
+// additionally writes a machine-readable report. Runs as a CTest entry
+// (check_layers_src) so an illegal include fails the build.
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "tools/check_layers_lib.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--rules FILE] [--json FILE]"
+               " [--guard-prefix PREFIX]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using surveyor::layers::AnalyzeTree;
+  using surveyor::layers::DefaultRules;
+  using surveyor::layers::FormatViolations;
+  using surveyor::layers::LayerRules;
+  using surveyor::layers::Options;
+  using surveyor::layers::ParseRulesFile;
+  using surveyor::layers::ValidateRules;
+  using surveyor::layers::Violation;
+  using surveyor::layers::ViolationsToJson;
+
+  std::string root = "src";
+  std::string rules_path;
+  std::string json_path;
+  Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--root" && has_value) {
+      root = argv[++i];
+    } else if (arg == "--rules" && has_value) {
+      rules_path = argv[++i];
+    } else if (arg == "--json" && has_value) {
+      json_path = argv[++i];
+    } else if (arg == "--guard-prefix" && has_value) {
+      options.guard_prefix = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "check_layers: root '" << root << "' is not a directory\n";
+    return 2;
+  }
+
+  LayerRules rules = DefaultRules();
+  if (!rules_path.empty()) {
+    std::string error;
+    if (!ParseRulesFile(rules_path, &rules, &error)) {
+      std::cerr << "check_layers: " << error << "\n";
+      return 2;
+    }
+  }
+  const std::string rules_error = ValidateRules(rules);
+  if (!rules_error.empty()) {
+    std::cerr << "check_layers: " << rules_error << "\n";
+    return 2;
+  }
+
+  const std::vector<Violation> violations = AnalyzeTree(root, rules, options);
+  std::cout << FormatViolations(violations);
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "check_layers: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    json << ViolationsToJson(violations);
+  }
+  std::cerr << "check_layers: " << violations.size() << " violation(s) under "
+            << root << "\n";
+  return violations.empty() ? 0 : 1;
+}

@@ -11,6 +11,18 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
+
+# Sanitizer instrumentation (TSan/ASan/UBSan) slows everything down by
+# integer factors; numbers from such a build must never land in the
+# committed perf snapshot.
+sanitize="$(grep '^SURVEYOR_SANITIZE:' "$build_dir/CMakeCache.txt" \
+  | cut -d= -f2- || true)"
+if [[ -n "$sanitize" ]]; then
+  echo "run_bench.sh: refusing to benchmark a sanitizer-instrumented build" >&2
+  echo "  ($build_dir has SURVEYOR_SANITIZE=$sanitize; use a clean build dir)" >&2
+  exit 1
+fi
+
 cmake --build "$build_dir" -j --target bench_report scaling_pipeline \
   micro_benchmarks
 
