@@ -5,6 +5,7 @@
 // paths. Run via tools/run_bench.sh, which commits the refreshed snapshot.
 //
 //   bench_report [out.json]   (default: BENCH_pipeline.json)
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -133,5 +134,12 @@ int Run(const std::string& out_path) {
 }  // namespace surveyor
 
 int main(int argc, char** argv) {
+  // A chaos-armed environment (retries, quarantines, backoff sleeps)
+  // invalidates every number this tool writes into the committed snapshot.
+  if (std::getenv("SURVEYOR_FAULTS") != nullptr) {
+    std::cerr << "bench_report: refusing to run with SURVEYOR_FAULTS set; "
+                 "unset it and rerun\n";
+    return 1;
+  }
   return surveyor::Run(argc > 1 ? argv[1] : "BENCH_pipeline.json");
 }

@@ -11,6 +11,7 @@
 #include "obs/trace.h"
 #include "text/annotator.h"
 #include "text/tokenizer.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace surveyor {
@@ -131,6 +132,47 @@ void BM_PosteriorInference(benchmark::State& state) {
   benchmark::DoNotOptimize(sum);
 }
 BENCHMARK(BM_PosteriorInference);
+
+// --- Fault-injection overhead ------------------------------------------------
+// Fault points are compiled into the production binary (DESIGN.md §9), so
+// the disarmed check must stay near-free: one relaxed atomic load. The
+// acceptance budget is < 1% overhead on the extraction hot path.
+
+void BM_FaultPointDisarmed(benchmark::State& state) {
+  FaultInjector::Global().Disarm();
+  int64_t fired = 0;
+  for (auto _ : state) {
+    if (SURVEYOR_FAULT("bench_point")) ++fired;
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_FaultPointDisarmed);
+
+// The extraction inner loop with a disarmed fault point on every sentence —
+// compare against BM_ExtractFromSentence to read the relative overhead.
+void BM_ExtractFromSentenceFaultGuarded(benchmark::State& state) {
+  FaultInjector::Global().Disarm();
+  const auto& sentences = SharedSentences();
+  const World& world = SharedWorld();
+  TextAnnotator annotator(&world.kb(), &world.lexicon());
+  std::vector<AnnotatedSentence> annotated;
+  for (const std::string& sentence : sentences) {
+    annotated.push_back(annotator.AnnotateSentence(sentence));
+  }
+  EvidenceExtractor extractor;
+  size_t i = 0;
+  int64_t statements = 0;
+  for (auto _ : state) {
+    if (SURVEYOR_FAULT("bench_extract")) continue;
+    statements += static_cast<int64_t>(
+        extractor.ExtractFromSentence(annotated[i++ % annotated.size()])
+            .size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(statements);
+}
+BENCHMARK(BM_ExtractFromSentenceFaultGuarded);
 
 // --- Observability primitives -----------------------------------------------
 // The instrumentation rides inside extraction/EM inner loops, so its cost

@@ -2,13 +2,17 @@
 #define SURVEYOR_MAPREDUCE_MAPREDUCE_H_
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/retry.h"
 #include "util/threadpool.h"
 
 namespace surveyor {
@@ -20,6 +24,37 @@ struct MapReduceOptions {
   /// Shuffle partitions; reducers run per partition. More partitions give
   /// more reduce parallelism at the cost of smaller batches.
   int num_partitions = 16;
+  /// Inputs per map task. 0 = one task per worker shard (the natural
+  /// grain for a healthy run). Smaller tasks narrow the blast radius of a
+  /// poison input at the cost of scheduling overhead.
+  size_t map_task_size = 0;
+  /// Retry policy of every map and reduce task. A failed attempt is
+  /// re-run from scratch: task effects are buffered per attempt and
+  /// committed only on success, so retries cannot duplicate emissions.
+  RetryPolicy task_retry;
+  /// When true, a task that still fails after its retries is quarantined
+  /// — its inputs (map) or keys (reduce) are dropped from the job and
+  /// counted in MapReduceReport — matching the cluster posture where a
+  /// handful of poison records must not kill a 5000-node job. Default
+  /// false: exhausted retries abort (programmer error until opted in).
+  bool quarantine_poison_tasks = false;
+};
+
+/// Fault-handling accounting of one MapReduce::Run call.
+struct MapReduceReport {
+  int64_t map_tasks = 0;
+  int64_t reduce_tasks = 0;
+  /// Map/reduce task attempts beyond the first.
+  int64_t map_task_retries = 0;
+  int64_t reduce_task_retries = 0;
+  /// Tasks dropped after exhausting retries (quarantine mode only).
+  int64_t quarantined_map_tasks = 0;
+  /// Input records covered by quarantined map tasks.
+  int64_t quarantined_map_inputs = 0;
+  int64_t quarantined_reduce_tasks = 0;
+  /// Shuffle keys dropped — via a quarantined reduce task or a reducer
+  /// that threw on that key.
+  int64_t quarantined_keys = 0;
 };
 
 /// A minimal typed MapReduce framework — the in-process stand-in for the
@@ -29,7 +64,17 @@ struct MapReduceOptions {
 ///
 /// Deterministic: outputs are ordered by (partition, key) regardless of
 /// worker count or scheduling, because the shuffle groups into ordered
-/// maps and reducers consume whole partitions.
+/// maps and reducers consume whole partitions. Task retries preserve this:
+/// an attempt emits into attempt-local buffers that only the successful
+/// attempt commits.
+///
+/// Fault model: map tasks evaluate the "mr_map_task" fault point and
+/// reduce tasks "mr_reduce_task" at the start of every attempt; a firing
+/// fails the attempt before any user code runs, so a retried attempt is
+/// always safe. A map_fn/reduce_fn that *throws* also fails its attempt —
+/// after an exception mid-task the retry re-runs user code over the same
+/// records, so reducers that mutate their value vector must be idempotent
+/// for retry to be sound (the built-in jobs are).
 ///
 /// - `Input`: one map task's input record.
 /// - `K`: shuffle key. Must be hashable via `Hasher` and `operator<`
@@ -53,9 +98,11 @@ class MapReduce {
   /// Runs the job over `inputs`. Map tasks run sharded across workers;
   /// emitted pairs are hash-partitioned; each partition is reduced
   /// independently (also across workers). Returns reducer outputs ordered
-  /// by (partition, key).
+  /// by (partition, key). When `report` is non-null it receives the
+  /// retry/quarantine accounting of this run.
   std::vector<Out> Run(const std::vector<Input>& inputs, const MapFn& map_fn,
-                       const ReduceFn& reduce_fn) const {
+                       const ReduceFn& reduce_fn,
+                       MapReduceReport* report = nullptr) const {
     const size_t num_partitions =
         static_cast<size_t>(options_.num_partitions);
     const unsigned hardware = std::thread::hardware_concurrency();
@@ -63,25 +110,55 @@ class MapReduce {
                         ? static_cast<size_t>(options_.num_workers)
                         : (hardware == 0 ? 4 : hardware));
 
-    // --- Map phase: each worker shard keeps per-partition buffers --------
+    // --- Map phase: retryable tasks with attempt-local buffers -----------
     const size_t num_shards = pool.num_threads();
-    std::vector<std::vector<std::vector<std::pair<K, V>>>> shard_buffers(
-        num_shards,
-        std::vector<std::vector<std::pair<K, V>>>(num_partitions));
-    const size_t per_shard =
-        (inputs.size() + num_shards - 1) / std::max<size_t>(1, num_shards);
+    const size_t task_size =
+        options_.map_task_size > 0
+            ? options_.map_task_size
+            : (inputs.size() + num_shards - 1) / std::max<size_t>(1, num_shards);
+    const size_t num_tasks =
+        task_size == 0 ? 0 : (inputs.size() + task_size - 1) / task_size;
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> task_buffers(
+        num_tasks, std::vector<std::vector<std::pair<K, V>>>(num_partitions));
     Hasher hasher;
-    for (size_t shard = 0; shard < num_shards; ++shard) {
-      const size_t begin = shard * per_shard;
-      const size_t end = std::min(inputs.size(), begin + per_shard);
-      if (begin >= end) continue;
-      pool.Submit([&, shard, begin, end] {
-        auto& buffers = shard_buffers[shard];
-        const EmitFn emit = [&](K key, V value) {
-          const size_t partition = hasher(key) % num_partitions;
-          buffers[partition].emplace_back(std::move(key), std::move(value));
-        };
-        for (size_t i = begin; i < end; ++i) map_fn(inputs[i], emit);
+    std::atomic<int64_t> map_retries{0};
+    std::atomic<int64_t> quarantined_map_tasks{0};
+    std::atomic<int64_t> quarantined_map_inputs{0};
+    for (size_t task = 0; task < num_tasks; ++task) {
+      const size_t begin = task * task_size;
+      const size_t end = std::min(inputs.size(), begin + task_size);
+      pool.Submit([&, task, begin, end] {
+        auto& buffers = task_buffers[task];
+        RetryResult outcome =
+            RetryWithBackoff(options_.task_retry, [&]() -> Status {
+              if (SURVEYOR_FAULT("mr_map_task")) {
+                return Status::Internal("injected fault: mr_map_task");
+              }
+              for (auto& partition : buffers) partition.clear();
+              const EmitFn emit = [&](K key, V value) {
+                const size_t partition = hasher(key) % num_partitions;
+                buffers[partition].emplace_back(std::move(key),
+                                                std::move(value));
+              };
+              try {
+                for (size_t i = begin; i < end; ++i) map_fn(inputs[i], emit);
+              } catch (const std::exception& e) {
+                return Status::Internal(std::string("map task threw: ") +
+                                        e.what());
+              } catch (...) {
+                return Status::Internal("map task threw");
+              }
+              return Status::OK();
+            });
+        map_retries.fetch_add(outcome.attempts - 1);
+        if (!outcome.status.ok()) {
+          SURVEYOR_CHECK(options_.quarantine_poison_tasks)
+              << "map task " << task << " failed after " << outcome.attempts
+              << " attempts: " << outcome.status.ToString();
+          for (auto& partition : buffers) partition.clear();
+          quarantined_map_tasks.fetch_add(1);
+          quarantined_map_inputs.fetch_add(static_cast<int64_t>(end - begin));
+        }
       });
     }
     pool.Wait();
@@ -90,21 +167,71 @@ class MapReduce {
     // Ordered maps make reduce input (and thus output) deterministic.
     std::vector<std::map<K, std::vector<V>>> partitions(num_partitions);
     ParallelFor(pool, num_partitions, [&](size_t p) {
-      for (size_t shard = 0; shard < num_shards; ++shard) {
-        for (auto& [key, value] : shard_buffers[shard][p]) {
+      for (size_t task = 0; task < num_tasks; ++task) {
+        for (auto& [key, value] : task_buffers[task][p]) {
           partitions[p][std::move(key)].push_back(std::move(value));
         }
       }
     });
 
-    // --- Reduce phase ------------------------------------------------------
+    // --- Reduce phase: one retryable task per partition -------------------
     std::vector<std::vector<Out>> partition_outputs(num_partitions);
+    std::atomic<int64_t> reduce_retries{0};
+    std::atomic<int64_t> quarantined_reduce_tasks{0};
+    std::atomic<int64_t> quarantined_keys{0};
     ParallelFor(pool, num_partitions, [&](size_t p) {
-      partition_outputs[p].reserve(partitions[p].size());
-      for (auto& [key, values] : partitions[p]) {
-        partition_outputs[p].push_back(reduce_fn(key, values));
+      int64_t dropped_keys = 0;
+      RetryResult outcome =
+          RetryWithBackoff(options_.task_retry, [&]() -> Status {
+            if (SURVEYOR_FAULT("mr_reduce_task")) {
+              return Status::Internal("injected fault: mr_reduce_task");
+            }
+            partition_outputs[p].clear();
+            partition_outputs[p].reserve(partitions[p].size());
+            dropped_keys = 0;
+            for (auto& [key, values] : partitions[p]) {
+              try {
+                partition_outputs[p].push_back(reduce_fn(key, values));
+              } catch (const std::exception& e) {
+                if (!options_.quarantine_poison_tasks) {
+                  return Status::Internal(std::string("reduce threw: ") +
+                                          e.what());
+                }
+                ++dropped_keys;
+              } catch (...) {
+                if (!options_.quarantine_poison_tasks) {
+                  return Status::Internal("reduce threw");
+                }
+                ++dropped_keys;
+              }
+            }
+            return Status::OK();
+          });
+      reduce_retries.fetch_add(outcome.attempts - 1);
+      if (!outcome.status.ok()) {
+        SURVEYOR_CHECK(options_.quarantine_poison_tasks)
+            << "reduce task for partition " << p << " failed after "
+            << outcome.attempts
+            << " attempts: " << outcome.status.ToString();
+        partition_outputs[p].clear();
+        quarantined_reduce_tasks.fetch_add(1);
+        quarantined_keys.fetch_add(
+            static_cast<int64_t>(partitions[p].size()));
+      } else {
+        quarantined_keys.fetch_add(dropped_keys);
       }
     });
+
+    if (report != nullptr) {
+      report->map_tasks = static_cast<int64_t>(num_tasks);
+      report->reduce_tasks = static_cast<int64_t>(num_partitions);
+      report->map_task_retries = map_retries.load();
+      report->reduce_task_retries = reduce_retries.load();
+      report->quarantined_map_tasks = quarantined_map_tasks.load();
+      report->quarantined_map_inputs = quarantined_map_inputs.load();
+      report->quarantined_reduce_tasks = quarantined_reduce_tasks.load();
+      report->quarantined_keys = quarantined_keys.load();
+    }
 
     std::vector<Out> outputs;
     for (auto& partition : partition_outputs) {

@@ -90,24 +90,28 @@ void EStep(const std::vector<EvidenceCounts>& counts,
 
 }  // namespace
 
-StatusOr<EmFitResult> EmLearner::Fit(
-    const std::vector<EvidenceCounts>& counts) const {
-  if (counts.empty()) {
-    return Status::InvalidArgument("EM requires at least one entity");
-  }
-  if (options_.max_iterations <= 0) {
+Status ValidateEmOptions(const EmOptions& options) {
+  if (options.max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
-  if (options_.agreement_grid.empty()) {
+  if (options.agreement_grid.empty()) {
     return Status::InvalidArgument("agreement grid must be non-empty");
   }
-  for (double pa : options_.agreement_grid) {
+  for (double pa : options.agreement_grid) {
     if (!(pa > 0.5 && pa < 1.0)) {
       return Status::InvalidArgument(
           "agreement grid values must lie in (0.5, 1)");
     }
   }
-  SURVEYOR_RETURN_IF_ERROR(ValidateParams(options_.initial_params));
+  return ValidateParams(options.initial_params);
+}
+
+StatusOr<EmFitResult> EmLearner::Fit(
+    const std::vector<EvidenceCounts>& counts) const {
+  if (counts.empty()) {
+    return Status::InvalidArgument("EM requires at least one entity");
+  }
+  SURVEYOR_RETURN_IF_ERROR(ValidateEmOptions(options_));
 
   EmFitResult result;
   // --- Initialization -----------------------------------------------------

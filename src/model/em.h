@@ -67,6 +67,13 @@ struct MStepStats {
 MStepStats ComputeMStepStats(const std::vector<EvidenceCounts>& counts,
                              const std::vector<double>& responsibilities);
 
+/// Checks EmOptions invariants (positive iteration budget, agreement grid
+/// in (0.5, 1), valid initial parameters). Exposed so callers fitting many
+/// pairs can reject a bad configuration once, up front — a config error is
+/// a hard failure, unlike a per-pair fit failure which the pipeline
+/// degrades (DESIGN.md §9).
+Status ValidateEmOptions(const EmOptions& options);
+
 /// Closed-form maximizer of Q' in (mu_positive, mu_negative) for a fixed
 /// agreement value (paper Section 6):
 ///   n·p+S = (g++ + g+-) / (g- + pA·g+ - pA·g-)

@@ -98,7 +98,11 @@ AdminResponse AdminServer::MetricsJson() const {
 
 AdminResponse AdminServer::Healthz() const {
   AdminResponse response;
-  response.body = "ok\n";
+  // Degraded stays 200: the process is alive and serving; probes must not
+  // restart it for quarantined documents or SMV-fallback pairs. Dashboards
+  // read the body (and /statusz) for the flag.
+  response.body = (stage_ != nullptr && stage_->degraded()) ? "degraded\n"
+                                                            : "ok\n";
   return response;
 }
 
@@ -120,6 +124,7 @@ AdminResponse AdminServer::Statusz() const {
   if (stage_ != nullptr) {
     writer.Key("stage").Value(PipelineStageName(stage_->stage()));
     writer.Key("ready").Value(stage_->ready());
+    writer.Key("degraded").Value(stage_->degraded());
     writer.Key("uptime_seconds").Value(stage_->UptimeSeconds());
     writer.Key("stage_seconds").BeginObject();
     for (const auto& [name, seconds] : stage_->StageSeconds()) {

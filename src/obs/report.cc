@@ -151,6 +151,34 @@ std::string RunReport::ToJson() const {
   for (const EmFitDiagnostics& fit : em.worst_fits) WriteEmFit(fit, writer);
   writer.EndArray().EndObject();
 
+  writer.Key("degradation")
+      .BeginObject()
+      .Key("degraded")
+      .Value(degradation.degraded)
+      .Key("retries")
+      .Value(degradation.retries)
+      .Key("faults_injected")
+      .Value(degradation.faults_injected)
+      .Key("docs_quarantined")
+      .Value(degradation.docs_quarantined)
+      .Key("pairs_degraded")
+      .Value(degradation.pairs_degraded)
+      .Key("degraded_pairs")
+      .BeginArray();
+  for (const DegradedPairInfo& pair : degradation.degraded_pairs) {
+    writer.BeginObject()
+        .Key("type")
+        .Value(pair.type_name)
+        .Key("property")
+        .Value(pair.property)
+        .Key("reason")
+        .Value(pair.reason)
+        .EndObject();
+  }
+  writer.EndArray().Key("notes").BeginArray();
+  for (const std::string& note : degradation.notes) writer.Value(note);
+  writer.EndArray().EndObject();
+
   // Spans come sorted by start time, so parents appear before children;
   // roots are spans whose parent is 0 or missing (dropped).
   std::unordered_map<uint64_t, std::vector<size_t>> children_of;

@@ -54,6 +54,37 @@ struct EmAggregateDiagnostics {
   }
 };
 
+/// One property-type pair that fell back to the smoothed-majority-vote
+/// baseline instead of an EM fit.
+struct DegradedPairInfo {
+  std::string type_name;
+  std::string property;
+  /// Why the fit was abandoned ("injected fault: em_fit", "non-finite
+  /// posterior", the fit error's message, ...).
+  std::string reason;
+};
+
+/// Fault-handling summary of one run (DESIGN.md §9): every retry,
+/// quarantined document, and degraded pair is accounted for here, in
+/// /metrics, and in PipelineStats — three views of the same counters.
+struct DegradationReport {
+  /// True when anything below is non-zero or a truncation note exists.
+  bool degraded = false;
+  /// Recovered transient failures (document reads, MapReduce tasks).
+  int64_t retries = 0;
+  /// Fault-point firings during the run (0 outside chaos testing).
+  int64_t faults_injected = 0;
+  /// Documents dropped as corrupt instead of failing the run.
+  int64_t docs_quarantined = 0;
+  /// Pairs that fell back to the SMV baseline.
+  int64_t pairs_degraded = 0;
+  /// The degraded pairs, sorted by (type, property).
+  std::vector<DegradedPairInfo> degraded_pairs;
+  /// Human-readable warnings, e.g. a document source that ended with an
+  /// error mid-stream (truncated corpus).
+  std::vector<std::string> notes;
+};
+
 /// Machine-readable artifact of one pipeline run: every metric, the span
 /// tree, per-stage seconds, EM diagnostics and a mirror of PipelineStats.
 /// `surveyor_cli mine --report FILE` serializes it with ToJson().
@@ -68,6 +99,7 @@ struct RunReport {
   std::vector<TraceSpan> spans;
   int64_t dropped_spans = 0;
   EmAggregateDiagnostics em;
+  DegradationReport degradation;
   /// PipelineStats mirrored as name -> value, for exact cross-checking
   /// against the registry counters.
   std::map<std::string, double> pipeline_stats;

@@ -61,6 +61,16 @@ void StageTracker::SetStage(PipelineStage stage) {
   accumulated_.emplace_back(incoming, 0.0);
 }
 
+void StageTracker::SetDegraded(bool degraded) {
+  MutexLock lock(mutex_);
+  degraded_ = degraded;
+}
+
+bool StageTracker::degraded() const {
+  MutexLock lock(mutex_);
+  return degraded_;
+}
+
 bool StageTracker::ready() const {
   const PipelineStage current = stage();
   return current == PipelineStage::kServing || current == PipelineStage::kDone;

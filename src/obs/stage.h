@@ -47,6 +47,17 @@ class StageTracker {
   /// True once the process finished warming up (kServing or kDone).
   bool ready() const SURVEYOR_EXCLUDES(mutex_);
 
+  /// Marks the process degraded (or clears the mark): it is serving, but
+  /// some documents were quarantined or some pairs fell back to the SMV
+  /// baseline (DESIGN.md §9). Degraded is orthogonal to the stage — a
+  /// degraded process still reports ready; /healthz answers 200 with body
+  /// "degraded" so probes keep the process in rotation while dashboards
+  /// see the flag. Cleared by the pipeline at the start of every run.
+  void SetDegraded(bool degraded) SURVEYOR_EXCLUDES(mutex_);
+
+  /// Whether the last (or current) run degraded.
+  bool degraded() const SURVEYOR_EXCLUDES(mutex_);
+
   /// Seconds since the current stage was entered.
   double SecondsInStage() const SURVEYOR_EXCLUDES(mutex_);
 
@@ -63,6 +74,7 @@ class StageTracker {
 
   mutable Mutex mutex_;
   PipelineStage stage_ SURVEYOR_GUARDED_BY(mutex_) = PipelineStage::kStarting;
+  bool degraded_ SURVEYOR_GUARDED_BY(mutex_) = false;
   /// Construction time; immutable afterwards.
   Clock::time_point start_;
   Clock::time_point stage_start_ SURVEYOR_GUARDED_BY(mutex_);

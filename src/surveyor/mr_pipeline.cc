@@ -37,13 +37,26 @@ struct PairCounts {
   EvidenceCounts counts;
 };
 
+/// Sums one job's fault accounting into the caller's report.
+void AccumulateReport(const MapReduceReport& job, MapReduceReport* total) {
+  if (total == nullptr) return;
+  total->map_tasks += job.map_tasks;
+  total->reduce_tasks += job.reduce_tasks;
+  total->map_task_retries += job.map_task_retries;
+  total->reduce_task_retries += job.reduce_task_retries;
+  total->quarantined_map_tasks += job.quarantined_map_tasks;
+  total->quarantined_map_inputs += job.quarantined_map_inputs;
+  total->quarantined_reduce_tasks += job.quarantined_reduce_tasks;
+  total->quarantined_keys += job.quarantined_keys;
+}
+
 }  // namespace
 
 std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
     const KnowledgeBase& kb, const Lexicon& lexicon,
     const std::vector<RawDocument>& corpus, int64_t min_statements,
     ExtractionOptions extraction, EntityTaggerOptions tagger,
-    MapReduceOptions mr_options) {
+    MapReduceOptions mr_options, MapReduceReport* report) {
   const TextAnnotator annotator(&kb, &lexicon, tagger);
   const EvidenceExtractor extractor(extraction);
 
@@ -51,6 +64,7 @@ std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
   obs::ScopedSpan extract_span("mr.extract");
   MapReduce<RawDocument, PairKey, EvidenceCounts, PairCounts, PairKeyHasher>
       extract_job(mr_options);
+  MapReduceReport extract_report;
   const std::vector<PairCounts> pair_counts = extract_job.Run(
       corpus,
       [&](const RawDocument& doc,
@@ -73,8 +87,10 @@ std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
           out.counts.negative += v.negative;
         }
         return out;
-      });
+      },
+      &extract_report);
   extract_span.End();
+  AccumulateReport(extract_report, report);
 
   // Precompute each entity's slot within its type's member list so the
   // grouping reducer is O(pairs) instead of O(pairs * type size).
@@ -92,6 +108,7 @@ std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
   MapReduce<PairCounts, TypePropertyKey, EntityCounts, PropertyTypeEvidence,
             TypePropertyKeyHasher>
       group_job(mr_options);
+  MapReduceReport group_report;
   std::vector<PropertyTypeEvidence> groups = group_job.Run(
       pair_counts,
       [&](const PairCounts& pair,
@@ -113,8 +130,10 @@ std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
           evidence.total_statements += counts.total();
         }
         return evidence;
-      });
+      },
+      &group_report);
   group_span.End();
+  AccumulateReport(group_report, report);
 
   // --- rho filter + deterministic global order ------------------------------
   std::vector<PropertyTypeEvidence> kept;

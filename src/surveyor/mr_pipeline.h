@@ -31,11 +31,14 @@ namespace surveyor {
 /// Combinations with fewer than `min_statements` total statements (the
 /// paper's rho) are dropped after Job 2. Output is deterministic and
 /// equivalent to SurveyorPipeline::ExtractEvidence + GroupByType.
+///
+/// When `report` is non-null it receives the summed retry/quarantine
+/// accounting of both jobs (see MapReduceOptions for the fault model).
 std::vector<PropertyTypeEvidence> ExtractAndGroupMapReduce(
     const KnowledgeBase& kb, const Lexicon& lexicon,
     const std::vector<RawDocument>& corpus, int64_t min_statements,
     ExtractionOptions extraction = {}, EntityTaggerOptions tagger = {},
-    MapReduceOptions mr_options = {});
+    MapReduceOptions mr_options = {}, MapReduceReport* report = nullptr);
 
 }  // namespace surveyor
 

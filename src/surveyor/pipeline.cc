@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "model/diagnostics.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/string_util.h"
@@ -65,6 +68,88 @@ size_t EffectiveThreads(int configured) {
 /// Advances the admin plane's readiness machine when one is attached.
 void EnterStage(obs::StageTracker* tracker, obs::PipelineStage stage) {
   if (tracker != nullptr) tracker->SetStage(stage);
+}
+
+/// Per-run fault accounting: arms the config's spec for the scope of one
+/// Run* call and meters the injections it caused into the registry
+/// (surveyor_faults_injected_total), whether they came from the config
+/// spec or an environment-armed chaos profile.
+class RunFaultScope {
+ public:
+  RunFaultScope(const SurveyorConfig& config, obs::MetricRegistry& registry)
+      : registry_(registry),
+        injected_before_(FaultInjector::Global().TotalInjected()) {
+    if (!config.fault_spec.empty()) {
+      scoped_.emplace(config.fault_spec, config.fault_seed);
+    }
+    if (config.stage_tracker != nullptr) {
+      config.stage_tracker->SetDegraded(false);
+    }
+  }
+
+  /// Flushes the injection delta into the registry; call before reading
+  /// the counter (idempotent via re-snapshotting).
+  void MeterInjected() {
+    const int64_t now = FaultInjector::Global().TotalInjected();
+    registry_.GetCounter("surveyor_faults_injected_total")
+        ->Increment(now - injected_before_);
+    injected_before_ = now;
+  }
+
+ private:
+  obs::MetricRegistry& registry_;
+  int64_t injected_before_;
+  std::optional<ScopedFaults> scoped_;
+};
+
+/// Copies the degradation counters out of the registry into the stats
+/// view (same single-source-of-truth scheme as the extraction counters).
+void FillDegradationStats(obs::MetricRegistry& registry,
+                          PipelineStats* stats) {
+  stats->num_retries = registry.GetCounter("surveyor_retries_total")->Value();
+  stats->num_faults_injected =
+      registry.GetCounter("surveyor_faults_injected_total")->Value();
+  stats->num_docs_quarantined =
+      registry.GetCounter("surveyor_docs_quarantined_total")->Value();
+  stats->num_degraded_pairs =
+      registry.GetCounter("surveyor_pairs_degraded_total")->Value();
+  stats->source_truncated =
+      registry.GetCounter("surveyor_source_truncated_total")->Value();
+}
+
+/// True when every number the fit produced is usable for inference.
+bool FitIsFinite(const EmFitResult& fit) {
+  if (!std::isfinite(fit.params.agreement) ||
+      !std::isfinite(fit.params.mu_positive) ||
+      !std::isfinite(fit.params.mu_negative)) {
+    return false;
+  }
+  for (double r : fit.responsibilities) {
+    if (!std::isfinite(r)) return false;
+  }
+  return true;
+}
+
+/// The smoothed-majority-vote fallback of a failed fit: the same formula
+/// EM uses to initialize responsibilities, so a degraded pair equals an
+/// EM run stopped before its first iteration. Entities with no evidence
+/// land on 0.5 (undecided) and emit no opinion.
+void DegradePairToMajorityVote(const Status& why, double decision_threshold,
+                               const ModelParams& initial_params,
+                               PropertyTypeResult* pair) {
+  pair->degraded = true;
+  pair->degraded_reason = why.message();
+  pair->params = initial_params;
+  pair->em_iterations = 0;
+  const std::vector<EvidenceCounts>& counts = pair->evidence.counts;
+  pair->posterior.resize(counts.size());
+  pair->polarity.resize(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double cp = static_cast<double>(counts[i].positive);
+    const double cn = static_cast<double>(counts[i].negative);
+    pair->posterior[i] = (cp + 0.5) / (cp + cn + 1.0);
+    pair->polarity[i] = DecidePolarity(pair->posterior[i], decision_threshold);
+  }
 }
 
 /// Counter handles of the extraction stage, resolved once per run so the
@@ -172,6 +257,13 @@ std::map<std::string, double> StatsToMap(const PipelineStats& stats) {
       {"num_kept_property_type_pairs",
        static_cast<double>(stats.num_kept_property_type_pairs)},
       {"num_opinions", static_cast<double>(stats.num_opinions)},
+      {"num_retries", static_cast<double>(stats.num_retries)},
+      {"num_faults_injected",
+       static_cast<double>(stats.num_faults_injected)},
+      {"num_docs_quarantined",
+       static_cast<double>(stats.num_docs_quarantined)},
+      {"num_degraded_pairs", static_cast<double>(stats.num_degraded_pairs)},
+      {"source_truncated", static_cast<double>(stats.source_truncated)},
       {"extraction_seconds", stats.extraction_seconds},
       {"grouping_seconds", stats.grouping_seconds},
       {"em_seconds", stats.em_seconds},
@@ -194,6 +286,15 @@ void AssembleReport(obs::MetricRegistry& registry,
                            {"group", stats.grouping_seconds},
                            {"em", stats.em_seconds}};
   report->pipeline_stats = StatsToMap(stats);
+  // Recovered retries alone do not degrade a run — only lost documents,
+  // fallback pairs, or a truncated source do.
+  report->degradation.retries = stats.num_retries;
+  report->degradation.faults_injected = stats.num_faults_injected;
+  report->degradation.docs_quarantined = stats.num_docs_quarantined;
+  report->degradation.pairs_degraded = stats.num_degraded_pairs;
+  report->degradation.degraded = stats.num_docs_quarantined > 0 ||
+                                 stats.num_degraded_pairs > 0 ||
+                                 !report->degradation.notes.empty();
 }
 
 }  // namespace
@@ -323,6 +424,13 @@ EvidenceAggregator SurveyorPipeline::ExtractEvidenceStreamingWithRegistry(
   EvidenceAggregator merged(config_.max_provenance_samples);
   for (const EvidenceAggregator& shard : shards) merged.Merge(shard);
   RecordPoolMetrics(registry, pool, "extract");
+  // The source's fault accounting (transparent retries, quarantined
+  // corrupt documents) surfaces through the run's registry.
+  const DocumentSourceCounters source_counters = source.counters();
+  registry.GetCounter("surveyor_retries_total")
+      ->Increment(source_counters.read_retries);
+  registry.GetCounter("surveyor_docs_quarantined_total")
+      ->Increment(source_counters.quarantined_documents);
   FillExtractionStats(counters, registry, merged, stats);
   return merged;
 }
@@ -399,6 +507,7 @@ StatusOr<PipelineResult> SurveyorPipeline::RunStreaming(
   obs::RunReport report;
   report.em.max_worst_fits = config_.report_worst_fits;
   PipelineStats stats;
+  RunFaultScope faults(config_, registry);
   StatusOr<PipelineResult> result = [&]() -> StatusOr<PipelineResult> {
     obs::ScopedSpan root("pipeline.run");
     EvidenceAggregator aggregator = [&] {
@@ -413,9 +522,24 @@ StatusOr<PipelineResult> SurveyorPipeline::RunStreaming(
     return FinishRun(std::move(aggregator), stats, registry, &report);
   }();
   if (!result.ok()) return result;
+  // A source that ends with an error mid-stream means the corpus was only
+  // partially read; warn rather than pretend the numbers are complete.
+  const Status source_status = source.status();
+  if (!source_status.ok()) {
+    registry.GetCounter("surveyor_source_truncated_total")->Increment();
+    SURVEYOR_LOG(Warning) << "document source truncated: "
+                          << source_status.ToString();
+    report.degradation.notes.push_back("document source truncated: " +
+                                       source_status.ToString());
+  }
+  faults.MeterInjected();
+  FillDegradationStats(registry, &result->stats);
   AssembleReport(registry, trace, result->stats, &report);
   result->report = std::move(report);
   EnterStage(config_.stage_tracker, obs::PipelineStage::kDone);
+  if (config_.stage_tracker != nullptr) {
+    config_.stage_tracker->SetDegraded(result->report.degradation.degraded);
+  }
   return result;
 }
 
@@ -425,6 +549,9 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
   if (!(config_.decision_threshold >= 0.5 && config_.decision_threshold < 1.0)) {
     return Status::InvalidArgument("decision threshold must be in [0.5, 1)");
   }
+  // A bad configuration fails every pair the same way; reject it once, up
+  // front and loudly — degradation is only for per-pair failures.
+  SURVEYOR_RETURN_IF_ERROR(ValidateEmOptions(config_.em));
   EnterStage(config_.stage_tracker, obs::PipelineStage::kFitting);
   PipelineResult result;
   result.pairs.resize(evidence.size());
@@ -436,6 +563,8 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
       registry.GetCounter("surveyor_em_grid_evaluations_total");
   obs::Counter* convergence_failures =
       registry.GetCounter("surveyor_em_convergence_failures_total");
+  obs::Counter* degraded_pairs =
+      registry.GetCounter("surveyor_pairs_degraded_total");
   obs::Histogram* iteration_histogram = registry.GetHistogram(
       "surveyor_em_iterations",
       obs::HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
@@ -450,6 +579,8 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
   ThreadPool pool(EffectiveThreads(config_.num_threads));
   Mutex error_mutex;
   Status first_error = Status::OK();
+  // Written by workers under error_mutex; read single-threaded after Wait.
+  std::vector<obs::DegradedPairInfo> degraded_infos;
 
   obs::ScopedSpan em_span("em");
   const uint64_t em_parent = obs::CurrentSpanId();
@@ -458,10 +589,42 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
     obs::ScopedSpan span("em.fit", em_parent);
     PropertyTypeResult& pair = result.pairs[i];
     pair.evidence = std::move(evidence[i]);
-    auto fit = learner.Fit(pair.evidence.counts);
-    if (!fit.ok()) {
+    // A failed fit degrades this pair, not the run: an injected "em_fit"
+    // fault, an internal error, or a non-finite result falls back to the
+    // SMV baseline. Deterministic input errors (kInvalidArgument) still
+    // abort — retrying or degrading those would hide bugs.
+    Status fit_error = Status::OK();
+    std::optional<EmFitResult> fit;
+    if (SURVEYOR_FAULT("em_fit")) {
+      fit_error = Status::Internal("injected fault: em_fit");
+    } else {
+      StatusOr<EmFitResult> fitted = learner.Fit(pair.evidence.counts);
+      if (!fitted.ok()) {
+        fit_error = fitted.status();
+      } else if (!FitIsFinite(*fitted)) {
+        fit_error = Status::Internal("non-finite fit result");
+      } else {
+        fit = std::move(*fitted);
+      }
+    }
+    if (!fit_error.ok()) {
+      const bool degradable =
+          config_.degrade_failed_fits &&
+          fit_error.code() != StatusCode::kInvalidArgument;
+      if (!degradable) {
+        MutexLock lock(error_mutex);
+        if (first_error.ok()) first_error = fit_error;
+        return;
+      }
+      DegradePairToMajorityVote(fit_error, config_.decision_threshold,
+                                config_.em.initial_params, &pair);
+      degraded_pairs->Increment();
+      obs::DegradedPairInfo info;
+      info.type_name = kb_->TypeName(pair.evidence.type);
+      info.property = pair.evidence.property;
+      info.reason = pair.degraded_reason;
       MutexLock lock(error_mutex);
-      if (first_error.ok()) first_error = fit.status();
+      degraded_infos.push_back(std::move(info));
       return;
     }
     fits->Increment();
@@ -496,6 +659,29 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
   em_span.End();
   RecordPoolMetrics(registry, pool, "em");
 
+  if (!degraded_infos.empty()) {
+    // Collection order is scheduling-dependent; sort for a deterministic
+    // report.
+    std::sort(degraded_infos.begin(), degraded_infos.end(),
+              [](const obs::DegradedPairInfo& a,
+                 const obs::DegradedPairInfo& b) {
+                if (a.type_name != b.type_name) {
+                  return a.type_name < b.type_name;
+                }
+                return a.property < b.property;
+              });
+    for (const obs::DegradedPairInfo& info : degraded_infos) {
+      SURVEYOR_LOG(Warning) << "degraded pair (" << info.type_name << ", "
+                            << info.property
+                            << ") fell back to majority vote: " << info.reason;
+    }
+    if (report != nullptr) {
+      for (obs::DegradedPairInfo& info : degraded_infos) {
+        report->degradation.degraded_pairs.push_back(std::move(info));
+      }
+    }
+  }
+
   if (collect_diagnostics) {
     report->em.max_worst_fits = config_.report_worst_fits;
     for (obs::EmFitDiagnostics& diagnostics : fit_diagnostics) {
@@ -529,12 +715,18 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
       config_.live_metrics != nullptr ? *config_.live_metrics : local_registry;
   obs::TraceSession trace;
   obs::RunReport report;
+  RunFaultScope faults(config_, registry);
   StatusOr<PipelineResult> result =
       RunFromEvidenceWithRegistry(std::move(evidence), registry, &report);
   if (!result.ok()) return result;
+  faults.MeterInjected();
+  FillDegradationStats(registry, &result->stats);
   AssembleReport(registry, trace, result->stats, &report);
   result->report = std::move(report);
   EnterStage(config_.stage_tracker, obs::PipelineStage::kDone);
+  if (config_.stage_tracker != nullptr) {
+    config_.stage_tracker->SetDegraded(result->report.degradation.degraded);
+  }
   return result;
 }
 
@@ -547,6 +739,7 @@ StatusOr<PipelineResult> SurveyorPipeline::Run(
   obs::RunReport report;
   report.em.max_worst_fits = config_.report_worst_fits;
   PipelineStats stats;
+  RunFaultScope faults(config_, registry);
   StatusOr<PipelineResult> result = [&]() -> StatusOr<PipelineResult> {
     obs::ScopedSpan root("pipeline.run");
     EvidenceAggregator aggregator = [&] {
@@ -561,9 +754,14 @@ StatusOr<PipelineResult> SurveyorPipeline::Run(
     return FinishRun(std::move(aggregator), stats, registry, &report);
   }();
   if (!result.ok()) return result;
+  faults.MeterInjected();
+  FillDegradationStats(registry, &result->stats);
   AssembleReport(registry, trace, result->stats, &report);
   result->report = std::move(report);
   EnterStage(config_.stage_tracker, obs::PipelineStage::kDone);
+  if (config_.stage_tracker != nullptr) {
+    config_.stage_tracker->SetDegraded(result->report.degradation.degraded);
+  }
   return result;
 }
 

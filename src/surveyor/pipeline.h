@@ -52,8 +52,23 @@ struct SurveyorConfig {
   /// PipelineStats are derived from the same registry either way.
   obs::MetricRegistry* live_metrics = nullptr;
   /// Readiness state machine for /readyz (not owned). When set, Run*
-  /// advances it: extracting -> fitting -> done.
+  /// advances it: extracting -> fitting -> done, and carries the degraded
+  /// flag of the last run.
   obs::StageTracker* stage_tracker = nullptr;
+  /// Fault-injection spec armed for the duration of every Run* call (see
+  /// util/fault.h for the grammar, DESIGN.md §9 for the point names).
+  /// Empty = leave the process-wide injector alone (including an
+  /// environment-armed chaos profile).
+  std::string fault_spec;
+  /// Seed of the fault injector's trigger stream when fault_spec is set.
+  uint64_t fault_seed = 42;
+  /// When true (default), a property-type pair whose EM fit fails — an
+  /// injected "em_fit" fault, a non-finite result, or an internal error —
+  /// falls back to the smoothed-majority-vote baseline and is reported as
+  /// degraded instead of failing the run. Configuration errors (invalid
+  /// EmOptions, bad threshold) are always hard failures. When false, the
+  /// first fit failure aborts the run (the pre-degradation behavior).
+  bool degrade_failed_fits = true;
 };
 
 /// Fitted model and inferences for one property-type combination.
@@ -65,6 +80,12 @@ struct PropertyTypeResult {
   /// Decisions aligned with evidence.entities.
   std::vector<Polarity> polarity;
   int em_iterations = 0;
+  /// True when the EM fit failed and this pair's posterior is the
+  /// smoothed-majority-vote fallback (params are the initial guess,
+  /// em_iterations is 0). Degraded pairs still emit opinions.
+  bool degraded = false;
+  /// Why the fit was abandoned; empty for healthy pairs.
+  std::string degraded_reason;
 };
 
 /// One output tuple <entity, property, polarity> of Algorithm 1.
@@ -94,6 +115,11 @@ struct PipelineStats {
   int64_t num_property_type_pairs = 0;     ///< before the rho filter (7M analog)
   int64_t num_kept_property_type_pairs = 0;  ///< after the filter (380k analog)
   int64_t num_opinions = 0;                ///< emitted polarities (4B analog)
+  int64_t num_retries = 0;                 ///< recovered transient failures
+  int64_t num_faults_injected = 0;         ///< fault-point firings this run
+  int64_t num_docs_quarantined = 0;        ///< corrupt documents dropped
+  int64_t num_degraded_pairs = 0;          ///< pairs on the SMV fallback
+  int64_t source_truncated = 0;            ///< 1 if the stream ended early
   double extraction_seconds = 0.0;
   double grouping_seconds = 0.0;
   double em_seconds = 0.0;

@@ -1,0 +1,157 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+/// Parses a non-negative integer; false on empty/overflow/garbage.
+bool ParseInt64(std::string_view text, int64_t* out) {
+  if (text.empty()) return false;
+  int64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (INT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProbability(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("SURVEYOR_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return;
+  uint64_t seed = 42;
+  if (const char* seed_env = std::getenv("SURVEYOR_FAULT_SEED")) {
+    int64_t parsed = 0;
+    if (ParseInt64(seed_env, &parsed)) seed = static_cast<uint64_t>(parsed);
+  }
+  // A malformed env spec leaves the process disarmed rather than aborting:
+  // chaos configuration must never take down a clean run.
+  (void)Configure(spec, seed);
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::Parse(std::string_view spec,
+                            std::map<std::string, Point, std::less<>>* points) {
+  points->clear();
+  for (const std::string& raw : Split(spec, ',')) {
+    std::string entry = Trim(raw);
+    if (entry.empty()) continue;
+    size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' is not name:probability or name:@N");
+    }
+    std::string name = Trim(std::string_view(entry).substr(0, colon));
+    std::string trigger = Trim(std::string_view(entry).substr(colon + 1));
+    Point point;
+    if (!trigger.empty() && trigger[0] == '@') {
+      if (!ParseInt64(std::string_view(trigger).substr(1), &point.nth_hit) ||
+          point.nth_hit <= 0) {
+        return Status::InvalidArgument("fault spec entry '" + entry +
+                                       "' needs a positive hit index after @");
+      }
+    } else if (!ParseProbability(trigger, &point.probability)) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' needs a probability in [0,1] or @N");
+    }
+    if (points->count(name) > 0) {
+      return Status::InvalidArgument("fault point '" + name +
+                                     "' configured twice");
+    }
+    (*points)[name] = point;
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::Configure(std::string_view spec, uint64_t seed) {
+  std::map<std::string, Point, std::less<>> points;
+  SURVEYOR_RETURN_IF_ERROR(Parse(spec, &points));
+  MutexLock lock(mutex_);
+  points_ = std::move(points);
+  rng_ = Rng(seed);
+  spec_ = std::string(spec);
+  seed_ = seed;
+  armed_.store(!points_.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultInjector::Disarm() { (void)Configure("", 42); }
+
+bool FaultInjector::ShouldFail(std::string_view point) {
+  MutexLock lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  ++p.stats.evaluations;
+  bool fire = false;
+  if (p.nth_hit > 0) {
+    fire = p.stats.evaluations == p.nth_hit;
+  } else {
+    fire = rng_.Bernoulli(p.probability);
+  }
+  if (fire) {
+    ++p.stats.injected;
+    total_injected_.fetch_add(1);
+  }
+  return fire;
+}
+
+std::string FaultInjector::spec() const {
+  MutexLock lock(mutex_);
+  return spec_;
+}
+
+uint64_t FaultInjector::seed() const {
+  MutexLock lock(mutex_);
+  return seed_;
+}
+
+std::vector<std::pair<std::string, FaultPointStats>> FaultInjector::Stats()
+    const {
+  MutexLock lock(mutex_);
+  std::vector<std::pair<std::string, FaultPointStats>> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) out.emplace_back(name, point.stats);
+  return out;
+}
+
+FaultPointStats FaultInjector::StatsFor(std::string_view point) const {
+  MutexLock lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return FaultPointStats{};
+  return it->second.stats;
+}
+
+ScopedFaults::ScopedFaults(std::string_view spec, uint64_t seed) {
+  FaultInjector& injector = FaultInjector::Global();
+  previous_spec_ = injector.spec();
+  previous_seed_ = injector.seed();
+  (void)injector.Configure(spec, seed);
+}
+
+ScopedFaults::~ScopedFaults() {
+  (void)FaultInjector::Global().Configure(previous_spec_, previous_seed_);
+}
+
+}  // namespace surveyor

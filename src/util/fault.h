@@ -1,0 +1,139 @@
+#ifndef SURVEYOR_UTIL_FAULT_H_
+#define SURVEYOR_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace surveyor {
+
+/// Counters of one configured fault point. Evaluations are only counted
+/// while the injector is armed: the disarmed fast path never reaches the
+/// registry.
+struct FaultPointStats {
+  int64_t evaluations = 0;  ///< armed SURVEYOR_FAULT evaluations
+  int64_t injected = 0;     ///< evaluations that fired
+};
+
+/// Process-global registry of named, always-compiled fault-injection
+/// points — the chaos-testing substrate for a system whose deployed
+/// ancestor treated task failures on 5000 nodes as routine (paper
+/// Section 7.1). Code declares a point with `SURVEYOR_FAULT("doc_read")`
+/// and maps a firing to whatever failure it simulates (a Status, a
+/// dropped record); nothing fires unless the point is armed.
+///
+/// Arming is configured with a spec string, either programmatically
+/// (`Configure`, or `ScopedFaults` in tests) or through the environment
+/// at first use: `SURVEYOR_FAULTS="doc_read:0.01,em_fit:@3"` with an
+/// optional `SURVEYOR_FAULT_SEED`. Each entry is `name:probability`
+/// (fires with that probability per evaluation, deterministic given the
+/// seed) or `name:@N` (fires exactly on the N-th evaluation of the
+/// point, once — useful for forcing a specific victim).
+///
+/// Cost when disarmed: `SURVEYOR_FAULT` is one relaxed atomic load and a
+/// predictable branch, cheap enough for per-document and per-pair hot
+/// paths (see bench/micro_benchmarks.cc).
+class FaultInjector {
+ public:
+  /// The process-wide injector. First use reads SURVEYOR_FAULTS /
+  /// SURVEYOR_FAULT_SEED from the environment.
+  static FaultInjector& Global();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// True when any fault point is configured. The disarmed fast path of
+  /// SURVEYOR_FAULT.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Evaluates the named point: true when the caller should simulate a
+  /// failure now. Unconfigured points never fire. Call through
+  /// SURVEYOR_FAULT so the disarmed case stays off the lock.
+  bool ShouldFail(std::string_view point) SURVEYOR_EXCLUDES(mutex_);
+
+  /// Replaces the configuration with `spec` (see class comment for the
+  /// grammar) and resets all per-point counters. An empty spec disarms
+  /// every point. On a malformed spec the previous configuration is kept.
+  Status Configure(std::string_view spec, uint64_t seed = 42)
+      SURVEYOR_EXCLUDES(mutex_);
+
+  /// Disarms every point (equivalent to Configure("")).
+  void Disarm() SURVEYOR_EXCLUDES(mutex_);
+
+  /// The currently armed spec ("" when disarmed) and its seed.
+  std::string spec() const SURVEYOR_EXCLUDES(mutex_);
+  uint64_t seed() const SURVEYOR_EXCLUDES(mutex_);
+
+  /// Per-point counters since the last Configure, sorted by point name.
+  std::vector<std::pair<std::string, FaultPointStats>> Stats() const
+      SURVEYOR_EXCLUDES(mutex_);
+
+  /// Counters of one point (zeros when the point is not configured).
+  FaultPointStats StatsFor(std::string_view point) const
+      SURVEYOR_EXCLUDES(mutex_);
+
+  /// Total injections across all points since process start. Monotonic
+  /// across Configure calls, so runs can meter their own injections by
+  /// delta (surveyor_faults_injected_total).
+  int64_t TotalInjected() const { return total_injected_.load(); }
+
+ private:
+  FaultInjector();
+
+  struct Point {
+    /// Firing probability per evaluation; used when nth_hit == 0.
+    double probability = 0.0;
+    /// When > 0, fire exactly on this evaluation (one-shot).
+    int64_t nth_hit = 0;
+    FaultPointStats stats;
+  };
+
+  /// Parses one spec into `points`; returns a non-OK status (and leaves
+  /// `points` unspecified) on grammar errors.
+  static Status Parse(std::string_view spec,
+                      std::map<std::string, Point, std::less<>>* points);
+
+  mutable Mutex mutex_;
+  std::atomic<bool> armed_{false};
+  std::atomic<int64_t> total_injected_{0};
+  std::map<std::string, Point, std::less<>> points_
+      SURVEYOR_GUARDED_BY(mutex_);
+  Rng rng_ SURVEYOR_GUARDED_BY(mutex_);
+  std::string spec_ SURVEYOR_GUARDED_BY(mutex_);
+  uint64_t seed_ SURVEYOR_GUARDED_BY(mutex_) = 42;
+};
+
+/// RAII fault configuration for tests: applies `spec`, restores whatever
+/// was armed before (including an environment-armed chaos profile) on
+/// destruction.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(std::string_view spec, uint64_t seed = 42);
+  ~ScopedFaults();
+
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+
+ private:
+  std::string previous_spec_;
+  uint64_t previous_seed_;
+};
+
+/// Evaluates a named fault point. True when the caller should simulate a
+/// failure. Disarmed cost: one relaxed load and a not-taken branch.
+#define SURVEYOR_FAULT(point)                     \
+  (::surveyor::FaultInjector::Global().armed() && \
+   ::surveyor::FaultInjector::Global().ShouldFail(point))
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_FAULT_H_

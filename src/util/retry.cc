@@ -1,0 +1,54 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace surveyor {
+
+double BackoffSeconds(const RetryPolicy& policy, int retry_index, Rng& rng) {
+  if (retry_index < 1) return 0.0;
+  double base = policy.initial_backoff_seconds;
+  for (int i = 1; i < retry_index && base < policy.max_backoff_seconds; ++i) {
+    base *= policy.backoff_multiplier;
+  }
+  base = std::min(base, policy.max_backoff_seconds);
+  double jitter = std::clamp(policy.jitter_fraction, 0.0, 1.0);
+  return base * rng.Uniform(1.0 - jitter, 1.0 + jitter);
+}
+
+RetryResult RetryWithBackoff(
+    const RetryPolicy& policy, const std::function<Status()>& attempt,
+    const std::function<bool(const Status&)>& retryable) {
+  RetryResult result;
+  if (policy.max_attempts < 1) {
+    result.status =
+        Status::InvalidArgument("RetryPolicy.max_attempts must be >= 1");
+    return result;
+  }
+  Rng rng(policy.jitter_seed);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 1; i <= policy.max_attempts; ++i) {
+    ++result.attempts;
+    result.status = attempt();
+    if (result.status.ok()) return result;
+    bool should_retry = retryable ? retryable(result.status)
+                                  : result.status.code() == StatusCode::kInternal;
+    if (!should_retry || i == policy.max_attempts) return result;
+    if (policy.total_deadline_seconds > 0.0) {
+      double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= policy.total_deadline_seconds) return result;
+    }
+    double backoff = BackoffSeconds(policy, i, rng);
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      result.backoff_seconds += backoff;
+    }
+  }
+  return result;
+}
+
+}  // namespace surveyor

@@ -1,0 +1,60 @@
+#ifndef SURVEYOR_UTIL_RETRY_H_
+#define SURVEYOR_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace surveyor {
+
+/// Bounded-retry policy with exponential backoff and deterministic jitter.
+/// Defaults suit in-process transient faults (injected task failures,
+/// short I/O hiccups): up to 5 attempts, 0.5 ms initial backoff doubling
+/// to a 50 ms cap, ±25% jitter drawn from a seeded `Rng` so retry timing
+/// is reproducible. A zero deadline means no deadline.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 5;
+  /// Backoff before the first retry.
+  double initial_backoff_seconds = 0.0005;
+  /// Multiplier applied per further retry.
+  double backoff_multiplier = 2.0;
+  /// Upper clamp on a single backoff, before jitter.
+  double max_backoff_seconds = 0.05;
+  /// Each backoff is scaled by Uniform(1 - j, 1 + j).
+  double jitter_fraction = 0.25;
+  /// Wall-clock budget across all attempts and backoffs; once exceeded no
+  /// further retry starts. 0 disables the deadline.
+  double total_deadline_seconds = 0.0;
+  /// Seed of the jitter stream.
+  uint64_t jitter_seed = 42;
+};
+
+/// The backoff before retry `retry_index` (1-based): initial * mult^(i-1),
+/// clamped to the max, scaled by the jitter factor drawn from `rng`.
+double BackoffSeconds(const RetryPolicy& policy, int retry_index, Rng& rng);
+
+/// Outcome of RetryWithBackoff: the final status plus accounting.
+struct RetryResult {
+  Status status;
+  /// Attempts actually made (>= 1 whenever max_attempts >= 1).
+  int attempts = 0;
+  /// Total time slept in backoffs.
+  double backoff_seconds = 0.0;
+};
+
+/// Runs `attempt` until it succeeds, retries are exhausted, the failure is
+/// not retryable, or the deadline expires; sleeps the policy backoff
+/// between attempts. `retryable` decides which non-OK statuses are worth
+/// retrying; by default only kInternal (the code used for injected faults
+/// and unexpected I/O errors) — kInvalidArgument-style failures are
+/// deterministic and retrying them would only hide bugs.
+RetryResult RetryWithBackoff(
+    const RetryPolicy& policy, const std::function<Status()>& attempt,
+    const std::function<bool(const Status&)>& retryable = nullptr);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_RETRY_H_

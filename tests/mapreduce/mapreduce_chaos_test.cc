@@ -1,0 +1,216 @@
+// Chaos suite for the in-process MapReduce framework (DESIGN.md §9):
+// injected task faults must be absorbed by retries without changing the
+// output, and poison tasks must quarantine instead of kill the job when
+// opted in.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mapreduce/mapreduce.h"
+#include "util/fault.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace {
+
+using WordCount = std::pair<std::string, int>;
+
+std::vector<std::string> MakeDocs(int n) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < n; ++i) {
+    docs.push_back(StrFormat("w%d w%d w%d", i % 7, i % 13, i % 29));
+  }
+  return docs;
+}
+
+std::vector<WordCount> CountWords(const std::vector<std::string>& documents,
+                                  MapReduceOptions options,
+                                  MapReduceReport* report = nullptr) {
+  MapReduce<std::string, std::string, int, WordCount> job(options);
+  return job.Run(
+      documents,
+      [](const std::string& doc,
+         const std::function<void(std::string, int)>& emit) {
+        for (const std::string& word : SplitWhitespace(doc)) emit(word, 1);
+      },
+      [](const std::string& word, std::vector<int>& ones) {
+        int total = 0;
+        for (int one : ones) total += one;
+        return WordCount{word, total};
+      },
+      report);
+}
+
+MapReduceOptions ChaosOptions() {
+  MapReduceOptions options;
+  options.map_task_size = 8;  // many tasks -> many fault evaluations
+  // Thread interleaving decides which task consumes which draw of the
+  // shared trigger stream, so per-task outcomes are probabilistic; a deep
+  // retry budget makes accidental exhaustion (which would abort without
+  // quarantine) astronomically unlikely at the rates used here.
+  options.task_retry.max_attempts = 10;
+  options.task_retry.initial_backoff_seconds = 1e-6;
+  options.task_retry.max_backoff_seconds = 1e-5;
+  return options;
+}
+
+TEST(MapReduceChaosTest, MapTaskFaultsAreRetriedToTheSameOutput) {
+  const std::vector<std::string> docs = MakeDocs(400);
+  const std::vector<WordCount> clean = CountWords(docs, ChaosOptions());
+
+  ScopedFaults faults("mr_map_task:0.3", /*seed=*/17);
+  MapReduceReport report;
+  const std::vector<WordCount> chaotic =
+      CountWords(docs, ChaosOptions(), &report);
+
+  EXPECT_EQ(chaotic, clean);  // identical content AND order
+  const FaultPointStats stats =
+      FaultInjector::Global().StatsFor("mr_map_task");
+  EXPECT_GT(stats.injected, 0);
+  // Nothing exhausted its retries, so every injected fault shows up as
+  // exactly one retry in the report.
+  EXPECT_EQ(report.map_task_retries, stats.injected);
+  EXPECT_EQ(report.quarantined_map_tasks, 0);
+  EXPECT_EQ(report.quarantined_map_inputs, 0);
+}
+
+TEST(MapReduceChaosTest, ReduceTaskFaultsAreRetriedToTheSameOutput) {
+  const std::vector<std::string> docs = MakeDocs(400);
+  MapReduceOptions options = ChaosOptions();
+  options.num_partitions = 64;  // more reduce tasks -> more evaluations
+  const std::vector<WordCount> clean = CountWords(docs, options);
+
+  ScopedFaults faults("mr_reduce_task:0.3", /*seed=*/23);
+  MapReduceReport report;
+  const std::vector<WordCount> chaotic = CountWords(docs, options, &report);
+
+  EXPECT_EQ(chaotic, clean);
+  const FaultPointStats stats =
+      FaultInjector::Global().StatsFor("mr_reduce_task");
+  EXPECT_GT(stats.injected, 0);
+  EXPECT_EQ(report.reduce_task_retries, stats.injected);
+  EXPECT_EQ(report.quarantined_reduce_tasks, 0);
+  EXPECT_EQ(report.quarantined_keys, 0);
+}
+
+TEST(MapReduceChaosTest, CombinedFaultsStillConverge) {
+  const std::vector<std::string> docs = MakeDocs(200);
+  const std::vector<WordCount> clean = CountWords(docs, ChaosOptions());
+
+  ScopedFaults faults("mr_map_task:0.2,mr_reduce_task:0.2", /*seed=*/5);
+  MapReduceReport report;
+  const std::vector<WordCount> chaotic =
+      CountWords(docs, ChaosOptions(), &report);
+
+  EXPECT_EQ(chaotic, clean);
+  EXPECT_GT(report.map_task_retries + report.reduce_task_retries, 0);
+}
+
+TEST(MapReduceChaosTest, PoisonMapInputQuarantinesOnlyItsTask) {
+  ScopedFaults clean_env("");  // compose with a CI chaos profile
+  MapReduceOptions options;
+  options.map_task_size = 1;  // one input per task: minimal blast radius
+  options.quarantine_poison_tasks = true;
+  options.task_retry.max_attempts = 2;
+  options.task_retry.initial_backoff_seconds = 1e-6;
+
+  MapReduce<int, int, int, std::pair<int, int>> job(options);
+  MapReduceReport report;
+  const auto out = job.Run(
+      std::vector<int>{1, 2, 3, 4, 5},
+      [](const int& x, const std::function<void(int, int)>& emit) {
+        if (x == 3) throw std::runtime_error("poison record");
+        emit(x, x);
+      },
+      [](const int& key, std::vector<int>&) {
+        return std::pair<int, int>{key, 1};
+      },
+      &report);
+
+  // The poison input is gone; the other four survive.
+  std::map<int, int> as_map(out.begin(), out.end());
+  EXPECT_EQ(as_map.size(), 4u);
+  EXPECT_EQ(as_map.count(3), 0u);
+  EXPECT_EQ(report.map_tasks, 5);
+  EXPECT_EQ(report.quarantined_map_tasks, 1);
+  EXPECT_EQ(report.quarantined_map_inputs, 1);
+  // The poison task burned its full retry budget (deterministic throw).
+  EXPECT_EQ(report.map_task_retries, options.task_retry.max_attempts - 1);
+}
+
+TEST(MapReduceChaosTest, ThrowingReducerQuarantinesOnlyItsKey) {
+  ScopedFaults clean_env("");
+  MapReduceOptions options;
+  options.quarantine_poison_tasks = true;
+  options.task_retry.max_attempts = 2;
+  options.task_retry.initial_backoff_seconds = 1e-6;
+
+  MapReduce<int, int, int, std::pair<int, int>> job(options);
+  MapReduceReport report;
+  const auto out = job.Run(
+      std::vector<int>{1, 2, 3, 4, 5},
+      [](const int& x, const std::function<void(int, int)>& emit) {
+        emit(x, x);
+      },
+      [](const int& key, std::vector<int>&) {
+        if (key == 2) throw std::runtime_error("poison key");
+        return std::pair<int, int>{key, 1};
+      },
+      &report);
+
+  std::map<int, int> as_map(out.begin(), out.end());
+  EXPECT_EQ(as_map.size(), 4u);
+  EXPECT_EQ(as_map.count(2), 0u);
+  EXPECT_EQ(report.quarantined_keys, 1);
+  EXPECT_EQ(report.quarantined_reduce_tasks, 0);
+}
+
+TEST(MapReduceChaosTest, ExhaustedRetriesQuarantineWholeReducePartition) {
+  ScopedFaults clean_env("");
+  MapReduceOptions options;
+  options.num_partitions = 1;  // everything lands in the victim partition
+  options.quarantine_poison_tasks = true;
+  options.task_retry.max_attempts = 3;
+  options.task_retry.initial_backoff_seconds = 1e-6;
+
+  // Probability 1 fails every attempt of the only reduce task, so its
+  // retry budget is exhausted and the whole partition quarantines.
+  ScopedFaults always("mr_reduce_task:1");
+  MapReduce<int, int, int, std::pair<int, int>> job(options);
+  MapReduceReport report;
+  const auto out = job.Run(
+      std::vector<int>{1, 2, 3},
+      [](const int& x, const std::function<void(int, int)>& emit) {
+        emit(x, x);
+      },
+      [](const int& key, std::vector<int>&) {
+        return std::pair<int, int>{key, 1};
+      },
+      &report);
+
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(report.quarantined_reduce_tasks, 1);
+  EXPECT_EQ(report.quarantined_keys, 3);
+  EXPECT_EQ(report.reduce_task_retries, options.task_retry.max_attempts - 1);
+}
+
+TEST(MapReduceChaosTest, DefaultChunkingUnaffectedByFaultMachinery) {
+  // map_task_size = 0 must reproduce the legacy per-shard chunking, so a
+  // healthy run's report shows one map task per worker shard.
+  ScopedFaults clean_env("");
+  MapReduceOptions options;
+  options.num_workers = 4;
+  MapReduceReport report;
+  const std::vector<std::string> docs = MakeDocs(100);
+  const auto counts = CountWords(docs, options, &report);
+  EXPECT_FALSE(counts.empty());
+  EXPECT_EQ(report.map_tasks, 4);
+  EXPECT_EQ(report.map_task_retries, 0);
+  EXPECT_EQ(report.reduce_task_retries, 0);
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -34,6 +34,34 @@ TEST(AdminServerHandleTest, HealthzAlwaysOk) {
   EXPECT_EQ(response.body, "ok\n");
 }
 
+TEST(AdminServerHandleTest, HealthzReportsDegradedButStays200) {
+  MetricRegistry registry;
+  StageTracker stage;
+  AdminServer server(&registry, &stage, nullptr);
+  EXPECT_EQ(server.Handle("GET", "/healthz").body, "ok\n");
+
+  // Degraded is informational: the process is still healthy, so liveness
+  // probes must not restart it.
+  stage.SetDegraded(true);
+  AdminResponse response = server.Handle("GET", "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "degraded\n");
+
+  stage.SetDegraded(false);
+  EXPECT_EQ(server.Handle("GET", "/healthz").body, "ok\n");
+}
+
+TEST(AdminServerHandleTest, StatuszCarriesTheDegradedFlag) {
+  MetricRegistry registry;
+  StageTracker stage;
+  AdminServer server(&registry, &stage, nullptr);
+  EXPECT_NE(server.Handle("GET", "/statusz").body.find("\"degraded\":false"),
+            std::string::npos);
+  stage.SetDegraded(true);
+  EXPECT_NE(server.Handle("GET", "/statusz").body.find("\"degraded\":true"),
+            std::string::npos);
+}
+
 TEST(AdminServerHandleTest, ReadyzFollowsStageMachine) {
   MetricRegistry registry;
   StageTracker stage;

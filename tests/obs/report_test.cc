@@ -131,6 +131,25 @@ TEST_F(ReportTest, RunPopulatesReport) {
   EXPECT_EQ(report.stage_seconds.at("em"), stats.em_seconds);
 }
 
+TEST_F(ReportTest, CleanRunReportsZeroedDegradationSection) {
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config_);
+  auto result = pipeline.Run(corpus_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const DegradationReport& degradation = result->report.degradation;
+  EXPECT_FALSE(degradation.degraded);
+  EXPECT_EQ(degradation.retries, 0);
+  EXPECT_EQ(degradation.faults_injected, 0);
+  EXPECT_EQ(degradation.docs_quarantined, 0);
+  EXPECT_EQ(degradation.pairs_degraded, 0);
+  EXPECT_TRUE(degradation.degraded_pairs.empty());
+  EXPECT_TRUE(degradation.notes.empty());
+
+  // The section is always present in the JSON artifact, zeroed or not.
+  const std::string json = result->report.ToJson();
+  EXPECT_NE(json.find("\"degradation\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":false"), std::string::npos);
+}
+
 TEST_F(ReportTest, RunAndRunStreamingDeriveIdenticalStats) {
   SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config_);
   auto batch = pipeline.Run(corpus_);

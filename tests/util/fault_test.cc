@@ -1,0 +1,187 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace surveyor {
+namespace {
+
+// Every test restores the disarmed state via ScopedFaults, so the suite
+// composes with an environment-armed chaos profile (the CI chaos job runs
+// these tests with SURVEYOR_FAULTS set).
+
+TEST(FaultTest, DisarmedPointsNeverFire) {
+  ScopedFaults faults("");
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SURVEYOR_FAULT("doc_read"));
+  }
+  // Disarmed evaluations never reach the stats registry.
+  EXPECT_EQ(FaultInjector::Global().StatsFor("doc_read").evaluations, 0);
+}
+
+TEST(FaultTest, UnconfiguredPointNeverFiresWhileArmed) {
+  ScopedFaults faults("doc_read:1");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(SURVEYOR_FAULT("some_other_point"));
+  }
+  const FaultPointStats stats =
+      FaultInjector::Global().StatsFor("some_other_point");
+  EXPECT_EQ(stats.evaluations, 0);
+  EXPECT_EQ(stats.injected, 0);
+}
+
+TEST(FaultTest, ProbabilityOneAlwaysFires) {
+  ScopedFaults faults("doc_read:1");
+  EXPECT_TRUE(FaultInjector::Global().armed());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(SURVEYOR_FAULT("doc_read"));
+  }
+  const FaultPointStats stats = FaultInjector::Global().StatsFor("doc_read");
+  EXPECT_EQ(stats.evaluations, 20);
+  EXPECT_EQ(stats.injected, 20);
+}
+
+TEST(FaultTest, ProbabilityZeroNeverFires) {
+  ScopedFaults faults("doc_read:0");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SURVEYOR_FAULT("doc_read"));
+  }
+  const FaultPointStats stats = FaultInjector::Global().StatsFor("doc_read");
+  EXPECT_EQ(stats.evaluations, 100);
+  EXPECT_EQ(stats.injected, 0);
+}
+
+TEST(FaultTest, ProbabilityRoughlyMatchesRate) {
+  ScopedFaults faults("doc_read:0.3", /*seed=*/7);
+  int fired = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (SURVEYOR_FAULT("doc_read")) ++fired;
+  }
+  EXPECT_GT(fired, n * 0.25);
+  EXPECT_LT(fired, n * 0.35);
+  EXPECT_EQ(FaultInjector::Global().StatsFor("doc_read").injected, fired);
+}
+
+TEST(FaultTest, FiringSequenceIsDeterministicGivenSeed) {
+  std::vector<bool> first;
+  {
+    ScopedFaults faults("p:0.5", /*seed=*/99);
+    for (int i = 0; i < 200; ++i) first.push_back(SURVEYOR_FAULT("p"));
+  }
+  {
+    ScopedFaults faults("p:0.5", /*seed=*/99);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(SURVEYOR_FAULT("p"), first[static_cast<size_t>(i)]) << i;
+    }
+  }
+}
+
+TEST(FaultTest, NthHitFiresExactlyOnce) {
+  ScopedFaults faults("em_fit:@3");
+  std::vector<int> fired_on;
+  for (int i = 1; i <= 10; ++i) {
+    if (SURVEYOR_FAULT("em_fit")) fired_on.push_back(i);
+  }
+  EXPECT_EQ(fired_on, std::vector<int>{3});
+  const FaultPointStats stats = FaultInjector::Global().StatsFor("em_fit");
+  EXPECT_EQ(stats.evaluations, 10);
+  EXPECT_EQ(stats.injected, 1);
+}
+
+TEST(FaultTest, MultiplePointsAreIndependent) {
+  ScopedFaults faults("a:1,b:@2");
+  EXPECT_TRUE(SURVEYOR_FAULT("a"));
+  EXPECT_FALSE(SURVEYOR_FAULT("b"));  // first evaluation of b
+  EXPECT_TRUE(SURVEYOR_FAULT("b"));   // second: @2 fires
+  EXPECT_TRUE(SURVEYOR_FAULT("a"));
+}
+
+TEST(FaultTest, SpecWhitespaceIsTolerated) {
+  ScopedFaults faults(" a:1 , b:@1 ");
+  EXPECT_TRUE(SURVEYOR_FAULT("a"));
+  EXPECT_TRUE(SURVEYOR_FAULT("b"));
+  EXPECT_EQ(FaultInjector::Global().spec(), " a:1 , b:@1 ");
+}
+
+TEST(FaultTest, ConfigureRejectsMalformedSpecs) {
+  ScopedFaults clean("");
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_EQ(injector.Configure("noseparator").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure(":0.5").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure("p:").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure("p:1.5").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure("p:-0.1").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure("p:@0").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure("p:@-3").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure("p:@abc").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure("p:0.5,p:0.5").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultTest, MalformedSpecKeepsPreviousConfiguration) {
+  ScopedFaults faults("keep:1");
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.Configure("bad spec").ok());
+  EXPECT_EQ(injector.spec(), "keep:1");
+  EXPECT_TRUE(SURVEYOR_FAULT("keep"));
+}
+
+TEST(FaultTest, ConfigureResetsStats) {
+  ScopedFaults faults("p:1");
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_TRUE(SURVEYOR_FAULT("p"));
+  EXPECT_EQ(injector.StatsFor("p").injected, 1);
+  ASSERT_TRUE(injector.Configure("p:1").ok());
+  EXPECT_EQ(injector.StatsFor("p").injected, 0);
+  EXPECT_EQ(injector.StatsFor("p").evaluations, 0);
+}
+
+TEST(FaultTest, TotalInjectedIsMonotonicAcrossConfigures) {
+  ScopedFaults clean("");
+  FaultInjector& injector = FaultInjector::Global();
+  const int64_t before = injector.TotalInjected();
+  {
+    ScopedFaults faults("p:1");
+    EXPECT_TRUE(SURVEYOR_FAULT("p"));
+    EXPECT_TRUE(SURVEYOR_FAULT("p"));
+  }
+  {
+    ScopedFaults faults("q:@1");
+    EXPECT_TRUE(SURVEYOR_FAULT("q"));
+  }
+  EXPECT_EQ(injector.TotalInjected(), before + 3);
+}
+
+TEST(FaultTest, StatsListsPointsSortedByName) {
+  ScopedFaults faults("zeta:0.5,alpha:@1");
+  (void)SURVEYOR_FAULT("alpha");
+  const auto stats = FaultInjector::Global().Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, "alpha");
+  EXPECT_EQ(stats[0].second.injected, 1);
+  EXPECT_EQ(stats[1].first, "zeta");
+  EXPECT_EQ(stats[1].second.evaluations, 0);
+}
+
+TEST(FaultTest, ScopedFaultsRestoresPreviousConfiguration) {
+  ScopedFaults outer("outer:1", /*seed=*/11);
+  {
+    ScopedFaults inner("inner:1", /*seed=*/22);
+    EXPECT_EQ(FaultInjector::Global().spec(), "inner:1");
+    EXPECT_EQ(FaultInjector::Global().seed(), 22u);
+    EXPECT_TRUE(SURVEYOR_FAULT("inner"));
+    EXPECT_FALSE(SURVEYOR_FAULT("outer"));
+  }
+  EXPECT_EQ(FaultInjector::Global().spec(), "outer:1");
+  EXPECT_EQ(FaultInjector::Global().seed(), 11u);
+  EXPECT_TRUE(SURVEYOR_FAULT("outer"));
+  EXPECT_FALSE(SURVEYOR_FAULT("inner"));
+}
+
+}  // namespace
+}  // namespace surveyor

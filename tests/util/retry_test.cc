@@ -1,0 +1,150 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace surveyor {
+namespace {
+
+RetryPolicy FastPolicy(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  // Keep the suite fast: microsecond backoffs are enough to exercise the
+  // accounting without real sleeping.
+  policy.initial_backoff_seconds = 1e-6;
+  policy.max_backoff_seconds = 1e-5;
+  return policy;
+}
+
+TEST(RetryTest, SucceedsOnFirstAttempt) {
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(FastPolicy(5), [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(result.backoff_seconds, 0.0);
+}
+
+TEST(RetryTest, RetriesUntilSuccess) {
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(FastPolicy(5), [&] {
+    return ++calls < 3 ? Status::Internal("transient") : Status::OK();
+  });
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_GT(result.backoff_seconds, 0.0);
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(FastPolicy(4), [&] {
+    ++calls;
+    return Status::Internal("always failing");
+  });
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(result.attempts, 4);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, NonRetryableErrorStopsImmediately) {
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(FastPolicy(5), [&] {
+    ++calls;
+    return Status::InvalidArgument("deterministic bug");
+  });
+  // Default retryable predicate: only kInternal is worth retrying.
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, CustomRetryablePredicate) {
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(
+      FastPolicy(5),
+      [&] {
+        ++calls;
+        return Status::NotFound("eventually consistent");
+      },
+      [](const Status& status) {
+        return status.code() == StatusCode::kNotFound;
+      });
+  EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.attempts, 5);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(RetryTest, SingleAttemptNeverRetries) {
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(FastPolicy(1), [&] {
+    ++calls;
+    return Status::Internal("fail");
+  });
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(result.backoff_seconds, 0.0);
+}
+
+TEST(RetryTest, RejectsNonPositiveMaxAttempts) {
+  const RetryResult result =
+      RetryWithBackoff(FastPolicy(0), [] { return Status::OK(); });
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.attempts, 0);
+}
+
+TEST(RetryTest, DeadlineStopsFurtherRetries) {
+  RetryPolicy policy = FastPolicy(1000);
+  policy.initial_backoff_seconds = 0.02;
+  policy.max_backoff_seconds = 0.02;
+  policy.total_deadline_seconds = 0.01;
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(policy, [&] {
+    ++calls;
+    return Status::Internal("slow failure");
+  });
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  EXPECT_LT(result.attempts, 1000);
+  EXPECT_GE(result.attempts, 1);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyAndClamps) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.001;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.004;
+  policy.jitter_fraction = 0.0;  // exact values
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 1, rng), 0.001);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 2, rng), 0.002);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 3, rng), 0.004);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 4, rng), 0.004);  // clamped
+}
+
+TEST(RetryTest, JitterStaysWithinFractionAndIsDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.01;
+  policy.jitter_fraction = 0.25;
+  std::vector<double> first;
+  {
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+      const double backoff = BackoffSeconds(policy, 1, rng);
+      EXPECT_GE(backoff, 0.01 * 0.75);
+      EXPECT_LE(backoff, 0.01 * 1.25);
+      first.push_back(backoff);
+    }
+  }
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 1, rng),
+                     first[static_cast<size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace surveyor

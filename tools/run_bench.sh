@@ -23,6 +23,15 @@ if [[ -n "$sanitize" ]]; then
   exit 1
 fi
 
+# Same rule for fault injection: a chaos-armed environment perturbs every
+# measured path (retries, quarantines, backoff sleeps), so benchmark numbers
+# taken under it are meaningless.
+if [[ -n "${SURVEYOR_FAULTS:-}" || -n "${SURVEYOR_FAULT_SEED:-}" ]]; then
+  echo "run_bench.sh: refusing to benchmark with fault injection armed" >&2
+  echo "  (unset SURVEYOR_FAULTS / SURVEYOR_FAULT_SEED and rerun)" >&2
+  exit 1
+fi
+
 cmake --build "$build_dir" -j --target bench_report scaling_pipeline \
   micro_benchmarks
 

@@ -7,16 +7,22 @@
 //
 //   surveyor_cli mine <dir> [--min-statements N] [--threshold T]
 //                     [--domain D] [--out FILE] [--provenance N]
-//                     [--report FILE] [--admin-port N]
+//                     [--report FILE] [--admin-port N] [--faults SPEC]
+//                     [--fault-seed N]
 //       Runs the full pipeline over <dir>/corpus.tsv with <dir>/kb.tsv and
 //       <dir>/lexicon.tsv; writes the mined opinions (default
-//       <dir>/opinions.tsv). With --provenance N, also writes up to N
-//       supporting document references per pair to <dir>/provenance.tsv.
-//       With --report FILE, writes the JSON run report (metrics, tracing
-//       spans, EM diagnostics; see DESIGN.md §7) to FILE. With
-//       --admin-port N (0 = off, the default), serves the live admin
-//       plane on 127.0.0.1:N for the duration of the run: /metrics,
-//       /metrics.json, /healthz, /readyz, /statusz, /logz.
+//       <dir>/opinions.tsv). Without --domain the corpus is streamed from
+//       disk with corrupt lines quarantined (counted, not fatal); with
+//       --domain it is loaded and filtered in memory. With --provenance
+//       N, also writes up to N supporting document references per pair to
+//       <dir>/provenance.tsv. With --report FILE, writes the JSON run
+//       report (metrics, tracing spans, EM diagnostics, degradation
+//       accounting; see DESIGN.md §7 and §9) to FILE. With --admin-port N
+//       (0 = off, the default), serves the live admin plane on
+//       127.0.0.1:N for the duration of the run: /metrics, /metrics.json,
+//       /healthz, /readyz, /statusz, /logz. With --faults SPEC (or the
+//       SURVEYOR_FAULTS env var), arms fault injection for a chaos run,
+//       e.g. --faults doc_read:0.01,em_fit:@3 (DESIGN.md §9).
 //
 //   surveyor_cli serve <dir> [mine flags] [--admin-port N]
 //       Mines like `mine`, then keeps the process alive so the final
@@ -71,7 +77,7 @@ int Usage() {
          "[authors]\n"
       << "  surveyor_cli mine <dir> [--min-statements N] [--threshold T]"
          " [--domain D] [--out FILE] [--provenance N] [--report FILE]"
-         " [--admin-port N]\n"
+         " [--admin-port N] [--faults SPEC] [--fault-seed N]\n"
       << "  surveyor_cli serve <dir> [mine flags] [--admin-port N]\n"
       << "  surveyor_cli query <dir> <type> <property> [limit]\n"
       << "  surveyor_cli profile <dir> <entity>\n"
@@ -168,7 +174,8 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
     const bool known = flag == "--min-statements" || flag == "--threshold" ||
                        flag == "--domain" || flag == "--out" ||
                        flag == "--provenance" || flag == "--report" ||
-                       flag == "--admin-port";
+                       flag == "--admin-port" || flag == "--faults" ||
+                       flag == "--fault-seed";
     if (!known) {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
@@ -193,6 +200,10 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
       // 0 disables for mine; serve binds an ephemeral port instead of
       // running headless.
       admin_enabled = serve || admin_port != 0;
+    } else if (flag == "--faults") {
+      config.fault_spec = value;
+    } else if (flag == "--fault-seed") {
+      config.fault_seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else {
       report_path = value;
     }
@@ -223,12 +234,24 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
 
   auto workspace = LoadWorkspace(dir);
   if (!workspace.ok()) return Fail(workspace.status());
-  auto corpus = LoadCorpusFromFile(dir + "/corpus.tsv");
-  if (!corpus.ok()) return Fail(corpus.status());
-  const std::vector<RawDocument> input = FilterByDomain(*corpus, domain);
 
   SurveyorPipeline pipeline(&workspace->kb, &workspace->lexicon, config);
-  auto result = pipeline.Run(input);
+  StatusOr<PipelineResult> result = [&]() -> StatusOr<PipelineResult> {
+    if (domain.empty()) {
+      // Stream the corpus from disk — the snapshot posture: corrupt lines
+      // are quarantined and counted instead of failing the run, and the
+      // file never needs to fit in memory.
+      FileDocumentSourceOptions source_options;
+      source_options.quarantine_corrupt = true;
+      FileDocumentSource source(dir + "/corpus.tsv", source_options);
+      SURVEYOR_RETURN_IF_ERROR(source.status());
+      return pipeline.RunStreaming(source);
+    }
+    // Domain filtering needs the documents in hand; load and filter.
+    SURVEYOR_ASSIGN_OR_RETURN(const std::vector<RawDocument> corpus,
+                              LoadCorpusFromFile(dir + "/corpus.tsv"));
+    return pipeline.Run(FilterByDomain(corpus, domain));
+  }();
   if (!result.ok()) return Fail(result.status());
 
   OpinionStore store(&workspace->kb);
@@ -270,6 +293,24 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
       static_cast<long long>(stats.num_statements),
       static_cast<long long>(stats.num_kept_property_type_pairs),
       static_cast<long long>(stats.num_property_type_pairs), out.c_str());
+
+  const obs::DegradationReport& degradation = result->report.degradation;
+  if (degradation.degraded) {
+    std::cout << StrFormat(
+        "run degraded: %lld docs quarantined, %lld pairs on the "
+        "majority-vote fallback, %lld retries, %lld faults injected\n",
+        static_cast<long long>(degradation.docs_quarantined),
+        static_cast<long long>(degradation.pairs_degraded),
+        static_cast<long long>(degradation.retries),
+        static_cast<long long>(degradation.faults_injected));
+    for (const obs::DegradedPairInfo& pair : degradation.degraded_pairs) {
+      std::cout << "  degraded pair: " << pair.type_name << " "
+                << pair.property << " (" << pair.reason << ")\n";
+    }
+    for (const std::string& note : degradation.notes) {
+      std::cout << "  " << note << "\n";
+    }
+  }
 
   if (serve) {
     // Park the process with the admin plane up: readiness flips to
