@@ -26,6 +26,8 @@ std::string_view StatusLine(int status) {
   switch (status) {
     case 200:
       return "200 OK";
+    case 400:
+      return "400 Bad Request";
     case 404:
       return "404 Not Found";
     case 405:
@@ -57,15 +59,36 @@ AdminServer::AdminServer(const MetricRegistry* registry,
 
 AdminServer::~AdminServer() { Stop(); }
 
+void AdminServer::AddHandler(std::string prefix, AdminHandler handler) {
+  SURVEYOR_CHECK(listen_fd_ < 0) << "AddHandler after Start()";
+  handlers_.emplace_back(std::move(prefix), std::move(handler));
+}
+
 AdminResponse AdminServer::Handle(std::string_view method,
-                                  std::string_view target) const {
+                                  std::string_view target,
+                                  std::string_view body) const {
+  const std::string_view path = PathOf(target);
+  // Registered endpoints first, longest prefix wins; they own their
+  // method policy (POST included).
+  const AdminHandler* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, handler] : handlers_) {
+    const bool matches =
+        path.size() >= prefix.size() && path.substr(0, prefix.size()) == prefix &&
+        (path.size() == prefix.size() || path[prefix.size()] == '/' ||
+         path[prefix.size()] == '?' || prefix.back() == '/');
+    if (matches && prefix.size() >= best_len) {
+      best = &handler;
+      best_len = prefix.size();
+    }
+  }
+  if (best != nullptr) return (*best)(method, target, body);
   if (method != "GET" && method != "HEAD") {
     AdminResponse response;
     response.status = 405;
     response.body = "only GET is supported\n";
     return response;
   }
-  const std::string_view path = PathOf(target);
   if (path == "/metrics") return MetricsText();
   if (path == "/metrics.json") return MetricsJson();
   if (path == "/healthz") return Healthz();
@@ -262,13 +285,22 @@ void AdminServer::AcceptLoop() {
 }
 
 void AdminServer::ServeConnection(int client_fd) const {
-  // Read until the end of the request head (or a defensive cap). The
-  // admin plane only serves GETs, so the head is all there is.
+  // Read until the end of the request head (or a defensive cap).
   std::string request;
   char buffer[1024];
-  while (request.size() < 8192 &&
-         request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos) {
+  size_t head_end = std::string::npos;
+  size_t body_start = 0;
+  while (request.size() < 8192) {
+    head_end = request.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      body_start = head_end + 4;
+      break;
+    }
+    head_end = request.find("\n\n");
+    if (head_end != std::string::npos) {
+      body_start = head_end + 2;
+      break;
+    }
     const ssize_t n = ::read(client_fd, buffer, sizeof(buffer));
     if (n <= 0) break;
     request.append(buffer, static_cast<size_t>(n));
@@ -290,7 +322,37 @@ void AdminServer::ServeConnection(int client_fd) const {
                              : target_end - method_end - 1);
   }
 
-  const AdminResponse response = Handle(method, target);
+  // Drain the body when the head announced one (POST /query/batch). The
+  // cap bounds what a misbehaving client can make the single-threaded
+  // plane buffer.
+  constexpr size_t kMaxBodyBytes = 1 << 20;
+  size_t content_length = 0;
+  if (head_end != std::string::npos) {
+    const std::string head_lower = ToLower(request.substr(0, head_end));
+    const size_t header = head_lower.find("content-length:");
+    if (header != std::string::npos) {
+      size_t pos = header + 15;
+      while (pos < head_lower.size() && head_lower[pos] == ' ') ++pos;
+      while (pos < head_lower.size() && head_lower[pos] >= '0' &&
+             head_lower[pos] <= '9' && content_length <= kMaxBodyBytes) {
+        content_length = content_length * 10 + (head_lower[pos] - '0');
+        ++pos;
+      }
+    }
+  }
+  std::string body;
+  if (content_length > 0 && content_length <= kMaxBodyBytes &&
+      head_end != std::string::npos) {
+    body = request.substr(body_start);
+    while (body.size() < content_length) {
+      const ssize_t n = ::read(client_fd, buffer, sizeof(buffer));
+      if (n <= 0) break;
+      body.append(buffer, static_cast<size_t>(n));
+    }
+    if (body.size() > content_length) body.resize(content_length);
+  }
+
+  const AdminResponse response = Handle(method, target, body);
   std::string head = "HTTP/1.0 " + std::string(StatusLine(response.status)) +
                      "\r\nContent-Type: " + response.content_type +
                      "\r\nContent-Length: " +

@@ -2,9 +2,12 @@
 #define SURVEYOR_OBS_ADMIN_SERVER_H_
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "obs/log_ring.h"
 #include "obs/metrics.h"
@@ -33,6 +36,13 @@ struct AdminResponse {
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
 };
+
+/// An application endpoint mounted on the admin server (see AddHandler).
+/// `target` is the full request target (path + query string), `body` the
+/// request body ("" for GET). The handler runs on the accept thread and
+/// must be thread-safe with respect to the application state it reads.
+using AdminHandler = std::function<AdminResponse(
+    std::string_view method, std::string_view target, std::string_view body)>;
 
 /// Dependency-free embedded HTTP/1.0 admin server: one blocking
 /// accept-loop thread serving the live observability state of this
@@ -82,9 +92,23 @@ class AdminServer {
   /// Start().
   int port() const { return port_; }
 
+  /// Mounts `handler` on every path equal to `prefix` or under it
+  /// ("/query" also matches "/query/batch"). Longest registered prefix
+  /// wins; registered paths shadow the builtins. Handlers decide their
+  /// own method policy (this is how POST endpoints exist on an otherwise
+  /// GET-only plane). Must be called before Start(); not thread-safe
+  /// against a running server.
+  void AddHandler(std::string prefix, AdminHandler handler);
+
   /// Pure request dispatch: `target` is the request path plus optional
-  /// query string. Exposed for tests.
-  AdminResponse Handle(std::string_view method, std::string_view target) const;
+  /// query string, `body` the request body. Exposed for tests.
+  AdminResponse Handle(std::string_view method, std::string_view target,
+                       std::string_view body) const;
+
+  /// Body-less convenience overload (the shape every GET test uses).
+  AdminResponse Handle(std::string_view method, std::string_view target) const {
+    return Handle(method, target, "");
+  }
 
  private:
   void AcceptLoop();
@@ -102,6 +126,9 @@ class AdminServer {
   const StageTracker* stage_;
   const LogRing* log_ring_;
   AdminServerOptions options_;
+  /// Registered application endpoints, (prefix, handler). Immutable once
+  /// the accept thread starts.
+  std::vector<std::pair<std::string, AdminHandler>> handlers_;
 
   int listen_fd_ = -1;
   int port_ = 0;

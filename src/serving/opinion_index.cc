@@ -1,0 +1,283 @@
+#include "serving/opinion_index.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/fault.h"
+#include "util/string_util.h"
+
+namespace surveyor {
+namespace serving {
+namespace {
+
+uint64_t PairKey(uint32_t entity_index, uint32_t property_index) {
+  return (static_cast<uint64_t>(entity_index) << 32) | property_index;
+}
+
+}  // namespace
+
+bool OpinionIndex::CacheShard::Get(uint64_t key, ServedOpinion* out) const {
+  MutexLock lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second.second);
+  *out = it->second.first;
+  return true;
+}
+
+size_t OpinionIndex::CacheShard::Put(uint64_t key, ServedOpinion value,
+                                     size_t capacity) {
+  MutexLock lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.first = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return 0;
+  }
+  size_t evicted = 0;
+  while (entries_.size() >= capacity && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evicted;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, std::make_pair(std::move(value), lru_.begin()));
+  return evicted;
+}
+
+size_t OpinionIndex::CacheShard::size() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+OpinionIndex::OpinionIndex(OpinionIndexOptions options)
+    : options_(std::move(options)) {
+  if (options_.cache_shards == 0) options_.cache_shards = 1;
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    own_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  cache_hits_ = metrics_->GetCounter("surveyor_query_cache_hits_total");
+  cache_misses_ = metrics_->GetCounter("surveyor_query_cache_misses_total");
+  cache_evictions_ =
+      metrics_->GetCounter("surveyor_query_cache_evictions_total");
+  lookups_ = metrics_->GetCounter("surveyor_query_lookups_total");
+  not_found_ = metrics_->GetCounter("surveyor_query_not_found_total");
+  metrics_->SetHelp("surveyor_query_cache_hits_total",
+                    "Point lookups answered from the LRU cache");
+  metrics_->SetHelp("surveyor_query_cache_misses_total",
+                    "Point lookups that decoded snapshot records");
+  metrics_->SetHelp("surveyor_query_cache_evictions_total",
+                    "Cache entries displaced by newer answers");
+  shards_.reserve(options_.cache_shards);
+  for (size_t i = 0; i < options_.cache_shards; ++i) {
+    shards_.push_back(std::make_unique<CacheShard>());
+  }
+}
+
+Status OpinionIndex::Load(const std::string& path) {
+  Snapshot snapshot;
+  const RetryResult result = RetryWithBackoff(
+      options_.retry, [&snapshot, &path] { return snapshot.Open(path); });
+  SURVEYOR_RETURN_IF_ERROR(result.status);
+
+  std::unordered_map<std::string, uint32_t> entity_by_name;
+  entity_by_name.reserve(snapshot.num_entities());
+  std::vector<std::pair<std::string, uint32_t>> sorted_entities;
+  sorted_entities.reserve(snapshot.num_entities());
+  for (uint32_t i = 0; i < snapshot.num_entities(); ++i) {
+    std::string name = ToLower(snapshot.EntityName(i));
+    entity_by_name[name] = i;
+    sorted_entities.emplace_back(std::move(name), i);
+  }
+  std::sort(sorted_entities.begin(), sorted_entities.end());
+
+  std::unordered_map<std::string, uint32_t> property_by_name;
+  property_by_name.reserve(snapshot.num_properties());
+  for (uint32_t i = 0; i < snapshot.num_properties(); ++i) {
+    property_by_name[ToLower(snapshot.PropertyName(i))] = i;
+  }
+  std::unordered_map<std::string, uint32_t> type_by_name;
+  type_by_name.reserve(snapshot.num_types());
+  for (uint32_t i = 0; i < snapshot.num_types(); ++i) {
+    type_by_name[ToLower(snapshot.TypeName(i))] = i;
+  }
+
+  std::unordered_map<uint64_t, RecordLoc> records_by_pair;
+  records_by_pair.reserve(snapshot.num_opinions());
+  std::vector<std::vector<uint32_t>> blocks_by_type(snapshot.num_types());
+  const auto& blocks = snapshot.blocks();
+  for (uint32_t b = 0; b < blocks.size(); ++b) {
+    blocks_by_type[blocks[b].type_index].push_back(b);
+    for (uint32_t r = 0; r < blocks[b].record_count; ++r) {
+      const Snapshot::RecordView record =
+          Snapshot::ReadRecord(blocks[b].records, r);
+      records_by_pair[PairKey(record.entity_index,
+                              blocks[b].property_index)] = RecordLoc{b, r};
+    }
+  }
+
+  std::unordered_map<uint64_t, uint32_t> provenance_by_pair;
+  const auto& provenance = snapshot.provenance();
+  provenance_by_pair.reserve(provenance.size());
+  for (uint32_t i = 0; i < provenance.size(); ++i) {
+    provenance_by_pair[PairKey(provenance[i].entity_index,
+                               provenance[i].property_index)] = i;
+  }
+
+  // All derived state built; swap in atomically from the caller's view.
+  snapshot_ = std::move(snapshot);
+  entity_by_name_ = std::move(entity_by_name);
+  property_by_name_ = std::move(property_by_name);
+  type_by_name_ = std::move(type_by_name);
+  records_by_pair_ = std::move(records_by_pair);
+  provenance_by_pair_ = std::move(provenance_by_pair);
+  blocks_by_type_ = std::move(blocks_by_type);
+  sorted_entities_ = std::move(sorted_entities);
+  for (auto& shard : shards_) shard = std::make_unique<CacheShard>();
+  loaded_ = true;
+  metrics_->GetGauge("surveyor_snapshot_opinions")
+      ->Set(static_cast<double>(snapshot_.num_opinions()));
+  metrics_->GetGauge("surveyor_snapshot_entities")
+      ->Set(static_cast<double>(snapshot_.num_entities()));
+  return Status::OK();
+}
+
+OpinionIndex::CacheShard& OpinionIndex::ShardFor(uint64_t key) const {
+  return *shards_[std::hash<uint64_t>{}(key) % shards_.size()];
+}
+
+ServedOpinion OpinionIndex::Materialize(const RecordLoc& loc) const {
+  const Snapshot::BlockView& block = snapshot_.blocks()[loc.block];
+  const Snapshot::RecordView record =
+      Snapshot::ReadRecord(block.records, loc.record);
+  ServedOpinion opinion;
+  opinion.entity = std::string(snapshot_.EntityName(record.entity_index));
+  opinion.type = std::string(snapshot_.TypeName(block.type_index));
+  opinion.property = std::string(snapshot_.PropertyName(block.property_index));
+  opinion.posterior = record.posterior;
+  opinion.polarity = record.polarity;
+  opinion.degraded = block.degraded;
+  auto prov = provenance_by_pair_.find(
+      PairKey(record.entity_index, block.property_index));
+  if (prov != provenance_by_pair_.end()) {
+    opinion.provenance = snapshot_.provenance()[prov->second].refs;
+  }
+  return opinion;
+}
+
+StatusOr<ServedOpinion> OpinionIndex::Lookup(std::string_view entity,
+                                             std::string_view property) const {
+  lookups_->Increment();
+  if (!loaded_) return Status::FailedPrecondition("no snapshot loaded");
+  auto entity_it = entity_by_name_.find(ToLower(entity));
+  if (entity_it == entity_by_name_.end()) {
+    not_found_->Increment();
+    return Status::NotFound("unknown entity '" + std::string(entity) + "'");
+  }
+  auto property_it = property_by_name_.find(ToLower(property));
+  const uint64_t key =
+      property_it == property_by_name_.end()
+          ? 0
+          : PairKey(entity_it->second, property_it->second);
+  RecordLoc loc;
+  if (property_it != property_by_name_.end()) {
+    auto record_it = records_by_pair_.find(key);
+    if (record_it == records_by_pair_.end()) {
+      not_found_->Increment();
+      return Status::NotFound("no opinion for entity '" +
+                              std::string(entity) + "' property '" +
+                              std::string(property) + "'");
+    }
+    loc = record_it->second;
+  } else {
+    not_found_->Increment();
+    return Status::NotFound("no opinion for entity '" + std::string(entity) +
+                            "' property '" + std::string(property) + "'");
+  }
+
+  // The "query_cache" fault simulates a cold/flaky cache tier: the read is
+  // skipped and the answer recomputed from the snapshot, so an armed chaos
+  // profile degrades throughput, never correctness.
+  const bool cache_enabled =
+      options_.cache_capacity > 0 && !SURVEYOR_FAULT("query_cache");
+  if (cache_enabled) {
+    ServedOpinion cached;
+    if (ShardFor(key).Get(key, &cached)) {
+      cache_hits_->Increment();
+      return cached;
+    }
+  }
+  cache_misses_->Increment();
+  ServedOpinion opinion = Materialize(loc);
+  if (options_.cache_capacity > 0) {
+    const size_t per_shard =
+        std::max<size_t>(1, options_.cache_capacity / shards_.size());
+    const size_t evicted = ShardFor(key).Put(key, opinion, per_shard);
+    if (evicted > 0) {
+      cache_evictions_->Increment(static_cast<int64_t>(evicted));
+    }
+  }
+  return opinion;
+}
+
+std::vector<StatusOr<ServedOpinion>> OpinionIndex::BatchLookup(
+    const std::vector<std::pair<std::string, std::string>>& pairs) const {
+  std::vector<StatusOr<ServedOpinion>> out;
+  out.reserve(pairs.size());
+  for (const auto& [entity, property] : pairs) {
+    out.push_back(Lookup(entity, property));
+  }
+  return out;
+}
+
+std::vector<ServedOpinion> OpinionIndex::QueryType(std::string_view type,
+                                                   std::string_view property,
+                                                   size_t limit) const {
+  std::vector<ServedOpinion> out;
+  if (!loaded_) return out;
+  auto type_it = type_by_name_.find(ToLower(type));
+  auto property_it = property_by_name_.find(ToLower(property));
+  if (type_it == type_by_name_.end() ||
+      property_it == property_by_name_.end()) {
+    return out;
+  }
+  for (uint32_t b : blocks_by_type_[type_it->second]) {
+    const Snapshot::BlockView& block = snapshot_.blocks()[b];
+    if (block.property_index != property_it->second) continue;
+    for (uint32_t r = 0; r < block.record_count; ++r) {
+      const Snapshot::RecordView record =
+          Snapshot::ReadRecord(block.records, r);
+      if (record.polarity != Polarity::kPositive) continue;
+      out.push_back(Materialize(RecordLoc{b, r}));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ServedOpinion& a, const ServedOpinion& b) {
+              if (a.posterior != b.posterior) return a.posterior > b.posterior;
+              return a.entity < b.entity;
+            });
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<std::string> OpinionIndex::PrefixScan(std::string_view prefix,
+                                                  size_t limit) const {
+  std::vector<std::string> out;
+  if (!loaded_) return out;
+  const std::string needle = ToLower(prefix);
+  auto it = std::lower_bound(
+      sorted_entities_.begin(), sorted_entities_.end(), needle,
+      [](const auto& entry, const std::string& p) { return entry.first < p; });
+  for (; it != sorted_entities_.end(); ++it) {
+    if (it->first.compare(0, needle.size(), needle) != 0) break;
+    out.emplace_back(snapshot_.EntityName(it->second));
+    if (limit > 0 && out.size() >= limit) break;
+  }
+  return out;
+}
+
+}  // namespace serving
+}  // namespace surveyor

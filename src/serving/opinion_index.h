@@ -1,0 +1,159 @@
+#ifndef SURVEYOR_SERVING_OPINION_INDEX_H_
+#define SURVEYOR_SERVING_OPINION_INDEX_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "extraction/aggregator.h"
+#include "obs/metrics.h"
+#include "serving/snapshot.h"
+#include "util/mutex.h"
+#include "util/retry.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/thread_annotations.h"
+
+namespace surveyor {
+namespace serving {
+
+/// One answer of the query engine: an opinion with every name resolved and
+/// the supporting-statement samples attached, ready to serialize.
+struct ServedOpinion {
+  std::string entity;
+  std::string type;
+  std::string property;
+  double posterior = 0.5;
+  Polarity polarity = Polarity::kNeutral;
+  bool degraded = false;
+  std::vector<StatementRef> provenance;
+};
+
+struct OpinionIndexOptions {
+  /// Total cached answers across all shards (0 disables the cache).
+  size_t cache_capacity = 4096;
+  /// Independent LRU shards; each has its own mutex, so concurrent
+  /// lookups only contend when they hash to the same shard.
+  size_t cache_shards = 8;
+  /// Cache/lookup counters land here; nullptr uses an index-local
+  /// registry (still inspectable through metrics()).
+  obs::MetricRegistry* metrics = nullptr;
+  /// Bounded retries around the snapshot open, absorbing transient read
+  /// failures (the "snapshot_read" fault point).
+  RetryPolicy retry;
+};
+
+/// The online half of Surveyor: loads an opinion snapshot and answers the
+/// paper's two query shapes — point lookups ("is this kitten cute?") and
+/// type scans ("safe cities") — plus the prefix scan an autocomplete box
+/// needs. Immutable after Load; every query method is const and
+/// thread-safe, with a sharded read-through LRU in front of record
+/// decoding. Name matching is case-insensitive, like the knowledge base.
+class OpinionIndex {
+ public:
+  explicit OpinionIndex(OpinionIndexOptions options = {});
+
+  /// Opens `path` (with bounded retries on transient failures) and builds
+  /// the name indexes. On failure the index keeps serving its previous
+  /// snapshot, if any.
+  Status Load(const std::string& path);
+
+  bool loaded() const { return loaded_; }
+  const Snapshot& snapshot() const { return snapshot_; }
+
+  /// The mined opinion for one (entity, property) pair. kNotFound both
+  /// for an unknown entity and for a known entity with no opinion on the
+  /// property — the same contract as OpinionStore::Lookup, so callers can
+  /// treat the offline store and the online index interchangeably. The
+  /// messages differ so operators can tell the two cases apart.
+  StatusOr<ServedOpinion> Lookup(std::string_view entity,
+                                 std::string_view property) const;
+
+  /// One Lookup per pair, preserving order; individual misses are
+  /// per-entry kNotFound, never a whole-batch failure.
+  std::vector<StatusOr<ServedOpinion>> BatchLookup(
+      const std::vector<std::pair<std::string, std::string>>& pairs) const;
+
+  /// Subjective query ("safe cities"): entities of `type` whose dominant
+  /// opinion affirms `property`, strongest posterior first, at most
+  /// `limit` results (0 = no limit). Mirrors OpinionStore::Query.
+  std::vector<ServedOpinion> QueryType(std::string_view type,
+                                       std::string_view property,
+                                       size_t limit = 0) const;
+
+  /// Entity names starting with `prefix` (case-insensitive), sorted, at
+  /// most `limit` (0 = no limit). Names come back in snapshot casing.
+  std::vector<std::string> PrefixScan(std::string_view prefix,
+                                      size_t limit = 0) const;
+
+  /// The registry holding the cache counters (the configured one, or the
+  /// index-local fallback).
+  obs::MetricRegistry& metrics() const { return *metrics_; }
+
+ private:
+  /// One LRU shard: intrusive recency list + key map under one mutex.
+  class CacheShard {
+   public:
+    bool Get(uint64_t key, ServedOpinion* out) const
+        SURVEYOR_EXCLUDES(mutex_);
+    /// Inserts (or refreshes) `value`; returns the number of evictions.
+    size_t Put(uint64_t key, ServedOpinion value, size_t capacity)
+        SURVEYOR_EXCLUDES(mutex_);
+    size_t size() const SURVEYOR_EXCLUDES(mutex_);
+
+   private:
+    mutable Mutex mutex_;
+    /// Front = most recently used.
+    mutable std::list<uint64_t> lru_ SURVEYOR_GUARDED_BY(mutex_);
+    std::unordered_map<uint64_t,
+                       std::pair<ServedOpinion, std::list<uint64_t>::iterator>>
+        entries_ SURVEYOR_GUARDED_BY(mutex_);
+  };
+
+  struct RecordLoc {
+    uint32_t block = 0;
+    uint32_t record = 0;
+  };
+
+  ServedOpinion Materialize(const RecordLoc& loc) const;
+  CacheShard& ShardFor(uint64_t key) const;
+
+  OpinionIndexOptions options_;
+  /// Fallback registry when options_.metrics is null.
+  std::unique_ptr<obs::MetricRegistry> own_metrics_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* cache_evictions_ = nullptr;
+  obs::Counter* lookups_ = nullptr;
+  obs::Counter* not_found_ = nullptr;
+
+  bool loaded_ = false;
+  Snapshot snapshot_;
+  /// lowercased name -> table index.
+  std::unordered_map<std::string, uint32_t> entity_by_name_;
+  std::unordered_map<std::string, uint32_t> property_by_name_;
+  std::unordered_map<std::string, uint32_t> type_by_name_;
+  /// (entity_index << 32 | property_index) -> record location.
+  std::unordered_map<uint64_t, RecordLoc> records_by_pair_;
+  /// Same key -> index into snapshot_.provenance().
+  std::unordered_map<uint64_t, uint32_t> provenance_by_pair_;
+  /// type index -> blocks of that type.
+  std::vector<std::vector<uint32_t>> blocks_by_type_;
+  /// Lowercased entity names, sorted, paired with their table index.
+  std::vector<std::pair<std::string, uint32_t>> sorted_entities_;
+
+  /// Per-shard LRUs; mutable because a read-through cache updates on
+  /// const lookups.
+  mutable std::vector<std::unique_ptr<CacheShard>> shards_;
+};
+
+}  // namespace serving
+}  // namespace surveyor
+
+#endif  // SURVEYOR_SERVING_OPINION_INDEX_H_

@@ -1,0 +1,17 @@
+#include "surveyor/api.h"
+
+namespace surveyor {
+
+StatusOr<PipelineResult> Mine(const SurveyorConfig& config,
+                              DocumentSource& source, const KnowledgeBase& kb,
+                              const Lexicon& lexicon) {
+  return SurveyorPipeline(&kb, &lexicon, config).RunStreaming(source);
+}
+
+StatusOr<PipelineResult> Mine(const SurveyorConfig& config,
+                              const std::vector<RawDocument>& corpus,
+                              const KnowledgeBase& kb, const Lexicon& lexicon) {
+  return SurveyorPipeline(&kb, &lexicon, config).Run(corpus);
+}
+
+}  // namespace surveyor

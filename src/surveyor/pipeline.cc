@@ -47,6 +47,39 @@ const PropertyTypeResult* PipelineResult::Find(
   return nullptr;
 }
 
+Status SurveyorConfig::Validate() const {
+  if (min_statements < 0) {
+    return Status::InvalidArgument(
+        "min_statements (the rho occurrence threshold) must be >= 0");
+  }
+  if (!(decision_threshold >= 0.5 && decision_threshold < 1.0)) {
+    return Status::InvalidArgument("decision threshold must be in [0.5, 1)");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = hardware concurrency)");
+  }
+  if (max_provenance_samples < 0) {
+    return Status::InvalidArgument(
+        "max_provenance_samples must be >= 0 (0 = provenance off)");
+  }
+  if (report_worst_fits < 0) {
+    return Status::InvalidArgument("report_worst_fits must be >= 0");
+  }
+  if (!(progress_interval_seconds >= 0.0)) {
+    return Status::InvalidArgument(
+        "progress_interval_seconds must be >= 0 (0 = reporter off)");
+  }
+  SURVEYOR_RETURN_IF_ERROR(ValidateEmOptions(em));
+  if (!fault_spec.empty()) {
+    const Status spec_status = FaultInjector::ValidateSpec(fault_spec);
+    if (!spec_status.ok()) {
+      return Status::InvalidArgument("fault_spec: " + spec_status.message());
+    }
+  }
+  return Status::OK();
+}
+
 SurveyorPipeline::SurveyorPipeline(const KnowledgeBase* kb,
                                    const Lexicon* lexicon,
                                    SurveyorConfig config)
@@ -500,6 +533,7 @@ StatusOr<PipelineResult> SurveyorPipeline::FinishRun(
 
 StatusOr<PipelineResult> SurveyorPipeline::RunStreaming(
     DocumentSource& source) const {
+  SURVEYOR_RETURN_IF_ERROR(config_.Validate());
   obs::MetricRegistry local_registry;
   obs::MetricRegistry& registry =
       config_.live_metrics != nullptr ? *config_.live_metrics : local_registry;
@@ -546,12 +580,11 @@ StatusOr<PipelineResult> SurveyorPipeline::RunStreaming(
 StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
     std::vector<PropertyTypeEvidence> evidence, obs::MetricRegistry& registry,
     obs::RunReport* report) const {
-  if (!(config_.decision_threshold >= 0.5 && config_.decision_threshold < 1.0)) {
-    return Status::InvalidArgument("decision threshold must be in [0.5, 1)");
-  }
   // A bad configuration fails every pair the same way; reject it once, up
-  // front and loudly — degradation is only for per-pair failures.
-  SURVEYOR_RETURN_IF_ERROR(ValidateEmOptions(config_.em));
+  // front and loudly — degradation is only for per-pair failures. The
+  // public entry points validate before extraction; this backstop covers
+  // the internal path for callers the compiler cannot see.
+  SURVEYOR_RETURN_IF_ERROR(config_.Validate());
   EnterStage(config_.stage_tracker, obs::PipelineStage::kFitting);
   PipelineResult result;
   result.pairs.resize(evidence.size());
@@ -710,6 +743,7 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidenceWithRegistry(
 
 StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
     std::vector<PropertyTypeEvidence> evidence) const {
+  SURVEYOR_RETURN_IF_ERROR(config_.Validate());
   obs::MetricRegistry local_registry;
   obs::MetricRegistry& registry =
       config_.live_metrics != nullptr ? *config_.live_metrics : local_registry;
@@ -732,6 +766,7 @@ StatusOr<PipelineResult> SurveyorPipeline::RunFromEvidence(
 
 StatusOr<PipelineResult> SurveyorPipeline::Run(
     const std::vector<RawDocument>& corpus) const {
+  SURVEYOR_RETURN_IF_ERROR(config_.Validate());
   obs::MetricRegistry local_registry;
   obs::MetricRegistry& registry =
       config_.live_metrics != nullptr ? *config_.live_metrics : local_registry;

@@ -69,6 +69,15 @@ struct SurveyorConfig {
   /// EmOptions, bad threshold) are always hard failures. When false, the
   /// first fit failure aborts the run (the pre-degradation behavior).
   bool degrade_failed_fits = true;
+
+  /// One check for the whole configuration: range checks on
+  /// min_statements / decision_threshold / thread counts / sample counts,
+  /// EmOptions validity, fault-spec parseability. Every pipeline entry
+  /// point (Run, RunStreaming, RunFromEvidence — and therefore Mine)
+  /// calls this before doing any work, so a bad configuration fails fast
+  /// with kInvalidArgument instead of mid-run; the CLI surfaces the
+  /// message verbatim.
+  Status Validate() const;
 };
 
 /// Fitted model and inferences for one property-type combination.
@@ -159,18 +168,10 @@ class SurveyorPipeline {
   /// Runs the full pipeline over a document corpus.
   StatusOr<PipelineResult> Run(const std::vector<RawDocument>& corpus) const;
 
-  /// Annotation + extraction only; returns the aggregated counters and
-  /// fills volume statistics. Runs sharded across threads.
-  EvidenceAggregator ExtractEvidence(const std::vector<RawDocument>& corpus,
-                                     PipelineStats* stats) const;
-
-  /// Streaming variant: workers pull documents from `source` until it is
-  /// exhausted, so the corpus never needs to fit in memory (the deployed
-  /// system's snapshot was 40 TB). `source` must be thread-safe.
-  EvidenceAggregator ExtractEvidenceStreaming(DocumentSource& source,
-                                              PipelineStats* stats) const;
-
-  /// Full pipeline over a document stream.
+  /// Full pipeline over a document stream: workers pull documents from
+  /// `source` until it is exhausted, so the corpus never needs to fit in
+  /// memory (the deployed system's snapshot was 40 TB). `source` must be
+  /// thread-safe.
   StatusOr<PipelineResult> RunStreaming(DocumentSource& source) const;
 
   /// Model learning + inference over pre-aggregated evidence (one entry
@@ -179,6 +180,21 @@ class SurveyorPipeline {
       std::vector<PropertyTypeEvidence> evidence) const;
 
   const SurveyorConfig& config() const { return config_; }
+
+  // --- Deprecated shims (removal next PR) --------------------------------
+  // The public API is Run/RunStreaming/RunFromEvidence (or the
+  // surveyor::Mine facade in api.h); partial-pipeline extraction was
+  // registry plumbing that leaked out. Kept one PR for callers to migrate.
+
+  /// \deprecated Use Run(); extraction-only output will move behind the
+  /// facade. Annotation + extraction, sharded across threads, against a
+  /// throwaway registry.
+  EvidenceAggregator ExtractEvidence(const std::vector<RawDocument>& corpus,
+                                     PipelineStats* stats) const;
+
+  /// \deprecated Use RunStreaming(); see ExtractEvidence.
+  EvidenceAggregator ExtractEvidenceStreaming(DocumentSource& source,
+                                              PipelineStats* stats) const;
 
  private:
   EvidenceAggregator ExtractEvidenceWithRegistry(

@@ -1,0 +1,34 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace surveyor {
+
+namespace {
+
+/// The byte-indexed remainder table for polynomial 0xEDB88320, computed
+/// once at static-init time (constexpr, so actually at compile time).
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t byte = 0; byte < 256; ++byte) {
+    uint32_t remainder = byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      remainder = (remainder >> 1) ^ ((remainder & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[byte] = remainder;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, std::string_view data) {
+  for (const char c : data) {
+    state = (state >> 8) ^ kTable[(state ^ static_cast<uint8_t>(c)) & 0xFFu];
+  }
+  return state;
+}
+
+}  // namespace surveyor

@@ -84,6 +84,11 @@ Status FaultInjector::Parse(std::string_view spec,
   return Status::OK();
 }
 
+Status FaultInjector::ValidateSpec(std::string_view spec) {
+  std::map<std::string, Point, std::less<>> points;
+  return Parse(spec, &points);
+}
+
 Status FaultInjector::Configure(std::string_view spec, uint64_t seed) {
   std::map<std::string, Point, std::less<>> points;
   SURVEYOR_RETURN_IF_ERROR(Parse(spec, &points));

@@ -66,6 +66,11 @@ class FaultInjector {
   Status Configure(std::string_view spec, uint64_t seed = 42)
       SURVEYOR_EXCLUDES(mutex_);
 
+  /// Grammar check only: parses `spec` without touching the process-wide
+  /// configuration. Lets SurveyorConfig::Validate reject a malformed
+  /// fault_spec up front instead of at arm time mid-run.
+  static Status ValidateSpec(std::string_view spec);
+
   /// Disarms every point (equivalent to Configure("")).
   void Disarm() SURVEYOR_EXCLUDES(mutex_);
 

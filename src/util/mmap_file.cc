@@ -1,0 +1,96 @@
+#include "util/mmap_file.h"
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SURVEYOR_HAVE_MMAP 1
+#endif
+
+namespace surveyor {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    buffer_ = std::move(other.buffer_);
+    other.buffer_.clear();
+    fallback_open_ = std::exchange(other.fallback_open_, false);
+  }
+  return *this;
+}
+
+#ifdef SURVEYOR_HAVE_MMAP
+
+Status MmapFile::Open(const std::string& path) {
+  Close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::system_category().message(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const std::string error = std::system_category().message(errno);
+    ::close(fd);
+    return Status::Internal("fstat('" + path + "'): " + error);
+  }
+  if (st.st_size == 0) {
+    // mmap rejects zero-length mappings; an empty file is simply empty.
+    ::close(fd);
+    fallback_open_ = true;
+    return Status::OK();
+  }
+  void* mapped = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+  // The mapping survives the descriptor; close either way.
+  const std::string error = std::system_category().message(errno);
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    return Status::Internal("mmap('" + path + "'): " + error);
+  }
+  data_ = static_cast<const char*>(mapped);
+  size_ = static_cast<size_t>(st.st_size);
+  return Status::OK();
+}
+
+void MmapFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+  buffer_.clear();
+  fallback_open_ = false;
+}
+
+#else  // !SURVEYOR_HAVE_MMAP
+
+Status MmapFile::Open(const std::string& path) {
+  Close();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return Status::Internal("read failure on '" + path + "'");
+  buffer_ = std::move(contents).str();
+  fallback_open_ = true;
+  return Status::OK();
+}
+
+void MmapFile::Close() {
+  buffer_.clear();
+  fallback_open_ = false;
+}
+
+#endif  // SURVEYOR_HAVE_MMAP
+
+}  // namespace surveyor

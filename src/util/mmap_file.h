@@ -1,0 +1,57 @@
+#ifndef SURVEYOR_UTIL_MMAP_FILE_H_
+#define SURVEYOR_UTIL_MMAP_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace surveyor {
+
+/// Read-only memory-mapped file, the zero-copy substrate of the opinion
+/// snapshot reader: the kernel pages data in on demand and evicts it under
+/// memory pressure, so a serving process can hold an index far larger than
+/// its RSS — the laptop-scale version of the "serve heavy traffic" story.
+///
+/// On platforms without mmap (and for empty files, which mmap rejects)
+/// Open falls back to reading the file into an owned buffer; callers see
+/// the same string_view either way.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Close(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. NotFound when the file cannot be opened,
+  /// Internal on a map failure.
+  Status Open(const std::string& path);
+
+  /// Unmaps; idempotent. data() is invalid afterwards.
+  void Close();
+
+  bool is_open() const { return data_ != nullptr || fallback_open_; }
+
+  /// The mapped bytes; views into it stay valid until Close().
+  std::string_view data() const {
+    return data_ != nullptr ? std::string_view(data_, size_)
+                            : std::string_view(buffer_);
+  }
+
+  size_t size() const { return data_ != nullptr ? size_ : buffer_.size(); }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  /// Fallback storage when mmap is unavailable or the file is empty.
+  std::string buffer_;
+  bool fallback_open_ = false;
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_MMAP_FILE_H_

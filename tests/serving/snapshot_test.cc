@@ -1,0 +1,282 @@
+#include "serving/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace surveyor {
+namespace serving {
+namespace {
+
+SnapshotOpinion MakeOpinion(const std::string& entity, const std::string& type,
+                            const std::string& property, double posterior,
+                            Polarity polarity) {
+  SnapshotOpinion opinion;
+  opinion.entity = entity;
+  opinion.type = type;
+  opinion.property = property;
+  opinion.posterior = posterior;
+  opinion.polarity = polarity;
+  return opinion;
+}
+
+/// A writer with a small, representative data set: two types, two
+/// properties, a degraded block and a provenance sample.
+SnapshotWriter MakeWriter() {
+  SnapshotWriter writer;
+  writer.set_label("test snapshot");
+  EXPECT_TRUE(writer
+                  .Add(MakeOpinion("kitten", "animal", "cute", 0.97,
+                                   Polarity::kPositive))
+                  .ok());
+  EXPECT_TRUE(writer
+                  .Add(MakeOpinion("spider", "animal", "cute", 0.12,
+                                   Polarity::kNegative))
+                  .ok());
+  EXPECT_TRUE(writer
+                  .Add(MakeOpinion("lisbon", "city", "hilly", 0.88,
+                                   Polarity::kPositive))
+                  .ok());
+  writer.AddProvenance("kitten", "animal", "cute",
+                       {{1234, 2, true}, {5678, 0, false}});
+  return writer;
+}
+
+std::string WriteTempFile(const std::string& name, const std::string& bytes) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+/// Snapshot opens must behave deterministically here even when the CI
+/// chaos job arms snapshot_read through the environment, so the fixture
+/// disarms fault injection for the test's scope (the repo-wide idiom for
+/// exact-behavior tests). The fault path itself is tested explicitly
+/// below with its own ScopedFaults.
+class SnapshotTest : public testing::Test {
+ protected:
+  ScopedFaults disarm_{""};
+};
+
+TEST(SnapshotWriterTest, RejectsUnusableOpinions) {
+  SnapshotWriter writer;
+  // Neutral opinions carry no decision — same contract as OpinionStore.
+  EXPECT_EQ(writer
+                .Add(MakeOpinion("kitten", "animal", "cute", 0.5,
+                                 Polarity::kNeutral))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(writer
+                .Add(MakeOpinion("", "animal", "cute", 0.9,
+                                 Polarity::kPositive))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(writer
+                .Add(MakeOpinion("kitten", "animal", "cute", 1.5,
+                                 Polarity::kPositive))
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesEverything) {
+  const std::string path =
+      WriteTempFile("roundtrip.surv", MakeWriter().Serialize());
+
+  Snapshot snapshot;
+  ASSERT_TRUE(snapshot.Open(path).ok());
+  EXPECT_EQ(snapshot.label(), "test snapshot");
+  EXPECT_EQ(snapshot.num_opinions(), 3u);
+  EXPECT_EQ(snapshot.num_types(), 2u);
+  EXPECT_EQ(snapshot.num_entities(), 3u);
+  EXPECT_EQ(snapshot.num_properties(), 2u);
+
+  // Find the (animal, cute) block and check both records decode.
+  bool found = false;
+  for (const Snapshot::BlockView& block : snapshot.blocks()) {
+    if (snapshot.TypeName(block.type_index) != "animal" ||
+        snapshot.PropertyName(block.property_index) != "cute") {
+      continue;
+    }
+    found = true;
+    ASSERT_EQ(block.record_count, 2u);
+    for (uint32_t i = 0; i < block.record_count; ++i) {
+      const Snapshot::RecordView record =
+          Snapshot::ReadRecord(block.records, i);
+      const std::string_view entity = snapshot.EntityName(record.entity_index);
+      if (entity == "kitten") {
+        EXPECT_DOUBLE_EQ(record.posterior, 0.97);
+        EXPECT_EQ(record.polarity, Polarity::kPositive);
+      } else {
+        EXPECT_EQ(entity, "spider");
+        EXPECT_DOUBLE_EQ(record.posterior, 0.12);
+        EXPECT_EQ(record.polarity, Polarity::kNegative);
+      }
+      EXPECT_EQ(snapshot.TypeName(snapshot.EntityType(record.entity_index)),
+                "animal");
+    }
+  }
+  EXPECT_TRUE(found);
+
+  ASSERT_EQ(snapshot.provenance().size(), 1u);
+  const Snapshot::ProvenanceEntry& entry = snapshot.provenance()[0];
+  EXPECT_EQ(snapshot.EntityName(entry.entity_index), "kitten");
+  EXPECT_EQ(snapshot.PropertyName(entry.property_index), "cute");
+  ASSERT_EQ(entry.refs.size(), 2u);
+  EXPECT_EQ(entry.refs[0].doc_id, 1234);
+  EXPECT_EQ(entry.refs[0].sentence_index, 2);
+  EXPECT_TRUE(entry.refs[0].positive);
+  EXPECT_FALSE(entry.refs[1].positive);
+}
+
+TEST_F(SnapshotTest, SerializationIsInsertionOrderIndependent) {
+  SnapshotWriter forward = MakeWriter();
+
+  SnapshotWriter reversed;
+  reversed.set_label("test snapshot");
+  ASSERT_TRUE(reversed
+                  .Add(MakeOpinion("lisbon", "city", "hilly", 0.88,
+                                   Polarity::kPositive))
+                  .ok());
+  ASSERT_TRUE(reversed
+                  .Add(MakeOpinion("spider", "animal", "cute", 0.12,
+                                   Polarity::kNegative))
+                  .ok());
+  ASSERT_TRUE(reversed
+                  .Add(MakeOpinion("kitten", "animal", "cute", 0.97,
+                                   Polarity::kPositive))
+                  .ok());
+  reversed.AddProvenance("kitten", "animal", "cute",
+                         {{1234, 2, true}, {5678, 0, false}});
+
+  EXPECT_EQ(forward.Serialize(), reversed.Serialize());
+}
+
+TEST_F(SnapshotTest, ReadAndRebuildIsBitIdentical) {
+  const std::string image = MakeWriter().Serialize();
+  const std::string path = WriteTempFile("rebuild.surv", image);
+
+  Snapshot snapshot;
+  ASSERT_TRUE(snapshot.Open(path).ok());
+
+  // Rebuild a writer purely from what the reader exposes.
+  SnapshotWriter rebuilt;
+  rebuilt.set_label(std::string(snapshot.label()));
+  for (const Snapshot::BlockView& block : snapshot.blocks()) {
+    for (uint32_t i = 0; i < block.record_count; ++i) {
+      const Snapshot::RecordView record =
+          Snapshot::ReadRecord(block.records, i);
+      SnapshotOpinion opinion;
+      opinion.entity = std::string(snapshot.EntityName(record.entity_index));
+      opinion.type = std::string(snapshot.TypeName(block.type_index));
+      opinion.property =
+          std::string(snapshot.PropertyName(block.property_index));
+      opinion.posterior = record.posterior;
+      opinion.polarity = record.polarity;
+      opinion.degraded = block.degraded;
+      ASSERT_TRUE(rebuilt.Add(opinion).ok());
+    }
+  }
+  for (const Snapshot::ProvenanceEntry& entry : snapshot.provenance()) {
+    const uint32_t type = snapshot.EntityType(entry.entity_index);
+    rebuilt.AddProvenance(std::string(snapshot.EntityName(entry.entity_index)),
+                          std::string(snapshot.TypeName(type)),
+                          std::string(snapshot.PropertyName(
+                              entry.property_index)),
+                          entry.refs);
+  }
+  EXPECT_EQ(rebuilt.Serialize(), image);
+}
+
+TEST_F(SnapshotTest, EmptySnapshotRoundTrips) {
+  SnapshotWriter writer;
+  writer.set_label("empty");
+  const std::string path = WriteTempFile("empty.surv", writer.Serialize());
+  Snapshot snapshot;
+  ASSERT_TRUE(snapshot.Open(path).ok());
+  EXPECT_EQ(snapshot.num_opinions(), 0u);
+  EXPECT_TRUE(snapshot.blocks().empty());
+}
+
+TEST_F(SnapshotTest, RejectsBadMagic) {
+  std::string image = MakeWriter().Serialize();
+  image[0] = 'X';
+  Snapshot snapshot;
+  const Status status =
+      snapshot.Open(WriteTempFile("badmagic.surv", image));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, VersionMismatchNamesTheVersion) {
+  std::string image = MakeWriter().Serialize();
+  // The format version is the little-endian u32 right after the magic.
+  image[8] = 99;
+  Snapshot snapshot;
+  const Status status =
+      snapshot.Open(WriteTempFile("badversion.surv", image));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("99"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(SnapshotTest, CorruptedPayloadFailsItsCrcCheck) {
+  std::string image = MakeWriter().Serialize();
+  // Flip one bit inside a section payload (an entity-name byte, which is
+  // covered by its section's CRC).
+  const size_t pos = image.find("kitten");
+  ASSERT_NE(pos, std::string::npos);
+  image[pos] ^= 0x20;
+  Snapshot snapshot;
+  const Status status = snapshot.Open(WriteTempFile("corrupt.surv", image));
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("CRC"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(SnapshotTest, TruncatedFileIsRejected) {
+  const std::string image = MakeWriter().Serialize();
+  for (const size_t keep : {image.size() - 5, image.size() / 2, size_t{16}}) {
+    Snapshot snapshot;
+    const Status status = snapshot.Open(
+        WriteTempFile("truncated.surv", image.substr(0, keep)));
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << "kept " << keep << " bytes: " << status.ToString();
+  }
+}
+
+TEST_F(SnapshotTest, FailedOpenKeepsThePreviousSnapshot) {
+  const std::string good_path =
+      WriteTempFile("keep-good.surv", MakeWriter().Serialize());
+  std::string corrupt = MakeWriter().Serialize();
+  corrupt[corrupt.size() - 1] ^= 0xff;
+
+  Snapshot snapshot;
+  ASSERT_TRUE(snapshot.Open(good_path).ok());
+  ASSERT_FALSE(
+      snapshot.Open(WriteTempFile("keep-bad.surv", corrupt.substr(0, 40)))
+          .ok());
+  // The earlier, valid state is still served.
+  EXPECT_EQ(snapshot.num_opinions(), 3u);
+  EXPECT_EQ(snapshot.label(), "test snapshot");
+}
+
+TEST_F(SnapshotTest, SnapshotReadFaultPointFiresAsInternal) {
+  const std::string path =
+      WriteTempFile("faulted.surv", MakeWriter().Serialize());
+  ScopedFaults faults("snapshot_read:1");
+  Snapshot snapshot;
+  const Status status = snapshot.Open(path);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace surveyor

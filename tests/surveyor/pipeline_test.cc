@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "corpus/generator.h"
+#include "surveyor/api.h"
 #include "text/annotator.h"
+#include "text/document_source.h"
 #include "corpus/worlds.h"
 
 namespace surveyor {
@@ -202,6 +204,53 @@ TEST_F(PipelineTest, EmptyCorpusYieldsEmptyResult) {
   EXPECT_EQ(result->stats.num_documents, 0);
   EXPECT_EQ(result->stats.num_opinions, 0);
   EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(SurveyorConfigTest, ValidateCentralizesRangeChecks) {
+  EXPECT_TRUE(SurveyorConfig{}.Validate().ok());
+
+  SurveyorConfig config;
+  config.min_statements = -1;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+
+  config = SurveyorConfig{};
+  config.decision_threshold = 0.4;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.decision_threshold = 1.0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+
+  config = SurveyorConfig{};
+  config.num_threads = -2;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+
+  config = SurveyorConfig{};
+  config.fault_spec = "not a spec";
+  const Status status = config.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("fault_spec"), std::string::npos);
+}
+
+TEST_F(PipelineTest, EveryEntryPointSurfacesValidateVerbatim) {
+  SurveyorConfig config;
+  config.decision_threshold = 2.0;
+  const std::string expected =
+      std::string(SurveyorConfig{config}.Validate().message());
+  ASSERT_FALSE(expected.empty());
+
+  SurveyorPipeline pipeline(&world_.kb(), &world_.lexicon(), config);
+  const auto run = pipeline.Run(corpus_);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().message(), expected);
+
+  VectorDocumentSource source(&corpus_);
+  const auto streaming = pipeline.RunStreaming(source);
+  ASSERT_FALSE(streaming.ok());
+  EXPECT_EQ(streaming.status().message(), expected);
+
+  // The one-call facade rejects it identically.
+  const auto mined = Mine(config, corpus_, world_.kb(), world_.lexicon());
+  ASSERT_FALSE(mined.ok());
+  EXPECT_EQ(mined.status().message(), expected);
 }
 
 }  // namespace

@@ -192,6 +192,11 @@ LayerRules DefaultRules() {
       {"eval",
        {"baselines", "corpus", "extraction", "kb", "mapreduce", "model", "obs",
         "surveyor", "text", "util"}},
+      // The online query engine sits on top of the mining stack; nothing
+      // in src/ may depend on it (only tools and tests do).
+      {"serving",
+       {"baselines", "extraction", "kb", "mapreduce", "model", "obs",
+        "surveyor", "text", "util"}},
   };
 }
 

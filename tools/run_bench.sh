@@ -32,11 +32,15 @@ if [[ -n "${SURVEYOR_FAULTS:-}" || -n "${SURVEYOR_FAULT_SEED:-}" ]]; then
   exit 1
 fi
 
-cmake --build "$build_dir" -j --target bench_report scaling_pipeline \
-  micro_benchmarks
+cmake --build "$build_dir" -j --target bench_report query_bench \
+  scaling_pipeline micro_benchmarks
 
 echo "== machine-readable snapshot (BENCH_pipeline.json) =="
 (cd "$repo_root" && "$build_dir/bench/bench_report" BENCH_pipeline.json)
+
+echo
+echo "== query-throughput snapshot (BENCH_query.json) =="
+(cd "$repo_root" && "$build_dir/bench/query_bench" BENCH_query.json)
 
 echo
 echo "== obs micro-benchmarks (google-benchmark) =="

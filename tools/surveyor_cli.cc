@@ -11,7 +11,9 @@
 //                     [--fault-seed N]
 //       Runs the full pipeline over <dir>/corpus.tsv with <dir>/kb.tsv and
 //       <dir>/lexicon.tsv; writes the mined opinions (default
-//       <dir>/opinions.tsv). Without --domain the corpus is streamed from
+//       <dir>/opinions.tsv). With --snapshot FILE, also freezes them into
+//       a binary opinion snapshot `serve --snapshot` can answer queries
+//       from. Without --domain the corpus is streamed from
 //       disk with corrupt lines quarantined (counted, not fatal); with
 //       --domain it is loaded and filtered in memory. With --provenance
 //       N, also writes up to N supporting document references per pair to
@@ -25,10 +27,14 @@
 //       e.g. --faults doc_read:0.01,em_fit:@3 (DESIGN.md §9).
 //
 //   surveyor_cli serve <dir> [mine flags] [--admin-port N]
-//       Mines like `mine`, then keeps the process alive so the final
-//       metrics, the run's stage history and the opinion store stay
-//       scrapeable (readiness flips to "serving"). Admin port defaults
-//       to 8080 for serve.
+//   surveyor_cli serve --snapshot FILE [--admin-port N]
+//       First form: mines like `mine`, writes an opinion snapshot
+//       (--snapshot FILE, default <dir>/opinions.surv) and keeps the
+//       process alive answering subjective queries over HTTP:
+//       /query?entity=E&property=P, /query?type=T&property=P,
+//       /query?prefix=S and POST /query/batch, next to the admin
+//       endpoints. Second form: skips mining and serves an existing
+//       snapshot directly. Admin port defaults to 8080 for serve.
 //
 //   surveyor_cli query <dir> <type> <property> [limit]
 //       Answers a subjective query ("city big") from mined opinions.
@@ -61,6 +67,9 @@
 #include "obs/log_ring.h"
 #include "obs/resource_sampler.h"
 #include "obs/stage.h"
+#include "serving/opinion_index.h"
+#include "serving/query_service.h"
+#include "serving/snapshot.h"
 #include "surveyor/opinion_store.h"
 #include "surveyor/pipeline.h"
 #include "text/lexicon_io.h"
@@ -77,8 +86,10 @@ int Usage() {
          "[authors]\n"
       << "  surveyor_cli mine <dir> [--min-statements N] [--threshold T]"
          " [--domain D] [--out FILE] [--provenance N] [--report FILE]"
-         " [--admin-port N] [--faults SPEC] [--fault-seed N]\n"
+         " [--snapshot FILE] [--admin-port N] [--faults SPEC]"
+         " [--fault-seed N]\n"
       << "  surveyor_cli serve <dir> [mine flags] [--admin-port N]\n"
+      << "  surveyor_cli serve --snapshot FILE [--admin-port N]\n"
       << "  surveyor_cli query <dir> <type> <property> [limit]\n"
       << "  surveyor_cli profile <dir> <entity>\n"
       << "  surveyor_cli repl <dir>\n"
@@ -156,15 +167,69 @@ StatusOr<LoadedWorkspace> LoadWorkspace(const std::string& dir) {
   return ws;
 }
 
-/// Shared implementation of `mine` and `serve` (serve = mine, then stay
-/// alive with the admin plane up).
+/// `serve --snapshot FILE`: no mining — load a frozen opinion snapshot
+/// and answer /query until stopped. The readiness gate stays closed
+/// (503) from bind until the index finishes loading, so a scraper that
+/// races the startup never reads from a half-built index.
+int RunServeSnapshot(const std::vector<std::string>& args) {
+  std::string snapshot_path;
+  int admin_port = 8080;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag != "--snapshot" && flag != "--admin-port") {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      return Usage();
+    }
+    if (i + 1 >= args.size()) {
+      std::cerr << "flag '" << flag << "' requires a value\n";
+      return Usage();
+    }
+    const std::string& value = args[++i];
+    if (flag == "--snapshot") {
+      snapshot_path = value;
+    } else {
+      admin_port = std::atoi(value.c_str());
+    }
+  }
+  if (snapshot_path.empty()) return Usage();
+
+  obs::LogRing::InstallGlobalTee();
+  obs::MetricRegistry registry;
+  obs::StageTracker stage_tracker;
+  obs::ResourceSampler sampler(&registry);
+  serving::OpinionIndexOptions index_options;
+  index_options.metrics = &registry;
+  serving::OpinionIndex index(index_options);
+  serving::QueryService query_service(&index, &stage_tracker, &registry);
+  obs::AdminServerOptions admin_options;
+  admin_options.port = admin_port;
+  obs::AdminServer admin(&registry, &stage_tracker, &obs::LogRing::Global(),
+                         admin_options);
+  query_service.Register(&admin);
+  const Status started = admin.Start();
+  if (!started.ok()) return Fail(started);
+
+  const Status loaded = index.Load(snapshot_path);
+  if (!loaded.ok()) return Fail(loaded);
+  stage_tracker.SetStage(obs::PipelineStage::kServing);
+  std::cout << "serving " << index.snapshot().num_opinions()
+            << " opinions from " << snapshot_path << " on http://127.0.0.1:"
+            << admin.port()
+            << " — /query?entity=E&property=P (Ctrl-C to stop)\n";
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+}
+
+/// Shared implementation of `mine` and `serve` (serve = mine, write a
+/// snapshot, then stay alive answering /query with the admin plane up).
 int RunMine(const std::vector<std::string>& args, bool serve) {
   if (args.empty()) return Usage();
+  if (serve && args[0].rfind("--", 0) == 0) return RunServeSnapshot(args);
   const std::string dir = args[0];
   SurveyorConfig config;
   std::string domain;
   std::string out = dir + "/opinions.tsv";
   std::string report_path;
+  std::string snapshot_path;
   // serve without an admin plane would just be a parked process, so it
   // defaults to the conventional local admin port; mine defaults to off.
   int admin_port = serve ? 8080 : 0;
@@ -174,8 +239,8 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
     const bool known = flag == "--min-statements" || flag == "--threshold" ||
                        flag == "--domain" || flag == "--out" ||
                        flag == "--provenance" || flag == "--report" ||
-                       flag == "--admin-port" || flag == "--faults" ||
-                       flag == "--fault-seed";
+                       flag == "--snapshot" || flag == "--admin-port" ||
+                       flag == "--faults" || flag == "--fault-seed";
     if (!known) {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
@@ -195,6 +260,8 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
       out = value;
     } else if (flag == "--provenance") {
       config.max_provenance_samples = std::atoi(value.c_str());
+    } else if (flag == "--snapshot") {
+      snapshot_path = value;
     } else if (flag == "--admin-port") {
       admin_port = std::atoi(value.c_str());
       // 0 disables for mine; serve binds an ephemeral port instead of
@@ -216,6 +283,14 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
   obs::StageTracker stage_tracker;
   std::unique_ptr<obs::ResourceSampler> sampler;
   std::unique_ptr<obs::AdminServer> admin;
+  // The query path: serve mounts /query on the admin server before it
+  // starts (handlers cannot be added to a live server); the index stays
+  // empty — and the endpoint 503s via the readiness gate — until mining
+  // finishes and the freshly written snapshot is loaded below.
+  serving::OpinionIndexOptions index_options;
+  index_options.metrics = &live_registry;
+  serving::OpinionIndex index(index_options);
+  serving::QueryService query_service(&index, &stage_tracker, &live_registry);
   if (admin_enabled) {
     obs::LogRing::InstallGlobalTee();
     config.live_metrics = &live_registry;
@@ -226,6 +301,7 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
     admin = std::make_unique<obs::AdminServer>(
         &live_registry, &stage_tracker, &obs::LogRing::Global(),
         admin_options);
+    if (serve) query_service.Register(admin.get());
     const Status started = admin->Start();
     if (!started.ok()) return Fail(started);
     std::cout << "admin plane on http://127.0.0.1:" << admin->port()
@@ -258,6 +334,20 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
   store.AddAll(*result);
   Status status = store.SaveToFile(out);
   if (!status.ok()) return Fail(status);
+
+  // Freeze the mined opinions into the binary snapshot the serving layer
+  // reads. serve always writes one (it is what /query answers from);
+  // mine writes one only when asked via --snapshot.
+  if (serve && snapshot_path.empty()) snapshot_path = dir + "/opinions.surv";
+  if (!snapshot_path.empty()) {
+    serving::SnapshotWriter writer;
+    writer.set_label("mine " + dir);
+    status = writer.AddResult(*result, workspace->kb);
+    if (!status.ok()) return Fail(status);
+    status = writer.WriteToFile(snapshot_path);
+    if (!status.ok()) return Fail(status);
+    std::cout << "wrote opinion snapshot to " << snapshot_path << "\n";
+  }
 
   if (config.max_provenance_samples > 0) {
     std::ofstream prov(dir + "/provenance.tsv");
@@ -313,17 +403,21 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
   }
 
   if (serve) {
-    // Park the process with the admin plane up: readiness flips to
-    // "serving", the final counters and stage history stay scrapeable,
-    // and the mined store size is exported as a gauge.
+    // Park the process answering queries: load the snapshot just written
+    // into the query index, then flip readiness to "serving" — only now
+    // does /query stop returning 503. The final counters and stage
+    // history stay scrapeable, and the mined store size is exported as a
+    // gauge.
+    status = index.Load(snapshot_path);
+    if (!status.ok()) return Fail(status);
     stage_tracker.SetStage(obs::PipelineStage::kServing);
     obs::Gauge* store_size =
         live_registry.GetGauge("surveyor_opinion_store_size");
     live_registry.SetHelp("surveyor_opinion_store_size",
                           "Mined opinions held by the serving process.");
     store_size->Set(static_cast<double>(store.size()));
-    std::cout << "serving; scrape http://127.0.0.1:" << admin->port()
-              << "/metrics (Ctrl-C to stop)\n";
+    std::cout << "serving; http://127.0.0.1:" << admin->port()
+              << "/query?entity=E&property=P and /metrics (Ctrl-C to stop)\n";
     for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
   }
   return 0;
