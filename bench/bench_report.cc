@@ -14,6 +14,7 @@
 #include "obs/json_writer.h"
 #include "obs/log_ring.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/resource_sampler.h"
 #include "obs/trace.h"
 #include "surveyor/pipeline.h"
@@ -68,6 +69,22 @@ int Run(const std::string& out_path) {
   obs::LogRing ring;
   const double log_append_ns = NanosPerOp(
       1 << 16, [&] { ring.Append(LogSeverity::kInfo, "bench line"); });
+  // Request scopes: disarmed (the serving fast path when tracing is off)
+  // and fully sampled (span routing + the retention ring).
+  obs::RequestTracerOptions disarmed_options;
+  disarmed_options.sample_rate = 0.0;
+  disarmed_options.slow_threshold_seconds = 0.0;
+  obs::RequestTracer disarmed_tracer(disarmed_options);
+  const double request_scope_disarmed_ns = NanosPerOp(1 << 16, [&] {
+    obs::RequestScope scope(&disarmed_tracer, nullptr, "GET", "/bench");
+  });
+  obs::RequestTracerOptions sampled_options;
+  sampled_options.sample_rate = 1.0;
+  obs::RequestTracer sampled_tracer(sampled_options);
+  const double request_scope_sampled_ns = NanosPerOp(1 << 14, [&] {
+    obs::RequestScope scope(&sampled_tracer, nullptr, "GET", "/bench");
+    SURVEYOR_SPAN("bench.child");
+  });
 
   obs::JsonWriter writer;
   writer.BeginObject()
@@ -115,6 +132,10 @@ int Run(const std::string& out_path) {
       .Value(span_enabled_ns)
       .Key("log_ring_append")
       .Value(log_append_ns)
+      .Key("request_scope_disarmed")
+      .Value(request_scope_disarmed_ns)
+      .Key("request_scope_sampled")
+      .Value(request_scope_sampled_ns)
       .EndObject()
       .EndObject();
 

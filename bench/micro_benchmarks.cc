@@ -7,7 +7,9 @@
 #include "corpus/worlds.h"
 #include "extraction/extractor.h"
 #include "model/em.h"
+#include "obs/log_ring.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "text/annotator.h"
 #include "text/tokenizer.h"
@@ -224,6 +226,65 @@ void BM_ObsSpanEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsSpanEnabled);
+
+// Log-ring appends ride on every SURVEYOR_LOG through the global tee;
+// once the ring is full each append overwrites a slot in place (reusing
+// its string capacity) instead of erasing from the front.
+void BM_LogRingAppend(benchmark::State& state) {
+  obs::LogRing ring;
+  for (auto _ : state) {
+    ring.Append(LogSeverity::kInfo, "bench line");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogRingAppend);
+
+// --- Request tracing ---------------------------------------------------------
+// Every admin request runs under a RequestScope. Disarmed (sampling and
+// tail capture off) is the budget case: a trace-id fetch, a TLS install
+// and a few atomics. Sampled adds span collection and ring retention.
+
+void BM_RequestScopeDisarmed(benchmark::State& state) {
+  obs::RequestTracerOptions options;
+  options.sample_rate = 0.0;
+  options.slow_threshold_seconds = 0.0;
+  obs::RequestTracer tracer(options);
+  for (auto _ : state) {
+    obs::RequestScope scope(&tracer, nullptr, "GET", "/bench");
+    benchmark::DoNotOptimize(scope);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestScopeDisarmed);
+
+void BM_RequestScopeSampled(benchmark::State& state) {
+  obs::RequestTracerOptions options;
+  options.sample_rate = 1.0;
+  obs::RequestTracer tracer(options);
+  for (auto _ : state) {
+    obs::RequestScope scope(&tracer, nullptr, "GET", "/bench");
+    SURVEYOR_SPAN("bench.child");
+    benchmark::DoNotOptimize(scope);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestScopeSampled);
+
+// A span inside a disarmed request scope: the TLS-read + null-check cost
+// the serving layer pays per SURVEYOR_SPAN when nobody is tracing.
+void BM_SpanUnderDisarmedScope(benchmark::State& state) {
+  obs::Tracer::Global().SetEnabled(false);
+  obs::RequestTracerOptions options;
+  options.sample_rate = 0.0;
+  options.slow_threshold_seconds = 0.0;
+  obs::RequestTracer tracer(options);
+  obs::RequestScope scope(&tracer, nullptr, "GET", "/bench");
+  for (auto _ : state) {
+    SURVEYOR_SPAN("bench.inner");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanUnderDisarmedScope);
 
 }  // namespace
 }  // namespace surveyor

@@ -1,9 +1,11 @@
 // Query-throughput snapshot for the serving layer (BENCH_query.json):
 // point-lookup rates through the sharded read-through cache (hot and
-// cold), batch lookups, type scans, the full HTTP-less QueryService
-// request path, and multi-threaded scaling. Run via tools/run_bench.sh,
-// which commits the refreshed snapshot; the committed numbers are the
-// repo's record that cached point lookups sustain >= 100k/s.
+// cold), batch lookups, type scans, the in-process handler path, real
+// HTTP requests over a loopback socket, request-tracing overhead, and
+// multi-threaded scaling. Run via tools/run_bench.sh, which commits the
+// refreshed snapshot; the committed numbers are the repo's record that
+// cached point lookups sustain >= 100k/s and that default-rate tracing
+// keeps at least half the disarmed handler throughput.
 //
 //   query_bench [out.json]   (default: BENCH_query.json)
 #include <cstdio>
@@ -13,8 +15,18 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define SURVEYOR_BENCH_HAVE_SOCKETS 1
+#endif
+
 #include "bench/bench_util.h"
+#include "obs/admin_server.h"
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "serving/opinion_index.h"
 #include "serving/query_service.h"
 #include "serving/snapshot.h"
@@ -150,7 +162,9 @@ int Run(const std::string& out_path) {
   }
   const double scans_per_second = kScans / scan_timer.ElapsedSeconds();
 
-  // Full request path: URL parse -> readiness gate -> lookup -> JSON.
+  // In-process handler path: URL parse -> readiness gate -> lookup ->
+  // JSON. No socket is involved, hence the "synthetic" in the name — real
+  // wire throughput is measured separately below.
   serving::QueryService service(&index, nullptr, &index.metrics());
   bench::Stopwatch service_timer;
   constexpr int kRequests = 1 << 16;
@@ -162,8 +176,120 @@ int Run(const std::string& out_path) {
                                "")
                        .status == 200);
   }
-  const double requests_per_second =
+  const double handler_calls_per_second =
       kRequests / service_timer.ElapsedSeconds();
+
+  // Request-tracing overhead on the admin request path: the same hot
+  // /query handled through AdminServer::Handle (RequestScope + access log
+  // around the dispatch) with tracing disarmed, at the default sample
+  // rate, and with every request sampled. The committed ratio documents
+  // what observability costs; the guard below fails the bench if default
+  // sampling ever eats more than half the disarmed throughput.
+  const auto admin_calls_per_second = [&](double sample_rate,
+                                          double slow_query_ms,
+                                          size_t access_log_capacity) {
+    obs::MetricRegistry admin_metrics;
+    serving::OpinionIndexOptions trace_options;
+    trace_options.cache_capacity = 8192;
+    trace_options.cache_shards = 8;
+    trace_options.metrics = &admin_metrics;
+    serving::OpinionIndex traced_index(trace_options);
+    SURVEYOR_CHECK(traced_index.Load(path).ok());
+    serving::QueryService traced_service(&traced_index, nullptr,
+                                         &admin_metrics);
+    obs::AdminServerOptions admin_options;
+    admin_options.trace_sample_rate = sample_rate;
+    admin_options.slow_query_ms = slow_query_ms;
+    admin_options.access_log_capacity = access_log_capacity;
+    obs::AdminServer server(&admin_metrics, nullptr, nullptr, admin_options);
+    traced_service.Register(&server);
+    constexpr int kAdminRequests = 1 << 15;
+    // Warm pass: fill the cache so the measured loop is steady-state.
+    for (int i = 0; i < kAdminRequests / 4; ++i) {
+      (void)server.Handle("GET", "/query?entity=" + EntityName(i % 8) +
+                                     "&property=prop" + std::to_string(i % 8));
+    }
+    bench::Stopwatch timer;
+    for (int i = 0; i < kAdminRequests; ++i) {
+      SURVEYOR_CHECK(
+          server
+              .Handle("GET", "/query?entity=" + EntityName(i % 8) +
+                                 "&property=prop" + std::to_string(i % 8))
+              .status == 200);
+    }
+    return kAdminRequests / timer.ElapsedSeconds();
+  };
+  const double traced_off_per_second =
+      admin_calls_per_second(/*sample_rate=*/0.0, /*slow_query_ms=*/0.0,
+                             /*access_log_capacity=*/0);
+  const double traced_default_per_second =
+      admin_calls_per_second(/*sample_rate=*/0.01, /*slow_query_ms=*/250.0,
+                             /*access_log_capacity=*/512);
+  const double traced_always_per_second =
+      admin_calls_per_second(/*sample_rate=*/1.0, /*slow_query_ms=*/250.0,
+                             /*access_log_capacity=*/512);
+
+  // Real HTTP over loopback: sequential HTTP/1.0 requests against a
+  // started server, connection setup and teardown included. This is the
+  // honest wire number; expect it orders of magnitude below the
+  // in-process handler rate.
+  double http_requests_per_second = 0.0;
+#ifdef SURVEYOR_BENCH_HAVE_SOCKETS
+  {
+    obs::MetricRegistry http_metrics;
+    serving::QueryService http_service(&index, nullptr, &http_metrics);
+    obs::AdminServer server(&http_metrics, nullptr, nullptr);
+    http_service.Register(&server);
+    SURVEYOR_CHECK(server.Start().ok());
+    const int port = server.port();
+    const auto http_get = [port](const std::string& target) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) return false;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<uint16_t>(port));
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+        ::close(fd);
+        return false;
+      }
+      const std::string request =
+          "GET " + target + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+      size_t sent = 0;
+      while (sent < request.size()) {
+        const ssize_t n =
+            ::write(fd, request.data() + sent, request.size() - sent);
+        if (n <= 0) break;
+        sent += static_cast<size_t>(n);
+      }
+      char buffer[4096];
+      bool ok = false;
+      for (;;) {
+        const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n <= 0) break;
+        if (!ok) {
+          ok = std::string_view(buffer, static_cast<size_t>(n))
+                   .find("200 OK") != std::string_view::npos;
+        }
+      }
+      ::close(fd);
+      return ok;
+    };
+    constexpr int kHttpRequests = 2000;
+    for (int i = 0; i < kHttpRequests / 4; ++i) {  // warm
+      (void)http_get("/query?entity=" + EntityName(i % 8) + "&property=prop" +
+                     std::to_string(i % 8));
+    }
+    bench::Stopwatch http_timer;
+    for (int i = 0; i < kHttpRequests; ++i) {
+      SURVEYOR_CHECK(http_get("/query?entity=" + EntityName(i % 8) +
+                              "&property=prop" + std::to_string(i % 8)));
+    }
+    http_requests_per_second = kHttpRequests / http_timer.ElapsedSeconds();
+    server.Stop();
+  }
+#endif
 
   // Concurrent hot lookups across 4 threads (the serving steady state).
   constexpr int kThreads = 4;
@@ -214,8 +340,23 @@ int Run(const std::string& out_path) {
       .EndObject()
       .Key("type_scans_per_second")
       .Value(scans_per_second)
+      .Key("handler_calls_per_second_synthetic")
+      .Value(handler_calls_per_second)
       .Key("http_requests_per_second")
-      .Value(requests_per_second)
+      .Value(http_requests_per_second)
+      .Key("tracing")
+      .BeginObject()
+      .Key("admin_calls_per_second_disarmed")
+      .Value(traced_off_per_second)
+      .Key("admin_calls_per_second_default_sampling")
+      .Value(traced_default_per_second)
+      .Key("admin_calls_per_second_always_sampled")
+      .Value(traced_always_per_second)
+      .Key("default_sampling_relative_throughput")
+      .Value(traced_off_per_second > 0
+                 ? traced_default_per_second / traced_off_per_second
+                 : 0.0)
+      .EndObject()
       .EndObject();
 
   std::ofstream out(out_path);
@@ -228,11 +369,21 @@ int Run(const std::string& out_path) {
             << static_cast<long long>(hot_per_second)
             << " cached point lookups/s ("
             << static_cast<long long>(uncached_per_second) << "/s uncached, "
-            << static_cast<long long>(requests_per_second)
-            << " HTTP requests/s)\n";
+            << static_cast<long long>(handler_calls_per_second)
+            << " handler calls/s, "
+            << static_cast<long long>(http_requests_per_second)
+            << " HTTP requests/s); tracing keeps "
+            << static_cast<long long>(100.0 * traced_default_per_second /
+                                      traced_off_per_second)
+            << "% of disarmed admin throughput at the default sample rate\n";
   if (hot_per_second < 100000) {
     std::cerr << "query_bench: cached point lookups below the 100k/s "
                  "acceptance floor\n";
+    return 1;
+  }
+  if (traced_default_per_second < 0.5 * traced_off_per_second) {
+    std::cerr << "query_bench: default-rate tracing costs more than half "
+                 "the disarmed admin throughput\n";
     return 1;
   }
   return 0;

@@ -1,6 +1,8 @@
 #include "obs/admin_server.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <limits>
 #include <system_error>
 #include <utility>
 
@@ -45,6 +47,111 @@ std::string_view PathOf(std::string_view target) {
   return query == std::string_view::npos ? target : target.substr(0, query);
 }
 
+/// Value of `key` in the target's query string, "" when absent:
+/// QueryParam("/tracez?format=text", "format") == "text".
+std::string_view QueryParam(std::string_view target, std::string_view key) {
+  const size_t question = target.find('?');
+  if (question == std::string_view::npos) return {};
+  std::string_view query = target.substr(question + 1);
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view()
+                                          : query.substr(amp + 1);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+  }
+  return {};
+}
+
+/// Parses a non-negative integer query parameter, `fallback` when absent
+/// or malformed.
+size_t SizeParam(std::string_view target, std::string_view key,
+                 size_t fallback) {
+  const std::string_view raw = QueryParam(target, key);
+  if (raw.empty()) return fallback;
+  size_t value = 0;
+  for (const char c : raw) {
+    if (c < '0' || c > '9') return fallback;
+    if (value > (std::numeric_limits<size_t>::max() - 9) / 10) return fallback;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  return value;
+}
+
+std::string MicrosLabel(double seconds) {
+  return std::to_string(static_cast<long long>(seconds * 1e6)) + "us";
+}
+
+/// Children indices per span, built once per trace from the parent links.
+std::vector<std::vector<size_t>> SpanChildren(
+    const std::vector<TraceSpan>& spans) {
+  std::vector<std::vector<size_t>> children(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (size_t j = 0; j < spans.size(); ++j) {
+      if (i != j && spans[j].parent_id == spans[i].id) {
+        children[i].push_back(j);
+      }
+    }
+  }
+  return children;
+}
+
+/// A span is a tree root when its parent is not in the trace (the request
+/// root span's parent is whatever enclosed the scope, usually 0).
+bool IsRootSpan(const std::vector<TraceSpan>& spans, size_t index) {
+  for (size_t j = 0; j < spans.size(); ++j) {
+    if (j != index && spans[j].id == spans[index].parent_id) return false;
+  }
+  return true;
+}
+
+void WriteSpanTreeJson(const std::vector<TraceSpan>& spans,
+                       const std::vector<std::vector<size_t>>& children,
+                       size_t index, JsonWriter& writer) {
+  const TraceSpan& span = spans[index];
+  writer.BeginObject()
+      .Key("name")
+      .Value(span.name)
+      .Key("id")
+      .Value(span.id)
+      .Key("start_seconds")
+      .Value(span.start_seconds)
+      .Key("duration_seconds")
+      .Value(span.duration_seconds)
+      .Key("children")
+      .BeginArray();
+  for (const size_t child : children[index]) {
+    WriteSpanTreeJson(spans, children, child, writer);
+  }
+  writer.EndArray().EndObject();
+}
+
+void WriteSpanTreeText(const std::vector<TraceSpan>& spans,
+                       const std::vector<std::vector<size_t>>& children,
+                       size_t index, int depth, std::string* out) {
+  const TraceSpan& span = spans[index];
+  out->append(static_cast<size_t>(2 * (depth + 1)), ' ');
+  *out += span.name + " " + MicrosLabel(span.duration_seconds) + "\n";
+  for (const size_t child : children[index]) {
+    WriteSpanTreeText(spans, children, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+RequestTracerOptions TracerOptionsFrom(const AdminServerOptions& options) {
+  RequestTracerOptions tracer;
+  tracer.sample_rate = options.trace_sample_rate;
+  tracer.slow_threshold_seconds = options.slow_query_ms / 1000.0;
+  tracer.ring_capacity = options.trace_ring_capacity;
+  return tracer;
+}
+
 }  // namespace
 
 AdminServer::AdminServer(const MetricRegistry* registry,
@@ -53,7 +160,11 @@ AdminServer::AdminServer(const MetricRegistry* registry,
     : registry_(registry),
       stage_(stage),
       log_ring_(log_ring),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      request_tracer_(TracerOptionsFrom(options_)),
+      access_log_(options_.access_log_capacity == 0
+                      ? 1
+                      : options_.access_log_capacity) {
   SURVEYOR_CHECK(registry_ != nullptr);
 }
 
@@ -67,10 +178,25 @@ void AdminServer::AddHandler(std::string prefix, AdminHandler handler) {
 AdminResponse AdminServer::Handle(std::string_view method,
                                   std::string_view target,
                                   std::string_view body) const {
+  RequestScope scope(&request_tracer_,
+                     options_.access_log_capacity == 0 ? nullptr
+                                                       : &access_log_,
+                     method, target);
+  const AdminResponse response = Dispatch(method, target, body, &scope);
+  scope.set_status(response.status);
+  scope.set_response_bytes(response.body.size());
+  return response;
+}
+
+AdminResponse AdminServer::Dispatch(std::string_view method,
+                                    std::string_view target,
+                                    std::string_view body,
+                                    RequestScope* scope) const {
   const std::string_view path = PathOf(target);
   // Registered endpoints first, longest prefix wins; they own their
   // method policy (POST included).
   const AdminHandler* best = nullptr;
+  std::string_view best_prefix;
   size_t best_len = 0;
   for (const auto& [prefix, handler] : handlers_) {
     const bool matches =
@@ -79,11 +205,18 @@ AdminResponse AdminServer::Handle(std::string_view method,
          path[prefix.size()] == '?' || prefix.back() == '/');
     if (matches && prefix.size() >= best_len) {
       best = &handler;
+      best_prefix = prefix;
       best_len = prefix.size();
     }
   }
-  if (best != nullptr) return (*best)(method, target, body);
+  if (best != nullptr) {
+    // Endpoint counters aggregate under the registered prefix, not the
+    // full path, so "/query?entity=x" and "/query/batch" share a series.
+    scope->set_endpoint(best_prefix);
+    return (*best)(method, target, body);
+  }
   if (method != "GET" && method != "HEAD") {
+    scope->set_endpoint("other");
     AdminResponse response;
     response.status = 405;
     response.body = "only GET is supported\n";
@@ -95,7 +228,12 @@ AdminResponse AdminServer::Handle(std::string_view method,
   if (path == "/readyz") return Readyz();
   if (path == "/statusz") return Statusz();
   if (path == "/logz") return Logz();
+  if (path == "/tracez") return Tracez(target);
+  if (path == "/requestz") return Requestz(target);
   if (path == "/" || path.empty()) return Index();
+  // Unknown paths share one counter series — a 404 scan must not mint
+  // per-path label values.
+  scope->set_endpoint("other");
   AdminResponse response;
   response.status = 404;
   response.body = "unknown endpoint; see /\n";
@@ -108,6 +246,10 @@ AdminResponse AdminServer::MetricsText() const {
   response.body = registry_->ToPrometheusText();
   if (log_ring_ != nullptr) {
     log_ring_->AppendPrometheusText(&response.body);
+  }
+  request_tracer_.AppendPrometheusText(&response.body);
+  if (options_.access_log_capacity > 0) {
+    access_log_.AppendPrometheusText(&response.body);
   }
   return response;
 }
@@ -205,6 +347,153 @@ AdminResponse AdminServer::Logz() const {
   return response;
 }
 
+AdminResponse AdminServer::Tracez(std::string_view target) const {
+  const std::vector<RequestTrace> traces = request_tracer_.Snapshot();
+  AdminResponse response;
+  if (QueryParam(target, "format") == "text") {
+    std::string& out = response.body;
+    for (const RequestTrace& trace : traces) {
+      out += "trace " + TraceIdHex(trace.trace_id) + " " + trace.method +
+             " " + trace.target + " status=" +
+             std::to_string(trace.status) + " " +
+             MicrosLabel(trace.duration_seconds) +
+             (trace.sampled ? " sampled" : "") + (trace.slow ? " slow" : "") +
+             " hits=" + std::to_string(trace.stats.cache_hits) +
+             " misses=" + std::to_string(trace.stats.cache_misses) +
+             " retries=" + std::to_string(trace.stats.retries) + "\n";
+      const std::vector<std::vector<size_t>> children =
+          SpanChildren(trace.spans);
+      for (size_t i = 0; i < trace.spans.size(); ++i) {
+        if (IsRootSpan(trace.spans, i)) {
+          WriteSpanTreeText(trace.spans, children, i, 0, &out);
+        }
+      }
+    }
+    if (out.empty()) out = "no traces retained yet\n";
+    return response;
+  }
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("requests_started").Value(request_tracer_.requests_started());
+  writer.Key("requests_sampled").Value(request_tracer_.requests_sampled());
+  writer.Key("requests_slow").Value(request_tracer_.requests_slow());
+  writer.Key("traces_kept").Value(request_tracer_.traces_kept());
+  writer.Key("traces_evicted").Value(request_tracer_.traces_evicted());
+  writer.Key("traces").BeginArray();
+  for (const RequestTrace& trace : traces) {
+    writer.BeginObject()
+        .Key("trace_id")
+        .Value(TraceIdHex(trace.trace_id))
+        .Key("sampled")
+        .Value(trace.sampled)
+        .Key("slow")
+        .Value(trace.slow)
+        .Key("method")
+        .Value(trace.method)
+        .Key("target")
+        .Value(trace.target)
+        .Key("status")
+        .Value(trace.status)
+        .Key("response_bytes")
+        .Value(static_cast<int64_t>(trace.response_bytes))
+        .Key("start_unix_seconds")
+        .Value(trace.start_unix_seconds)
+        .Key("duration_seconds")
+        .Value(trace.duration_seconds)
+        .Key("cache_hits")
+        .Value(trace.stats.cache_hits)
+        .Key("cache_misses")
+        .Value(trace.stats.cache_misses)
+        .Key("retries")
+        .Value(trace.stats.retries)
+        .Key("dropped_spans")
+        .Value(trace.dropped_spans)
+        .Key("spans")
+        .BeginArray();
+    const std::vector<std::vector<size_t>> children =
+        SpanChildren(trace.spans);
+    for (size_t i = 0; i < trace.spans.size(); ++i) {
+      if (IsRootSpan(trace.spans, i)) {
+        WriteSpanTreeJson(trace.spans, children, i, writer);
+      }
+    }
+    writer.EndArray().EndObject();
+  }
+  writer.EndArray().EndObject();
+  response.content_type = "application/json";
+  response.body = writer.str() + "\n";
+  return response;
+}
+
+AdminResponse AdminServer::Requestz(std::string_view target) const {
+  // ?slowest=N serves the worst-latency entries; the default is the most
+  // recent ones, newest first.
+  const size_t slowest = SizeParam(target, "slowest", 0);
+  std::vector<AccessLogEntry> entries;
+  if (slowest > 0) {
+    entries = access_log_.SlowestN(slowest);
+  } else {
+    entries = access_log_.Snapshot();
+    std::reverse(entries.begin(), entries.end());
+    const size_t keep = SizeParam(target, "n", 100);
+    if (entries.size() > keep) entries.resize(keep);
+  }
+  AdminResponse response;
+  if (QueryParam(target, "format") == "text") {
+    std::string& out = response.body;
+    for (const AccessLogEntry& entry : entries) {
+      out += std::to_string(entry.sequence) + " " + entry.method + " " +
+             entry.target + " status=" + std::to_string(entry.status) + " " +
+             std::to_string(entry.response_bytes) + "b " +
+             MicrosLabel(entry.latency_seconds) + " trace=" +
+             TraceIdHex(entry.trace_id) + (entry.sampled ? " sampled" : "") +
+             (entry.slow ? " slow" : "") + "\n";
+    }
+    if (out.empty()) out = "no requests logged yet\n";
+    return response;
+  }
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("total_requests").Value(access_log_.total_requests());
+  writer.Key("requests").BeginArray();
+  for (const AccessLogEntry& entry : entries) {
+    writer.BeginObject()
+        .Key("sequence")
+        .Value(entry.sequence)
+        .Key("unix_seconds")
+        .Value(entry.unix_seconds)
+        .Key("method")
+        .Value(entry.method)
+        .Key("target")
+        .Value(entry.target)
+        .Key("endpoint")
+        .Value(entry.endpoint)
+        .Key("status")
+        .Value(entry.status)
+        .Key("response_bytes")
+        .Value(static_cast<int64_t>(entry.response_bytes))
+        .Key("latency_seconds")
+        .Value(entry.latency_seconds)
+        .Key("trace_id")
+        .Value(TraceIdHex(entry.trace_id))
+        .Key("sampled")
+        .Value(entry.sampled)
+        .Key("slow")
+        .Value(entry.slow)
+        .Key("cache_hits")
+        .Value(entry.stats.cache_hits)
+        .Key("cache_misses")
+        .Value(entry.stats.cache_misses)
+        .Key("retries")
+        .Value(entry.stats.retries)
+        .EndObject();
+  }
+  writer.EndArray().EndObject();
+  response.content_type = "application/json";
+  response.body = writer.str() + "\n";
+  return response;
+}
+
 AdminResponse AdminServer::Index() const {
   AdminResponse response;
   response.body =
@@ -214,7 +503,9 @@ AdminResponse AdminServer::Index() const {
       "  /healthz       liveness\n"
       "  /readyz        pipeline-stage readiness\n"
       "  /statusz       stage, stage seconds, live spans, log counters\n"
-      "  /logz          recent log lines\n";
+      "  /logz          recent log lines\n"
+      "  /tracez        retained request traces (?format=text)\n"
+      "  /requestz      recent requests (?slowest=N, ?format=text)\n";
   return response;
 }
 

@@ -9,8 +9,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/access_log.h"
 #include "obs/log_ring.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/stage.h"
 #include "util/status.h"
 
@@ -27,6 +29,16 @@ struct AdminServerOptions {
   std::string bind_address = "127.0.0.1";
   /// Maximum log lines /logz returns (newest kept).
   size_t max_log_lines = 100;
+  /// Head-sampling rate in [0, 1] for request traces (--trace-sample-rate).
+  double trace_sample_rate = 0.01;
+  /// Requests slower than this are trace-captured regardless of sampling
+  /// (--slow-query-ms); <= 0 disables tail capture.
+  double slow_query_ms = 250.0;
+  /// Retained traces the /tracez ring holds.
+  size_t trace_ring_capacity = 64;
+  /// Entries the /requestz access-log ring holds; 0 disables the access
+  /// log (no entries, no per-endpoint counters).
+  size_t access_log_capacity = 512;
 };
 
 /// One materialized HTTP response, exposed so tests can exercise the
@@ -59,6 +71,13 @@ using AdminHandler = std::function<AdminResponse(
 ///   /statusz       JSON snapshot: stage, stage seconds, uptime, live
 ///                  span stack per thread, log counters
 ///   /logz          recent log lines from the LogRing
+///   /tracez        retained request traces as span trees (?format=text)
+///   /requestz      recent access-log entries (?slowest=N)
+///
+/// Every request runs under an obs::RequestScope: it gets a trace id,
+/// lands in the access log (feeding the per-endpoint counters on
+/// /metrics), and — when head-sampled or over the slow-query threshold —
+/// leaves its span tree on /tracez.
 ///
 /// Requests are handled sequentially on the accept thread; every response
 /// closes the connection (HTTP/1.0 semantics). That is deliberate — an
@@ -110,9 +129,21 @@ class AdminServer {
     return Handle(method, target, "");
   }
 
+  /// The tracer behind /tracez; exposed so tests and benches can inspect
+  /// retained traces without scraping.
+  RequestTracer& request_tracer() const { return request_tracer_; }
+
+  /// The access log behind /requestz.
+  AccessLog& access_log() const { return access_log_; }
+
  private:
   void AcceptLoop();
   void ServeConnection(int client_fd) const;
+
+  /// Handler/builtin dispatch, running inside `scope`; sets the scope's
+  /// normalized endpoint for the per-endpoint counters.
+  AdminResponse Dispatch(std::string_view method, std::string_view target,
+                         std::string_view body, RequestScope* scope) const;
 
   AdminResponse MetricsText() const;
   AdminResponse MetricsJson() const;
@@ -120,12 +151,18 @@ class AdminServer {
   AdminResponse Readyz() const;
   AdminResponse Statusz() const;
   AdminResponse Logz() const;
+  AdminResponse Tracez(std::string_view target) const;
+  AdminResponse Requestz(std::string_view target) const;
   AdminResponse Index() const;
 
   const MetricRegistry* registry_;
   const StageTracker* stage_;
   const LogRing* log_ring_;
   AdminServerOptions options_;
+  /// Internally synchronized; mutable because Handle() is const yet every
+  /// request appends to them.
+  mutable RequestTracer request_tracer_;
+  mutable AccessLog access_log_;
   /// Registered application endpoints, (prefix, handler). Immutable once
   /// the accept thread starts.
   std::vector<std::pair<std::string, AdminHandler>> handlers_;

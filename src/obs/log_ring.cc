@@ -49,19 +49,36 @@ LogRing::LogRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
 void LogRing::Append(LogSeverity severity, std::string_view line) {
   counts_[SeverityIndex(severity)].fetch_add(1, std::memory_order_relaxed);
   MutexLock lock(mutex_);
-  Line entry;
-  entry.sequence = next_sequence_++;
-  entry.severity = severity;
-  entry.text = std::string(line);
-  // lines_ stays in sequence order; evicting the oldest is a front erase.
-  // O(capacity) worst case, which is fine — logging is never a hot loop.
-  if (lines_.size() == capacity_) lines_.erase(lines_.begin());
-  lines_.push_back(std::move(entry));
+  if (lines_.size() < capacity_) {
+    Line entry;
+    entry.sequence = next_sequence_++;
+    entry.severity = severity;
+    entry.text.assign(line);
+    lines_.push_back(std::move(entry));
+    return;
+  }
+  // Full: overwrite the oldest slot in place. assign() reuses the evicted
+  // line's string capacity, so the steady state neither allocates nor
+  // shifts earlier entries (the front-erase this replaces was
+  // O(capacity) per append).
+  Line& slot = lines_[next_slot_];
+  slot.sequence = next_sequence_++;
+  slot.severity = severity;
+  slot.text.assign(line);
+  next_slot_ = (next_slot_ + 1) % capacity_;
 }
 
 std::vector<LogRing::Line> LogRing::Snapshot() const {
   MutexLock lock(mutex_);
-  return lines_;
+  std::vector<Line> lines;
+  lines.reserve(lines_.size());
+  // Oldest first: once the ring has wrapped, next_slot_ is the oldest.
+  const size_t n = lines_.size();
+  const size_t oldest = n < capacity_ ? 0 : next_slot_;
+  for (size_t i = 0; i < n; ++i) {
+    lines.push_back(lines_[(oldest + i) % n]);
+  }
+  return lines;
 }
 
 int64_t LogRing::MessageCount(LogSeverity severity) const {
@@ -79,17 +96,25 @@ int64_t LogRing::TotalMessages() const {
 void LogRing::SetCapacity(size_t capacity) {
   if (capacity == 0) capacity = 1;
   MutexLock lock(mutex_);
-  capacity_ = capacity;
-  if (lines_.size() > capacity_) {
-    lines_.erase(lines_.begin(),
-                 lines_.begin() +
-                     static_cast<ptrdiff_t>(lines_.size() - capacity_));
+  // Rebuild in sequence order, keeping the newest lines, and reset the
+  // ring to the unwrapped state. Rare operation; O(size) is fine here.
+  std::vector<Line> ordered;
+  ordered.reserve(std::min(lines_.size(), capacity));
+  const size_t n = lines_.size();
+  const size_t oldest = n < capacity_ ? 0 : next_slot_;
+  const size_t skip = n > capacity ? n - capacity : 0;
+  for (size_t i = skip; i < n; ++i) {
+    ordered.push_back(std::move(lines_[(oldest + i) % n]));
   }
+  lines_ = std::move(ordered);
+  next_slot_ = 0;
+  capacity_ = capacity;
 }
 
 void LogRing::Clear() {
   MutexLock lock(mutex_);
   lines_.clear();
+  next_slot_ = 0;
   next_sequence_ = 0;
   for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
 }

@@ -40,7 +40,9 @@ class LogRing {
   LogRing(const LogRing&) = delete;
   LogRing& operator=(const LogRing&) = delete;
 
-  /// Appends one line (thread-safe), evicting the oldest when full.
+  /// Appends one line (thread-safe), overwriting the oldest when full.
+  /// O(1): the ring overwrites in place and reuses the evicted line's
+  /// string capacity, so steady-state appends do not allocate.
   void Append(LogSeverity severity, std::string_view line)
       SURVEYOR_EXCLUDES(mutex_);
 
@@ -78,8 +80,10 @@ class LogRing {
   mutable Mutex mutex_;
   size_t capacity_ SURVEYOR_GUARDED_BY(mutex_);
   int64_t next_sequence_ SURVEYOR_GUARDED_BY(mutex_) = 0;
-  /// Buffered lines in sequence order; append evicts from the front.
+  /// Ring of buffered lines; once full, `next_slot_` is the oldest entry
+  /// and is overwritten next. Snapshot() restores sequence order.
   std::vector<Line> lines_ SURVEYOR_GUARDED_BY(mutex_);
+  size_t next_slot_ SURVEYOR_GUARDED_BY(mutex_) = 0;
   /// Atomic, not guarded: MessageCount is called from /metrics scrapes
   /// that must not contend with the append path.
   std::array<std::atomic<int64_t>, 4> counts_{};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/json_writer.h"
+#include "obs/request_trace.h"
 #include "util/logging.h"
 
 namespace surveyor {
@@ -28,14 +29,29 @@ Histogram::Histogram(HistogramOptions options) {
   buckets_ =
       std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
   for (size_t b = 0; b <= bounds_.size(); ++b) buckets_[b] = 0;
+  exemplars_ = std::make_unique<ExemplarSlot[]>(bounds_.size() + 1);
 }
 
-void Histogram::Record(double value) {
+void Histogram::Record(double value, uint64_t exemplar_trace_id) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const size_t bucket = static_cast<size_t>(it - bounds_.begin());
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.Add(value);
+  if (exemplar_trace_id == 0) return;
+  // Keep the max-valued exemplar per bucket. Best effort: value and trace
+  // id are separate atomics, so a racing pair can briefly mismatch — fine
+  // for a debugging pointer, and it avoids a lock on the record path.
+  ExemplarSlot& slot = exemplars_[bucket];
+  double current = slot.value.load(std::memory_order_relaxed);
+  while (value > current ||
+         slot.trace_id.load(std::memory_order_relaxed) == 0) {
+    if (slot.value.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+      slot.trace_id.store(exemplar_trace_id, std::memory_order_relaxed);
+      break;
+    }
+  }
 }
 
 std::vector<int64_t> Histogram::BucketCounts() const {
@@ -44,6 +60,16 @@ std::vector<int64_t> Histogram::BucketCounts() const {
     counts[b] = buckets_[b].load(std::memory_order_relaxed);
   }
   return counts;
+}
+
+std::vector<Histogram::BucketExemplar> Histogram::Exemplars() const {
+  std::vector<BucketExemplar> exemplars(bounds_.size() + 1);
+  for (size_t b = 0; b < exemplars.size(); ++b) {
+    exemplars[b].trace_id =
+        exemplars_[b].trace_id.load(std::memory_order_relaxed);
+    exemplars[b].value = exemplars_[b].value.load(std::memory_order_relaxed);
+  }
+  return exemplars;
 }
 
 std::string_view MetricKindName(MetricSnapshot::Kind kind) {
@@ -157,6 +183,7 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
       snapshot.count = histogram->Count();
       snapshot.bucket_bounds = histogram->bucket_bounds();
       snapshot.bucket_counts = histogram->BucketCounts();
+      snapshot.exemplars = histogram->Exemplars();
       snapshot.help = HelpForLocked(name);
       snapshots.push_back(std::move(snapshot));
     }
@@ -187,6 +214,16 @@ std::string EscapeHelpText(std::string_view help) {
   return escaped;
 }
 
+/// OpenMetrics-style exemplar suffix for a bucket sample line:
+///   " # {trace_id=\"00ab...\"} 0.0042". Empty when the bucket has none.
+std::string ExemplarSuffix(const MetricSnapshot& metric, size_t bucket) {
+  if (bucket >= metric.exemplars.size()) return std::string();
+  const Histogram::BucketExemplar& exemplar = metric.exemplars[bucket];
+  if (exemplar.trace_id == 0) return std::string();
+  return " # {trace_id=\"" + TraceIdHex(exemplar.trace_id) + "\"} " +
+         JsonNumber(exemplar.value);
+}
+
 }  // namespace
 
 std::string MetricRegistry::ToPrometheusText() const {
@@ -209,10 +246,10 @@ std::string MetricRegistry::ToPrometheusText() const {
       cumulative += metric.bucket_counts[b];
       out += name + "_bucket{le=\"" +
              EscapeLabelValue(JsonNumber(metric.bucket_bounds[b])) + "\"} " +
-             std::to_string(cumulative) + "\n";
+             std::to_string(cumulative) + ExemplarSuffix(metric, b) + "\n";
     }
     out += name + "_bucket{le=\"+Inf\"} " + std::to_string(metric.count) +
-           "\n";
+           ExemplarSuffix(metric, metric.bucket_bounds.size()) + "\n";
     out += name + "_sum " + JsonNumber(metric.value) + "\n";
     out += name + "_count " + std::to_string(metric.count) + "\n";
   }

@@ -91,11 +91,24 @@ struct HistogramOptions {
 /// atomic add on the bucket plus count/sum updates).
 class Histogram {
  public:
+  /// A bucket's exemplar: the max-valued observation recorded with a
+  /// trace id, linking the bucket to an inspectable trace on /tracez.
+  /// trace_id == 0 means the bucket has none.
+  struct BucketExemplar {
+    uint64_t trace_id = 0;
+    double value = 0.0;
+  };
+
   explicit Histogram(HistogramOptions options = {});
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
-  void Record(double value);
+  void Record(double value) { Record(value, 0); }
+
+  /// Records `value`; when `exemplar_trace_id` is non-zero, offers
+  /// (value, trace id) as the bucket's exemplar. The slot keeps the
+  /// max-valued sample, so a bucket's exemplar is its worst known case.
+  void Record(double value, uint64_t exemplar_trace_id);
 
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.Value(); }
@@ -109,9 +122,19 @@ class Histogram {
   /// last entry being the overflow bucket.
   std::vector<int64_t> BucketCounts() const;
 
+  /// Per-bucket exemplars; size bucket_bounds().size() + 1, the last
+  /// entry being the overflow bucket.
+  std::vector<BucketExemplar> Exemplars() const;
+
  private:
+  struct ExemplarSlot {
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<double> value{0.0};
+  };
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::unique_ptr<ExemplarSlot[]> exemplars_;
   std::atomic<int64_t> count_{0};
   Gauge sum_;
 };
@@ -127,6 +150,8 @@ struct MetricSnapshot {
   int64_t count = 0;
   std::vector<double> bucket_bounds;
   std::vector<int64_t> bucket_counts;
+  /// Per-bucket exemplars (empty for counters/gauges).
+  std::vector<Histogram::BucketExemplar> exemplars;
   /// Help text for the # HELP exposition line (may be empty).
   std::string help;
 };

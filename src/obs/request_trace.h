@@ -1,0 +1,231 @@
+#ifndef SURVEYOR_OBS_REQUEST_TRACE_H_
+#define SURVEYOR_OBS_REQUEST_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace surveyor {
+namespace obs {
+
+class AccessLog;
+
+/// Per-request counters bumped by the serving layer while a RequestScope
+/// is live on the thread (CurrentRequestStats()). They end up on the
+/// access-log entry and the kept trace, so a slow request explains itself:
+/// cache miss? snapshot rebuild? retry after an injected fault?
+struct RequestStats {
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t retries = 0;
+};
+
+/// One completed, retained request trace: the request envelope plus the
+/// span tree collected underneath it. Span start times are relative to the
+/// request start, so a trace is self-contained.
+struct RequestTrace {
+  uint64_t trace_id = 0;
+  /// Head-sampled at admission (SampleDecision).
+  bool sampled = false;
+  /// Exceeded the slow-query threshold (tail capture).
+  bool slow = false;
+  std::string method;
+  /// Request target (path + query), truncated to a bounded length.
+  std::string target;
+  int status = 0;
+  size_t response_bytes = 0;
+  /// Wall-clock request start (unix seconds), for display only.
+  double start_unix_seconds = 0.0;
+  double duration_seconds = 0.0;
+  /// Spans not recorded because the per-trace cap was hit.
+  int64_t dropped_spans = 0;
+  RequestStats stats;
+  std::vector<TraceSpan> spans;
+};
+
+struct RequestTracerOptions {
+  /// Head-sampling rate in [0, 1]: the fraction of requests whose trace is
+  /// retained regardless of latency. 0 disables head sampling.
+  double sample_rate = 0.01;
+  /// Requests slower than this are retained even when not head-sampled
+  /// (tail capture). <= 0 disables tail capture.
+  double slow_threshold_seconds = 0.25;
+  /// Retained traces kept in the ring (oldest overwritten).
+  size_t ring_capacity = 64;
+  /// Spans recorded per trace before further spans are counted as dropped.
+  size_t max_spans_per_trace = 128;
+};
+
+class RequestTracer;
+
+namespace internal {
+
+/// Thread-local state of the request currently being served. Bridge
+/// between RequestScope (owner) and ScopedSpan (trace.cc routes spans of
+/// an armed request here instead of the global Tracer). Internal: use
+/// RequestScope / CurrentRequestStats() / CurrentSampledTraceId().
+struct RequestContext {
+  RequestTracer* tracer = nullptr;
+  AccessLog* access_log = nullptr;
+  /// Collect spans into `trace.spans` (tracer armed at admission).
+  bool recording = false;
+  size_t max_spans = 0;
+  double slow_threshold_seconds = 0.0;
+  std::chrono::steady_clock::time_point start;
+  RequestTrace trace;
+};
+
+/// The active request context of this thread; nullptr outside a request.
+RequestContext* CurrentRequestContext();
+
+}  // namespace internal
+
+/// Assigns trace ids, makes the keep/drop decision and owns the bounded
+/// ring of retained request traces served by /tracez. Thread-safe; one
+/// instance per admin server.
+class RequestTracer {
+ public:
+  explicit RequestTracer(RequestTracerOptions options = {});
+  RequestTracer(const RequestTracer&) = delete;
+  RequestTracer& operator=(const RequestTracer&) = delete;
+
+  const RequestTracerOptions& options() const { return options_; }
+
+  /// Whether request spans are collected at all: with head sampling off
+  /// and tail capture off there is nobody to keep a trace, so scopes skip
+  /// span collection entirely and the per-request cost is a few atomics.
+  bool armed() const {
+    return options_.sample_rate > 0.0 ||
+           options_.slow_threshold_seconds > 0.0;
+  }
+
+  /// Deterministic head-sampling decision: hashes the trace id (splitmix64
+  /// finalizer) into [0, 1) and compares against `rate`. Rate <= 0 never
+  /// samples, rate >= 1 always does; sequential ids decorrelate.
+  static bool SampleDecision(uint64_t trace_id, double rate);
+
+  uint64_t NextTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Retains one finished trace in the ring (called by ~RequestScope for
+  /// sampled or slow requests), overwriting the oldest when full.
+  void Keep(RequestTrace trace) SURVEYOR_EXCLUDES(mutex_);
+
+  /// The retained traces, newest first.
+  std::vector<RequestTrace> Snapshot() const SURVEYOR_EXCLUDES(mutex_);
+
+  /// Drops all retained traces (counters keep running).
+  void Clear() SURVEYOR_EXCLUDES(mutex_);
+
+  // Lifetime counters, maintained by RequestScope.
+  void CountRequest(bool sampled, bool slow);
+  int64_t requests_started() const {
+    return started_.load(std::memory_order_relaxed);
+  }
+  int64_t requests_sampled() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+  int64_t requests_slow() const {
+    return slow_.load(std::memory_order_relaxed);
+  }
+  int64_t traces_kept() const {
+    return kept_.load(std::memory_order_relaxed);
+  }
+  /// Retained traces overwritten by newer ones.
+  int64_t traces_evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends Prometheus exposition for the tracer counters
+  /// (surveyor_trace_requests_total etc.).
+  void AppendPrometheusText(std::string* out) const;
+
+ private:
+  RequestTracerOptions options_;
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<int64_t> started_{0};
+  std::atomic<int64_t> sampled_{0};
+  std::atomic<int64_t> slow_{0};
+  std::atomic<int64_t> kept_{0};
+  std::atomic<int64_t> evicted_{0};
+  mutable Mutex mutex_;
+  /// Ring of retained traces; once full, `next_slot_` is the oldest entry
+  /// and is overwritten next.
+  std::vector<RequestTrace> ring_ SURVEYOR_GUARDED_BY(mutex_);
+  size_t next_slot_ SURVEYOR_GUARDED_BY(mutex_) = 0;
+};
+
+/// RAII request scope: assigns a trace id, installs the thread-local
+/// request context (so SURVEYOR_SPANs underneath attach to this request),
+/// opens the root span "METHOD /path", and on destruction makes the
+/// keep/drop decision and appends one access-log entry. The handler fills
+/// in status / response bytes / endpoint via the setters. Must be
+/// destroyed on the thread that created it.
+class RequestScope {
+ public:
+  /// `tracer` must outlive the scope; `access_log` may be null (no entry
+  /// is appended then).
+  RequestScope(RequestTracer* tracer, AccessLog* access_log,
+               std::string_view method, std::string_view target);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  void set_status(int status) { context_.trace.status = status; }
+  void set_response_bytes(size_t bytes) {
+    context_.trace.response_bytes = bytes;
+  }
+  /// Normalized endpoint name for the per-endpoint counters ("/metrics",
+  /// a registered handler prefix, "other"). Defaults to the request path.
+  void set_endpoint(std::string_view endpoint) {
+    endpoint_.assign(endpoint);
+  }
+
+  uint64_t trace_id() const { return context_.trace.trace_id; }
+  bool sampled() const { return context_.trace.sampled; }
+
+ private:
+  /// Installs/restores the thread-local context; declared before the root
+  /// span so the span construction already sees the context installed.
+  struct ContextInstaller {
+    explicit ContextInstaller(internal::RequestContext* context);
+    ~ContextInstaller();
+    internal::RequestContext* previous;
+  };
+
+  internal::RequestContext context_;
+  ContextInstaller installer_;
+  ScopedSpan root_span_;
+  std::string endpoint_;
+};
+
+/// The stats of the request being served on this thread; nullptr when no
+/// RequestScope is live. Serving code bumps these unconditionally — the
+/// null check is the entire disarmed cost.
+RequestStats* CurrentRequestStats();
+
+/// Trace id of the current request (0 when no RequestScope is live).
+uint64_t CurrentTraceId();
+
+/// Trace id of the current request if it was head-sampled, else 0. Metric
+/// exemplars use this so every exemplar on /metrics resolves to a trace
+/// that /tracez actually retained.
+uint64_t CurrentSampledTraceId();
+
+/// Fixed-width lower-case hex rendering of a trace id ("00d7..."), the
+/// form /tracez and exemplars use.
+std::string TraceIdHex(uint64_t trace_id);
+
+}  // namespace obs
+}  // namespace surveyor
+
+#endif  // SURVEYOR_OBS_REQUEST_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 
 namespace surveyor {
 namespace obs {
@@ -102,7 +103,9 @@ uint64_t CurrentSpanId() { return tls_current_span; }
 
 void ScopedSpan::Start(std::string_view name, uint64_t parent_id) {
   Tracer& tracer = Tracer::Global();
-  if (!tracer.enabled()) return;
+  internal::RequestContext* request = internal::CurrentRequestContext();
+  const bool request_recording = request != nullptr && request->recording;
+  if (!request_recording && !tracer.enabled()) return;
   recording_ = true;
   restore_parent_ = true;
   id_ = tracer.NextId();
@@ -113,6 +116,13 @@ void ScopedSpan::Start(std::string_view name, uint64_t parent_id) {
   // carries the explicit parent.
   parent_id_for_record_ = parent_id;
   start_ = std::chrono::steady_clock::now();
+  if (request_recording) {
+    // Request spans stay request-local: recorded into the scope's buffer
+    // on End(), with no ActiveSpan registration and no global-tracer
+    // contention on the serving path.
+    request_ = request;
+    return;
+  }
   ActiveSpan active;
   active.id = id_;
   active.parent_id = parent_id;
@@ -137,10 +147,30 @@ void ScopedSpan::End() {
   }
   if (!recording_) return;
   recording_ = false;
-  Tracer& tracer = Tracer::Global();
-  tracer.UnregisterActive(id_);
   const auto now = std::chrono::steady_clock::now();
   final_seconds_ = SecondsSince(start_, now);
+  if (request_ != nullptr) {
+    internal::RequestContext* request = request_;
+    request_ = nullptr;
+    // Record only while the owning RequestScope is still installed on
+    // this thread; a span that outlives its request has nowhere to go.
+    if (internal::CurrentRequestContext() != request) return;
+    TraceSpan span;
+    span.id = id_;
+    span.parent_id = parent_id_for_record_;
+    span.name = std::move(name_);
+    span.thread_index = CurrentThreadIndex();
+    span.start_seconds = SecondsSince(request->start, start_);
+    span.duration_seconds = final_seconds_;
+    if (request->trace.spans.size() < request->max_spans) {
+      request->trace.spans.push_back(std::move(span));
+    } else {
+      ++request->trace.dropped_spans;
+    }
+    return;
+  }
+  Tracer& tracer = Tracer::Global();
+  tracer.UnregisterActive(id_);
   TraceSpan span;
   span.id = id_;
   span.parent_id = parent_id_for_record_;

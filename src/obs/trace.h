@@ -14,6 +14,10 @@
 namespace surveyor {
 namespace obs {
 
+namespace internal {
+struct RequestContext;
+}  // namespace internal
+
 /// One completed tracing span. Times are relative to the tracer epoch
 /// (the last Clear()), so a run report is self-contained.
 struct TraceSpan {
@@ -103,8 +107,10 @@ class Tracer {
 uint64_t CurrentSpanId();
 
 /// RAII span: records wall time, thread index and parent linkage into the
-/// global tracer. When tracing is disabled the constructor is a single
-/// atomic load and nothing else runs.
+/// global tracer — or, while a RequestScope is live on this thread, into
+/// that request's local span buffer (no global lock, start times relative
+/// to the request start). When neither is active the constructor is one
+/// thread-local read plus one atomic load and nothing else runs.
 class ScopedSpan {
  public:
   /// Parent is the innermost live span of the current thread.
@@ -132,6 +138,8 @@ class ScopedSpan {
 
   bool recording_ = false;
   bool restore_parent_ = false;
+  /// The request this span belongs to; nullptr for global-tracer spans.
+  internal::RequestContext* request_ = nullptr;
   uint64_t id_ = 0;
   uint64_t saved_parent_ = 0;
   uint64_t parent_id_for_record_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/request_trace.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/string_util.h"
 
@@ -78,9 +80,15 @@ OpinionIndex::OpinionIndex(OpinionIndexOptions options)
 }
 
 Status OpinionIndex::Load(const std::string& path) {
+  SURVEYOR_SPAN("opinion_index.load");
   Snapshot snapshot;
   const RetryResult result = RetryWithBackoff(
       options_.retry, [&snapshot, &path] { return snapshot.Open(path); });
+  if (result.attempts > 1) {
+    if (obs::RequestStats* stats = obs::CurrentRequestStats()) {
+      stats->retries += result.attempts - 1;
+    }
+  }
   SURVEYOR_RETURN_IF_ERROR(result.status);
 
   std::unordered_map<std::string, uint32_t> entity_by_name;
@@ -150,6 +158,7 @@ OpinionIndex::CacheShard& OpinionIndex::ShardFor(uint64_t key) const {
 }
 
 ServedOpinion OpinionIndex::Materialize(const RecordLoc& loc) const {
+  SURVEYOR_SPAN("snapshot.materialize");
   const Snapshot::BlockView& block = snapshot_.blocks()[loc.block];
   const Snapshot::RecordView record =
       Snapshot::ReadRecord(block.records, loc.record);
@@ -170,6 +179,7 @@ ServedOpinion OpinionIndex::Materialize(const RecordLoc& loc) const {
 
 StatusOr<ServedOpinion> OpinionIndex::Lookup(std::string_view entity,
                                              std::string_view property) const {
+  SURVEYOR_SPAN("opinion_index.lookup");
   lookups_->Increment();
   if (!loaded_) return Status::FailedPrecondition("no snapshot loaded");
   auto entity_it = entity_by_name_.find(ToLower(entity));
@@ -201,16 +211,19 @@ StatusOr<ServedOpinion> OpinionIndex::Lookup(std::string_view entity,
   // The "query_cache" fault simulates a cold/flaky cache tier: the read is
   // skipped and the answer recomputed from the snapshot, so an armed chaos
   // profile degrades throughput, never correctness.
+  obs::RequestStats* request_stats = obs::CurrentRequestStats();
   const bool cache_enabled =
       options_.cache_capacity > 0 && !SURVEYOR_FAULT("query_cache");
   if (cache_enabled) {
     ServedOpinion cached;
     if (ShardFor(key).Get(key, &cached)) {
       cache_hits_->Increment();
+      if (request_stats != nullptr) ++request_stats->cache_hits;
       return cached;
     }
   }
   cache_misses_->Increment();
+  if (request_stats != nullptr) ++request_stats->cache_misses;
   ServedOpinion opinion = Materialize(loc);
   if (options_.cache_capacity > 0) {
     const size_t per_shard =

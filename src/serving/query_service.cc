@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "obs/json_writer.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
 #include "model/opinion.h"
 
 namespace surveyor {
@@ -277,9 +279,13 @@ obs::AdminResponse QueryService::Handle(std::string_view method,
       response = JsonError(404, "unknown query endpoint");
     }
   }
+  // The exemplar links the latency bucket to this request's trace on
+  // /tracez; only head-sampled requests qualify, so every exemplar id on
+  // /metrics resolves to a retained trace.
   latency_->Record(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count());
+          .count(),
+      obs::CurrentSampledTraceId());
   return response;
 }
 
@@ -299,6 +305,7 @@ obs::AdminResponse QueryService::HandleQuery(std::string_view method,
   response.content_type = "application/json";
 
   if (has("entity") && has("property")) {
+    SURVEYOR_SPAN("query_service.point");
     const StatusOr<ServedOpinion> result =
         index_->Lookup(params.at("entity"), params.at("property"));
     if (!result.ok()) {
@@ -314,6 +321,7 @@ obs::AdminResponse QueryService::HandleQuery(std::string_view method,
   }
 
   if (has("type") && has("property")) {
+    SURVEYOR_SPAN("query_service.type_scan");
     const std::vector<ServedOpinion> results =
         index_->QueryType(params.at("type"), params.at("property"),
                           ParseLimit(params, options_.max_results));
@@ -326,6 +334,7 @@ obs::AdminResponse QueryService::HandleQuery(std::string_view method,
   }
 
   if (has("prefix")) {
+    SURVEYOR_SPAN("query_service.prefix");
     const std::vector<std::string> names = index_->PrefixScan(
         params.at("prefix"), ParseLimit(params, options_.max_results));
     obs::JsonWriter writer;
@@ -359,6 +368,7 @@ obs::AdminResponse QueryService::HandleBatch(std::string_view method,
     return JsonError(400, "batch too large (max " +
                               std::to_string(options_.max_batch) + ")");
   }
+  SURVEYOR_SPAN("query_service.batch");
   const std::vector<StatusOr<ServedOpinion>> results =
       index_->BatchLookup(queries);
   obs::JsonWriter writer;

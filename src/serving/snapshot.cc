@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/fault.h"
 
@@ -317,6 +318,7 @@ Snapshot::RecordView Snapshot::ReadRecord(const char* records, size_t i) {
 }
 
 Status Snapshot::Open(const std::string& path) {
+  SURVEYOR_SPAN("snapshot.open");
   if (SURVEYOR_FAULT("snapshot_read")) {
     return Status::Internal("injected fault at snapshot_read: " + path);
   }

@@ -70,6 +70,14 @@ Status SurveyorConfig::Validate() const {
     return Status::InvalidArgument(
         "progress_interval_seconds must be >= 0 (0 = reporter off)");
   }
+  if (!(trace_sample_rate >= 0.0 && trace_sample_rate <= 1.0)) {
+    return Status::InvalidArgument(
+        "trace_sample_rate must be in [0, 1] (0 = head sampling off)");
+  }
+  if (!(slow_query_ms >= 0.0)) {
+    return Status::InvalidArgument(
+        "slow_query_ms must be >= 0 (0 = tail capture off)");
+  }
   SURVEYOR_RETURN_IF_ERROR(ValidateEmOptions(em));
   if (!fault_spec.empty()) {
     const Status spec_status = FaultInjector::ValidateSpec(fault_spec);

@@ -69,6 +69,13 @@ struct SurveyorConfig {
   /// EmOptions, bad threshold) are always hard failures. When false, the
   /// first fit failure aborts the run (the pre-degradation behavior).
   bool degrade_failed_fits = true;
+  /// Head-sampling rate in [0, 1] for admin-plane request traces
+  /// (--trace-sample-rate): the fraction of requests whose span tree is
+  /// retained on /tracez. 0 disables head sampling.
+  double trace_sample_rate = 0.01;
+  /// Requests slower than this many milliseconds are trace-captured
+  /// regardless of sampling (--slow-query-ms); 0 disables tail capture.
+  double slow_query_ms = 250.0;
 
   /// One check for the whole configuration: range checks on
   /// min_statements / decision_threshold / thread counts / sample counts,

@@ -171,6 +171,194 @@ TEST(AdminServerHandleTest, UnknownPathIs404AndBadMethodIs405) {
 }
 
 // ---------------------------------------------------------------------------
+// Request tracing: /tracez, /requestz, per-endpoint counters.
+
+AdminServerOptions AlwaysTraceOptions() {
+  AdminServerOptions options;
+  options.trace_sample_rate = 1.0;
+  options.slow_query_ms = 0.0;
+  return options;
+}
+
+TEST(AdminServerTracezTest, ServesRetainedTracesAsJson) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr, AlwaysTraceOptions());
+  EXPECT_EQ(server.Handle("GET", "/healthz").status, 200);
+
+  const AdminResponse response = server.Handle("GET", "/tracez");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_NE(response.body.find("\"requests_started\":1"), std::string::npos);
+  EXPECT_NE(response.body.find("\"requests_sampled\":1"), std::string::npos);
+  EXPECT_NE(response.body.find("\"target\":\"/healthz\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"sampled\":true"), std::string::npos);
+  EXPECT_NE(response.body.find("\"status\":200"), std::string::npos);
+  // The root span "GET /healthz" is in the span tree.
+  EXPECT_NE(response.body.find("\"name\":\"GET /healthz\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"children\":["), std::string::npos);
+}
+
+TEST(AdminServerTracezTest, TextFormatRendersSpanTree) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr, AlwaysTraceOptions());
+  EXPECT_EQ(server.Handle("GET", "/metrics").status, 200);
+
+  const AdminResponse response =
+      server.Handle("GET", "/tracez?format=text");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("trace "), std::string::npos);
+  EXPECT_NE(response.body.find("GET /metrics status=200"),
+            std::string::npos);
+  EXPECT_NE(response.body.find(" sampled"), std::string::npos);
+  EXPECT_NE(response.body.find("  GET /metrics "), std::string::npos);
+}
+
+TEST(AdminServerTracezTest, EmptyRingSaysSo) {
+  MetricRegistry registry;
+  AdminServerOptions options;
+  options.trace_sample_rate = 0.0;
+  options.slow_query_ms = 0.0;
+  AdminServer server(&registry, nullptr, nullptr, options);
+  EXPECT_EQ(server.Handle("GET", "/healthz").status, 200);
+  EXPECT_EQ(server.Handle("GET", "/tracez?format=text").body,
+            "no traces retained yet\n");
+}
+
+TEST(AdminServerTracezTest, SlowQueryTailCaptureWithoutSampling) {
+  MetricRegistry registry;
+  AdminServerOptions options;
+  options.trace_sample_rate = 0.0;
+  options.slow_query_ms = 1e-6;  // everything is "slow"
+  AdminServer server(&registry, nullptr, nullptr, options);
+  EXPECT_EQ(server.Handle("GET", "/healthz").status, 200);
+  const AdminResponse response = server.Handle("GET", "/tracez");
+  EXPECT_NE(response.body.find("\"slow\":true"), std::string::npos);
+  EXPECT_NE(response.body.find("\"sampled\":false"), std::string::npos);
+}
+
+TEST(AdminServerRequestzTest, LogsEveryRequestNewestFirst) {
+  MetricRegistry registry;
+  // Sampling fully off: the access log still sees everything.
+  AdminServerOptions options;
+  options.trace_sample_rate = 0.0;
+  options.slow_query_ms = 0.0;
+  AdminServer server(&registry, nullptr, nullptr, options);
+  EXPECT_EQ(server.Handle("GET", "/healthz").status, 200);
+  EXPECT_EQ(server.Handle("GET", "/nope").status, 404);
+
+  const AdminResponse response = server.Handle("GET", "/requestz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  // Newest first: /nope (the 404) before /healthz. /requestz itself is
+  // logged only on completion, so it is absent from its own response.
+  const size_t nope = response.body.find("\"target\":\"/nope\"");
+  const size_t healthz = response.body.find("\"target\":\"/healthz\"");
+  ASSERT_NE(nope, std::string::npos);
+  ASSERT_NE(healthz, std::string::npos);
+  EXPECT_LT(nope, healthz);
+  EXPECT_NE(response.body.find("\"status\":404"), std::string::npos);
+  EXPECT_NE(response.body.find("\"total_requests\":2"), std::string::npos);
+}
+
+TEST(AdminServerRequestzTest, SlowestNAndTextFormat) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr, AlwaysTraceOptions());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(server.Handle("GET", "/healthz").status, 200);
+  }
+  AdminResponse response = server.Handle("GET", "/requestz?slowest=2");
+  // Exactly 2 entries, slowest first.
+  size_t count = 0;
+  for (size_t pos = response.body.find("\"sequence\"");
+       pos != std::string::npos;
+       pos = response.body.find("\"sequence\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+
+  response = server.Handle("GET", "/requestz?format=text&n=3");
+  EXPECT_NE(response.body.find("GET /healthz status=200"),
+            std::string::npos);
+  EXPECT_NE(response.body.find(" trace="), std::string::npos);
+}
+
+TEST(AdminServerRequestzTest, RequestzLimitParameter) {
+  MetricRegistry registry;
+  AdminServerOptions options;
+  options.trace_sample_rate = 0.0;
+  options.slow_query_ms = 0.0;
+  AdminServer server(&registry, nullptr, nullptr, options);
+  for (int i = 0; i < 6; ++i) server.Handle("GET", "/healthz");
+  const AdminResponse response = server.Handle("GET", "/requestz?n=2");
+  size_t count = 0;
+  for (size_t pos = response.body.find("\"sequence\"");
+       pos != std::string::npos;
+       pos = response.body.find("\"sequence\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(response.body.find("\"total_requests\":6"), std::string::npos);
+}
+
+TEST(AdminServerMetricsTest, ExposesPerEndpointAndTracerCounters) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr, AlwaysTraceOptions());
+  server.Handle("GET", "/healthz");
+  server.Handle("GET", "/healthz");
+  server.Handle("GET", "/missing");  // 404 -> error under "other"
+
+  const AdminResponse response = server.Handle("GET", "/metrics");
+  EXPECT_NE(response.body.find(
+                "surveyor_admin_requests_total{endpoint=\"/healthz\"} 2"),
+            std::string::npos);
+  EXPECT_NE(response.body.find(
+                "surveyor_admin_requests_total{endpoint=\"other\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      response.body.find(
+          "surveyor_admin_request_errors_total{endpoint=\"other\"} 1"),
+      std::string::npos);
+  EXPECT_NE(response.body.find("surveyor_trace_requests_total 3"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("surveyor_trace_requests_sampled_total 3"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("surveyor_traces_kept_total 3"),
+            std::string::npos);
+}
+
+TEST(AdminServerMetricsTest, RegisteredHandlerCountsUnderItsPrefix) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr, AlwaysTraceOptions());
+  server.AddHandler("/query", [](std::string_view, std::string_view,
+                                 std::string_view) {
+    AdminResponse response;
+    response.body = "result\n";
+    return response;
+  });
+  server.Handle("GET", "/query?entity=berlin");
+  server.Handle("GET", "/query?entity=paris");
+
+  const AdminResponse response = server.Handle("GET", "/metrics");
+  EXPECT_NE(response.body.find(
+                "surveyor_admin_requests_total{endpoint=\"/query\"} 2"),
+            std::string::npos);
+}
+
+TEST(AdminServerTracezTest, DisabledAccessLogStillTraces) {
+  MetricRegistry registry;
+  AdminServerOptions options = AlwaysTraceOptions();
+  options.access_log_capacity = 0;
+  AdminServer server(&registry, nullptr, nullptr, options);
+  server.Handle("GET", "/healthz");
+  EXPECT_NE(server.Handle("GET", "/tracez").body.find("\"target\":\"/healthz\""),
+            std::string::npos);
+  // /requestz is empty (the log is disabled), but serves cleanly.
+  EXPECT_EQ(server.Handle("GET", "/requestz?format=text").body,
+            "no requests logged yet\n");
+}
+
+// ---------------------------------------------------------------------------
 // Real-socket tests.
 
 #ifdef SURVEYOR_TEST_HAVE_SOCKETS
@@ -300,6 +488,51 @@ TEST(AdminServerSocketTest, MalformedRequestDoesNotWedgeTheServer) {
   EXPECT_NE(HttpGet(server.port(), "/healthz").find("200 OK"),
             std::string::npos);
   server.Stop();
+}
+
+TEST(AdminServerSocketTest, ScrapesTracezAndRequestzMidLoad) {
+  MetricRegistry registry;
+  AdminServerOptions options;
+  options.trace_sample_rate = 1.0;
+  options.slow_query_ms = 0.0;
+  AdminServer server(&registry, nullptr, nullptr, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Load generators hammer /healthz over real sockets while we scrape the
+  // tracing endpoints — the exact situation /tracez exists for.
+  std::atomic<bool> stop{false};
+  const int port = server.port();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([port, &stop] {
+      while (!stop.load()) {
+        if (HttpGet(port, "/healthz").empty()) break;
+      }
+    });
+  }
+
+  bool saw_trace = false;
+  bool saw_request = false;
+  for (int i = 0; i < 20 && !(saw_trace && saw_request); ++i) {
+    const std::string tracez = HttpGet(port, "/tracez");
+    EXPECT_NE(tracez.find("HTTP/1.0 200 OK"), std::string::npos);
+    if (tracez.find("\"sampled\":true") != std::string::npos) {
+      saw_trace = true;
+    }
+    const std::string requestz = HttpGet(port, "/requestz");
+    EXPECT_NE(requestz.find("HTTP/1.0 200 OK"), std::string::npos);
+    if (requestz.find("\"target\":\"/healthz\"") != std::string::npos) {
+      saw_request = true;
+    }
+  }
+  stop.store(true);
+  for (std::thread& client : clients) client.join();
+  server.Stop();
+
+  EXPECT_TRUE(saw_trace);
+  EXPECT_TRUE(saw_request);
+  EXPECT_GT(server.request_tracer().requests_sampled(), 0);
+  EXPECT_GT(server.access_log().total_requests(), 0);
 }
 
 #endif  // SURVEYOR_TEST_HAVE_SOCKETS

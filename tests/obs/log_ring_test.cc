@@ -76,6 +76,25 @@ TEST(LogRingTest, SetCapacityTruncatesFromFront) {
   EXPECT_EQ(lines.back().text, "6");
 }
 
+TEST(LogRingTest, SetCapacityAfterWraparoundKeepsNewest) {
+  LogRing ring(4);
+  for (int i = 0; i < 11; ++i) {
+    ring.Append(LogSeverity::kInfo, std::to_string(i));
+  }
+  // The ring has wrapped (write cursor mid-buffer); shrinking must keep
+  // the newest lines in order regardless of the cursor position.
+  ring.SetCapacity(2);
+  std::vector<LogRing::Line> lines = ring.Snapshot();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "9");
+  EXPECT_EQ(lines[1].text, "10");
+  ring.Append(LogSeverity::kInfo, "11");
+  lines = ring.Snapshot();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "10");
+  EXPECT_EQ(lines[1].text, "11");
+}
+
 TEST(LogRingTest, ClearResetsEverything) {
   LogRing ring;
   ring.Append(LogSeverity::kError, "boom");

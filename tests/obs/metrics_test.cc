@@ -154,6 +154,93 @@ TEST(MetricRegistryTest, PrometheusTextExposition) {
   EXPECT_NE(text.find("surveyor_latency_count 2\n"), std::string::npos);
 }
 
+TEST(HistogramTest, ExemplarKeepsMaxValuePerBucket) {
+  Histogram histogram(
+      HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                       /*num_finite_buckets=*/2});
+  histogram.Record(0.25, /*exemplar_trace_id=*/0xa);
+  histogram.Record(0.75, /*exemplar_trace_id=*/0xb);  // same bucket, larger
+  histogram.Record(0.5, /*exemplar_trace_id=*/0xc);   // smaller: ignored
+  histogram.Record(9.0, /*exemplar_trace_id=*/0xd);   // overflow bucket
+
+  const std::vector<Histogram::BucketExemplar> exemplars =
+      histogram.Exemplars();
+  ASSERT_EQ(exemplars.size(), 3u);  // 2 finite buckets + overflow
+  EXPECT_EQ(exemplars[0].trace_id, 0xbu);
+  EXPECT_DOUBLE_EQ(exemplars[0].value, 0.75);
+  EXPECT_EQ(exemplars[1].trace_id, 0u);  // bucket (1, 2] never hit
+  EXPECT_EQ(exemplars[2].trace_id, 0xdu);
+  EXPECT_DOUBLE_EQ(exemplars[2].value, 9.0);
+}
+
+TEST(HistogramTest, ZeroTraceIdRecordsNoExemplar) {
+  Histogram histogram;
+  histogram.Record(1.0);       // single-arg overload
+  histogram.Record(2.0, 0);    // explicit zero id
+  for (const Histogram::BucketExemplar& exemplar : histogram.Exemplars()) {
+    EXPECT_EQ(exemplar.trace_id, 0u);
+  }
+  EXPECT_EQ(histogram.Count(), 2);
+}
+
+TEST(MetricRegistryTest, PrometheusExemplarSuffixConformance) {
+  MetricRegistry registry;
+  Histogram* histogram = registry.GetHistogram(
+      "surveyor_latency",
+      HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                       /*num_finite_buckets=*/2});
+  histogram->Record(0.5, /*exemplar_trace_id=*/0xabc);
+  histogram->Record(1.5);  // no exemplar for the (1, 2] bucket
+  histogram->Record(9.0, /*exemplar_trace_id=*/0xdef);
+
+  const std::string text = registry.ToPrometheusText();
+  // OpenMetrics-style suffix: " # {trace_id=\"<16-hex>\"} <value>" after
+  // the cumulative count, on exactly the buckets holding an exemplar.
+  EXPECT_NE(
+      text.find("surveyor_latency_bucket{le=\"1\"} 1 "
+                "# {trace_id=\"0000000000000abc\"} 0.5\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("surveyor_latency_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("surveyor_latency_bucket{le=\"+Inf\"} 3 "
+                "# {trace_id=\"0000000000000def\"} 9\n"),
+      std::string::npos);
+  // _sum/_count lines never carry exemplars.
+  EXPECT_NE(text.find("surveyor_latency_sum 11\n"), std::string::npos);
+  EXPECT_NE(text.find("surveyor_latency_count 3\n"), std::string::npos);
+}
+
+TEST(HistogramTest, ConcurrentExemplarRecordsStayInBucketRange) {
+  Histogram histogram(
+      HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                       /*num_finite_buckets=*/4});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const double value = 0.5 + (i % 16);
+        histogram.Record(value, static_cast<uint64_t>(t) * kPerThread + i + 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(),
+            static_cast<int64_t>(kThreads) * kPerThread);
+  // Every populated bucket retained some exemplar with a non-zero id.
+  const std::vector<int64_t> counts = histogram.BucketCounts();
+  const std::vector<Histogram::BucketExemplar> exemplars =
+      histogram.Exemplars();
+  ASSERT_EQ(exemplars.size(), counts.size());
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] > 0) {
+      EXPECT_NE(exemplars[b].trace_id, 0u);
+    }
+  }
+}
+
 TEST(MetricRegistryTest, JsonExport) {
   MetricRegistry registry;
   registry.GetCounter("surveyor_docs_total")->Increment(2);

@@ -16,11 +16,13 @@
 #include "gtest/gtest.h"
 #include "obs/admin_server.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/stage.h"
 #include "serving/opinion_index.h"
 #include "serving/snapshot.h"
 #include "surveyor/api.h"
 #include "surveyor/opinion_store.h"
+#include "util/fault.h"
 
 namespace surveyor {
 namespace serving {
@@ -39,6 +41,8 @@ SnapshotOpinion MakeOpinion(const std::string& entity, const std::string& type,
 }
 
 /// Fixture with a loaded index and a service that is already "ready".
+/// Environment-armed chaos faults (the CI chaos job) are disarmed for the
+/// fixture's scope — tests that want a fault arm their own ScopedFaults.
 class QueryServiceTest : public testing::Test {
  protected:
   QueryServiceTest() {
@@ -55,12 +59,14 @@ class QueryServiceTest : public testing::Test {
                     .Add(MakeOpinion("spider", "animal", "scary", 0.95,
                                      Polarity::kPositive))
                     .ok());
-    const std::string path = testing::TempDir() + "/query_service.surv";
-    EXPECT_TRUE(writer.WriteToFile(path).ok());
-    EXPECT_TRUE(index_.Load(path).ok());
+    path_ = testing::TempDir() + "/query_service.surv";
+    EXPECT_TRUE(writer.WriteToFile(path_).ok());
+    EXPECT_TRUE(index_.Load(path_).ok());
     stage_.SetStage(obs::PipelineStage::kServing);
   }
 
+  ScopedFaults disarm_{""};
+  std::string path_;
   OpinionIndex index_;
   obs::StageTracker stage_;
   obs::MetricRegistry metrics_;
@@ -186,6 +192,132 @@ TEST_F(QueryServiceTest, LatencyHistogramSeesEveryRequest) {
   EXPECT_EQ(metrics_.GetCounter("surveyor_query_requests_total")->Value(), 2);
   EXPECT_EQ(
       metrics_.GetHistogram("surveyor_query_latency_seconds", {})->Count(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing through the serving stack.
+
+bool HasSpan(const obs::RequestTrace& trace, std::string_view name) {
+  for (const obs::TraceSpan& span : trace.spans) {
+    if (span.name == name) return true;
+  }
+  return false;
+}
+
+TEST_F(QueryServiceTest, SampledQueryTraceShowsServingSpans) {
+  QueryService service(&index_, &stage_, &metrics_);
+  obs::AdminServerOptions options;
+  options.trace_sample_rate = 1.0;
+  options.slow_query_ms = 0.0;
+  obs::AdminServer server(&metrics_, &stage_, nullptr, options);
+  service.Register(&server);
+
+  // First lookup: cache miss, so the snapshot decode span appears too.
+  EXPECT_EQ(server.Handle("GET", "/query?entity=kitten&property=cute").status,
+            200);
+  std::vector<obs::RequestTrace> traces = server.request_tracer().Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_TRUE(HasSpan(traces[0], "GET /query"));
+  EXPECT_TRUE(HasSpan(traces[0], "query_service.point"));
+  EXPECT_TRUE(HasSpan(traces[0], "opinion_index.lookup"));
+  EXPECT_TRUE(HasSpan(traces[0], "snapshot.materialize"));
+  EXPECT_EQ(traces[0].stats.cache_misses, 1);
+  EXPECT_EQ(traces[0].stats.cache_hits, 0);
+
+  // Second lookup: cache hit, no decode.
+  EXPECT_EQ(server.Handle("GET", "/query?entity=kitten&property=cute").status,
+            200);
+  traces = server.request_tracer().Snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_TRUE(HasSpan(traces[0], "opinion_index.lookup"));
+  EXPECT_FALSE(HasSpan(traces[0], "snapshot.materialize"));
+  EXPECT_EQ(traces[0].stats.cache_hits, 1);
+  EXPECT_EQ(traces[0].stats.cache_misses, 0);
+}
+
+TEST_F(QueryServiceTest, SlowQueryTailCaptureOnForcedCacheMiss) {
+  QueryService service(&index_, &stage_, &metrics_);
+  obs::AdminServerOptions options;
+  options.trace_sample_rate = 0.0;   // head sampling off
+  options.slow_query_ms = 1e-6;      // everything exceeds the threshold
+  obs::AdminServer server(&metrics_, &stage_, nullptr, options);
+  service.Register(&server);
+
+  // Warm the cache, then force misses: the "slow" request explains itself
+  // through its stats and its snapshot.materialize span.
+  EXPECT_EQ(server.Handle("GET", "/query?entity=kitten&property=cute").status,
+            200);
+  ScopedFaults faults("query_cache:1");
+  EXPECT_EQ(server.Handle("GET", "/query?entity=kitten&property=cute").status,
+            200);
+
+  const std::vector<obs::RequestTrace> traces =
+      server.request_tracer().Snapshot();
+  ASSERT_GE(traces.size(), 2u);
+  const obs::RequestTrace& forced = traces[0];  // newest first
+  EXPECT_TRUE(forced.slow);
+  EXPECT_FALSE(forced.sampled);
+  EXPECT_EQ(forced.stats.cache_misses, 1);
+  EXPECT_TRUE(HasSpan(forced, "snapshot.materialize"));
+}
+
+TEST_F(QueryServiceTest, SnapshotReadRetriesLandInTheTrace) {
+  obs::RequestTracerOptions tracer_options;
+  tracer_options.sample_rate = 1.0;
+  obs::RequestTracer tracer(tracer_options);
+  // Fail the first snapshot read; the bounded retry recovers and the
+  // request trace records the recovery.
+  ScopedFaults faults("snapshot_read:@1");
+  OpinionIndexOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_seconds = 0;
+  options.retry.max_backoff_seconds = 0;
+  OpinionIndex index(options);
+  {
+    obs::RequestScope scope(&tracer, nullptr, "POST", "/reload");
+    EXPECT_TRUE(index.Load(path_).ok());
+  }
+  const std::vector<obs::RequestTrace> traces = tracer.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].stats.retries, 1);
+  EXPECT_TRUE(HasSpan(traces[0], "opinion_index.load"));
+  EXPECT_TRUE(HasSpan(traces[0], "snapshot.open"));
+}
+
+TEST_F(QueryServiceTest, LatencyExemplarResolvesToRetainedTrace) {
+  QueryService service(&index_, &stage_, &metrics_);
+  obs::AdminServerOptions options;
+  options.trace_sample_rate = 1.0;
+  options.slow_query_ms = 0.0;
+  obs::AdminServer server(&metrics_, &stage_, nullptr, options);
+  service.Register(&server);
+
+  EXPECT_EQ(server.Handle("GET", "/query?entity=kitten&property=cute").status,
+            200);
+  const std::vector<obs::RequestTrace> traces =
+      server.request_tracer().Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const std::string hex = obs::TraceIdHex(traces[0].trace_id);
+
+  // The latency histogram's exemplar carries the sampled request's trace
+  // id, so /metrics points straight at the span tree on /tracez.
+  const std::string text = metrics_.ToPrometheusText();
+  EXPECT_NE(text.find("surveyor_query_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("# {trace_id=\"" + hex + "\"}"), std::string::npos);
+}
+
+TEST_F(QueryServiceTest, UnsampledRequestsLeaveNoExemplar) {
+  QueryService service(&index_, &stage_, &metrics_);
+  obs::AdminServerOptions options;
+  options.trace_sample_rate = 0.0;
+  options.slow_query_ms = 0.0;
+  obs::AdminServer server(&metrics_, &stage_, nullptr, options);
+  service.Register(&server);
+  EXPECT_EQ(server.Handle("GET", "/query?entity=kitten&property=cute").status,
+            200);
+  EXPECT_EQ(metrics_.ToPrometheusText().find("# {trace_id="),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

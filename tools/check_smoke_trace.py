@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Cross-checks /tracez against /metrics for the serving-smoke CI job.
+
+Usage: check_smoke_trace.py <tracez.json> <metrics.txt>
+
+Asserts the tracing plane is wired end to end:
+  1. /tracez retained at least one head-sampled trace.
+  2. The query latency histogram on /metrics carries OpenMetrics-style
+     exemplars (`# {trace_id="..."} value`).
+  3. At least one exemplar trace id resolves to a retained trace whose
+     span tree crosses the whole serving stack: query_service.point ->
+     opinion_index.lookup -> snapshot.materialize.
+"""
+import json
+import re
+import sys
+
+
+def span_names(spans):
+    names = []
+    for span in spans:
+        names.append(span["name"])
+        names.extend(span_names(span.get("children", [])))
+    return names
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <tracez.json> <metrics.txt>")
+    with open(sys.argv[1]) as f:
+        tracez = json.load(f)
+    with open(sys.argv[2]) as f:
+        metrics = f.read()
+
+    sampled = [t for t in tracez.get("traces", []) if t.get("sampled")]
+    if not sampled:
+        sys.exit("FAIL: /tracez retained no sampled trace")
+
+    exemplar_ids = set(
+        re.findall(
+            r'surveyor_query_latency_seconds_bucket\{[^}]*\} \d+ '
+            r'# \{trace_id="([0-9a-f]{16})"\}',
+            metrics,
+        )
+    )
+    if not exemplar_ids:
+        sys.exit(
+            "FAIL: no exemplar on the surveyor_query_latency_seconds "
+            "histogram in /metrics"
+        )
+
+    want = {"query_service.point", "opinion_index.lookup",
+            "snapshot.materialize"}
+    for trace in sampled:
+        if trace["trace_id"] not in exemplar_ids:
+            continue
+        names = set(span_names(trace.get("spans", [])))
+        if want <= names:
+            print(
+                f"OK: exemplar trace {trace['trace_id']} spans the serving "
+                f"stack ({', '.join(sorted(want))})"
+            )
+            return
+    sys.exit(
+        "FAIL: no exemplar trace id resolves to a /tracez trace containing "
+        f"spans {sorted(want)}; exemplars={sorted(exemplar_ids)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@
 //
 //   surveyor_cli serve <dir> [mine flags] [--admin-port N]
 //   surveyor_cli serve --snapshot FILE [--admin-port N]
+//                      [--trace-sample-rate R] [--slow-query-ms MS]
 //       First form: mines like `mine`, writes an opinion snapshot
 //       (--snapshot FILE, default <dir>/opinions.surv) and keeps the
 //       process alive answering subjective queries over HTTP:
@@ -35,6 +36,10 @@
 //       /query?prefix=S and POST /query/batch, next to the admin
 //       endpoints. Second form: skips mining and serves an existing
 //       snapshot directly. Admin port defaults to 8080 for serve.
+//       Every request gets a trace id; a fraction (--trace-sample-rate,
+//       default 0.01) plus everything slower than --slow-query-ms
+//       (default 250) keeps its span tree on /tracez, and /requestz shows
+//       the recent access log (DESIGN.md §11).
 //
 //   surveyor_cli query <dir> <type> <property> [limit]
 //       Answers a subjective query ("city big") from mined opinions.
@@ -89,7 +94,8 @@ int Usage() {
          " [--snapshot FILE] [--admin-port N] [--faults SPEC]"
          " [--fault-seed N]\n"
       << "  surveyor_cli serve <dir> [mine flags] [--admin-port N]\n"
-      << "  surveyor_cli serve --snapshot FILE [--admin-port N]\n"
+      << "  surveyor_cli serve --snapshot FILE [--admin-port N]"
+         " [--trace-sample-rate R] [--slow-query-ms MS]\n"
       << "  surveyor_cli query <dir> <type> <property> [limit]\n"
       << "  surveyor_cli profile <dir> <entity>\n"
       << "  surveyor_cli repl <dir>\n"
@@ -174,9 +180,12 @@ StatusOr<LoadedWorkspace> LoadWorkspace(const std::string& dir) {
 int RunServeSnapshot(const std::vector<std::string>& args) {
   std::string snapshot_path;
   int admin_port = 8080;
+  double trace_sample_rate = 0.01;
+  double slow_query_ms = 250.0;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
-    if (flag != "--snapshot" && flag != "--admin-port") {
+    if (flag != "--snapshot" && flag != "--admin-port" &&
+        flag != "--trace-sample-rate" && flag != "--slow-query-ms") {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
     }
@@ -187,11 +196,23 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
     const std::string& value = args[++i];
     if (flag == "--snapshot") {
       snapshot_path = value;
+    } else if (flag == "--trace-sample-rate") {
+      trace_sample_rate = std::atof(value.c_str());
+    } else if (flag == "--slow-query-ms") {
+      slow_query_ms = std::atof(value.c_str());
     } else {
       admin_port = std::atoi(value.c_str());
     }
   }
   if (snapshot_path.empty()) return Usage();
+  if (!(trace_sample_rate >= 0.0 && trace_sample_rate <= 1.0)) {
+    return Fail(Status::InvalidArgument(
+        "trace_sample_rate must be in [0, 1] (0 = head sampling off)"));
+  }
+  if (!(slow_query_ms >= 0.0)) {
+    return Fail(Status::InvalidArgument(
+        "slow_query_ms must be >= 0 (0 = tail capture off)"));
+  }
 
   obs::LogRing::InstallGlobalTee();
   obs::MetricRegistry registry;
@@ -203,6 +224,8 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
   serving::QueryService query_service(&index, &stage_tracker, &registry);
   obs::AdminServerOptions admin_options;
   admin_options.port = admin_port;
+  admin_options.trace_sample_rate = trace_sample_rate;
+  admin_options.slow_query_ms = slow_query_ms;
   obs::AdminServer admin(&registry, &stage_tracker, &obs::LogRing::Global(),
                          admin_options);
   query_service.Register(&admin);
@@ -240,7 +263,9 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
                        flag == "--domain" || flag == "--out" ||
                        flag == "--provenance" || flag == "--report" ||
                        flag == "--snapshot" || flag == "--admin-port" ||
-                       flag == "--faults" || flag == "--fault-seed";
+                       flag == "--faults" || flag == "--fault-seed" ||
+                       flag == "--trace-sample-rate" ||
+                       flag == "--slow-query-ms";
     if (!known) {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
@@ -271,10 +296,19 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
       config.fault_spec = value;
     } else if (flag == "--fault-seed") {
       config.fault_seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (flag == "--trace-sample-rate") {
+      config.trace_sample_rate = std::atof(value.c_str());
+    } else if (flag == "--slow-query-ms") {
+      config.slow_query_ms = std::atof(value.c_str());
     } else {
       report_path = value;
     }
   }
+  // Fail fast on a bad configuration: the pipeline validates again before
+  // running, but the admin plane (whose tracer options come from the same
+  // config) starts first.
+  const Status config_status = config.Validate();
+  if (!config_status.ok()) return Fail(config_status);
 
   // The admin plane: a live registry + readiness machine the pipeline
   // writes into, an OS resource sampler, the process log ring, and the
@@ -298,6 +332,8 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
     sampler = std::make_unique<obs::ResourceSampler>(&live_registry);
     obs::AdminServerOptions admin_options;
     admin_options.port = admin_port;
+    admin_options.trace_sample_rate = config.trace_sample_rate;
+    admin_options.slow_query_ms = config.slow_query_ms;
     admin = std::make_unique<obs::AdminServer>(
         &live_registry, &stage_tracker, &obs::LogRing::Global(),
         admin_options);
@@ -305,7 +341,8 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
     const Status started = admin->Start();
     if (!started.ok()) return Fail(started);
     std::cout << "admin plane on http://127.0.0.1:" << admin->port()
-              << " (/metrics /healthz /readyz /statusz /logz)\n";
+              << " (/metrics /healthz /readyz /statusz /logz /tracez"
+              << " /requestz)\n";
   }
 
   auto workspace = LoadWorkspace(dir);
