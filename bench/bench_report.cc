@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "obs/build_info.h"
 #include "obs/json_writer.h"
 #include "obs/log_ring.h"
 #include "obs/metrics.h"
@@ -18,6 +19,7 @@
 #include "obs/resource_sampler.h"
 #include "obs/trace.h"
 #include "surveyor/pipeline.h"
+#include "util/profile_tag.h"
 
 namespace surveyor {
 namespace {
@@ -85,12 +87,17 @@ int Run(const std::string& out_path) {
     obs::RequestScope scope(&sampled_tracer, nullptr, "GET", "/bench");
     SURVEYOR_SPAN("bench.child");
   });
+  // The profiler's hot-path tax with the sampler off (the default).
+  const double profile_scope_disarmed_ns =
+      NanosPerOp(1 << 20, [] { SURVEYOR_PROFILE_SCOPE("bench"); });
 
   obs::JsonWriter writer;
   writer.BeginObject()
       .Key("benchmark")
-      .Value("pipeline.webscale12x23.authors8000")
-      .Key("pipeline")
+      .Value("pipeline.webscale12x23.authors8000");
+  // Which binary produced these numbers (git sha, compiler, build type).
+  obs::AppendBuildInfoJson(writer);
+  writer.Key("pipeline")
       .BeginObject()
       .Key("wall_seconds")
       .Value(wall_seconds)
@@ -136,6 +143,8 @@ int Run(const std::string& out_path) {
       .Value(request_scope_disarmed_ns)
       .Key("request_scope_sampled")
       .Value(request_scope_sampled_ns)
+      .Key("profile_scope_disarmed")
+      .Value(profile_scope_disarmed_ns)
       .EndObject()
       .EndObject();
 
@@ -159,6 +168,14 @@ int main(int argc, char** argv) {
   // invalidates every number this tool writes into the committed snapshot.
   if (std::getenv("SURVEYOR_FAULTS") != nullptr) {
     std::cerr << "bench_report: refusing to run with SURVEYOR_FAULTS set; "
+                 "unset it and rerun\n";
+    return 1;
+  }
+  // An armed profiler (SURVEYOR_PROFILE makes the CLI arm it; a live
+  // /profilez window has the same effect) adds a 97 Hz signal storm to
+  // every measured path — same refusal posture as armed faults.
+  if (std::getenv("SURVEYOR_PROFILE") != nullptr) {
+    std::cerr << "bench_report: refusing to run with SURVEYOR_PROFILE set; "
                  "unset it and rerun\n";
     return 1;
   }

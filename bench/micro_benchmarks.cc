@@ -14,7 +14,9 @@
 #include "text/annotator.h"
 #include "text/tokenizer.h"
 #include "util/fault.h"
+#include "util/profile_tag.h"
 #include "util/rng.h"
+#include "util/sample_ring.h"
 
 namespace surveyor {
 namespace {
@@ -175,6 +177,73 @@ void BM_ExtractFromSentenceFaultGuarded(benchmark::State& state) {
   benchmark::DoNotOptimize(statements);
 }
 BENCHMARK(BM_ExtractFromSentenceFaultGuarded);
+
+// --- Profiler primitives -----------------------------------------------------
+// ProfileScope tags ride inside Tokenize / Tag / Parse / ExtractFromSentence
+// (DESIGN.md §12), so with the sampler off — the production default — their
+// cost must stay under 1% of the per-sentence hot path. The budget proof
+// with the actual ratio lives in bench/profile_bench.cc (BENCH_profile.json);
+// these give the raw ns/op.
+
+void BM_ProfileScopeDisarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    SURVEYOR_PROFILE_SCOPE("bench");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileScopeDisarmed);
+
+void BM_ProfileTagRead(benchmark::State& state) {
+  SURVEYOR_PROFILE_SCOPE("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CurrentProfileTag());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileTagRead);
+
+// The extraction inner loop under a ProfileScope with the sampler off —
+// compare against BM_ExtractFromSentence for the relative overhead (the
+// in-tree scopes are already inside both, so this adds one extra scope,
+// an upper bound on the marginal cost).
+void BM_ExtractFromSentenceProfileScoped(benchmark::State& state) {
+  const auto& sentences = SharedSentences();
+  const World& world = SharedWorld();
+  TextAnnotator annotator(&world.kb(), &world.lexicon());
+  std::vector<AnnotatedSentence> annotated;
+  for (const std::string& sentence : sentences) {
+    annotated.push_back(annotator.AnnotateSentence(sentence));
+  }
+  EvidenceExtractor extractor;
+  size_t i = 0;
+  int64_t statements = 0;
+  for (auto _ : state) {
+    SURVEYOR_PROFILE_SCOPE("bench_extract");
+    statements += static_cast<int64_t>(
+        extractor.ExtractFromSentence(annotated[i++ % annotated.size()])
+            .size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(statements);
+}
+BENCHMARK(BM_ExtractFromSentenceProfileScoped);
+
+// What the SIGPROF handler pays per sample (minus the backtrace itself):
+// one slot claim plus a struct copy into preallocated memory.
+void BM_SampleRingAppend(benchmark::State& state) {
+  SampleRing ring(1 << 22);
+  StackSample sample;
+  sample.depth = 16;
+  for (auto _ : state) {
+    if (!ring.TryAppend(sample)) {
+      state.PauseTiming();
+      ring.Reset();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampleRingAppend);
 
 // --- Observability primitives -----------------------------------------------
 // The instrumentation rides inside extraction/EM inner loops, so its cost

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/profile_tag.h"
 
 namespace surveyor {
 
@@ -100,6 +101,7 @@ void EvidenceExtractor::EmitWithConjuncts(
 std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromSentence(
     const AnnotatedSentence& sentence, int64_t doc_id,
     int sentence_index) const {
+  SURVEYOR_PROFILE_SCOPE("extract");
   std::vector<EvidenceStatement> out;
   if (!sentence.parsed) return out;
   const DependencyTree& tree = sentence.tree;

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/profile_tag.h"
 
 namespace surveyor {
 
@@ -108,6 +109,7 @@ Status ValidateEmOptions(const EmOptions& options) {
 
 StatusOr<EmFitResult> EmLearner::Fit(
     const std::vector<EvidenceCounts>& counts) const {
+  SURVEYOR_PROFILE_SCOPE("em");
   if (counts.empty()) {
     return Status::InvalidArgument("EM requires at least one entity");
   }

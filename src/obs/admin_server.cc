@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <limits>
 #include <system_error>
 #include <utility>
@@ -14,9 +15,12 @@
 #define SURVEYOR_HAVE_SOCKETS 1
 #endif
 
+#include "obs/build_info.h"
 #include "obs/json_writer.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/statusor.h"
 #include "util/string_util.h"
 
 namespace surveyor {
@@ -34,6 +38,10 @@ std::string_view StatusLine(int status) {
       return "404 Not Found";
     case 405:
       return "405 Method Not Allowed";
+    case 409:
+      return "409 Conflict";
+    case 501:
+      return "501 Not Implemented";
     case 503:
       return "503 Service Unavailable";
     default:
@@ -230,6 +238,7 @@ AdminResponse AdminServer::Dispatch(std::string_view method,
   if (path == "/logz") return Logz();
   if (path == "/tracez") return Tracez(target);
   if (path == "/requestz") return Requestz(target);
+  if (path == "/profilez") return Profilez(target);
   if (path == "/" || path.empty()) return Index();
   // Unknown paths share one counter series — a 404 scan must not mint
   // per-path label values.
@@ -286,6 +295,9 @@ AdminResponse AdminServer::Readyz() const {
 AdminResponse AdminServer::Statusz() const {
   JsonWriter writer;
   writer.BeginObject();
+  // Binary identity first: anything read off this page (and any profile
+  // taken from this process) is attributable to an exact build.
+  AppendBuildInfoJson(writer);
   if (stage_ != nullptr) {
     writer.Key("stage").Value(PipelineStageName(stage_->stage()));
     writer.Key("ready").Value(stage_->ready());
@@ -494,6 +506,62 @@ AdminResponse AdminServer::Requestz(std::string_view target) const {
   return response;
 }
 
+AdminResponse AdminServer::Profilez(std::string_view target) const {
+  AdminResponse response;
+  // seconds: the profile window, (0, 30]. Parsed as a double so sub-second
+  // smoke windows work (?seconds=0.2).
+  double seconds = 1.0;
+  const std::string seconds_raw(QueryParam(target, "seconds"));
+  if (!seconds_raw.empty()) {
+    char* end = nullptr;
+    seconds = std::strtod(seconds_raw.c_str(), &end);
+    if (end == seconds_raw.c_str() || *end != '\0' || !(seconds > 0.0) ||
+        seconds > 30.0) {
+      response.status = 400;
+      response.body = "seconds must be a number in (0, 30]\n";
+      return response;
+    }
+  }
+  const std::string_view format = QueryParam(target, "format");
+  if (!format.empty() && format != "folded" && format != "json") {
+    response.status = 400;
+    response.body = "format must be folded or json\n";
+    return response;
+  }
+  ProfilerOptions options;
+  options.stage_tracker = stage_;
+  options.metrics = options_.profiler_metrics;
+  const StatusOr<ProfileResult> result =
+      Profiler::Global().ProfileFor(seconds, options);
+  if (!result.ok()) {
+    switch (result.status().code()) {
+      case StatusCode::kFailedPrecondition:
+        response.status = 409;  // another profile window is open
+        break;
+      case StatusCode::kUnimplemented:
+        response.status = 501;  // sanitizer build / unsupported platform
+        break;
+      default:
+        response.status = 500;
+    }
+    response.body = result.status().ToString() + "\n";
+    return response;
+  }
+  if (format == "json") {
+    response.content_type = "application/json";
+    response.body = result.value().ToJson() + "\n";
+  } else {
+    response.body = result.value().ToFolded();
+    if (response.body.empty()) {
+      // Zero samples is a valid profile of an idle process; keep the
+      // response non-empty so shell pipelines notice the difference
+      // between "idle" and "broken".
+      response.body = "# no samples (process idle during the window)\n";
+    }
+  }
+  return response;
+}
+
 AdminResponse AdminServer::Index() const {
   AdminResponse response;
   response.body =
@@ -502,10 +570,12 @@ AdminResponse AdminServer::Index() const {
       "  /metrics.json  metrics as JSON\n"
       "  /healthz       liveness\n"
       "  /readyz        pipeline-stage readiness\n"
-      "  /statusz       stage, stage seconds, live spans, log counters\n"
+      "  /statusz       build info, stage, stage seconds, live spans, "
+      "log counters\n"
       "  /logz          recent log lines\n"
       "  /tracez        retained request traces (?format=text)\n"
-      "  /requestz      recent requests (?slowest=N, ?format=text)\n";
+      "  /requestz      recent requests (?slowest=N, ?format=text)\n"
+      "  /profilez      CPU profile (?seconds=N, ?format=folded|json)\n";
   return response;
 }
 

@@ -39,6 +39,11 @@ struct AdminServerOptions {
   /// Entries the /requestz access-log ring holds; 0 disables the access
   /// log (no entries, no per-endpoint counters).
   size_t access_log_capacity = 512;
+  /// Registry the profiler folds its sample counters into after a
+  /// /profilez window (not owned, may be null). Usually the same live
+  /// registry the server scrapes, but the server's own `registry` is
+  /// const, so a writable alias is injected explicitly.
+  MetricRegistry* profiler_metrics = nullptr;
 };
 
 /// One materialized HTTP response, exposed so tests can exercise the
@@ -73,6 +78,13 @@ using AdminHandler = std::function<AdminResponse(
 ///   /logz          recent log lines from the LogRing
 ///   /tracez        retained request traces as span trees (?format=text)
 ///   /requestz      recent access-log entries (?slowest=N)
+///   /profilez      on-demand CPU profile: samples the process for
+///                  ?seconds=N (default 1, max 30) and answers folded
+///                  stacks (?format=folded, flamegraph.pl-ready) or JSON
+///                  with the per-stage attribution table (?format=json).
+///                  One profile at a time (409 while one runs); 501 on
+///                  sanitizer builds. Blocks the admin thread for the
+///                  window — deliberate on a single-scraper plane.
 ///
 /// Every request runs under an obs::RequestScope: it gets a trace id,
 /// lands in the access log (feeding the per-endpoint counters on
@@ -153,6 +165,7 @@ class AdminServer {
   AdminResponse Logz() const;
   AdminResponse Tracez(std::string_view target) const;
   AdminResponse Requestz(std::string_view target) const;
+  AdminResponse Profilez(std::string_view target) const;
   AdminResponse Index() const;
 
   const MetricRegistry* registry_;

@@ -1,0 +1,45 @@
+#include "obs/build_info.h"
+
+#include "obs/json_writer.h"
+
+// CMake defines these on this translation unit only (src/obs/CMakeLists.txt);
+// the fallbacks keep ad-hoc builds (e.g. a bare compiler invocation) working.
+#ifndef SURVEYOR_BUILD_GIT_SHA
+#define SURVEYOR_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef SURVEYOR_BUILD_COMPILER
+#define SURVEYOR_BUILD_COMPILER "unknown"
+#endif
+#ifndef SURVEYOR_BUILD_TYPE
+#define SURVEYOR_BUILD_TYPE "unknown"
+#endif
+#ifndef SURVEYOR_BUILD_SANITIZER
+#define SURVEYOR_BUILD_SANITIZER ""
+#endif
+
+namespace surveyor {
+namespace obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{SURVEYOR_BUILD_GIT_SHA, SURVEYOR_BUILD_COMPILER,
+                              SURVEYOR_BUILD_TYPE, SURVEYOR_BUILD_SANITIZER};
+  return info;
+}
+
+void AppendBuildInfoJson(JsonWriter& writer) {
+  const BuildInfo& info = GetBuildInfo();
+  writer.Key("build_info")
+      .BeginObject()
+      .Key("git_sha")
+      .Value(info.git_sha)
+      .Key("compiler")
+      .Value(info.compiler)
+      .Key("build_type")
+      .Value(info.build_type)
+      .Key("sanitizer")
+      .Value(info.sanitizer)
+      .EndObject();
+}
+
+}  // namespace obs
+}  // namespace surveyor

@@ -1,0 +1,345 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "obs/build_info.h"
+#include "obs/json_writer.h"
+#include "util/profile_tag.h"
+
+// Sanitizer builds cannot host a SIGPROF sampler: the handler interrupts
+// instrumented code at arbitrary points, and backtrace() re-entering the
+// sanitizer runtime deadlocks or reports phantom races. The profiler stays
+// compiled (the API must exist) but SupportedOnThisBuild() is false.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__) || \
+    defined(SURVEYOR_SANITIZE_BUILD)
+#define SURVEYOR_PROFILER_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define SURVEYOR_PROFILER_DISABLED 1
+#endif
+#endif
+
+#if defined(__linux__) && !defined(SURVEYOR_PROFILER_DISABLED)
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#define SURVEYOR_PROFILER_SUPPORTED 1
+#endif
+
+namespace surveyor {
+namespace obs {
+
+namespace {
+
+std::string_view StageLabel(int32_t stage) {
+  if (stage < static_cast<int32_t>(PipelineStage::kStarting) ||
+      stage > static_cast<int32_t>(PipelineStage::kDone)) {
+    return "none";
+  }
+  return PipelineStageName(static_cast<PipelineStage>(stage));
+}
+
+/// Frame names feed the folded grammar "f1;f2;... count": ';' would split
+/// a frame, '\n' a line, and a trailing space would shift the count.
+std::string SanitizeFrame(std::string name) {
+  for (char& c : name) {
+    if (c == ';' || c == '\n' || c == '\r') c = ':';
+    if (c == ' ') c = '_';
+  }
+  if (name.empty()) name = "??";
+  return name;
+}
+
+}  // namespace
+
+ProfileResult AggregateSamples(const std::vector<StackSample>& samples,
+                               int64_t dropped, double duration_seconds,
+                               double frequency_hz,
+                               const SymbolizeFn& symbolize) {
+  // std::map keys keep both tables in a deterministic order independent of
+  // sample arrival (the determinism contract in the header).
+  std::map<std::string, int64_t> folded;
+  std::map<std::pair<std::string, std::string>, int64_t> buckets;
+  // Each distinct pc symbolizes once; a 97 Hz * 30 s window repeats the
+  // same hot frames thousands of times.
+  std::map<const void*, std::string> names;
+
+  for (const StackSample& sample : samples) {
+    const std::string stage(StageLabel(sample.stage));
+    const std::string tag = SanitizeFrame(
+        sample.tag != nullptr ? std::string(sample.tag) : "untagged");
+    std::string stack = stage + ";" + tag;
+    // backtrace() stores leaf-first; folded stacks read root-first.
+    const int depth = std::min<int>(sample.depth, StackSample::kMaxFrames);
+    for (int i = depth - 1; i >= 0; --i) {
+      auto [it, inserted] = names.emplace(sample.frames[i], std::string());
+      if (inserted) it->second = SanitizeFrame(symbolize(sample.frames[i]));
+      stack += ";" + it->second;
+    }
+    ++folded[stack];
+    ++buckets[{stage, tag}];
+  }
+
+  ProfileResult result;
+  result.samples = static_cast<int64_t>(samples.size());
+  result.dropped = dropped;
+  result.duration_seconds = duration_seconds;
+  result.frequency_hz = frequency_hz;
+  result.folded.reserve(folded.size());
+  for (const auto& [stack, count] : folded) {
+    result.folded.push_back({stack, count});
+  }
+  const double total = result.samples > 0 ? result.samples : 1.0;
+  result.stages.reserve(buckets.size());
+  for (const auto& [key, count] : buckets) {
+    result.stages.push_back({key.first, key.second, count, count / total});
+  }
+  std::sort(result.stages.begin(), result.stages.end(),
+            [](const StageAttribution& a, const StageAttribution& b) {
+              if (a.samples != b.samples) return a.samples > b.samples;
+              if (a.stage != b.stage) return a.stage < b.stage;
+              return a.tag < b.tag;
+            });
+  return result;
+}
+
+std::string ProfileResult::ToFolded() const {
+  std::string out;
+  for (const FoldedStack& entry : folded) {
+    out += entry.stack + " " + std::to_string(entry.count) + "\n";
+  }
+  return out;
+}
+
+std::string ProfileResult::ToJson() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  AppendBuildInfoJson(writer);
+  writer.Key("samples")
+      .Value(samples)
+      .Key("dropped")
+      .Value(dropped)
+      .Key("duration_seconds")
+      .Value(duration_seconds)
+      .Key("frequency_hz")
+      .Value(frequency_hz);
+  writer.Key("stage_attribution").BeginArray();
+  for (const StageAttribution& entry : stages) {
+    writer.BeginObject()
+        .Key("stage")
+        .Value(entry.stage)
+        .Key("tag")
+        .Value(entry.tag)
+        .Key("samples")
+        .Value(entry.samples)
+        .Key("fraction")
+        .Value(entry.fraction)
+        .EndObject();
+  }
+  writer.EndArray();
+  writer.Key("folded").BeginArray();
+  for (const FoldedStack& entry : folded) {
+    writer.BeginObject()
+        .Key("stack")
+        .Value(entry.stack)
+        .Key("count")
+        .Value(entry.count)
+        .EndObject();
+  }
+  writer.EndArray().EndObject();
+  return writer.str();
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+#ifdef SURVEYOR_PROFILER_SUPPORTED
+
+namespace {
+
+/// The handler's entire view of the world. Published with release stores
+/// in Start(), nulled in Stop(); the handler re-reads both on every
+/// delivery, so a post-Stop straggler signal is a no-op.
+std::atomic<SampleRing*> g_active_ring{nullptr};
+std::atomic<const StageTracker*> g_active_stage{nullptr};
+
+/// Async-signal-safe by construction: backtrace() into a stack buffer
+/// (warmed up in Start — the first call may dlopen libgcc_s, which is not
+/// handler-safe), two TLS/atomic loads for the attribution context, one
+/// lock-free ring append. No allocation, no locks, errno preserved.
+void SigprofHandler(int /*signo*/) {
+  const int saved_errno = errno;
+  SampleRing* ring = g_active_ring.load(std::memory_order_acquire);
+  if (ring != nullptr) {
+    // Capture two extra frames so dropping this handler and the kernel's
+    // signal trampoline still leaves kMaxFrames of application stack.
+    void* frames[StackSample::kMaxFrames + 2];
+    const int captured = backtrace(frames, StackSample::kMaxFrames + 2);
+    const int skip = captured > 2 ? 2 : 0;
+    StackSample sample;
+    sample.depth = captured - skip;
+    for (int i = 0; i < sample.depth; ++i) {
+      sample.frames[i] = frames[i + skip];
+    }
+    sample.tag = CurrentProfileTag();
+    const StageTracker* stage = g_active_stage.load(std::memory_order_acquire);
+    sample.stage =
+        stage != nullptr ? static_cast<int32_t>(stage->stage_relaxed()) : -1;
+    ring->TryAppend(sample);
+  }
+  errno = saved_errno;
+}
+
+/// Installs the SIGPROF handler once and leaves it installed for the
+/// process lifetime: restoring the default action would let a straggler
+/// signal (delivered between timer disarm and sigaction) terminate the
+/// process — SIGPROF's default disposition is Term.
+void EnsureHandlerInstalled() {
+  static const bool installed = [] {
+    struct sigaction action {};
+    action.sa_handler = &SigprofHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    return sigaction(SIGPROF, &action, nullptr) == 0;
+  }();
+  (void)installed;
+}
+
+Status SetProfTimer(double frequency_hz) {
+  itimerval timer{};
+  if (frequency_hz > 0) {
+    const long micros = std::max(1L, static_cast<long>(1e6 / frequency_hz));
+    timer.it_interval.tv_sec = micros / 1000000;
+    timer.it_interval.tv_usec = micros % 1000000;
+    timer.it_value = timer.it_interval;
+  }
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    return Status::Internal("setitimer(ITIMER_PROF) failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool Profiler::SupportedOnThisBuild() { return true; }
+
+Status Profiler::Start(const ProfilerOptions& options) {
+  if (options.frequency_hz < 1.0 || options.frequency_hz > 1000.0) {
+    return Status::InvalidArgument("profiler frequency_hz must be in [1, 1000]");
+  }
+  if (options.max_samples == 0) {
+    return Status::InvalidArgument("profiler max_samples must be positive");
+  }
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("a profile is already running");
+  }
+  options_ = options;
+  ring_ = std::make_unique<SampleRing>(options.max_samples);
+  // Warm up backtrace() outside the handler: its first call may load
+  // libgcc_s (malloc + dlopen), which must never happen mid-signal.
+  void* warmup[4];
+  backtrace(warmup, 4);
+  EnsureHandlerInstalled();
+  g_active_stage.store(options.stage_tracker, std::memory_order_release);
+  g_active_ring.store(ring_.get(), std::memory_order_release);
+  window_start_ = std::chrono::steady_clock::now();
+  const Status timer = SetProfTimer(options.frequency_hz);
+  if (!timer.ok()) {
+    g_active_ring.store(nullptr, std::memory_order_release);
+    g_active_stage.store(nullptr, std::memory_order_release);
+    running_.store(false, std::memory_order_release);
+    return timer;
+  }
+  return Status::OK();
+}
+
+StatusOr<ProfileResult> Profiler::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("no profile is running");
+  }
+  (void)SetProfTimer(0);
+  g_active_ring.store(nullptr, std::memory_order_release);
+  g_active_stage.store(nullptr, std::memory_order_release);
+  const double duration = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - window_start_)
+                              .count();
+  // A handler dispatched just before the null store may still be copying
+  // into the ring; its TryAppend is lock-free and bounded, so a tiny grace
+  // period guarantees the Snapshot below sees a quiescent ring.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ProfileResult result =
+      AggregateSamples(ring_->Snapshot(), ring_->dropped(), duration,
+                       options_.frequency_hz, SymbolizePc);
+  if (options_.metrics != nullptr) {
+    MetricRegistry& metrics = *options_.metrics;
+    metrics.SetHelp("surveyor_profile_samples_total",
+                    "CPU samples captured by completed profile windows");
+    metrics.GetCounter("surveyor_profile_samples_total")
+        ->Increment(result.samples);
+    metrics.SetHelp("surveyor_profile_samples_dropped_total",
+                    "CPU samples dropped because the sample ring was full");
+    metrics.GetCounter("surveyor_profile_samples_dropped_total")
+        ->Increment(result.dropped);
+  }
+  ring_.reset();
+  running_.store(false, std::memory_order_release);
+  return result;
+}
+
+StatusOr<ProfileResult> Profiler::ProfileFor(double seconds,
+                                             const ProfilerOptions& options) {
+  Status started = Start(options);
+  if (!started.ok()) return started;
+  // Deadline loop: our own SIGPROF interrupts sleeps, and sleep_for may
+  // legally return early on spurious wakeups — keep waiting until the
+  // window really elapsed.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_until(deadline);
+  }
+  return Stop();
+}
+
+int64_t Profiler::SamplesSoFar() const {
+  if (!running_.load(std::memory_order_acquire)) return 0;
+  SampleRing* ring = g_active_ring.load(std::memory_order_acquire);
+  return ring != nullptr ? ring->attempts() : 0;
+}
+
+#else  // !SURVEYOR_PROFILER_SUPPORTED
+
+bool Profiler::SupportedOnThisBuild() { return false; }
+
+Status Profiler::Start(const ProfilerOptions&) {
+  return Status::Unimplemented(
+      "profiler unavailable: sanitizer build or platform without "
+      "SIGPROF/backtrace");
+}
+
+StatusOr<ProfileResult> Profiler::Stop() {
+  return Status::FailedPrecondition("no profile is running");
+}
+
+StatusOr<ProfileResult> Profiler::ProfileFor(double, const ProfilerOptions&) {
+  return Status::Unimplemented(
+      "profiler unavailable: sanitizer build or platform without "
+      "SIGPROF/backtrace");
+}
+
+int64_t Profiler::SamplesSoFar() const { return 0; }
+
+#endif  // SURVEYOR_PROFILER_SUPPORTED
+
+}  // namespace obs
+}  // namespace surveyor

@@ -1,0 +1,143 @@
+#ifndef SURVEYOR_OBS_PROFILER_H_
+#define SURVEYOR_OBS_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/stage.h"
+#include "util/sample_ring.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/symbolize.h"
+
+namespace surveyor {
+namespace obs {
+
+/// Configuration of one profile window.
+struct ProfilerOptions {
+  /// Sampling frequency. 97 Hz (prime) by default so the timer cannot
+  /// phase-lock with periodic work; clamp-checked to [1, 1000].
+  double frequency_hz = 97.0;
+  /// Sample-ring capacity; appends beyond it are counted as dropped.
+  size_t max_samples = 1 << 16;
+  /// When set, every sample records the pipeline stage active at capture
+  /// time (via StageTracker::stage_relaxed(), the lock-free mirror).
+  const StageTracker* stage_tracker = nullptr;
+  /// When set, Stop() folds surveyor_profile_samples_total /
+  /// surveyor_profile_samples_dropped_total into this registry.
+  MetricRegistry* metrics = nullptr;
+};
+
+/// One aggregated stack in flamegraph.pl "folded" form:
+/// "stage;tag;outermost;...;leaf" with the sample count.
+struct FoldedStack {
+  std::string stack;
+  int64_t count = 0;
+};
+
+/// Samples bucketed by (pipeline stage, innermost ProfileScope tag) — the
+/// table ROADMAP item 1 needs: how much CPU does extraction really take,
+/// and which phase inside it.
+struct StageAttribution {
+  std::string stage;  ///< PipelineStageName at sample time, "none" untracked.
+  std::string tag;    ///< Innermost SURVEYOR_PROFILE_SCOPE, "untagged".
+  int64_t samples = 0;
+  double fraction = 0.0;  ///< samples / total samples of the profile.
+};
+
+/// An aggregated profile. Both renderings are deterministic functions of
+/// the samples: folded stacks sort lexicographically, the stage table by
+/// descending sample count (ties by stage then tag) — same samples, same
+/// symbolizer, byte-identical output.
+struct ProfileResult {
+  int64_t samples = 0;
+  int64_t dropped = 0;
+  double duration_seconds = 0.0;
+  double frequency_hz = 0.0;
+  std::vector<FoldedStack> folded;
+  std::vector<StageAttribution> stages;
+
+  /// flamegraph.pl input: one "stack count\n" line per folded stack.
+  std::string ToFolded() const;
+
+  /// JSON with build info, totals, the stage table and the folded stacks.
+  std::string ToJson() const;
+};
+
+/// Pure sample aggregation, exposed for determinism tests (inject a fake
+/// symbolizer; real addresses differ run to run). Frame names are
+/// sanitized (';' and newlines replaced) so they cannot corrupt the folded
+/// grammar; frames are emitted root-first as flamegraph.pl expects.
+ProfileResult AggregateSamples(const std::vector<StackSample>& samples,
+                               int64_t dropped, double duration_seconds,
+                               double frequency_hz,
+                               const SymbolizeFn& symbolize);
+
+/// Timer-driven sampling CPU profiler (DESIGN.md §12). A profile window
+/// arms ITIMER_PROF at frequency_hz; the kernel delivers SIGPROF on a
+/// thread that is actually burning CPU, and the handler — async-signal-safe
+/// by construction — captures a backtrace, the thread's ProfileScope tag
+/// and the pipeline stage into a preallocated SampleRing. Symbolization
+/// and aggregation happen in Stop(), outside any handler.
+///
+/// Always compiled, disarmed by default: when no profile is running the
+/// only cost the hot path pays is the ProfileScope TLS writes (<1%,
+/// proven in bench/micro_benchmarks.cc — same posture as util/fault).
+/// One profile at a time, process-wide: Start() while running returns
+/// FailedPrecondition (the admin server maps it to 409). Under sanitizer
+/// builds and non-Linux platforms Start() returns Unimplemented — signal
+/// handlers interrupting instrumented code are not supportable.
+class Profiler {
+ public:
+  /// The process-wide profiler (ITIMER_PROF is per-process state, so a
+  /// second instance could not run anyway).
+  static Profiler& Global();
+
+  /// False under sanitizers or without SIGPROF/backtrace support; Start()
+  /// then fails with Unimplemented.
+  static bool SupportedOnThisBuild();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Arms the sampler. Errors: Unimplemented (unsupported build),
+  /// FailedPrecondition (a profile is already running), InvalidArgument
+  /// (frequency/capacity out of range).
+  Status Start(const ProfilerOptions& options = {});
+
+  /// Disarms the sampler and aggregates the window's samples. The SIGPROF
+  /// handler stays installed (a pending signal after disarm must hit a
+  /// null-ring no-op, not the default action, which terminates). Updates
+  /// options.metrics counters when a registry was attached.
+  StatusOr<ProfileResult> Stop();
+
+  /// Start + CPU-time wait + Stop. The wait loops on a steady-clock
+  /// deadline, so EINTR wake-ups from our own SIGPROF cannot shorten it.
+  StatusOr<ProfileResult> ProfileFor(double seconds,
+                                     const ProfilerOptions& options = {});
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Samples captured so far in the running window (attempts, including
+  /// drops); 0 when idle. Lets tests and callers wait for real data
+  /// instead of guessing at timer latency.
+  int64_t SamplesSoFar() const;
+
+ private:
+  Profiler() = default;
+
+  std::atomic<bool> running_{false};
+  std::unique_ptr<SampleRing> ring_;
+  ProfilerOptions options_;
+  std::chrono::steady_clock::time_point window_start_;
+};
+
+}  // namespace obs
+}  // namespace surveyor
+
+#endif  // SURVEYOR_OBS_PROFILER_H_

@@ -53,6 +53,7 @@ void StageTracker::SetStage(PipelineStage stage) {
     }
   }
   stage_ = stage;
+  stage_atomic_.store(static_cast<int>(stage), std::memory_order_relaxed);
   stage_start_ = now;
   const std::string incoming(PipelineStageName(stage));
   for (const auto& [name, seconds] : accumulated_) {

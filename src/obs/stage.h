@@ -1,6 +1,7 @@
 #ifndef SURVEYOR_OBS_STAGE_H_
 #define SURVEYOR_OBS_STAGE_H_
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <string_view>
@@ -41,6 +42,15 @@ class StageTracker {
 
   PipelineStage stage() const SURVEYOR_EXCLUDES(mutex_);
 
+  /// Lock-free mirror of stage() for readers that cannot take mutex_ —
+  /// specifically the profiler's SIGPROF handler (a mutex in a signal
+  /// handler deadlocks if the interrupted thread holds it). Relaxed: a
+  /// sample landing one stage transition early or late is noise at 97 Hz.
+  PipelineStage stage_relaxed() const {
+    return static_cast<PipelineStage>(
+        stage_atomic_.load(std::memory_order_relaxed));
+  }
+
   /// Enters `stage`, closing the time account of the previous one.
   void SetStage(PipelineStage stage) SURVEYOR_EXCLUDES(mutex_);
 
@@ -74,6 +84,9 @@ class StageTracker {
 
   mutable Mutex mutex_;
   PipelineStage stage_ SURVEYOR_GUARDED_BY(mutex_) = PipelineStage::kStarting;
+  /// Async-signal-safe copy of stage_, updated inside SetStage's critical
+  /// section; the only member the profiler's signal handler may read.
+  std::atomic<int> stage_atomic_{static_cast<int>(PipelineStage::kStarting)};
   bool degraded_ SURVEYOR_GUARDED_BY(mutex_) = false;
   /// Construction time; immutable afterwards.
   Clock::time_point start_;

@@ -10,6 +10,7 @@
 #include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "model/opinion.h"
+#include "util/profile_tag.h"
 
 namespace surveyor {
 namespace serving {
@@ -291,6 +292,7 @@ obs::AdminResponse QueryService::Handle(std::string_view method,
 
 obs::AdminResponse QueryService::HandleQuery(std::string_view method,
                                              std::string_view target) const {
+  SURVEYOR_PROFILE_SCOPE("query");
   if (method != "GET" && method != "HEAD") {
     rejected_->Increment();
     return JsonError(405, "/query is GET-only; POST /query/batch instead");
@@ -352,6 +354,7 @@ obs::AdminResponse QueryService::HandleQuery(std::string_view method,
 
 obs::AdminResponse QueryService::HandleBatch(std::string_view method,
                                              std::string_view body) const {
+  SURVEYOR_PROFILE_SCOPE("query");
   if (method != "POST") {
     rejected_->Increment();
     return JsonError(405, "/query/batch is POST-only");

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/profile_tag.h"
 #include "util/string_util.h"
 
 namespace surveyor {
@@ -57,6 +58,7 @@ EntityId EntityTagger::Resolve(
 
 std::vector<ParseUnit> EntityTagger::Tag(
     const std::vector<Token>& tokens) const {
+  SURVEYOR_PROFILE_SCOPE("match");
   // Sentence-level context for disambiguation.
   std::unordered_set<std::string> context;
   for (const Token& token : tokens) context.insert(token.text);

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "util/logging.h"
+#include "util/profile_tag.h"
 #include "util/string_util.h"
 
 namespace surveyor {
@@ -280,6 +281,7 @@ class ClauseParser {
 
 StatusOr<DependencyTree> DependencyParser::Parse(
     const std::vector<ParseUnit>& units) const {
+  SURVEYOR_PROFILE_SCOPE("parse");
   if (units.empty()) return Status::InvalidArgument("empty sentence");
   ClauseParser parser(units);
   return parser.Run();

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "util/profile_tag.h"
 #include "util/string_util.h"
 
 namespace surveyor {
@@ -47,6 +48,7 @@ void EmitWord(std::string&& word, const Lexicon& lexicon,
 }  // namespace
 
 std::vector<Token> Tokenize(std::string_view sentence, const Lexicon& lexicon) {
+  SURVEYOR_PROFILE_SCOPE("tokenize");
   std::vector<Token> tokens;
   std::string current;
   for (char c : sentence) {

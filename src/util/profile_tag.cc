@@ -1,0 +1,27 @@
+#include "util/profile_tag.h"
+
+namespace surveyor {
+namespace {
+
+// initial-exec TLS: the access compiles to a direct %fs-relative load with
+// no lazy-allocation path, which keeps CurrentProfileTag() async-signal-
+// safe (the general-dynamic model may call __tls_get_addr, which can
+// malloc on first touch — from a signal handler that is a deadlock).
+#if defined(__ELF__) && (defined(__GNUC__) || defined(__clang__))
+thread_local const char* tls_profile_tag
+    __attribute__((tls_model("initial-exec"))) = nullptr;
+#else
+thread_local const char* tls_profile_tag = nullptr;
+#endif
+
+}  // namespace
+
+const char* CurrentProfileTag() { return tls_profile_tag; }
+
+ProfileScope::ProfileScope(const char* tag) : previous_(tls_profile_tag) {
+  tls_profile_tag = tag;
+}
+
+ProfileScope::~ProfileScope() { tls_profile_tag = previous_; }
+
+}  // namespace surveyor

@@ -1,0 +1,49 @@
+#ifndef SURVEYOR_UTIL_PROFILE_TAG_H_
+#define SURVEYOR_UTIL_PROFILE_TAG_H_
+
+// Thread-local profile tag: names the pipeline phase a thread is executing
+// ("tokenize", "match", "extract", "em", "query", ...) so the sampling
+// profiler (src/obs/profiler.h) can attribute CPU samples to phases even
+// when symbolization fails or frames are inlined away. Lives in util — the
+// lowest layer — so text/extraction/model/serving can tag their hot loops
+// without depending on obs (DESIGN.md §8, §12).
+//
+// Cost model: a ProfileScope is two thread-local pointer writes (save +
+// install) and one on destruction; reading the tag is one TLS load. No
+// atomics, no branches — cheap enough for per-sentence inner loops, proven
+// <1% of the extraction hot path in bench/micro_benchmarks.cc.
+
+namespace surveyor {
+
+/// The innermost active tag of the calling thread, nullptr outside any
+/// ProfileScope. Async-signal-safe: a plain load of an initial-exec TLS
+/// slot, safe to call from the SIGPROF handler sampling this thread.
+const char* CurrentProfileTag();
+
+/// RAII phase tag. `tag` must point at static-storage memory (a string
+/// literal): the profiler's signal handler stores the raw pointer and
+/// symbolizes it long after the scope died. Scopes nest; the destructor
+/// restores the enclosing tag.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* tag);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  const char* previous_;
+};
+
+}  // namespace surveyor
+
+#define SURVEYOR_PROFILE_CONCAT_INNER(a, b) a##b
+#define SURVEYOR_PROFILE_CONCAT(a, b) SURVEYOR_PROFILE_CONCAT_INNER(a, b)
+
+/// Tags the rest of the enclosing block: SURVEYOR_PROFILE_SCOPE("extract").
+#define SURVEYOR_PROFILE_SCOPE(tag)                                     \
+  ::surveyor::ProfileScope SURVEYOR_PROFILE_CONCAT(profile_scope_line_, \
+                                                   __LINE__)(tag)
+
+#endif  // SURVEYOR_UTIL_PROFILE_TAG_H_

@@ -1,0 +1,60 @@
+#include "util/sample_ring.h"
+
+namespace surveyor {
+
+SampleRing::SampleRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+bool SampleRing::TryAppend(const StackSample& sample) {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Slot& slot = slots_[index];
+  slot.sample = sample;
+  // Publish: a reader that acquires committed==true sees the full payload.
+  slot.committed.store(true, std::memory_order_release);
+  return true;
+}
+
+std::vector<StackSample> SampleRing::Snapshot() const {
+  std::vector<StackSample> samples;
+  const uint64_t claimed = next_.load(std::memory_order_relaxed);
+  const size_t end = claimed < capacity_ ? static_cast<size_t>(claimed)
+                                         : capacity_;
+  samples.reserve(end);
+  for (size_t i = 0; i < end; ++i) {
+    // Skip slots claimed but not yet published (a handler mid-copy).
+    if (!slots_[i].committed.load(std::memory_order_acquire)) continue;
+    samples.push_back(slots_[i].sample);
+  }
+  return samples;
+}
+
+size_t SampleRing::size() const {
+  const uint64_t claimed = next_.load(std::memory_order_relaxed);
+  size_t committed = 0;
+  const size_t end = claimed < capacity_ ? static_cast<size_t>(claimed)
+                                         : capacity_;
+  for (size_t i = 0; i < end; ++i) {
+    if (slots_[i].committed.load(std::memory_order_acquire)) ++committed;
+  }
+  return committed;
+}
+
+void SampleRing::Reset() {
+  const uint64_t claimed = next_.load(std::memory_order_relaxed);
+  const size_t end = claimed < capacity_ ? static_cast<size_t>(claimed)
+                                         : capacity_;
+  for (size_t i = 0; i < end; ++i) {
+    slots_[i].committed.store(false, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  attempts_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace surveyor

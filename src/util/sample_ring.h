@@ -1,0 +1,88 @@
+#ifndef SURVEYOR_UTIL_SAMPLE_RING_H_
+#define SURVEYOR_UTIL_SAMPLE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace surveyor {
+
+/// One raw CPU sample captured inside a signal handler: a stack of program
+/// counters plus the attribution context read at sample time. Symbolization
+/// happens later, outside the handler (util/symbolize.h).
+struct StackSample {
+  static constexpr int kMaxFrames = 64;
+
+  /// Program counters, innermost (leaf) first, as backtrace() returns them.
+  void* frames[kMaxFrames] = {};
+  int32_t depth = 0;
+  /// Innermost ProfileScope tag of the sampled thread (static-storage
+  /// string or nullptr) — see util/profile_tag.h.
+  const char* tag = nullptr;
+  /// Opaque pipeline-stage id at sample time (obs::PipelineStage as int),
+  /// -1 when no stage tracker was attached.
+  int32_t stage = -1;
+};
+
+/// Bounded, preallocated, lock-free sample buffer writable from a signal
+/// handler. Writers claim a slot with one fetch_add and publish it with a
+/// release store on the slot's committed flag; once every slot is claimed
+/// further appends are counted as dropped rather than blocking or
+/// reallocating. Not a circular buffer on purpose: a profile window wants
+/// the first N samples plus an honest drop count, not silent overwrites of
+/// earlier samples (DESIGN.md §12).
+///
+/// Thread safety: TryAppend is safe from any number of threads and signal
+/// handlers concurrently. Snapshot/size/dropped are safe concurrently with
+/// writers (they only observe committed slots). Reset must be externally
+/// serialized against writers — stop the sampler first.
+class SampleRing {
+ public:
+  explicit SampleRing(size_t capacity);
+
+  SampleRing(const SampleRing&) = delete;
+  SampleRing& operator=(const SampleRing&) = delete;
+
+  /// Appends a copy of `sample`; returns false (and counts a drop) when
+  /// the ring is full. Async-signal-safe: one fetch_add, a memcpy-style
+  /// struct copy, one release store. Never allocates.
+  bool TryAppend(const StackSample& sample);
+
+  /// Committed samples, in append order.
+  std::vector<StackSample> Snapshot() const;
+
+  /// Slots claimed and published so far (<= capacity).
+  size_t size() const;
+
+  /// Appends rejected because the ring was full.
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Total TryAppend calls (committed + dropped).
+  int64_t attempts() const { return attempts_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Forgets all samples and drop counts. Caller must guarantee no
+  /// concurrent TryAppend (disarm the sampler first).
+  void Reset();
+
+ private:
+  struct Slot {
+    StackSample sample;
+    std::atomic<bool> committed{false};
+  };
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  /// Next slot index to claim; may run past capacity_ (claims beyond the
+  /// end are drops).
+  std::atomic<uint64_t> next_{0};
+  std::atomic<int64_t> dropped_{0};
+  std::atomic<int64_t> attempts_{0};
+};
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_SAMPLE_RING_H_

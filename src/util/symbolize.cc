@@ -1,0 +1,52 @@
+#include "util/symbolize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#define SURVEYOR_HAVE_DLADDR 1
+#endif
+
+namespace surveyor {
+
+namespace {
+
+std::string HexAddress(const void* pc) {
+  char buffer[2 + 2 * sizeof(void*) + 1];
+  std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                static_cast<unsigned long long>(
+                    reinterpret_cast<uintptr_t>(pc)));
+  return buffer;
+}
+
+}  // namespace
+
+#ifdef SURVEYOR_HAVE_DLADDR
+
+std::string SymbolizePc(const void* pc) {
+  Dl_info info{};
+  if (dladdr(pc, &info) == 0 || info.dli_sname == nullptr) {
+    return HexAddress(pc);
+  }
+  int demangle_status = 0;
+  char* demangled =
+      abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &demangle_status);
+  if (demangle_status != 0 || demangled == nullptr) {
+    std::free(demangled);
+    return info.dli_sname;
+  }
+  std::string name(demangled);
+  std::free(demangled);
+  return name;
+}
+
+#else  // !SURVEYOR_HAVE_DLADDR
+
+std::string SymbolizePc(const void* pc) { return HexAddress(pc); }
+
+#endif  // SURVEYOR_HAVE_DLADDR
+
+}  // namespace surveyor

@@ -1,0 +1,22 @@
+#ifndef SURVEYOR_UTIL_SYMBOLIZE_H_
+#define SURVEYOR_UTIL_SYMBOLIZE_H_
+
+#include <functional>
+#include <string>
+
+namespace surveyor {
+
+/// Maps a code address to a human-readable frame name: the demangled
+/// function symbol when dladdr can resolve one (executables link with
+/// -rdynamic so their own symbols are visible), otherwise a stable
+/// "0x<hex>" fallback. NOT async-signal-safe — call it during aggregation,
+/// never from the sampling handler.
+std::string SymbolizePc(const void* pc);
+
+/// Injectable symbolizer so folded-stack aggregation can be tested with a
+/// deterministic fake (real addresses differ between runs and builds).
+using SymbolizeFn = std::function<std::string(const void*)>;
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_SYMBOLIZE_H_

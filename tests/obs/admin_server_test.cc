@@ -16,6 +16,7 @@
 #include "gtest/gtest.h"
 #include "obs/log_ring.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/stage.h"
 #include "obs/trace.h"
 
@@ -356,6 +357,66 @@ TEST(AdminServerTracezTest, DisabledAccessLogStillTraces) {
   // /requestz is empty (the log is disabled), but serves cleanly.
   EXPECT_EQ(server.Handle("GET", "/requestz?format=text").body,
             "no requests logged yet\n");
+}
+
+// ---------------------------------------------------------------------------
+// Build info (/statusz) and the profiler endpoint (/profilez).
+
+TEST(AdminServerBuildInfoTest, StatuszLeadsWithBuildInfo) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr);
+  const std::string body = server.Handle("GET", "/statusz").body;
+  for (const char* key : {"\"build_info\"", "\"git_sha\"", "\"compiler\"",
+                          "\"build_type\"", "\"sanitizer\""}) {
+    EXPECT_NE(body.find(key), std::string::npos) << key << " missing: " << body;
+  }
+}
+
+TEST(AdminServerProfilezTest, RejectsBadSeconds) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr);
+  for (const char* target :
+       {"/profilez?seconds=0", "/profilez?seconds=-1", "/profilez?seconds=31",
+        "/profilez?seconds=abc"}) {
+    const AdminResponse response = server.Handle("GET", target);
+    EXPECT_EQ(response.status, 400) << target;
+    EXPECT_NE(response.body.find("seconds"), std::string::npos) << target;
+  }
+}
+
+TEST(AdminServerProfilezTest, RejectsUnknownFormat) {
+  MetricRegistry registry;
+  AdminServer server(&registry, nullptr, nullptr);
+  const AdminResponse response =
+      server.Handle("GET", "/profilez?seconds=0.1&format=xml");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(response.body, "format must be folded or json\n");
+}
+
+TEST(AdminServerProfilezTest, ServesAWindowOr501WhenUnsupported) {
+  MetricRegistry registry;
+  AdminServerOptions options;
+  options.profiler_metrics = &registry;
+  AdminServer server(&registry, nullptr, nullptr, options);
+  const AdminResponse response =
+      server.Handle("GET", "/profilez?seconds=0.2");
+  if (!Profiler::SupportedOnThisBuild()) {
+    EXPECT_EQ(response.status, 501);
+    return;
+  }
+  ASSERT_EQ(response.status, 200) << response.body;
+  // Folded output (possibly the "# no samples" placeholder if the process
+  // was idle for the whole window): every line is "stack count" or a
+  // comment, never empty.
+  EXPECT_FALSE(response.body.empty());
+  EXPECT_EQ(response.body.back(), '\n');
+
+  const AdminResponse json =
+      server.Handle("GET", "/profilez?seconds=0.2&format=json");
+  ASSERT_EQ(json.status, 200) << json.body;
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(json.body.find("\"build_info\""), std::string::npos);
+  EXPECT_NE(json.body.find("\"stage_attribution\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,221 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/stage.h"
+#include "util/profile_tag.h"
+#include "util/sample_ring.h"
+#include "util/status.h"
+
+namespace surveyor {
+namespace obs {
+namespace {
+
+// Deterministic fake symbolizer: real addresses differ run to run, so the
+// aggregation tests name frames after their integer value.
+std::string FakeSymbolize(const void* pc) {
+  return "fn_" + std::to_string(reinterpret_cast<uintptr_t>(pc));
+}
+
+StackSample MakeSample(std::vector<uintptr_t> leaf_first_frames,
+                       const char* tag, int32_t stage) {
+  StackSample sample;
+  sample.depth = static_cast<int32_t>(leaf_first_frames.size());
+  for (size_t i = 0; i < leaf_first_frames.size(); ++i) {
+    sample.frames[i] = reinterpret_cast<void*>(leaf_first_frames[i]);
+  }
+  sample.tag = tag;
+  sample.stage = stage;
+  return sample;
+}
+
+TEST(AggregateSamplesTest, ReversesFramesAndPrefixesStageAndTag) {
+  // backtrace() records leaf-first (3 is the leaf, 1 the root); the folded
+  // line must read root-first after the "stage;tag" attribution prefix.
+  const std::vector<StackSample> samples = {
+      MakeSample({3, 2, 1}, "extract",
+                 static_cast<int32_t>(PipelineStage::kExtracting))};
+  const ProfileResult result =
+      AggregateSamples(samples, /*dropped=*/0, /*duration_seconds=*/1.0,
+                       /*frequency_hz=*/97.0, FakeSymbolize);
+  EXPECT_EQ(result.ToFolded(), "extracting;extract;fn_1;fn_2;fn_3 1\n");
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_EQ(result.stages[0].stage, "extracting");
+  EXPECT_EQ(result.stages[0].tag, "extract");
+  EXPECT_EQ(result.stages[0].samples, 1);
+  EXPECT_DOUBLE_EQ(result.stages[0].fraction, 1.0);
+}
+
+TEST(AggregateSamplesTest, FoldedOutputIsByteIdenticalAcrossSampleOrder) {
+  const int32_t extracting = static_cast<int32_t>(PipelineStage::kExtracting);
+  const int32_t fitting = static_cast<int32_t>(PipelineStage::kFitting);
+  std::vector<StackSample> samples = {
+      MakeSample({3, 2, 1}, "extract", extracting),
+      MakeSample({5, 2, 1}, "extract", extracting),
+      MakeSample({3, 2, 1}, "extract", extracting),
+      MakeSample({9, 8}, "em", fitting),
+      MakeSample({7}, nullptr, -1),
+  };
+  const ProfileResult forward = AggregateSamples(samples, 2, 1.5, 97.0,
+                                                 FakeSymbolize);
+  std::reverse(samples.begin(), samples.end());
+  const ProfileResult reversed = AggregateSamples(samples, 2, 1.5, 97.0,
+                                                  FakeSymbolize);
+
+  // Identical samples in any arrival order → byte-identical renderings
+  // (folded stacks sort lexicographically; "none" < "extracting" is false,
+  // so the exact expected text pins the ordering contract too).
+  const std::string expected =
+      "extracting;extract;fn_1;fn_2;fn_3 2\n"
+      "extracting;extract;fn_1;fn_2;fn_5 1\n"
+      "fitting;em;fn_8;fn_9 1\n"
+      "none;untagged;fn_7 1\n";
+  EXPECT_EQ(forward.ToFolded(), expected);
+  EXPECT_EQ(reversed.ToFolded(), expected);
+
+  EXPECT_EQ(forward.samples, 5);
+  EXPECT_EQ(forward.dropped, 2);
+  EXPECT_DOUBLE_EQ(forward.duration_seconds, 1.5);
+}
+
+TEST(AggregateSamplesTest, StageTableSortsByCountThenStageThenTag) {
+  const int32_t extracting = static_cast<int32_t>(PipelineStage::kExtracting);
+  const int32_t fitting = static_cast<int32_t>(PipelineStage::kFitting);
+  const std::vector<StackSample> samples = {
+      MakeSample({1}, "match", extracting),
+      MakeSample({1}, "match", extracting),
+      MakeSample({1}, "tokenize", extracting),
+      MakeSample({1}, "em", fitting),
+  };
+  const ProfileResult result =
+      AggregateSamples(samples, 0, 1.0, 97.0, FakeSymbolize);
+  ASSERT_EQ(result.stages.size(), 3u);
+  EXPECT_EQ(result.stages[0].tag, "match");  // 2 samples: count wins.
+  EXPECT_EQ(result.stages[0].samples, 2);
+  EXPECT_DOUBLE_EQ(result.stages[0].fraction, 0.5);
+  // 1-sample tie: "extracting" sorts before "fitting".
+  EXPECT_EQ(result.stages[1].stage, "extracting");
+  EXPECT_EQ(result.stages[1].tag, "tokenize");
+  EXPECT_EQ(result.stages[2].stage, "fitting");
+  EXPECT_EQ(result.stages[2].tag, "em");
+}
+
+TEST(AggregateSamplesTest, SanitizesFrameNamesThatWouldBreakTheGrammar) {
+  const auto hostile = [](const void*) -> std::string {
+    return "operator() (lambda);evil\nname";
+  };
+  const std::vector<StackSample> samples = {MakeSample({1}, "my tag", -1)};
+  const ProfileResult result = AggregateSamples(samples, 0, 1.0, 97.0, hostile);
+  // ';' and newlines become ':', spaces '_': one frame stays one frame.
+  EXPECT_EQ(result.ToFolded(), "none;my_tag;operator()_(lambda):evil:name 1\n");
+}
+
+TEST(AggregateSamplesTest, EmptyWindowRendersNoLines) {
+  const ProfileResult result = AggregateSamples({}, 0, 1.0, 97.0,
+                                                FakeSymbolize);
+  EXPECT_EQ(result.samples, 0);
+  EXPECT_EQ(result.ToFolded(), "");
+  EXPECT_TRUE(result.stages.empty());
+}
+
+TEST(ProfileResultTest, ToJsonCarriesBuildInfoAndTotals) {
+  const std::vector<StackSample> samples = {
+      MakeSample({3, 2, 1}, "extract",
+                 static_cast<int32_t>(PipelineStage::kExtracting))};
+  const std::string json =
+      AggregateSamples(samples, 1, 2.0, 97.0, FakeSymbolize).ToJson();
+  for (const char* key :
+       {"\"build_info\"", "\"git_sha\"", "\"samples\":1", "\"dropped\":1",
+        "\"frequency_hz\"", "\"stage_attribution\"", "\"folded\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing: " << json;
+  }
+}
+
+TEST(ProfilerTest, StartValidatesFrequency) {
+  if (!Profiler::SupportedOnThisBuild()) {
+    // Unsupported builds fail with Unimplemented before any validation.
+    EXPECT_EQ(Profiler::Global().Start().code(), StatusCode::kUnimplemented);
+    return;
+  }
+  ProfilerOptions options;
+  options.frequency_hz = 0.0;
+  EXPECT_EQ(Profiler::Global().Start(options).code(),
+            StatusCode::kInvalidArgument);
+  options.frequency_hz = 5000.0;
+  EXPECT_EQ(Profiler::Global().Start(options).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProfilerTest, SecondStartIsRejectedWhileRunning) {
+  Profiler& profiler = Profiler::Global();
+  if (!Profiler::SupportedOnThisBuild()) {
+    GTEST_SKIP() << "profiler unsupported on this build (sanitizer/platform)";
+  }
+  ASSERT_TRUE(profiler.Start().ok());
+  EXPECT_TRUE(profiler.running());
+  EXPECT_EQ(profiler.Start().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(profiler.Stop().ok());
+  EXPECT_FALSE(profiler.running());
+  // Stop without a running window is also a precondition failure.
+  EXPECT_EQ(profiler.Stop().status().code(), StatusCode::kFailedPrecondition);
+}
+
+// End-to-end smoke test: burn CPU under a known tag and stage, and expect
+// the profiler to attribute the window to them. Sample counts depend on
+// scheduler behavior, so the test waits on SamplesSoFar() instead of
+// assuming the timer fires immediately.
+TEST(ProfilerTest, LiveWindowAttributesSamplesToTagAndStage) {
+  Profiler& profiler = Profiler::Global();
+  if (!Profiler::SupportedOnThisBuild()) {
+    GTEST_SKIP() << "profiler unsupported on this build (sanitizer/platform)";
+  }
+
+  StageTracker stage_tracker;
+  stage_tracker.SetStage(PipelineStage::kExtracting);
+  MetricRegistry metrics;
+  ProfilerOptions options;
+  options.stage_tracker = &stage_tracker;
+  options.metrics = &metrics;
+  ASSERT_TRUE(profiler.Start(options).ok());
+
+  // CPU-burning loop: ITIMER_PROF only ticks while the process burns
+  // cycles. Bounded by wall-clock in case the timer is slow under load.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  volatile double sink = 0.0;
+  {
+    SURVEYOR_PROFILE_SCOPE("hotspot");
+    while (profiler.SamplesSoFar() < 5 &&
+           std::chrono::steady_clock::now() < deadline) {
+      for (int i = 1; i < 4096; ++i) sink = sink + 1.0 / i;
+    }
+  }
+
+  auto result = profiler.Stop();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->samples, 0);
+  EXPECT_GE(result->duration_seconds, 0.0);
+
+  // The burn loop dominates the window: the top bucket must be the tagged
+  // extracting-stage work, and the folded output must carry the prefix.
+  ASSERT_FALSE(result->stages.empty());
+  EXPECT_EQ(result->stages[0].stage, "extracting");
+  EXPECT_EQ(result->stages[0].tag, "hotspot");
+  EXPECT_NE(result->ToFolded().find("extracting;hotspot;"), std::string::npos);
+
+  EXPECT_EQ(metrics.GetCounter("surveyor_profile_samples_total")->Value(),
+            result->samples);
+  EXPECT_EQ(
+      metrics.GetCounter("surveyor_profile_samples_dropped_total")->Value(),
+      result->dropped);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace surveyor

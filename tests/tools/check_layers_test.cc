@@ -137,6 +137,27 @@ TEST_F(CheckLayersTest, UsingNamespaceInHeaderIsReported) {
             "namespace'\n");
 }
 
+TEST_F(CheckLayersTest, ObsMayNotIncludeExtraction) {
+  // The profiler attributes samples to extraction without depending on it:
+  // the tag/ring primitives live in util, below obs, and extraction tags
+  // itself. This test pins the edge under the real repo rules — if the
+  // profiler ever grows an "#include \"extraction/...\"" the lint fails.
+  WriteFile("extraction/extractor.h",
+            "#ifndef SURVEYOR_EXTRACTION_EXTRACTOR_H_\n"
+            "#define SURVEYOR_EXTRACTION_EXTRACTOR_H_\n"
+            "#endif  // SURVEYOR_EXTRACTION_EXTRACTOR_H_\n");
+  WriteFile("obs/profiler.cc",
+            "#include \"util/sample_ring.h\"\n"
+            "#include \"extraction/extractor.h\"\n");
+  WriteFile("util/sample_ring.h",
+            "#ifndef SURVEYOR_UTIL_SAMPLE_RING_H_\n"
+            "#define SURVEYOR_UTIL_SAMPLE_RING_H_\n"
+            "#endif  // SURVEYOR_UTIL_SAMPLE_RING_H_\n");
+  EXPECT_EQ(Lint(DefaultRules()),
+            "obs/profiler.cc:2: layer: layer 'obs' may not include "
+            "'extraction' (allowed: util)\n");
+}
+
 TEST_F(CheckLayersTest, SelfAndSystemIncludesAreIgnored) {
   WriteFile("obs/trace.cc",
             "#include \"obs/trace.h\"\n"

@@ -1,0 +1,56 @@
+#include "util/profile_tag.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace surveyor {
+namespace {
+
+TEST(ProfileTagTest, DefaultsToNullOutsideAnyScope) {
+  EXPECT_EQ(CurrentProfileTag(), nullptr);
+}
+
+TEST(ProfileTagTest, ScopeInstallsAndRestores) {
+  static const char* const kOuter = "tokenize";
+  {
+    ProfileScope scope(kOuter);
+    EXPECT_EQ(CurrentProfileTag(), kOuter);
+  }
+  EXPECT_EQ(CurrentProfileTag(), nullptr);
+}
+
+TEST(ProfileTagTest, NestedScopesRestoreTheEnclosingTag) {
+  static const char* const kOuter = "extract";
+  static const char* const kInner = "match";
+  ProfileScope outer(kOuter);
+  EXPECT_EQ(CurrentProfileTag(), kOuter);
+  {
+    ProfileScope inner(kInner);
+    EXPECT_EQ(CurrentProfileTag(), kInner);
+  }
+  EXPECT_EQ(CurrentProfileTag(), kOuter);
+}
+
+TEST(ProfileTagTest, MacroTagsTheEnclosingBlock) {
+  {
+    SURVEYOR_PROFILE_SCOPE("em");
+    EXPECT_STREQ(CurrentProfileTag(), "em");
+  }
+  EXPECT_EQ(CurrentProfileTag(), nullptr);
+}
+
+TEST(ProfileTagTest, TagIsThreadLocal) {
+  static const char* const kMain = "query";
+  ProfileScope scope(kMain);
+  const char* observed_on_other_thread = kMain;  // must be overwritten
+  std::thread other([&observed_on_other_thread] {
+    observed_on_other_thread = CurrentProfileTag();
+  });
+  other.join();
+  EXPECT_EQ(observed_on_other_thread, nullptr);
+  EXPECT_EQ(CurrentProfileTag(), kMain);
+}
+
+}  // namespace
+}  // namespace surveyor

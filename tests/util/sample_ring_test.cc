@@ -1,0 +1,106 @@
+#include "util/sample_ring.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace surveyor {
+namespace {
+
+StackSample MakeSample(int64_t marker) {
+  StackSample sample;
+  sample.depth = 2;
+  sample.frames[0] = reinterpret_cast<void*>(marker);
+  sample.frames[1] = reinterpret_cast<void*>(marker + 1);
+  sample.stage = static_cast<int32_t>(marker % 7);
+  return sample;
+}
+
+TEST(SampleRingTest, AppendsUpToCapacityThenCountsDrops) {
+  SampleRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int64_t i = 0; i < 20; ++i) {
+    const bool accepted = ring.TryAppend(MakeSample(i + 1));
+    EXPECT_EQ(accepted, i < 8) << "append " << i;
+  }
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.dropped(), 12);
+  EXPECT_EQ(ring.attempts(), 20);
+}
+
+TEST(SampleRingTest, SnapshotPreservesPayloadAndAppendOrder) {
+  SampleRing ring(4);
+  static const char* const kTag = "extract";
+  for (int64_t i = 0; i < 3; ++i) {
+    StackSample sample = MakeSample(100 + i);
+    sample.tag = kTag;
+    ASSERT_TRUE(ring.TryAppend(sample));
+  }
+  const std::vector<StackSample> samples = ring.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(samples[i].depth, 2);
+    EXPECT_EQ(samples[i].frames[0], reinterpret_cast<void*>(100 + i));
+    EXPECT_EQ(samples[i].frames[1], reinterpret_cast<void*>(101 + i));
+    EXPECT_EQ(samples[i].tag, kTag);
+    EXPECT_EQ(samples[i].stage, static_cast<int32_t>((100 + i) % 7));
+  }
+}
+
+TEST(SampleRingTest, ResetForgetsSamplesAndCounts) {
+  SampleRing ring(2);
+  for (int64_t i = 0; i < 5; ++i) ring.TryAppend(MakeSample(i + 1));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.dropped(), 3);
+
+  ring.Reset();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0);
+  EXPECT_EQ(ring.attempts(), 0);
+  EXPECT_TRUE(ring.Snapshot().empty());
+
+  // The ring is reusable after Reset: fresh slots, fresh accounting.
+  EXPECT_TRUE(ring.TryAppend(MakeSample(42)));
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.Snapshot()[0].frames[0], reinterpret_cast<void*>(42));
+}
+
+// Four writer threads hammer one ring past capacity; this is the
+// TSan-checked contract the SIGPROF handler relies on (CI runs this suite
+// under -fsanitize=thread). Every append must be either committed or
+// counted as dropped — no sample may vanish — and every committed slot
+// must hold a fully published payload.
+TEST(SampleRingTest, ConcurrentAppendsAccountForEverySample) {
+  constexpr int kThreads = 4;
+  constexpr int64_t kPerThread = 1000;
+  SampleRing ring(1024);
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        // Non-zero marker so a torn/unpublished slot (frames[0] == nullptr)
+        // is distinguishable from a real payload.
+        ring.TryAppend(MakeSample(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  EXPECT_EQ(ring.size(), 1024u);
+  EXPECT_EQ(ring.attempts(), kThreads * kPerThread);
+  EXPECT_EQ(static_cast<int64_t>(ring.size()) + ring.dropped(),
+            kThreads * kPerThread);
+
+  for (const StackSample& sample : ring.Snapshot()) {
+    EXPECT_EQ(sample.depth, 2);
+    EXPECT_NE(sample.frames[0], nullptr);
+    EXPECT_GE(sample.stage, 0);
+  }
+}
+
+}  // namespace
+}  // namespace surveyor

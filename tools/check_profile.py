@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validates a folded-stack CPU profile for the profile-smoke CI job.
+
+Usage: check_profile.py [--lenient] [--min-extraction-fraction F] <profile>
+
+The input is flamegraph.pl "folded" output as written by
+`surveyor_cli mine --profile` or GET /profilez: one
+`stage;tag;frame;...;frame count` line per distinct stack, where the first
+two segments are the attribution prefix the profiler prepends (pipeline
+stage at sample time, innermost ProfileScope tag).
+
+Checks:
+  1. Every non-comment line parses as `stack count` with a positive
+     integer count and at least the two attribution segments.
+  2. The profile holds at least one sample (skipped with --lenient: a
+     short /profilez window against an idle server may legitimately
+     capture nothing, and renders only a `# no samples` comment).
+  3. With --min-extraction-fraction F: samples whose stage segment is
+     "extracting" hold at least fraction F of all samples — the
+     acceptance gate that the profiler actually sees the known hot stage.
+"""
+import argparse
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("profile", help="folded-stack profile file")
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="allow an empty profile (idle-process /profilez window)",
+    )
+    parser.add_argument(
+        "--min-extraction-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="require >= F of samples in the 'extracting' stage",
+    )
+    args = parser.parse_args()
+
+    total = 0
+    by_stage = {}
+    with open(args.profile) as f:
+        for number, raw in enumerate(f, start=1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            stack, _, count_text = line.rpartition(" ")
+            if not stack or not count_text.isdigit() or int(count_text) <= 0:
+                sys.exit(
+                    f"FAIL: {args.profile}:{number}: not a 'stack count' "
+                    f"folded line: {line!r}"
+                )
+            segments = stack.split(";")
+            if len(segments) < 2:
+                sys.exit(
+                    f"FAIL: {args.profile}:{number}: stack lacks the "
+                    f"'stage;tag' attribution prefix: {line!r}"
+                )
+            count = int(count_text)
+            total += count
+            by_stage[segments[0]] = by_stage.get(segments[0], 0) + count
+
+    if total == 0:
+        if args.lenient:
+            print(f"OK: {args.profile} is empty but well-formed (--lenient)")
+            return
+        sys.exit(f"FAIL: {args.profile} holds no samples")
+
+    breakdown = ", ".join(
+        f"{stage}={count / total:.1%}"
+        for stage, count in sorted(
+            by_stage.items(), key=lambda item: -item[1]
+        )
+    )
+    if args.min_extraction_fraction is not None:
+        fraction = by_stage.get("extracting", 0) / total
+        if fraction < args.min_extraction_fraction:
+            sys.exit(
+                f"FAIL: extracting stage holds {fraction:.1%} of {total} "
+                f"samples, below the {args.min_extraction_fraction:.0%} "
+                f"floor ({breakdown})"
+            )
+    print(f"OK: {args.profile}: {total} samples ({breakdown})")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,8 +32,17 @@ if [[ -n "${SURVEYOR_FAULTS:-}" || -n "${SURVEYOR_FAULT_SEED:-}" ]]; then
   exit 1
 fi
 
+# And for the profiler: SURVEYOR_PROFILE arms a 97 Hz SIGPROF sampler in
+# every CLI child, which perturbs all wall-clock numbers. profile_bench
+# manages its own profile window.
+if [[ -n "${SURVEYOR_PROFILE:-}" ]]; then
+  echo "run_bench.sh: refusing to benchmark with the profiler armed" >&2
+  echo "  (unset SURVEYOR_PROFILE and rerun)" >&2
+  exit 1
+fi
+
 cmake --build "$build_dir" -j --target bench_report query_bench \
-  scaling_pipeline micro_benchmarks
+  scaling_pipeline micro_benchmarks profile_bench
 
 echo "== machine-readable snapshot (BENCH_pipeline.json) =="
 (cd "$repo_root" && "$build_dir/bench/bench_report" BENCH_pipeline.json)
@@ -41,6 +50,10 @@ echo "== machine-readable snapshot (BENCH_pipeline.json) =="
 echo
 echo "== query-throughput snapshot (BENCH_query.json) =="
 (cd "$repo_root" && "$build_dir/bench/query_bench" BENCH_query.json)
+
+echo
+echo "== stage-attribution snapshot (BENCH_profile.json) =="
+(cd "$repo_root" && "$build_dir/bench/profile_bench" BENCH_profile.json)
 
 echo
 echo "== obs micro-benchmarks (google-benchmark) =="

@@ -8,7 +8,7 @@
 //   surveyor_cli mine <dir> [--min-statements N] [--threshold T]
 //                     [--domain D] [--out FILE] [--provenance N]
 //                     [--report FILE] [--admin-port N] [--faults SPEC]
-//                     [--fault-seed N]
+//                     [--fault-seed N] [--profile FILE]
 //       Runs the full pipeline over <dir>/corpus.tsv with <dir>/kb.tsv and
 //       <dir>/lexicon.tsv; writes the mined opinions (default
 //       <dir>/opinions.tsv). With --snapshot FILE, also freezes them into
@@ -24,7 +24,10 @@
 //       127.0.0.1:N for the duration of the run: /metrics, /metrics.json,
 //       /healthz, /readyz, /statusz, /logz. With --faults SPEC (or the
 //       SURVEYOR_FAULTS env var), arms fault injection for a chaos run,
-//       e.g. --faults doc_read:0.01,em_fit:@3 (DESIGN.md §9).
+//       e.g. --faults doc_read:0.01,em_fit:@3 (DESIGN.md §9). With
+//       --profile FILE (or the SURVEYOR_PROFILE env var), samples the
+//       run's CPU at 97 Hz, writes flamegraph.pl-ready folded stacks to
+//       FILE, and prints the per-stage attribution table (DESIGN.md §12).
 //
 //   surveyor_cli serve <dir> [mine flags] [--admin-port N]
 //   surveyor_cli serve --snapshot FILE [--admin-port N]
@@ -70,6 +73,7 @@
 #include "kb/kb_io.h"
 #include "obs/admin_server.h"
 #include "obs/log_ring.h"
+#include "obs/profiler.h"
 #include "obs/resource_sampler.h"
 #include "obs/stage.h"
 #include "serving/opinion_index.h"
@@ -92,7 +96,7 @@ int Usage() {
       << "  surveyor_cli mine <dir> [--min-statements N] [--threshold T]"
          " [--domain D] [--out FILE] [--provenance N] [--report FILE]"
          " [--snapshot FILE] [--admin-port N] [--faults SPEC]"
-         " [--fault-seed N]\n"
+         " [--fault-seed N] [--profile FILE]\n"
       << "  surveyor_cli serve <dir> [mine flags] [--admin-port N]\n"
       << "  surveyor_cli serve --snapshot FILE [--admin-port N]"
          " [--trace-sample-rate R] [--slow-query-ms MS]\n"
@@ -226,6 +230,7 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
   admin_options.port = admin_port;
   admin_options.trace_sample_rate = trace_sample_rate;
   admin_options.slow_query_ms = slow_query_ms;
+  admin_options.profiler_metrics = &registry;
   obs::AdminServer admin(&registry, &stage_tracker, &obs::LogRing::Global(),
                          admin_options);
   query_service.Register(&admin);
@@ -253,6 +258,7 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
   std::string out = dir + "/opinions.tsv";
   std::string report_path;
   std::string snapshot_path;
+  std::string profile_path;
   // serve without an admin plane would just be a parked process, so it
   // defaults to the conventional local admin port; mine defaults to off.
   int admin_port = serve ? 8080 : 0;
@@ -265,7 +271,7 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
                        flag == "--snapshot" || flag == "--admin-port" ||
                        flag == "--faults" || flag == "--fault-seed" ||
                        flag == "--trace-sample-rate" ||
-                       flag == "--slow-query-ms";
+                       flag == "--slow-query-ms" || flag == "--profile";
     if (!known) {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
@@ -300,9 +306,16 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
       config.trace_sample_rate = std::atof(value.c_str());
     } else if (flag == "--slow-query-ms") {
       config.slow_query_ms = std::atof(value.c_str());
+    } else if (flag == "--profile") {
+      profile_path = value;
     } else {
       report_path = value;
     }
+  }
+  // The env var mirrors the flag so wrappers (CI, scripts) can profile
+  // without touching the command line — same pattern as SURVEYOR_FAULTS.
+  if (profile_path.empty()) {
+    if (const char* env = std::getenv("SURVEYOR_PROFILE")) profile_path = env;
   }
   // Fail fast on a bad configuration: the pipeline validates again before
   // running, but the admin plane (whose tracer options come from the same
@@ -334,6 +347,7 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
     admin_options.port = admin_port;
     admin_options.trace_sample_rate = config.trace_sample_rate;
     admin_options.slow_query_ms = config.slow_query_ms;
+    admin_options.profiler_metrics = &live_registry;
     admin = std::make_unique<obs::AdminServer>(
         &live_registry, &stage_tracker, &obs::LogRing::Global(),
         admin_options);
@@ -347,6 +361,20 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
 
   auto workspace = LoadWorkspace(dir);
   if (!workspace.ok()) return Fail(workspace.status());
+
+  // Arm the sampling profiler around the mining run only (not workspace
+  // loading), so the folded stacks answer "where do mining cycles go".
+  // Stage attribution needs the tracker wired into the pipeline even when
+  // no admin plane is up.
+  obs::Profiler& profiler = obs::Profiler::Global();
+  if (!profile_path.empty()) {
+    config.stage_tracker = &stage_tracker;
+    obs::ProfilerOptions profiler_options;
+    profiler_options.stage_tracker = &stage_tracker;
+    profiler_options.metrics = &live_registry;
+    const Status profiling = profiler.Start(profiler_options);
+    if (!profiling.ok()) return Fail(profiling);
+  }
 
   SurveyorPipeline pipeline(&workspace->kb, &workspace->lexicon, config);
   StatusOr<PipelineResult> result = [&]() -> StatusOr<PipelineResult> {
@@ -365,6 +393,27 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
                               LoadCorpusFromFile(dir + "/corpus.tsv"));
     return pipeline.Run(FilterByDomain(corpus, domain));
   }();
+
+  if (!profile_path.empty()) {
+    StatusOr<obs::ProfileResult> profile = profiler.Stop();
+    if (!profile.ok()) return Fail(profile.status());
+    std::ofstream folded(profile_path);
+    if (!folded) {
+      return Fail(Status::NotFound("cannot write " + profile_path));
+    }
+    folded << profile->ToFolded();
+    std::cout << StrFormat(
+        "wrote CPU profile to %s (%lld samples at %.0f Hz, %lld dropped)\n",
+        profile_path.c_str(), static_cast<long long>(profile->samples),
+        profile->frequency_hz, static_cast<long long>(profile->dropped));
+    for (const obs::StageAttribution& row : profile->stages) {
+      std::cout << StrFormat("  %5.1f%%  stage=%s tag=%s (%lld samples)\n",
+                             100.0 * row.fraction, row.stage.c_str(),
+                             row.tag.c_str(),
+                             static_cast<long long>(row.samples));
+    }
+  }
+
   if (!result.ok()) return Fail(result.status());
 
   OpinionStore store(&workspace->kb);
