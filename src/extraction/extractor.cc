@@ -1,7 +1,6 @@
 #include "extraction/extractor.h"
 
-#include <algorithm>
-
+#include "util/hotpath.h"
 #include "util/logging.h"
 #include "util/profile_tag.h"
 
@@ -45,13 +44,20 @@ bool EvidenceExtractor::ToBeOnly() const {
          options_.version == PatternVersion::kV4AmodAcompToBeChecks;
 }
 
+// SURVEYOR_HOT_BEGIN: per-sentence extraction is ~89% of pipeline wall
+// time (ROADMAP item 1); child lookups go through the allocation-free
+// Count/First queries, and the one output vector is deliberately left
+// unreserved (most sentences yield no statements).
+
 bool EvidenceExtractor::IsPositive(const AnnotatedSentence& sentence,
                                    int adjective_unit) const {
   if (!options_.detect_negation) return true;
   // Walk from the property token to the root, flipping the sign once per
-  // negated token (a token with a `neg` child) — paper Fig. 5.
+  // negated token (a token with a `neg` child) — paper Fig. 5. Follows
+  // head() links directly instead of materializing PathToRoot(); the
+  // tree is validated (rooted, acyclic), so the walk terminates.
   bool positive = true;
-  for (int unit : sentence.tree.PathToRoot(adjective_unit)) {
+  for (int unit = adjective_unit; unit >= 0; unit = sentence.tree.head(unit)) {
     if (sentence.tree.HasChildWithRel(unit, DepRel::kNeg)) {
       positive = !positive;
     }
@@ -61,11 +67,20 @@ bool EvidenceExtractor::IsPositive(const AnnotatedSentence& sentence,
 
 std::string EvidenceExtractor::PropertyString(const AnnotatedSentence& sentence,
                                               int adjective_unit) const {
-  std::vector<int> adverbs =
-      sentence.tree.ChildrenWithRel(adjective_unit, DepRel::kAdvmod);
-  std::sort(adverbs.begin(), adverbs.end());
+  // The parser attaches advmod children in ascending unit order, so
+  // attachment order is already surface order — no sort, no index vector.
+  const DependencyTree& tree = sentence.tree;
+  size_t length = sentence.units[adjective_unit].text.size();
+  for (int adv : tree.children(adjective_unit)) {
+    if (tree.rel(adv) == DepRel::kAdvmod &&
+        sentence.units[adv].pos == Pos::kAdverb) {
+      length += sentence.units[adv].text.size() + 1;
+    }
+  }
   std::string property;
-  for (int adv : adverbs) {
+  property.reserve(length);
+  for (int adv : tree.children(adjective_unit)) {
+    if (tree.rel(adv) != DepRel::kAdvmod) continue;
     if (sentence.units[adv].pos != Pos::kAdverb) continue;
     property += sentence.units[adv].text;
     property += ' ';
@@ -87,12 +102,16 @@ void EvidenceExtractor::EmitWithConjuncts(
     statement.pattern = k;
     statement.doc_id = doc_id;
     statement.sentence_index = sentence_index;
+    // Statements are rare (well under one per sentence); reserving
+    // `out` would pessimize the common empty case.
+    // NOLINTNEXTLINE_HOTPATH(no-heap-alloc)
     out.push_back(std::move(statement));
   };
   emit(adjective_unit, kind);
   // Conjunction pattern (Fig. 4c): adjectives coordinated with a matched
   // adjective assert the same entity.
-  for (int conj : sentence.tree.ChildrenWithRel(adjective_unit, DepRel::kConj)) {
+  for (int conj : sentence.tree.children(adjective_unit)) {
+    if (sentence.tree.rel(conj) != DepRel::kConj) continue;
     if (sentence.units[conj].pos != Pos::kAdjective) continue;
     emit(conj, PatternKind::kConjunction);
   }
@@ -102,6 +121,7 @@ std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromSentence(
     const AnnotatedSentence& sentence, int64_t doc_id,
     int sentence_index) const {
   SURVEYOR_PROFILE_SCOPE("extract");
+  // NOLINTNEXTLINE_HOTPATH(no-heap-alloc) usually stays empty; see above.
   std::vector<EvidenceStatement> out;
   if (!sentence.parsed) return out;
   const DependencyTree& tree = sentence.tree;
@@ -117,21 +137,23 @@ std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromSentence(
     }
 
     // --- Adjectival complement: "X is (very) big" -----------------------
-    const std::vector<int> cops = tree.ChildrenWithRel(adj, DepRel::kCop);
-    if (!cops.empty()) {
+    const int cop = tree.FirstChildWithRel(adj, DepRel::kCop);
+    if (cop >= 0) {
       if (!AcompEnabled()) continue;
-      const std::vector<int> subjects =
-          tree.ChildrenWithRel(adj, DepRel::kNsubj);
-      if (cops.size() != 1 || subjects.size() != 1) continue;
-      if (ToBeOnly() && sentence.units[cops[0]].pos != Pos::kToBe) continue;
-      const ParseUnit& subject = sentence.units[subjects[0]];
+      const int subject_unit = tree.FirstChildWithRel(adj, DepRel::kNsubj);
+      if (tree.CountChildrenWithRel(adj, DepRel::kCop) != 1 ||
+          tree.CountChildrenWithRel(adj, DepRel::kNsubj) != 1) {
+        continue;
+      }
+      if (ToBeOnly() && sentence.units[cop].pos != Pos::kToBe) continue;
+      const ParseUnit& subject = sentence.units[subject_unit];
       if (!subject.IsEntityMention()) continue;
       // Intrinsicness: a prepositional constriction on the predicate
       // ("bad for parking") or an adjectival constriction on the subject
       // mention ("*southern* france is warm" refers to a part of the
       // entity) marks a non-intrinsic statement.
       if (checks && (tree.HasChildWithRel(adj, DepRel::kPrep) ||
-                     tree.HasChildWithRel(subjects[0], DepRel::kAmod))) {
+                     tree.HasChildWithRel(subject_unit, DepRel::kAmod))) {
         continue;
       }
       EmitWithConjuncts(sentence, adj, subject.entity,
@@ -143,13 +165,12 @@ std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromSentence(
     // --- Small clause: "I find kittens cute" -----------------------------
     if (tree.rel(adj) == DepRel::kXcomp) {
       if (!AcompEnabled()) continue;
-      const std::vector<int> subjects =
-          tree.ChildrenWithRel(adj, DepRel::kNsubj);
-      if (subjects.size() != 1) continue;
-      const ParseUnit& subject = sentence.units[subjects[0]];
+      if (tree.CountChildrenWithRel(adj, DepRel::kNsubj) != 1) continue;
+      const int subject_unit = tree.FirstChildWithRel(adj, DepRel::kNsubj);
+      const ParseUnit& subject = sentence.units[subject_unit];
       if (!subject.IsEntityMention()) continue;
       if (checks && (tree.HasChildWithRel(adj, DepRel::kPrep) ||
-                     tree.HasChildWithRel(subjects[0], DepRel::kAmod))) {
+                     tree.HasChildWithRel(subject_unit, DepRel::kAmod))) {
         continue;
       }
       EmitWithConjuncts(sentence, adj, subject.entity,
@@ -174,8 +195,9 @@ std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromSentence(
       entity = noun.coref_entity;
       // Predicate-nominal copula must be "to be" for v3/v4.
       bool copula_ok = true;
-      for (int cop : tree.ChildrenWithRel(head, DepRel::kCop)) {
-        if (ToBeOnly() && sentence.units[cop].pos != Pos::kToBe) {
+      for (int child : tree.children(head)) {
+        if (tree.rel(child) == DepRel::kCop && ToBeOnly() &&
+            sentence.units[child].pos != Pos::kToBe) {
           copula_ok = false;
         }
       }
@@ -185,8 +207,9 @@ std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromSentence(
       // subject mention.
       if (tree.HasChildWithRel(head, DepRel::kPrep)) continue;
       bool subject_constricted = false;
-      for (int subj : tree.ChildrenWithRel(head, DepRel::kNsubj)) {
-        if (tree.HasChildWithRel(subj, DepRel::kAmod)) {
+      for (int child : tree.children(head)) {
+        if (tree.rel(child) == DepRel::kNsubj &&
+            tree.HasChildWithRel(child, DepRel::kAmod)) {
           subject_constricted = true;
         }
       }
@@ -200,6 +223,7 @@ std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromSentence(
   }
   return out;
 }
+// SURVEYOR_HOT_END
 
 std::vector<EvidenceStatement> EvidenceExtractor::ExtractFromDocument(
     const AnnotatedDocument& doc) const {

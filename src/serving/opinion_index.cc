@@ -1,11 +1,13 @@
 #include "serving/opinion_index.h"
 
 #include <algorithm>
+#include <cctype>
 #include <functional>
 
 #include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "util/fault.h"
+#include "util/hotpath.h"
 #include "util/string_util.h"
 
 namespace surveyor {
@@ -14,6 +16,19 @@ namespace {
 
 uint64_t PairKey(uint32_t entity_index, uint32_t property_index) {
   return (static_cast<uint64_t>(entity_index) << 32) | property_index;
+}
+
+/// Lower-cases into a reused thread-local buffer. Point lookups are the
+/// serving fast path; after warm-up this never allocates. The reference
+/// is valid until the next call on the same thread.
+const std::string& LowerScratch(std::string_view text) {
+  thread_local std::string scratch;
+  scratch.resize(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    scratch[i] =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  return scratch;
 }
 
 }  // namespace
@@ -177,17 +192,20 @@ ServedOpinion OpinionIndex::Materialize(const RecordLoc& loc) const {
   return opinion;
 }
 
+SURVEYOR_HOT_FUNCTION
 StatusOr<ServedOpinion> OpinionIndex::Lookup(std::string_view entity,
                                              std::string_view property) const {
   SURVEYOR_SPAN("opinion_index.lookup");
   lookups_->Increment();
   if (!loaded_) return Status::FailedPrecondition("no snapshot loaded");
-  auto entity_it = entity_by_name_.find(ToLower(entity));
+  // The scratch is reused for the property find below; only the mapped
+  // index survives each find, never the key string.
+  auto entity_it = entity_by_name_.find(LowerScratch(entity));
   if (entity_it == entity_by_name_.end()) {
     not_found_->Increment();
     return Status::NotFound("unknown entity '" + std::string(entity) + "'");
   }
-  auto property_it = property_by_name_.find(ToLower(property));
+  auto property_it = property_by_name_.find(LowerScratch(property));
   const uint64_t key =
       property_it == property_by_name_.end()
           ? 0

@@ -46,9 +46,9 @@ void TextAnnotator::ResolveCoreference(AnnotatedSentence& sentence) const {
     const int idx = static_cast<int>(i);
     // Predicate nominal: has a copula child and an entity-mention subject.
     if (!tree.HasChildWithRel(idx, DepRel::kCop)) continue;
-    const std::vector<int> subjects = tree.ChildrenWithRel(idx, DepRel::kNsubj);
-    if (subjects.size() != 1) continue;
-    const ParseUnit& subj = sentence.units[subjects[0]];
+    if (tree.CountChildrenWithRel(idx, DepRel::kNsubj) != 1) continue;
+    const ParseUnit& subj =
+        sentence.units[tree.FirstChildWithRel(idx, DepRel::kNsubj)];
     if (!subj.IsEntityMention()) continue;
     const Entity& entity = kb_->entity(subj.entity);
     // The nominal corefers with the subject when it is the subject's type

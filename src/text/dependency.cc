@@ -109,6 +109,21 @@ std::vector<int> DependencyTree::ChildrenWithRel(int unit, DepRel rel) const {
   return result;
 }
 
+int DependencyTree::CountChildrenWithRel(int unit, DepRel rel) const {
+  int count = 0;
+  for (int child : children(unit)) {
+    if (rels_[child] == rel) ++count;
+  }
+  return count;
+}
+
+int DependencyTree::FirstChildWithRel(int unit, DepRel rel) const {
+  for (int child : children(unit)) {
+    if (rels_[child] == rel) return child;
+  }
+  return -1;
+}
+
 bool DependencyTree::HasChildWithRel(int unit, DepRel rel) const {
   for (int child : children(unit)) {
     if (rels_[child] == rel) return true;

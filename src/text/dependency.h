@@ -65,6 +65,14 @@ class DependencyTree {
   /// Dependents of `unit` attached with `rel`.
   std::vector<int> ChildrenWithRel(int unit, DepRel rel) const;
 
+  /// Number of dependents of `unit` attached with `rel`. Allocation-free
+  /// alternative to ChildrenWithRel(...).size() for hot paths.
+  int CountChildrenWithRel(int unit, DepRel rel) const;
+
+  /// First dependent (in attachment order) of `unit` attached with `rel`,
+  /// or -1 if there is none.
+  int FirstChildWithRel(int unit, DepRel rel) const;
+
   bool HasChildWithRel(int unit, DepRel rel) const;
 
   /// Units on the path from `unit` up to (and including) the root.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/hotpath.h"
 #include "util/logging.h"
 #include "util/profile_tag.h"
 #include "util/string_util.h"
@@ -27,8 +28,18 @@ EntityId EntityTagger::Resolve(
     const std::string& alias,
     const std::unordered_set<std::string>& context) const {
   auto it = aliases_.find(ToLower(alias));
-  if (it == aliases_.end() || it->second.empty()) return kInvalidEntity;
-  const std::vector<EntityId>& candidates = it->second;
+  if (it == aliases_.end()) return kInvalidEntity;
+  std::unordered_set<std::string_view> views;
+  views.reserve(context.size());
+  for (const std::string& word : context) views.insert(word);
+  return Disambiguate(it->second, views);
+}
+
+SURVEYOR_HOT_FUNCTION
+EntityId EntityTagger::Disambiguate(
+    const std::vector<EntityId>& candidates,
+    const std::unordered_set<std::string_view>& context) const {
+  if (candidates.empty()) return kInvalidEntity;
   if (candidates.size() == 1) return candidates[0];
 
   double best = -1e300, second = -1e300;
@@ -56,14 +67,21 @@ EntityId EntityTagger::Resolve(
   return best_entity;
 }
 
+SURVEYOR_HOT_FUNCTION
 std::vector<ParseUnit> EntityTagger::Tag(
     const std::vector<Token>& tokens) const {
   SURVEYOR_PROFILE_SCOPE("match");
-  // Sentence-level context for disambiguation.
-  std::unordered_set<std::string> context;
+  // Sentence-level context for disambiguation: views over the (already
+  // lower-cased) token texts, no copies.
+  std::unordered_set<std::string_view> context;
+  context.reserve(tokens.size());
   for (const Token& token : tokens) context.insert(token.text);
 
   std::vector<ParseUnit> units;
+  units.reserve(tokens.size());
+  // Scratch for candidate alias spans, reused across every span.
+  std::string joined;
+  joined.reserve(64);
   size_t i = 0;
   while (i < tokens.size()) {
     bool matched = false;
@@ -72,7 +90,7 @@ std::vector<ParseUnit> EntityTagger::Tag(
     for (int len = max_len; len >= 1; --len) {
       // Candidate span must consist of word tokens.
       bool span_ok = true;
-      std::string joined;
+      joined.clear();
       for (int k = 0; k < len; ++k) {
         const Token& t = tokens[i + k];
         if (t.pos == Pos::kPunctuation) {
@@ -85,7 +103,7 @@ std::vector<ParseUnit> EntityTagger::Tag(
       if (!span_ok) continue;
       auto it = aliases_.find(joined);
       if (it == aliases_.end()) continue;
-      const EntityId resolved = Resolve(joined, context);
+      const EntityId resolved = Disambiguate(it->second, context);
       if (resolved == kInvalidEntity) {
         // Known alias but too ambiguous to resolve: chunk it as one
         // untagged noun so parsing stays sane; downstream sees no entity.

@@ -2,6 +2,7 @@
 #define SURVEYOR_TEXT_ENTITY_TAGGER_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -46,6 +47,13 @@ class EntityTagger {
                    const std::unordered_set<std::string>& context) const;
 
  private:
+  /// Disambiguation core shared by Tag and Resolve: scores pre-looked-up
+  /// candidates against lower-cased context words. Views must outlive the
+  /// call only.
+  EntityId Disambiguate(
+      const std::vector<EntityId>& candidates,
+      const std::unordered_set<std::string_view>& context) const;
+
   const KnowledgeBase* kb_;
   EntityTaggerOptions options_;
   /// alias (space-joined lower-case tokens) -> candidate entities.

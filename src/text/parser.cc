@@ -2,12 +2,16 @@
 
 #include <string>
 
+#include "util/hotpath.h"
 #include "util/logging.h"
 #include "util/profile_tag.h"
 #include "util/string_util.h"
 
 namespace surveyor {
 namespace {
+// SURVEYOR_HOT_BEGIN: the recursive-descent clause parser runs once per
+// sentence; modifier lists are tracked as contiguous [begin, end) unit
+// ranges (Consume() hands out consecutive indices), never materialized.
 
 /// Treats out-of-lexicon words as nouns, like a tagger's fallback class.
 bool IsNounish(Pos pos) {
@@ -45,6 +49,9 @@ class ClauseParser {
                                         : Pos::kPunctuation;
   }
   int Consume() { return static_cast<int>(pos_++); }
+  /// Current position as a unit index; [Here(), Here()) ranges taken
+  /// around runs of Consume() calls name the units consumed in between.
+  int Here() const { return static_cast<int>(pos_); }
 
   Status Error(const std::string& what) const {
     return Status::InvalidArgument(StrFormat(
@@ -61,15 +68,18 @@ class ClauseParser {
 
     if (Peek() == Pos::kAux) {
       const int aux = Consume();
-      std::vector<int> negs;
-      while (Peek() == Pos::kNegation) negs.push_back(Consume());
+      const int negs_begin = Here();
+      while (Peek() == Pos::kNegation) Consume();
+      const int negs_end = Here();
       if (Peek() != Pos::kOpinionVerb && Peek() != Pos::kSmallClauseVerb) {
         return Error("expected an opinion verb after the auxiliary");
       }
       const bool small_clause = Peek() == Pos::kSmallClauseVerb;
       const int verb = Consume();
       tree_.SetArc(aux, verb, DepRel::kAux);
-      for (int n : negs) tree_.SetArc(n, verb, DepRel::kNeg);
+      for (int n = negs_begin; n < negs_end; ++n) {
+        tree_.SetArc(n, verb, DepRel::kNeg);
+      }
       tree_.SetArc(subj, verb, DepRel::kNsubj);
       if (small_clause) {
         SURVEYOR_RETURN_IF_ERROR(ParseSmallClause(verb));
@@ -112,13 +122,16 @@ class ClauseParser {
   // The adjective heads an xcomp whose nsubj is the inner NP.
   Status ParseSmallClause(int verb) {
     SURVEYOR_ASSIGN_OR_RETURN(int subject, ParseNounPhrase());
-    std::vector<int> advs;
-    while (Peek() == Pos::kAdverb) advs.push_back(Consume());
+    const int advs_begin = Here();
+    while (Peek() == Pos::kAdverb) Consume();
+    const int advs_end = Here();
     if (Peek() != Pos::kAdjective) {
       return Error("expected an adjective in the small clause");
     }
     const int adj = Consume();
-    for (int a : advs) tree_.SetArc(a, adj, DepRel::kAdvmod);
+    for (int a = advs_begin; a < advs_end; ++a) {
+      tree_.SetArc(a, adj, DepRel::kAdvmod);
+    }
     SURVEYOR_RETURN_IF_ERROR(ParseAdjectiveConjuncts(adj));
     tree_.SetArc(subject, adj, DepRel::kNsubj);
     tree_.SetArc(adj, verb, DepRel::kXcomp);
@@ -140,19 +153,23 @@ class ClauseParser {
 
   // NP := det? (adv* adj (conj-chain)?)* head-noun
   StatusOr<int> ParseNounPhrase() {
+    const int np_begin = Here();
     int det = -1;
     if (Peek() == Pos::kDeterminer) det = Consume();
-    std::vector<int> amods;
     for (;;) {
-      std::vector<int> advs;
-      while (Peek() == Pos::kAdverb) advs.push_back(Consume());
+      const int advs_begin = Here();
+      while (Peek() == Pos::kAdverb) Consume();
+      const int advs_end = Here();
       if (Peek() == Pos::kAdjective) {
         const int adj = Consume();
-        for (int a : advs) tree_.SetArc(a, adj, DepRel::kAdvmod);
+        for (int a = advs_begin; a < advs_end; ++a) {
+          tree_.SetArc(a, adj, DepRel::kAdvmod);
+        }
         SURVEYOR_RETURN_IF_ERROR(ParseAdjectiveConjuncts(adj));
-        amods.push_back(adj);
       } else {
-        if (!advs.empty()) return Error("dangling adverb in noun phrase");
+        if (advs_end != advs_begin) {
+          return Error("dangling adverb in noun phrase");
+        }
         break;
       }
     }
@@ -161,7 +178,14 @@ class ClauseParser {
     }
     const int head = Consume();
     if (det >= 0) tree_.SetArc(det, head, DepRel::kDet);
-    for (int adj : amods) tree_.SetArc(adj, head, DepRel::kAmod);
+    // The phrase's top-level adjectives are exactly its still-unattached
+    // adjective units: adverbs, conjunction words, and conjunct
+    // adjectives were all attached as they were consumed.
+    for (int u = np_begin; u < head; ++u) {
+      if (units_[u].pos == Pos::kAdjective && tree_.head(u) < 0) {
+        tree_.SetArc(u, head, DepRel::kAmod);
+      }
+    }
     return head;
   }
 
@@ -174,10 +198,13 @@ class ClauseParser {
       if (Peek(ahead) != Pos::kAdjective) break;
       const int cc = Consume();
       tree_.SetArc(cc, first, DepRel::kCc);
-      std::vector<int> advs;
-      while (Peek() == Pos::kAdverb) advs.push_back(Consume());
+      const int advs_begin = Here();
+      while (Peek() == Pos::kAdverb) Consume();
+      const int advs_end = Here();
       const int adj = Consume();
-      for (int a : advs) tree_.SetArc(a, adj, DepRel::kAdvmod);
+      for (int a = advs_begin; a < advs_end; ++a) {
+        tree_.SetArc(a, adj, DepRel::kAdvmod);
+      }
       tree_.SetArc(adj, first, DepRel::kConj);
     }
     return Status::OK();
@@ -208,34 +235,44 @@ class ClauseParser {
 
   // Predicate := neg/adv* (AdjP | NP) PP*
   StatusOr<int> ParseCopularPredicate(int cop, int subj) {
-    std::vector<int> negs;
-    std::vector<int> advs;
+    const int mods_begin = Here();
+    bool has_adverb = false;
     for (;;) {
       if (Peek() == Pos::kNegation) {
-        negs.push_back(Consume());
+        Consume();
       } else if (Peek() == Pos::kAdverb) {
-        advs.push_back(Consume());
+        has_adverb = true;
+        Consume();
       } else {
         break;
       }
     }
+    const int mods_end = Here();
 
     int head = -1;
     if (Peek() == Pos::kAdjective && !AdjectivesLeadToNoun()) {
       head = Consume();
-      for (int a : advs) tree_.SetArc(a, head, DepRel::kAdvmod);
+      for (int a = mods_begin; a < mods_end; ++a) {
+        if (units_[a].pos == Pos::kAdverb) {
+          tree_.SetArc(a, head, DepRel::kAdvmod);
+        }
+      }
       SURVEYOR_RETURN_IF_ERROR(ParseAdjectiveConjuncts(head));
     } else if (Peek() == Pos::kDeterminer || IsNounish(Peek()) ||
                Peek() == Pos::kAdjective) {
       // Predicate nominal, possibly with leading adjectives
       // ("are dangerous animals"); ParseNounPhrase attaches them as amod.
-      if (!advs.empty()) return Error("dangling adverb before predicate");
+      if (has_adverb) return Error("dangling adverb before predicate");
       SURVEYOR_ASSIGN_OR_RETURN(head, ParseNounPhrase());
     } else {
       return Error("unsupported copular predicate");
     }
 
-    for (int n : negs) tree_.SetArc(n, head, DepRel::kNeg);
+    for (int n = mods_begin; n < mods_end; ++n) {
+      if (units_[n].pos == Pos::kNegation) {
+        tree_.SetArc(n, head, DepRel::kNeg);
+      }
+    }
     tree_.SetArc(cop, head, DepRel::kCop);
     tree_.SetArc(subj, head, DepRel::kNsubj);
     while (Peek() == Pos::kPreposition) {
@@ -286,5 +323,6 @@ StatusOr<DependencyTree> DependencyParser::Parse(
   ClauseParser parser(units);
   return parser.Run();
 }
+// SURVEYOR_HOT_END
 
 }  // namespace surveyor

@@ -51,7 +51,7 @@ struct RetryResult {
 /// retrying; by default only kInternal (the code used for injected faults
 /// and unexpected I/O errors) — kInvalidArgument-style failures are
 /// deterministic and retrying them would only hide bugs.
-RetryResult RetryWithBackoff(
+[[nodiscard]] RetryResult RetryWithBackoff(
     const RetryPolicy& policy, const std::function<Status()>& attempt,
     const std::function<bool(const Status&)>& retryable = nullptr);
 

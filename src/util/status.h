@@ -28,7 +28,7 @@ std::string_view StatusCodeToString(StatusCode code);
 /// an error code with a message. The library does not throw exceptions
 /// across public API boundaries; recoverable failures are reported through
 /// `Status` / `StatusOr<T>`.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

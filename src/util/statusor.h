@@ -14,7 +14,7 @@ namespace surveyor {
 /// Accessing the value of an error-holding `StatusOr` is a programmer error
 /// and aborts the process (matching the no-exceptions policy).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. `status` must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)

@@ -242,6 +242,41 @@ TEST(ViolationsToJsonTest, EscapesAndStructures) {
   EXPECT_EQ(ViolationsToJson({}), "[]\n");
 }
 
+TEST_F(CheckLayersTest, NolintOnTheViolatingLineSuppresses) {
+  WriteFile("util/logging.cc",
+            "#include \"obs/metrics.h\"  "
+            "// NOLINT_LAYERS(layer) log sink shim\n");
+  EXPECT_EQ(Lint(MiniRules()), "");
+}
+
+TEST_F(CheckLayersTest, NolintNextLineSuppresses) {
+  WriteFile("util/logging.cc",
+            "// NOLINTNEXTLINE_LAYERS(layer)\n"
+            "#include \"obs/metrics.h\"\n");
+  EXPECT_EQ(Lint(MiniRules()), "");
+}
+
+// The negative twin of the suppression tests: an unsuppressed violation
+// (and one suppressed for the wrong rule) must still fail.
+TEST_F(CheckLayersTest, UnsuppressedViolationStillFails) {
+  WriteFile("util/a.cc",
+            "#include \"obs/metrics.h\"  // NOLINT_LAYERS(header-guard)\n");
+  WriteFile("util/b.cc", "#include \"obs/metrics.h\"\n");
+  EXPECT_EQ(Lint(MiniRules()),
+            "util/a.cc:1: layer: layer 'util' may not include 'obs' "
+            "(allowed: (nothing))\n"
+            "util/b.cc:1: layer: layer 'util' may not include 'obs' "
+            "(allowed: (nothing))\n");
+}
+
+TEST_F(CheckLayersTest, NolintForTheOtherToolDoesNotSuppress) {
+  WriteFile("util/a.cc",
+            "#include \"obs/metrics.h\"  // NOLINT_HOTPATH(layer)\n");
+  EXPECT_EQ(Lint(MiniRules()),
+            "util/a.cc:1: layer: layer 'util' may not include 'obs' "
+            "(allowed: (nothing))\n");
+}
+
 }  // namespace
 }  // namespace layers
 }  // namespace surveyor

@@ -1,0 +1,62 @@
+#include "tools/lint_util.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace surveyor {
+namespace lint {
+namespace {
+
+TEST(ParseNolintsTest, ParsesRuleListAndBareForm) {
+  const auto directives =
+      ParseNolints("x // NOLINT_HOTPATH(no-heap-alloc, no-lock) why",
+                   "HOTPATH");
+  ASSERT_EQ(directives.size(), 1u);
+  EXPECT_FALSE(directives[0].next_line);
+  EXPECT_EQ(directives[0].rules,
+            (std::set<std::string>{"no-heap-alloc", "no-lock"}));
+
+  const auto bare = ParseNolints("// NOLINT_HOTPATH", "HOTPATH");
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_TRUE(bare[0].rules.empty());  // empty = all rules
+}
+
+TEST(ParseNolintsTest, NextLineVariantAndWrongToolName) {
+  const auto directives =
+      ParseNolints("// NOLINTNEXTLINE_LAYERS(layer)", "LAYERS");
+  ASSERT_EQ(directives.size(), 1u);
+  EXPECT_TRUE(directives[0].next_line);
+
+  EXPECT_TRUE(ParseNolints("// NOLINT_LAYERS(layer)", "HOTPATH").empty());
+  EXPECT_TRUE(ParseNolints("// NOLINT(readability)", "HOTPATH").empty());
+  // A longer token must not match as a prefix.
+  EXPECT_TRUE(ParseNolints("// NOLINT_HOTPATHX(x)", "HOTPATH").empty());
+}
+
+TEST(ParseNolintsTest, MalformedListWidensToAllRules) {
+  const auto unclosed = ParseNolints("// NOLINT_HOTPATH(no-lock", "HOTPATH");
+  ASSERT_EQ(unclosed.size(), 1u);
+  EXPECT_TRUE(unclosed[0].rules.empty());
+}
+
+TEST(IsSuppressedTest, SameLineAndNextLineScoping) {
+  const std::vector<std::string> comments = {
+      " NOLINTNEXTLINE_HOTPATH(no-lock)",  // line 1
+      "",                                  // line 2 (covered by line 1)
+      " NOLINT_HOTPATH(no-io-log)",        // line 3
+  };
+  EXPECT_TRUE(IsSuppressed(comments, 2, "HOTPATH", "no-lock"));
+  EXPECT_FALSE(IsSuppressed(comments, 2, "HOTPATH", "no-io-log"));
+  EXPECT_FALSE(IsSuppressed(comments, 1, "HOTPATH", "no-lock"));
+  EXPECT_TRUE(IsSuppressed(comments, 3, "HOTPATH", "no-io-log"));
+  EXPECT_FALSE(IsSuppressed(comments, 4, "HOTPATH", "no-io-log"));
+  // Out-of-range lines never crash and never suppress.
+  EXPECT_FALSE(IsSuppressed(comments, 0, "HOTPATH", "no-lock"));
+  EXPECT_FALSE(IsSuppressed(comments, 99, "HOTPATH", "no-lock"));
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace surveyor

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "tools/lint_util.h"
+
 namespace surveyor {
 namespace layers {
 
@@ -296,6 +298,7 @@ std::vector<Violation> AnalyzeTree(const std::string& root,
       while (std::getline(in, line)) lines.push_back(line);
     }
 
+    const size_t first_violation = violations.size();
     const size_t slash = relative.find('/');
     if (slash != std::string::npos) {
       CheckLayerEdges(relative, relative.substr(0, slash), lines, rules,
@@ -304,6 +307,16 @@ std::vector<Violation> AnalyzeTree(const std::string& root,
     if (file.extension() == ".h") {
       CheckHeaderHygiene(relative, lines, options, &violations);
     }
+    // NOLINT_LAYERS / NOLINTNEXTLINE_LAYERS line suppressions
+    // (tools/lint_util.h). Kept per-file so directives only ever see
+    // their own file's lines.
+    violations.erase(
+        std::remove_if(violations.begin() + first_violation, violations.end(),
+                       [&](const Violation& v) {
+                         return lint::IsSuppressed(lines, v.line, "LAYERS",
+                                                   v.rule);
+                       }),
+        violations.end());
   }
 
   std::sort(violations.begin(), violations.end(),

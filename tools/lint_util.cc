@@ -1,0 +1,91 @@
+#include "tools/lint_util.h"
+
+#include <cctype>
+
+namespace surveyor {
+namespace lint {
+
+namespace {
+
+bool IsRuleChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+/// Parses the optional "(rule, rule)" list starting at `pos` (just past the
+/// directive name). Returns the rules (empty = all); a malformed or absent
+/// list counts as "all rules", so a typo widens rather than silently
+/// narrows the suppression.
+std::set<std::string> ParseRuleList(std::string_view text, size_t pos) {
+  std::set<std::string> rules;
+  if (pos >= text.size() || text[pos] != '(') return rules;
+  const size_t close = text.find(')', pos + 1);
+  if (close == std::string_view::npos) return rules;
+  std::string current;
+  for (size_t i = pos + 1; i < close; ++i) {
+    const char c = text[i];
+    if (IsRuleChar(c)) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      rules.insert(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) rules.insert(current);
+  return rules;
+}
+
+}  // namespace
+
+std::vector<Nolint> ParseNolints(std::string_view text,
+                                 std::string_view tool) {
+  std::vector<Nolint> directives;
+  const std::string same_line = "NOLINT_" + std::string(tool);
+  const std::string next_line = "NOLINTNEXTLINE_" + std::string(tool);
+  size_t pos = 0;
+  while ((pos = text.find("NOLINT", pos)) != std::string_view::npos) {
+    Nolint directive;
+    size_t name_end;
+    if (text.compare(pos, next_line.size(), next_line) == 0) {
+      directive.next_line = true;
+      name_end = pos + next_line.size();
+    } else if (text.compare(pos, same_line.size(), same_line) == 0) {
+      name_end = pos + same_line.size();
+    } else {
+      ++pos;
+      continue;
+    }
+    // Reject prefixes of a longer token (e.g. NOLINT_HOTPATHX).
+    if (name_end < text.size() && IsRuleChar(text[name_end])) {
+      pos = name_end;
+      continue;
+    }
+    directive.rules = ParseRuleList(text, name_end);
+    directives.push_back(std::move(directive));
+    pos = name_end;
+  }
+  return directives;
+}
+
+bool IsSuppressed(const std::vector<std::string>& comment_lines, int line,
+                  std::string_view tool, std::string_view rule) {
+  const auto covers = [&](const Nolint& directive) {
+    return directive.rules.empty() ||
+           directive.rules.count(std::string(rule)) > 0;
+  };
+  if (line >= 1 && line <= static_cast<int>(comment_lines.size())) {
+    for (const Nolint& directive :
+         ParseNolints(comment_lines[line - 1], tool)) {
+      if (!directive.next_line && covers(directive)) return true;
+    }
+  }
+  if (line >= 2 && line - 1 <= static_cast<int>(comment_lines.size())) {
+    for (const Nolint& directive :
+         ParseNolints(comment_lines[line - 2], tool)) {
+      if (directive.next_line && covers(directive)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lint
+}  // namespace surveyor

@@ -1,0 +1,48 @@
+#ifndef SURVEYOR_TOOLS_LINT_UTIL_H_
+#define SURVEYOR_TOOLS_LINT_UTIL_H_
+
+// Suppression-comment parsing shared by the stdlib-only linters
+// (check_layers, check_hotpath). Both tools accept clang-tidy-style
+// line suppressions, namespaced per tool so a NOLINT for one linter
+// never silences the other:
+//
+//   code;  // NOLINT_<TOOL>             suppress every rule on this line
+//   code;  // NOLINT_<TOOL>(rule)       suppress one rule
+//   code;  // NOLINT_<TOOL>(a, b)       suppress several rules
+//   // NOLINTNEXTLINE_<TOOL>(rule)      same, for the following line
+//
+// <TOOL> is "LAYERS" or "HOTPATH". Anything after the closing paren is
+// free-form justification text (encouraged).
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surveyor {
+namespace lint {
+
+/// One parsed suppression directive.
+struct Nolint {
+  /// True for NOLINTNEXTLINE_<tool> (applies to the following line).
+  bool next_line = false;
+  /// Suppressed rule names; empty means "all rules".
+  std::set<std::string> rules;
+};
+
+/// Parses every NOLINT_<tool>/NOLINTNEXTLINE_<tool> directive in `text`
+/// (typically the comment text of one source line). `tool` is the
+/// upper-case namespace, e.g. "HOTPATH".
+std::vector<Nolint> ParseNolints(std::string_view text, std::string_view tool);
+
+/// True when a violation of `rule` on line `line` (1-based) is suppressed
+/// by the directives of `lines` (the per-line comment text of the file,
+/// index 0 = line 1): a same-line NOLINT or a previous-line NOLINTNEXTLINE
+/// covering `rule`.
+bool IsSuppressed(const std::vector<std::string>& comment_lines, int line,
+                  std::string_view tool, std::string_view rule);
+
+}  // namespace lint
+}  // namespace surveyor
+
+#endif  // SURVEYOR_TOOLS_LINT_UTIL_H_
