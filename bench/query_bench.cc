@@ -102,7 +102,7 @@ int Run(const std::string& out_path) {
   options.cache_shards = 8;
   serving::OpinionIndex index(options);
   SURVEYOR_CHECK(index.Load(path).ok());
-  const size_t num_opinions = index.snapshot().num_opinions();
+  const size_t num_opinions = index.generation()->snapshot().num_opinions();
 
   // Hot: a 64-pair working set that fits every shard — the acceptance
   // number (>= 100k/s) is this one.
@@ -321,9 +321,9 @@ int Run(const std::string& out_path) {
       .Key("opinions")
       .Value(static_cast<int64_t>(num_opinions))
       .Key("entities")
-      .Value(static_cast<int64_t>(index.snapshot().num_entities()))
+      .Value(static_cast<int64_t>(index.generation()->snapshot().num_entities()))
       .Key("properties")
-      .Value(static_cast<int64_t>(index.snapshot().num_properties()))
+      .Value(static_cast<int64_t>(index.generation()->snapshot().num_properties()))
       .EndObject()
       .Key("lookups_per_second")
       .BeginObject()

@@ -183,6 +183,16 @@ void AdminServer::AddHandler(std::string prefix, AdminHandler handler) {
   handlers_.emplace_back(std::move(prefix), std::move(handler));
 }
 
+void AdminServer::AddStatusSection(std::string key, StatusSection section) {
+  SURVEYOR_CHECK(listen_fd_ < 0) << "AddStatusSection after Start()";
+  status_sections_.emplace_back(std::move(key), std::move(section));
+}
+
+void AdminServer::AddMetricsHook(MetricsHook hook) {
+  SURVEYOR_CHECK(listen_fd_ < 0) << "AddMetricsHook after Start()";
+  metrics_hooks_.push_back(std::move(hook));
+}
+
 AdminResponse AdminServer::Handle(std::string_view method,
                                   std::string_view target,
                                   std::string_view body) const {
@@ -250,6 +260,7 @@ AdminResponse AdminServer::Dispatch(std::string_view method,
 }
 
 AdminResponse AdminServer::MetricsText() const {
+  for (const MetricsHook& hook : metrics_hooks_) hook();
   AdminResponse response;
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   response.body = registry_->ToPrometheusText();
@@ -264,6 +275,7 @@ AdminResponse AdminServer::MetricsText() const {
 }
 
 AdminResponse AdminServer::MetricsJson() const {
+  for (const MetricsHook& hook : metrics_hooks_) hook();
   AdminResponse response;
   response.content_type = "application/json";
   response.body = registry_->ToJson() + "\n";
@@ -335,6 +347,10 @@ AdminResponse AdminServer::Statusz() const {
           .Value(log_ring_->MessageCount(severity));
     }
     writer.EndObject();
+  }
+  for (const auto& [key, section] : status_sections_) {
+    writer.Key(key);
+    section(writer);
   }
   writer.EndObject();
   AdminResponse response;

@@ -19,6 +19,8 @@
 namespace surveyor {
 namespace obs {
 
+class JsonWriter;
+
 /// Configuration of the embedded admin HTTP server.
 struct AdminServerOptions {
   /// TCP port to listen on; 0 picks an ephemeral port (port() reports the
@@ -60,6 +62,17 @@ struct AdminResponse {
 /// must be thread-safe with respect to the application state it reads.
 using AdminHandler = std::function<AdminResponse(
     std::string_view method, std::string_view target, std::string_view body)>;
+
+/// One application section on /statusz (see AddStatusSection). The
+/// function writes exactly one JSON value (usually an object) as the
+/// section's content; it runs on the accept thread and must be
+/// thread-safe with respect to the state it reads.
+using StatusSection = std::function<void(JsonWriter&)>;
+
+/// Runs at the start of every /metrics scrape (see AddMetricsHook) —
+/// the place to refresh gauges whose value is a function of "now", like
+/// the serving generation's age.
+using MetricsHook = std::function<void()>;
 
 /// Dependency-free embedded HTTP/1.0 admin server: one blocking
 /// accept-loop thread serving the live observability state of this
@@ -131,6 +144,16 @@ class AdminServer {
   /// against a running server.
   void AddHandler(std::string prefix, AdminHandler handler);
 
+  /// Appends an application-owned section to /statusz under `key`
+  /// ("generation": {...}). Sections render in registration order, after
+  /// the builtin fields. Must be called before Start().
+  void AddStatusSection(std::string key, StatusSection section);
+
+  /// Registers a hook invoked at the start of every /metrics and
+  /// /metrics.json scrape, before the registry renders. Must be called
+  /// before Start().
+  void AddMetricsHook(MetricsHook hook);
+
   /// Pure request dispatch: `target` is the request path plus optional
   /// query string, `body` the request body. Exposed for tests.
   AdminResponse Handle(std::string_view method, std::string_view target,
@@ -179,6 +202,12 @@ class AdminServer {
   /// Registered application endpoints, (prefix, handler). Immutable once
   /// the accept thread starts.
   std::vector<std::pair<std::string, AdminHandler>> handlers_;
+  /// Application /statusz sections, (key, writer). Immutable once the
+  /// accept thread starts.
+  std::vector<std::pair<std::string, StatusSection>> status_sections_;
+  /// Scrape-time gauge refreshers. Immutable once the accept thread
+  /// starts.
+  std::vector<MetricsHook> metrics_hooks_;
 
   int listen_fd_ = -1;
   int port_ = 0;

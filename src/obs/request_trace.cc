@@ -229,6 +229,11 @@ uint64_t CurrentTraceId() {
   return context == nullptr ? 0 : context->trace.trace_id;
 }
 
+void ForceSampleCurrentRequest() {
+  internal::RequestContext* context = internal::CurrentRequestContext();
+  if (context != nullptr) context->trace.sampled = true;
+}
+
 uint64_t CurrentSampledTraceId() {
   internal::RequestContext* context = internal::CurrentRequestContext();
   if (context == nullptr || !context->trace.sampled) return 0;

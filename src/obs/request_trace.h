@@ -216,6 +216,12 @@ RequestStats* CurrentRequestStats();
 /// Trace id of the current request (0 when no RequestScope is live).
 uint64_t CurrentTraceId();
 
+/// Marks the current request as sampled regardless of the head-sampling
+/// decision, so its trace is retained on /tracez. For rare,
+/// operator-significant requests (a /reloadz generation swap) whose trace
+/// should never be lost to a 1% sampling rate. No-op outside a request.
+void ForceSampleCurrentRequest();
+
 /// Trace id of the current request if it was head-sampled, else 0. Metric
 /// exemplars use this so every exemplar on /metrics resolves to a trace
 /// that /tracez actually retained.

@@ -33,7 +33,8 @@ const std::string& LowerScratch(std::string_view text) {
 
 }  // namespace
 
-bool OpinionIndex::CacheShard::Get(uint64_t key, ServedOpinion* out) const {
+bool LoadedGeneration::CacheShard::Get(uint64_t key,
+                                       ServedOpinion* out) const {
   MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
@@ -42,8 +43,8 @@ bool OpinionIndex::CacheShard::Get(uint64_t key, ServedOpinion* out) const {
   return true;
 }
 
-size_t OpinionIndex::CacheShard::Put(uint64_t key, ServedOpinion value,
-                                     size_t capacity) {
+size_t LoadedGeneration::CacheShard::Put(uint64_t key, ServedOpinion value,
+                                         size_t capacity) {
   MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -62,7 +63,7 @@ size_t OpinionIndex::CacheShard::Put(uint64_t key, ServedOpinion value,
   return evicted;
 }
 
-size_t OpinionIndex::CacheShard::size() const {
+size_t LoadedGeneration::CacheShard::size() const {
   MutexLock lock(mutex_);
   return entries_.size();
 }
@@ -82,20 +83,40 @@ OpinionIndex::OpinionIndex(OpinionIndexOptions options)
       metrics_->GetCounter("surveyor_query_cache_evictions_total");
   lookups_ = metrics_->GetCounter("surveyor_query_lookups_total");
   not_found_ = metrics_->GetCounter("surveyor_query_not_found_total");
+  swaps_ = metrics_->GetCounter("surveyor_generation_swaps_total");
+  swap_failures_ =
+      metrics_->GetCounter("surveyor_generation_swap_failures_total");
+  generation_gauge_ = metrics_->GetGauge("surveyor_generation_id");
   metrics_->SetHelp("surveyor_query_cache_hits_total",
                     "Point lookups answered from the LRU cache");
   metrics_->SetHelp("surveyor_query_cache_misses_total",
                     "Point lookups that decoded snapshot records");
   metrics_->SetHelp("surveyor_query_cache_evictions_total",
                     "Cache entries displaced by newer answers");
-  shards_.reserve(options_.cache_shards);
-  for (size_t i = 0; i < options_.cache_shards; ++i) {
-    shards_.push_back(std::make_unique<CacheShard>());
-  }
+  metrics_->SetHelp("surveyor_generation_swaps_total",
+                    "Snapshot generations hot-swapped into the index");
+  metrics_->SetHelp("surveyor_generation_swap_failures_total",
+                    "Failed loads (the previous generation kept serving)");
+  metrics_->SetHelp("surveyor_generation_id",
+                    "Generation id currently serving (0 = none)");
 }
 
 Status OpinionIndex::Load(const std::string& path) {
+  return LoadGeneration(path, generation_id() + 1);
+}
+
+Status OpinionIndex::LoadGeneration(const std::string& path,
+                                    uint64_t generation_id) {
   SURVEYOR_SPAN("opinion_index.load");
+  MutexLock load_lock(load_mutex_);
+  // Everything below builds off to the side: queries keep hitting the
+  // current generation untouched until the single publish store at the
+  // bottom. Any failure leaves the index exactly as it was.
+  auto fail = [this](Status status) {
+    swap_failures_->Increment();
+    return status;
+  };
+
   Snapshot snapshot;
   const RetryResult result = RetryWithBackoff(
       options_.retry, [&snapshot, &path] { return snapshot.Open(path); });
@@ -104,90 +125,112 @@ Status OpinionIndex::Load(const std::string& path) {
       stats->retries += result.attempts - 1;
     }
   }
-  SURVEYOR_RETURN_IF_ERROR(result.status);
+  if (!result.status.ok()) return fail(result.status);
 
-  std::unordered_map<std::string, uint32_t> entity_by_name;
-  entity_by_name.reserve(snapshot.num_entities());
-  std::vector<std::pair<std::string, uint32_t>> sorted_entities;
-  sorted_entities.reserve(snapshot.num_entities());
+  auto generation = std::make_shared<LoadedGeneration>();
+  generation->id_ = generation_id;
+  generation->entity_by_name_.reserve(snapshot.num_entities());
+  generation->sorted_entities_.reserve(snapshot.num_entities());
   for (uint32_t i = 0; i < snapshot.num_entities(); ++i) {
     std::string name = ToLower(snapshot.EntityName(i));
-    entity_by_name[name] = i;
-    sorted_entities.emplace_back(std::move(name), i);
+    generation->entity_by_name_[name] = i;
+    generation->sorted_entities_.emplace_back(std::move(name), i);
   }
-  std::sort(sorted_entities.begin(), sorted_entities.end());
+  std::sort(generation->sorted_entities_.begin(),
+            generation->sorted_entities_.end());
 
-  std::unordered_map<std::string, uint32_t> property_by_name;
-  property_by_name.reserve(snapshot.num_properties());
+  generation->property_by_name_.reserve(snapshot.num_properties());
   for (uint32_t i = 0; i < snapshot.num_properties(); ++i) {
-    property_by_name[ToLower(snapshot.PropertyName(i))] = i;
+    generation->property_by_name_[ToLower(snapshot.PropertyName(i))] = i;
   }
-  std::unordered_map<std::string, uint32_t> type_by_name;
-  type_by_name.reserve(snapshot.num_types());
+  generation->type_by_name_.reserve(snapshot.num_types());
   for (uint32_t i = 0; i < snapshot.num_types(); ++i) {
-    type_by_name[ToLower(snapshot.TypeName(i))] = i;
+    generation->type_by_name_[ToLower(snapshot.TypeName(i))] = i;
   }
 
-  std::unordered_map<uint64_t, RecordLoc> records_by_pair;
-  records_by_pair.reserve(snapshot.num_opinions());
-  std::vector<std::vector<uint32_t>> blocks_by_type(snapshot.num_types());
+  generation->records_by_pair_.reserve(snapshot.num_opinions());
+  generation->blocks_by_type_.resize(snapshot.num_types());
   const auto& blocks = snapshot.blocks();
   for (uint32_t b = 0; b < blocks.size(); ++b) {
-    blocks_by_type[blocks[b].type_index].push_back(b);
+    generation->blocks_by_type_[blocks[b].type_index].push_back(b);
     for (uint32_t r = 0; r < blocks[b].record_count; ++r) {
       const Snapshot::RecordView record =
           Snapshot::ReadRecord(blocks[b].records, r);
-      records_by_pair[PairKey(record.entity_index,
-                              blocks[b].property_index)] = RecordLoc{b, r};
+      generation->records_by_pair_[PairKey(
+          record.entity_index, blocks[b].property_index)] =
+          LoadedGeneration::RecordLoc{b, r};
     }
   }
 
-  std::unordered_map<uint64_t, uint32_t> provenance_by_pair;
   const auto& provenance = snapshot.provenance();
-  provenance_by_pair.reserve(provenance.size());
+  generation->provenance_by_pair_.reserve(provenance.size());
   for (uint32_t i = 0; i < provenance.size(); ++i) {
-    provenance_by_pair[PairKey(provenance[i].entity_index,
-                               provenance[i].property_index)] = i;
+    generation->provenance_by_pair_[PairKey(provenance[i].entity_index,
+                                            provenance[i].property_index)] =
+        i;
   }
 
-  // All derived state built; swap in atomically from the caller's view.
-  snapshot_ = std::move(snapshot);
-  entity_by_name_ = std::move(entity_by_name);
-  property_by_name_ = std::move(property_by_name);
-  type_by_name_ = std::move(type_by_name);
-  records_by_pair_ = std::move(records_by_pair);
-  provenance_by_pair_ = std::move(provenance_by_pair);
-  blocks_by_type_ = std::move(blocks_by_type);
-  sorted_entities_ = std::move(sorted_entities);
-  for (auto& shard : shards_) shard = std::make_unique<CacheShard>();
-  loaded_ = true;
+  // A fresh cache travels with the generation: a swap can never serve an
+  // answer decoded from a previous snapshot.
+  generation->shards_.reserve(options_.cache_shards);
+  for (size_t i = 0; i < options_.cache_shards; ++i) {
+    generation->shards_.push_back(
+        std::make_unique<LoadedGeneration::CacheShard>());
+  }
+  generation->snapshot_ = std::move(snapshot);
+  generation->loaded_at_ = std::chrono::steady_clock::now();
+
+  // The "generation_swap" fault simulates a load that dies after all the
+  // I/O succeeded but before publication — the previous generation must
+  // keep serving and the failure must be visible on /metrics.
+  if (SURVEYOR_FAULT("generation_swap")) {
+    return fail(
+        Status::Internal("injected fault at generation_swap: " + path));
+  }
+
+  // The swap: one pointer assignment under current_mutex_. In-flight
+  // queries finish on the generation they pinned; its snapshot, indexes
+  // and cache die with the last reference.
+  {
+    MutexLock lock(current_mutex_);
+    current_ = std::move(generation);
+  }
+  swaps_->Increment();
+  const GenerationPtr published = this->generation();
+  generation_gauge_->Set(static_cast<double>(published->id()));
   metrics_->GetGauge("surveyor_snapshot_opinions")
-      ->Set(static_cast<double>(snapshot_.num_opinions()));
+      ->Set(static_cast<double>(published->snapshot().num_opinions()));
   metrics_->GetGauge("surveyor_snapshot_entities")
-      ->Set(static_cast<double>(snapshot_.num_entities()));
+      ->Set(static_cast<double>(published->snapshot().num_entities()));
   return Status::OK();
 }
 
-OpinionIndex::CacheShard& OpinionIndex::ShardFor(uint64_t key) const {
-  return *shards_[std::hash<uint64_t>{}(key) % shards_.size()];
+LoadedGeneration::CacheShard& OpinionIndex::ShardFor(
+    const LoadedGeneration& generation, uint64_t key) const {
+  return *generation
+              .shards_[std::hash<uint64_t>{}(key) %
+                       generation.shards_.size()];
 }
 
-ServedOpinion OpinionIndex::Materialize(const RecordLoc& loc) const {
+ServedOpinion OpinionIndex::Materialize(
+    const LoadedGeneration& generation,
+    const LoadedGeneration::RecordLoc& loc) const {
   SURVEYOR_SPAN("snapshot.materialize");
-  const Snapshot::BlockView& block = snapshot_.blocks()[loc.block];
+  const Snapshot& snapshot = generation.snapshot_;
+  const Snapshot::BlockView& block = snapshot.blocks()[loc.block];
   const Snapshot::RecordView record =
       Snapshot::ReadRecord(block.records, loc.record);
   ServedOpinion opinion;
-  opinion.entity = std::string(snapshot_.EntityName(record.entity_index));
-  opinion.type = std::string(snapshot_.TypeName(block.type_index));
-  opinion.property = std::string(snapshot_.PropertyName(block.property_index));
+  opinion.entity = std::string(snapshot.EntityName(record.entity_index));
+  opinion.type = std::string(snapshot.TypeName(block.type_index));
+  opinion.property = std::string(snapshot.PropertyName(block.property_index));
   opinion.posterior = record.posterior;
   opinion.polarity = record.polarity;
   opinion.degraded = block.degraded;
-  auto prov = provenance_by_pair_.find(
+  auto prov = generation.provenance_by_pair_.find(
       PairKey(record.entity_index, block.property_index));
-  if (prov != provenance_by_pair_.end()) {
-    opinion.provenance = snapshot_.provenance()[prov->second].refs;
+  if (prov != generation.provenance_by_pair_.end()) {
+    opinion.provenance = snapshot.provenance()[prov->second].refs;
   }
   return opinion;
 }
@@ -197,34 +240,38 @@ StatusOr<ServedOpinion> OpinionIndex::Lookup(std::string_view entity,
                                              std::string_view property) const {
   SURVEYOR_SPAN("opinion_index.lookup");
   lookups_->Increment();
-  if (!loaded_) return Status::FailedPrecondition("no snapshot loaded");
+  const GenerationPtr generation = this->generation();
+  if (generation == nullptr) {
+    return Status::FailedPrecondition("no snapshot loaded");
+  }
+  return LookupIn(*generation, entity, property);
+}
+
+SURVEYOR_HOT_FUNCTION
+StatusOr<ServedOpinion> OpinionIndex::LookupIn(
+    const LoadedGeneration& generation, std::string_view entity,
+    std::string_view property) const {
   // The scratch is reused for the property find below; only the mapped
   // index survives each find, never the key string.
-  auto entity_it = entity_by_name_.find(LowerScratch(entity));
-  if (entity_it == entity_by_name_.end()) {
+  auto entity_it = generation.entity_by_name_.find(LowerScratch(entity));
+  if (entity_it == generation.entity_by_name_.end()) {
     not_found_->Increment();
     return Status::NotFound("unknown entity '" + std::string(entity) + "'");
   }
-  auto property_it = property_by_name_.find(LowerScratch(property));
-  const uint64_t key =
-      property_it == property_by_name_.end()
-          ? 0
-          : PairKey(entity_it->second, property_it->second);
-  RecordLoc loc;
-  if (property_it != property_by_name_.end()) {
-    auto record_it = records_by_pair_.find(key);
-    if (record_it == records_by_pair_.end()) {
-      not_found_->Increment();
-      return Status::NotFound("no opinion for entity '" +
-                              std::string(entity) + "' property '" +
-                              std::string(property) + "'");
-    }
-    loc = record_it->second;
-  } else {
+  auto property_it = generation.property_by_name_.find(LowerScratch(property));
+  if (property_it == generation.property_by_name_.end()) {
     not_found_->Increment();
     return Status::NotFound("no opinion for entity '" + std::string(entity) +
                             "' property '" + std::string(property) + "'");
   }
+  const uint64_t key = PairKey(entity_it->second, property_it->second);
+  auto record_it = generation.records_by_pair_.find(key);
+  if (record_it == generation.records_by_pair_.end()) {
+    not_found_->Increment();
+    return Status::NotFound("no opinion for entity '" + std::string(entity) +
+                            "' property '" + std::string(property) + "'");
+  }
+  const LoadedGeneration::RecordLoc loc = record_it->second;
 
   // The "query_cache" fault simulates a cold/flaky cache tier: the read is
   // skipped and the answer recomputed from the snapshot, so an armed chaos
@@ -234,7 +281,7 @@ StatusOr<ServedOpinion> OpinionIndex::Lookup(std::string_view entity,
       options_.cache_capacity > 0 && !SURVEYOR_FAULT("query_cache");
   if (cache_enabled) {
     ServedOpinion cached;
-    if (ShardFor(key).Get(key, &cached)) {
+    if (ShardFor(generation, key).Get(key, &cached)) {
       cache_hits_->Increment();
       if (request_stats != nullptr) ++request_stats->cache_hits;
       return cached;
@@ -242,11 +289,12 @@ StatusOr<ServedOpinion> OpinionIndex::Lookup(std::string_view entity,
   }
   cache_misses_->Increment();
   if (request_stats != nullptr) ++request_stats->cache_misses;
-  ServedOpinion opinion = Materialize(loc);
+  ServedOpinion opinion = Materialize(generation, loc);
   if (options_.cache_capacity > 0) {
-    const size_t per_shard =
-        std::max<size_t>(1, options_.cache_capacity / shards_.size());
-    const size_t evicted = ShardFor(key).Put(key, opinion, per_shard);
+    const size_t per_shard = std::max<size_t>(
+        1, options_.cache_capacity / generation.shards_.size());
+    const size_t evicted =
+        ShardFor(generation, key).Put(key, opinion, per_shard);
     if (evicted > 0) {
       cache_evictions_->Increment(static_cast<int64_t>(evicted));
     }
@@ -258,8 +306,17 @@ std::vector<StatusOr<ServedOpinion>> OpinionIndex::BatchLookup(
     const std::vector<std::pair<std::string, std::string>>& pairs) const {
   std::vector<StatusOr<ServedOpinion>> out;
   out.reserve(pairs.size());
+  // Pin once: the whole batch is answered from one generation even if a
+  // swap lands mid-batch.
+  const GenerationPtr generation = this->generation();
   for (const auto& [entity, property] : pairs) {
-    out.push_back(Lookup(entity, property));
+    SURVEYOR_SPAN("opinion_index.lookup");
+    lookups_->Increment();
+    if (generation == nullptr) {
+      out.push_back(Status::FailedPrecondition("no snapshot loaded"));
+    } else {
+      out.push_back(LookupIn(*generation, entity, property));
+    }
   }
   return out;
 }
@@ -268,21 +325,24 @@ std::vector<ServedOpinion> OpinionIndex::QueryType(std::string_view type,
                                                    std::string_view property,
                                                    size_t limit) const {
   std::vector<ServedOpinion> out;
-  if (!loaded_) return out;
-  auto type_it = type_by_name_.find(ToLower(type));
-  auto property_it = property_by_name_.find(ToLower(property));
-  if (type_it == type_by_name_.end() ||
-      property_it == property_by_name_.end()) {
+  const GenerationPtr pinned = this->generation();
+  if (pinned == nullptr) return out;
+  const LoadedGeneration& generation = *pinned;
+  auto type_it = generation.type_by_name_.find(ToLower(type));
+  auto property_it = generation.property_by_name_.find(ToLower(property));
+  if (type_it == generation.type_by_name_.end() ||
+      property_it == generation.property_by_name_.end()) {
     return out;
   }
-  for (uint32_t b : blocks_by_type_[type_it->second]) {
-    const Snapshot::BlockView& block = snapshot_.blocks()[b];
+  for (uint32_t b : generation.blocks_by_type_[type_it->second]) {
+    const Snapshot::BlockView& block = generation.snapshot_.blocks()[b];
     if (block.property_index != property_it->second) continue;
     for (uint32_t r = 0; r < block.record_count; ++r) {
       const Snapshot::RecordView record =
           Snapshot::ReadRecord(block.records, r);
       if (record.polarity != Polarity::kPositive) continue;
-      out.push_back(Materialize(RecordLoc{b, r}));
+      out.push_back(
+          Materialize(generation, LoadedGeneration::RecordLoc{b, r}));
     }
   }
   std::sort(out.begin(), out.end(),
@@ -297,14 +357,17 @@ std::vector<ServedOpinion> OpinionIndex::QueryType(std::string_view type,
 std::vector<std::string> OpinionIndex::PrefixScan(std::string_view prefix,
                                                   size_t limit) const {
   std::vector<std::string> out;
-  if (!loaded_) return out;
+  const GenerationPtr pinned = this->generation();
+  if (pinned == nullptr) return out;
+  const LoadedGeneration& generation = *pinned;
   const std::string needle = ToLower(prefix);
   auto it = std::lower_bound(
-      sorted_entities_.begin(), sorted_entities_.end(), needle,
+      generation.sorted_entities_.begin(), generation.sorted_entities_.end(),
+      needle,
       [](const auto& entry, const std::string& p) { return entry.first < p; });
-  for (; it != sorted_entities_.end(); ++it) {
+  for (; it != generation.sorted_entities_.end(); ++it) {
     if (it->first.compare(0, needle.size(), needle) != 0) break;
-    out.emplace_back(snapshot_.EntityName(it->second));
+    out.emplace_back(generation.snapshot_.EntityName(it->second));
     if (limit > 0 && out.size() >= limit) break;
   }
   return out;

@@ -1,6 +1,7 @@
 #ifndef SURVEYOR_SERVING_OPINION_INDEX_H_
 #define SURVEYOR_SERVING_OPINION_INDEX_H_
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -48,23 +49,132 @@ struct OpinionIndexOptions {
   RetryPolicy retry;
 };
 
-/// The online half of Surveyor: loads an opinion snapshot and answers the
-/// paper's two query shapes — point lookups ("is this kitten cute?") and
-/// type scans ("safe cities") — plus the prefix scan an autocomplete box
-/// needs. Immutable after Load; every query method is const and
-/// thread-safe, with a sharded read-through LRU in front of record
-/// decoding. Name matching is case-insensitive, like the knowledge base.
+/// The complete post-Load state of one snapshot generation: the mapped
+/// snapshot, every derived name index, and the answer cache. Immutable
+/// once published (the cache shards are internally synchronized), shared
+/// out by std::shared_ptr so in-flight queries pin the generation they
+/// started on while a newer one swaps in — RCU with shared_ptr as the
+/// grace period. The cache living *inside* the generation is what makes
+/// a hot-swap safe: stale answers cannot outlive the snapshot they were
+/// decoded from.
+class LoadedGeneration {
+ public:
+  LoadedGeneration() = default;
+  LoadedGeneration(const LoadedGeneration&) = delete;
+  LoadedGeneration& operator=(const LoadedGeneration&) = delete;
+
+  /// Generation id this state was loaded as (monotonic per index; the
+  /// GenerationStore id when loaded through one).
+  uint64_t id() const { return id_; }
+
+  const Snapshot& snapshot() const { return snapshot_; }
+
+  /// Seconds since this generation was swapped in (the /metrics age
+  /// gauge; monotonic clock, immune to wall-clock steps).
+  double AgeSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         loaded_at_)
+        .count();
+  }
+
+ private:
+  friend class OpinionIndex;
+
+  struct RecordLoc {
+    uint32_t block = 0;
+    uint32_t record = 0;
+  };
+
+  /// One LRU shard: intrusive recency list + key map under one mutex.
+  class CacheShard {
+   public:
+    bool Get(uint64_t key, ServedOpinion* out) const
+        SURVEYOR_EXCLUDES(mutex_);
+    /// Inserts (or refreshes) `value`; returns the number of evictions.
+    size_t Put(uint64_t key, ServedOpinion value, size_t capacity)
+        SURVEYOR_EXCLUDES(mutex_);
+    size_t size() const SURVEYOR_EXCLUDES(mutex_);
+
+   private:
+    mutable Mutex mutex_;
+    /// Front = most recently used.
+    mutable std::list<uint64_t> lru_ SURVEYOR_GUARDED_BY(mutex_);
+    std::unordered_map<uint64_t,
+                       std::pair<ServedOpinion, std::list<uint64_t>::iterator>>
+        entries_ SURVEYOR_GUARDED_BY(mutex_);
+  };
+
+  uint64_t id_ = 0;
+  Snapshot snapshot_;
+  /// lowercased name -> table index.
+  std::unordered_map<std::string, uint32_t> entity_by_name_;
+  std::unordered_map<std::string, uint32_t> property_by_name_;
+  std::unordered_map<std::string, uint32_t> type_by_name_;
+  /// (entity_index << 32 | property_index) -> record location.
+  std::unordered_map<uint64_t, RecordLoc> records_by_pair_;
+  /// Same key -> index into snapshot_.provenance().
+  std::unordered_map<uint64_t, uint32_t> provenance_by_pair_;
+  /// type index -> blocks of that type.
+  std::vector<std::vector<uint32_t>> blocks_by_type_;
+  /// Lowercased entity names, sorted, paired with their table index.
+  std::vector<std::pair<std::string, uint32_t>> sorted_entities_;
+  /// Per-shard LRUs; mutable because a read-through cache updates on
+  /// const lookups.
+  mutable std::vector<std::unique_ptr<CacheShard>> shards_;
+  std::chrono::steady_clock::time_point loaded_at_;
+};
+
+/// A pinned generation: holding one keeps the snapshot mapping, indexes
+/// and cache alive regardless of concurrent swaps.
+using GenerationPtr = std::shared_ptr<const LoadedGeneration>;
+
+/// The online half of Surveyor: loads opinion snapshot generations and
+/// answers the paper's two query shapes — point lookups ("is this kitten
+/// cute?") and type scans ("safe cities") — plus the prefix scan an
+/// autocomplete box needs. Every query method is const, thread-safe, and
+/// runs entirely against the generation it pins on entry, so answers are
+/// internally consistent even while Load publishes a newer generation
+/// with one pointer swap. A failed Load keeps the previous generation
+/// serving and increments surveyor_generation_swap_failures_total. Name
+/// matching is case-insensitive, like the knowledge base.
 class OpinionIndex {
  public:
   explicit OpinionIndex(OpinionIndexOptions options = {});
 
-  /// Opens `path` (with bounded retries on transient failures) and builds
-  /// the name indexes. On failure the index keeps serving its previous
-  /// snapshot, if any.
+  /// Opens `path` (with bounded retries on transient failures), builds
+  /// the name indexes off to the side, and atomically swaps the new
+  /// generation in as id generation_id() + 1. On failure the index keeps
+  /// serving its previous generation, if any.
   Status Load(const std::string& path);
 
-  bool loaded() const { return loaded_; }
-  const Snapshot& snapshot() const { return snapshot_; }
+  /// Load with an explicit generation id (the GenerationStore id), so
+  /// /statusz and the metrics report the store's numbering — including
+  /// backwards for an explicit rollback.
+  Status LoadGeneration(const std::string& path, uint64_t generation_id);
+
+  /// The currently served generation (pinned — safe to use across
+  /// concurrent swaps), or nullptr before the first successful Load.
+  /// The pin is a shared_ptr copy under a tiny mutex rather than
+  /// std::atomic<shared_ptr>: libstdc++'s _Sp_atomic reads its pointer
+  /// word outside any release/acquire pairing (the spinlock unlocks
+  /// relaxed on the load path), which ThreadSanitizer correctly flags,
+  /// and this repo's TSan CI runs with halt_on_error. The mutex is
+  /// uncontended except during a swap, and queries already take a
+  /// per-shard cache mutex, so the pin is not the bottleneck.
+  GenerationPtr generation() const SURVEYOR_EXCLUDES(current_mutex_) {
+    MutexLock lock(current_mutex_);
+    return current_;
+  }
+
+  /// True once a generation is serving. Atomic-clean: readable while
+  /// Load runs.
+  bool loaded() const { return generation() != nullptr; }
+
+  /// Id of the serving generation; 0 before the first successful Load.
+  uint64_t generation_id() const {
+    const GenerationPtr generation = this->generation();
+    return generation == nullptr ? 0 : generation->id();
+  }
 
   /// The mined opinion for one (entity, property) pair. kNotFound both
   /// for an unknown entity and for a known entity with no opinion on the
@@ -74,8 +184,9 @@ class OpinionIndex {
   StatusOr<ServedOpinion> Lookup(std::string_view entity,
                                  std::string_view property) const;
 
-  /// One Lookup per pair, preserving order; individual misses are
-  /// per-entry kNotFound, never a whole-batch failure.
+  /// One lookup per pair, preserving order; individual misses are
+  /// per-entry kNotFound, never a whole-batch failure. The whole batch is
+  /// answered from one pinned generation.
   std::vector<StatusOr<ServedOpinion>> BatchLookup(
       const std::vector<std::pair<std::string, std::string>>& pairs) const;
 
@@ -96,32 +207,13 @@ class OpinionIndex {
   obs::MetricRegistry& metrics() const { return *metrics_; }
 
  private:
-  /// One LRU shard: intrusive recency list + key map under one mutex.
-  class CacheShard {
-   public:
-    bool Get(uint64_t key, ServedOpinion* out) const
-        SURVEYOR_EXCLUDES(mutex_);
-    /// Inserts (or refreshes) `value`; returns the number of evictions.
-    size_t Put(uint64_t key, ServedOpinion value, size_t capacity)
-        SURVEYOR_EXCLUDES(mutex_);
-    size_t size() const SURVEYOR_EXCLUDES(mutex_);
-
-   private:
-    mutable Mutex mutex_;
-    /// Front = most recently used.
-    mutable std::list<uint64_t> lru_ SURVEYOR_GUARDED_BY(mutex_);
-    std::unordered_map<uint64_t,
-                       std::pair<ServedOpinion, std::list<uint64_t>::iterator>>
-        entries_ SURVEYOR_GUARDED_BY(mutex_);
-  };
-
-  struct RecordLoc {
-    uint32_t block = 0;
-    uint32_t record = 0;
-  };
-
-  ServedOpinion Materialize(const RecordLoc& loc) const;
-  CacheShard& ShardFor(uint64_t key) const;
+  ServedOpinion Materialize(const LoadedGeneration& generation,
+                            const LoadedGeneration::RecordLoc& loc) const;
+  StatusOr<ServedOpinion> LookupIn(const LoadedGeneration& generation,
+                                   std::string_view entity,
+                                   std::string_view property) const;
+  LoadedGeneration::CacheShard& ShardFor(const LoadedGeneration& generation,
+                                         uint64_t key) const;
 
   OpinionIndexOptions options_;
   /// Fallback registry when options_.metrics is null.
@@ -132,25 +224,20 @@ class OpinionIndex {
   obs::Counter* cache_evictions_ = nullptr;
   obs::Counter* lookups_ = nullptr;
   obs::Counter* not_found_ = nullptr;
+  obs::Counter* swaps_ = nullptr;
+  obs::Counter* swap_failures_ = nullptr;
+  obs::Gauge* generation_gauge_ = nullptr;
 
-  bool loaded_ = false;
-  Snapshot snapshot_;
-  /// lowercased name -> table index.
-  std::unordered_map<std::string, uint32_t> entity_by_name_;
-  std::unordered_map<std::string, uint32_t> property_by_name_;
-  std::unordered_map<std::string, uint32_t> type_by_name_;
-  /// (entity_index << 32 | property_index) -> record location.
-  std::unordered_map<uint64_t, RecordLoc> records_by_pair_;
-  /// Same key -> index into snapshot_.provenance().
-  std::unordered_map<uint64_t, uint32_t> provenance_by_pair_;
-  /// type index -> blocks of that type.
-  std::vector<std::vector<uint32_t>> blocks_by_type_;
-  /// Lowercased entity names, sorted, paired with their table index.
-  std::vector<std::pair<std::string, uint32_t>> sorted_entities_;
-
-  /// Per-shard LRUs; mutable because a read-through cache updates on
-  /// const lookups.
-  mutable std::vector<std::unique_ptr<CacheShard>> shards_;
+  /// Serializes Load/LoadGeneration (reload handler vs SIGHUP loop);
+  /// queries never touch it.
+  Mutex load_mutex_;
+  /// Guards only the pointer swap/pin below — never held while loading
+  /// a snapshot or answering a query.
+  mutable Mutex current_mutex_;
+  /// The serving generation (RCU-style: queries pin a ref on entry and
+  /// run lock-free against it; a swap replaces the pointer and the old
+  /// generation frees when its last pin drops).
+  GenerationPtr current_ SURVEYOR_GUARDED_BY(current_mutex_);
 };
 
 }  // namespace serving

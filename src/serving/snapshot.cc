@@ -2,11 +2,11 @@
 
 #include <bit>
 #include <cstring>
-#include <fstream>
 #include <utility>
 
 #include "obs/trace.h"
 #include "util/crc32.h"
+#include "util/durable_file.h"
 #include "util/fault.h"
 
 namespace surveyor {
@@ -299,13 +299,12 @@ std::string SnapshotWriter::Serialize() const {
 }
 
 Status SnapshotWriter::WriteToFile(const std::string& path) const {
-  const std::string image = Serialize();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot write '" + path + "'");
-  out.write(image.data(), static_cast<std::streamsize>(image.size()));
-  out.flush();
-  if (!out) return Status::Internal("short write to '" + path + "'");
-  return Status::OK();
+  // Publish atomically: a crash (or a full disk) mid-write must never
+  // leave a torn file at the final path — the serving tier hot-swaps off
+  // this file while queries are in flight, and a restart trusts whatever
+  // it finds there. WriteFileDurable reports short writes as errors
+  // instead of silently truncating.
+  return WriteFileDurable(path, Serialize());
 }
 
 Snapshot::RecordView Snapshot::ReadRecord(const char* records, size_t i) {

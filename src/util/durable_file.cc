@@ -1,0 +1,162 @@
+#include "util/durable_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <system_error>
+
+#ifdef _WIN32
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace surveyor {
+namespace {
+
+std::string ErrnoMessage(int err) {
+  return std::system_category().message(err);
+}
+
+/// Directory part of `path` ("." when the path has no slash), for the
+/// temp-file sibling and the directory fsync.
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+#ifdef _WIN32
+
+// Portability fallback: plain buffered writes plus rename. No fsync is
+// available through the standard library, so durability is best-effort —
+// atomic visibility via rename still holds.
+Status WriteFileDurable(const std::string& path, std::string_view contents) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot create '" + temp + "'");
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(temp.c_str());
+      return Status::Internal("short write to '" + temp + "'");
+    }
+  }
+  std::remove(path.c_str());
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::Internal("cannot rename '" + temp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status SyncFile(const std::string&) { return Status::OK(); }
+Status SyncDir(const std::string&) { return Status::OK(); }
+
+Status RenamePath(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Internal("cannot rename '" + from + "' to '" + to + "'");
+  }
+  return Status::OK();
+}
+
+#else
+
+Status WriteFileDurable(const std::string& path, std::string_view contents) {
+  // Unique per process: two concurrent publishers to the same directory
+  // never clobber each other's temp file. A stale temp from a crashed
+  // writer with the same pid is truncated harmlessly by O_TRUNC.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long long>(getpid()));
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create '" + temp +
+                            "': " + ErrnoMessage(errno));
+  }
+  Status status = Status::OK();
+  const char* data = contents.data();
+  size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      status = Status::Internal("short write to '" + temp +
+                                "': " + ErrnoMessage(errno));
+      break;
+    }
+    data += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  // fsync before rename: the rename barrier only orders metadata; the
+  // bytes themselves must be on disk before the new name can point at
+  // them, or a crash could publish a file of zeros.
+  if (status.ok() && ::fsync(fd) != 0) {
+    status =
+        Status::Internal("fsync '" + temp + "': " + ErrnoMessage(errno));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status =
+        Status::Internal("close '" + temp + "': " + ErrnoMessage(errno));
+  }
+  if (status.ok() && ::rename(temp.c_str(), path.c_str()) != 0) {
+    status = Status::Internal("cannot rename '" + temp + "' to '" + path +
+                              "': " + ErrnoMessage(errno));
+  }
+  if (!status.ok()) {
+    ::unlink(temp.c_str());
+    return status;
+  }
+  return SyncDir(DirOf(path));
+}
+
+Status SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + path +
+                            "' for fsync: " + ErrnoMessage(errno));
+  }
+  Status status = Status::OK();
+  if (::fsync(fd) != 0) {
+    status =
+        Status::Internal("fsync '" + path + "': " + ErrnoMessage(errno));
+  }
+  ::close(fd);
+  return status;
+}
+
+Status SyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory '" + path +
+                            "' for fsync: " + ErrnoMessage(errno));
+  }
+  Status status = Status::OK();
+  if (::fsync(fd) != 0) {
+    // Some filesystems refuse fsync on directories; the rename is still
+    // atomic, so degrade to best-effort durability rather than failing
+    // the publish.
+    if (errno != EINVAL && errno != EROFS) {
+      status = Status::Internal("fsync directory '" + path +
+                                "': " + ErrnoMessage(errno));
+    }
+  }
+  ::close(fd);
+  return status;
+}
+
+Status RenamePath(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Internal("cannot rename '" + from + "' to '" + to +
+                            "': " + ErrnoMessage(errno));
+  }
+  return Status::OK();
+}
+
+#endif  // _WIN32
+
+}  // namespace surveyor

@@ -1,0 +1,41 @@
+#ifndef SURVEYOR_UTIL_DURABLE_FILE_H_
+#define SURVEYOR_UTIL_DURABLE_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace surveyor {
+
+/// Crash-safe file publication, the write-side twin of MmapFile: artifacts
+/// that other processes (or this one, after a restart) will trust must
+/// never be observable half-written. Every helper follows the classic
+/// write-temp -> fsync -> rename protocol, so a crash at any instruction
+/// leaves either the old file or the new file at the final path — never a
+/// torn hybrid and never a shorter-than-declared tail.
+
+/// Writes `contents` to `path` atomically and durably: the bytes land in
+/// a uniquely named temp file in the same directory, are flushed and
+/// fsync'd, and only then renamed over `path`; finally the directory is
+/// fsync'd so the rename itself survives a power cut. Any write/flush
+/// failure (e.g. a full disk) surfaces as Internal and leaves `path`
+/// untouched (the temp file is unlinked on the way out).
+Status WriteFileDurable(const std::string& path, std::string_view contents);
+
+/// fsync() on an existing file, surfacing the error instead of dropping
+/// it. Used after writing into a not-yet-published directory, where the
+/// rename barrier happens on the directory, not the file.
+Status SyncFile(const std::string& path);
+
+/// fsync() on a directory, making previously committed renames/creates
+/// inside it durable. No-op (OK) on platforms where directories cannot be
+/// opened for reading.
+Status SyncDir(const std::string& path);
+
+/// rename() with a Status, failing loudly instead of via errno.
+Status RenamePath(const std::string& from, const std::string& to);
+
+}  // namespace surveyor
+
+#endif  // SURVEYOR_UTIL_DURABLE_FILE_H_

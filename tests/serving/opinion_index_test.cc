@@ -224,6 +224,40 @@ TEST_F(OpinionIndexTest, FailedLoadKeepsServingThePreviousSnapshot) {
   EXPECT_FALSE(strict.Load(testing::TempDir() + "/does-not-exist.surv").ok());
   EXPECT_TRUE(strict.loaded());
   EXPECT_TRUE(strict.Lookup("kitten", "cute").ok());
+  // The failed load neither advanced the generation nor went uncounted.
+  EXPECT_EQ(strict.generation_id(), 1u);
+  EXPECT_EQ(strict.metrics()
+                .GetCounter("surveyor_generation_swap_failures_total")
+                ->Value(),
+            1);
+}
+
+TEST_F(OpinionIndexTest, GenerationIdsAdvanceWithEachLoad) {
+  OpinionIndex index;
+  EXPECT_EQ(index.generation_id(), 0u);
+  EXPECT_EQ(index.generation(), nullptr);
+
+  ASSERT_TRUE(index.Load(WriteTestSnapshot("gen1.surv")).ok());
+  EXPECT_EQ(index.generation_id(), 1u);
+  ASSERT_TRUE(index.Load(WriteTestSnapshot("gen2.surv")).ok());
+  EXPECT_EQ(index.generation_id(), 2u);
+
+  // An explicit id (the GenerationStore's numbering, including a
+  // rollback to a smaller id) is taken verbatim.
+  ASSERT_TRUE(index.LoadGeneration(WriteTestSnapshot("gen7.surv"), 7).ok());
+  EXPECT_EQ(index.generation_id(), 7u);
+  ASSERT_TRUE(index.LoadGeneration(WriteTestSnapshot("gen3.surv"), 3).ok());
+  EXPECT_EQ(index.generation_id(), 3u);
+  // Implicit Load continues from wherever the explicit id left off.
+  ASSERT_TRUE(index.Load(WriteTestSnapshot("gen4.surv")).ok());
+  EXPECT_EQ(index.generation_id(), 4u);
+
+  const GenerationPtr generation = index.generation();
+  ASSERT_NE(generation, nullptr);
+  EXPECT_EQ(generation->id(), 4u);
+  EXPECT_GE(generation->AgeSeconds(), 0.0);
+  EXPECT_EQ(index.metrics().GetGauge("surveyor_generation_id")->Value(),
+            4.0);
 }
 
 TEST_F(OpinionIndexTest, RetriesAbsorbTransientSnapshotReadFaults) {

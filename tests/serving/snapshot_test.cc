@@ -1,6 +1,7 @@
 #include "serving/snapshot.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -266,6 +267,43 @@ TEST_F(SnapshotTest, FailedOpenKeepsThePreviousSnapshot) {
   // The earlier, valid state is still served.
   EXPECT_EQ(snapshot.num_opinions(), 3u);
   EXPECT_EQ(snapshot.label(), "test snapshot");
+}
+
+TEST_F(SnapshotTest, WriteToFilePublishesAtomically) {
+  const std::string dir = testing::TempDir() + "/snapshot_atomic";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/atomic.surv";
+  ASSERT_TRUE(MakeWriter().WriteToFile(path).ok());
+
+  // Overwriting an existing snapshot replaces it whole — a reader racing
+  // the write sees old bytes or new bytes, never a torn hybrid — and the
+  // temp file never lingers next to the published one.
+  SnapshotWriter second;
+  second.set_label("second version");
+  ASSERT_TRUE(second
+                  .Add(MakeOpinion("koala", "animal", "cute", 0.91,
+                                   Polarity::kPositive))
+                  .ok());
+  ASSERT_TRUE(second.WriteToFile(path).ok());
+  size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  Snapshot snapshot;
+  ASSERT_TRUE(snapshot.Open(path).ok());
+  EXPECT_EQ(snapshot.label(), "second version");
+}
+
+TEST_F(SnapshotTest, WriteToFileSurfacesWriteFailures) {
+  // The old implementation streamed into an ofstream without checking the
+  // stream state — a full disk produced a silent torn file. Now the
+  // failure is loud and the target path is never created.
+  const std::string path =
+      testing::TempDir() + "/no-such-snapshot-dir/out.surv";
+  EXPECT_FALSE(MakeWriter().WriteToFile(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 TEST_F(SnapshotTest, SnapshotReadFaultPointFiresAsInternal) {

@@ -1,0 +1,82 @@
+#include "util/durable_file.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace surveyor {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(DurableFileTest, WritesContentsAndLeavesNoTempBehind) {
+  const std::string dir = testing::TempDir() + "/durable_write";
+  fs::create_directories(dir);
+  const std::string path = dir + "/data.bin";
+  ASSERT_TRUE(
+      WriteFileDurable(path, std::string_view("hello\0world", 11)).ok());
+  EXPECT_EQ(ReadAll(path), std::string("hello\0world", 11));
+  // The temp file was renamed away, not left as a sibling.
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(DurableFileTest, ReplacesExistingFileWhole) {
+  const std::string dir = testing::TempDir() + "/durable_replace";
+  fs::create_directories(dir);
+  const std::string path = dir + "/data.bin";
+  ASSERT_TRUE(WriteFileDurable(path, "first version, longer").ok());
+  ASSERT_TRUE(WriteFileDurable(path, "second").ok());
+  // No tail of the longer first version survives the replace.
+  EXPECT_EQ(ReadAll(path), "second");
+}
+
+TEST(DurableFileTest, FailsWhenDirectoryDoesNotExist) {
+  const std::string path =
+      testing::TempDir() + "/no-such-dir-durable/data.bin";
+  const Status status = WriteFileDurable(path, "x");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(DurableFileTest, RenamePathReplacesTarget) {
+  const std::string dir = testing::TempDir() + "/durable_rename";
+  fs::create_directories(dir);
+  ASSERT_TRUE(WriteFileDurable(dir + "/from", "new").ok());
+  ASSERT_TRUE(WriteFileDurable(dir + "/to", "old").ok());
+  ASSERT_TRUE(RenamePath(dir + "/from", dir + "/to").ok());
+  EXPECT_FALSE(fs::exists(dir + "/from"));
+  EXPECT_EQ(ReadAll(dir + "/to"), "new");
+}
+
+TEST(DurableFileTest, RenamePathFailsOnMissingSource) {
+  const std::string dir = testing::TempDir() + "/durable_rename_missing";
+  fs::create_directories(dir);
+  EXPECT_FALSE(RenamePath(dir + "/absent", dir + "/to").ok());
+}
+
+TEST(DurableFileTest, SyncHelpersAcceptExistingPaths) {
+  const std::string dir = testing::TempDir() + "/durable_sync";
+  fs::create_directories(dir);
+  ASSERT_TRUE(WriteFileDurable(dir + "/f", "x").ok());
+  EXPECT_TRUE(SyncFile(dir + "/f").ok());
+  EXPECT_TRUE(SyncDir(dir).ok());
+  EXPECT_FALSE(SyncFile(dir + "/absent").ok());
+}
+
+}  // namespace
+}  // namespace surveyor

@@ -32,17 +32,26 @@
 //   surveyor_cli serve <dir> [mine flags] [--admin-port N]
 //   surveyor_cli serve --snapshot FILE [--admin-port N]
 //                      [--trace-sample-rate R] [--slow-query-ms MS]
+//   surveyor_cli serve --generations DIR [--retain N] [--admin-port N]
+//                      [--trace-sample-rate R] [--slow-query-ms MS]
 //       First form: mines like `mine`, writes an opinion snapshot
 //       (--snapshot FILE, default <dir>/opinions.surv) and keeps the
 //       process alive answering subjective queries over HTTP:
 //       /query?entity=E&property=P, /query?type=T&property=P,
 //       /query?prefix=S and POST /query/batch, next to the admin
 //       endpoints. Second form: skips mining and serves an existing
-//       snapshot directly. Admin port defaults to 8080 for serve.
+//       snapshot directly. Third form: serves the newest committed
+//       generation of a crash-safe generation store (see `mine
+//       --publish`); POST /reloadz (optionally ?generation=N for a
+//       rollback) or SIGHUP hot-swaps generations without dropping a
+//       query, and /statusz grows a "generation" section (DESIGN.md
+//       §14). Admin port defaults to 8080 for serve.
 //       Every request gets a trace id; a fraction (--trace-sample-rate,
 //       default 0.01) plus everything slower than --slow-query-ms
 //       (default 250) keeps its span tree on /tracez, and /requestz shows
-//       the recent access log (DESIGN.md §11).
+//       the recent access log (DESIGN.md §11). With --publish DIR, mine
+//       commits the snapshot as the next generation of DIR's store
+//       (keeping --retain N generations, default 4).
 //
 //   surveyor_cli query <dir> <type> <property> [limit]
 //       Answers a subjective query ("city big") from mined opinions.
@@ -59,8 +68,10 @@
 //       (<dir>/truth.tsv): coverage, precision and F1 per type and
 //       overall.
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -76,8 +87,10 @@
 #include "obs/profiler.h"
 #include "obs/resource_sampler.h"
 #include "obs/stage.h"
+#include "serving/generation_store.h"
 #include "serving/opinion_index.h"
 #include "serving/query_service.h"
+#include "serving/reload_service.h"
 #include "serving/snapshot.h"
 #include "surveyor/opinion_store.h"
 #include "surveyor/pipeline.h"
@@ -95,11 +108,13 @@ int Usage() {
          "[authors]\n"
       << "  surveyor_cli mine <dir> [--min-statements N] [--threshold T]"
          " [--domain D] [--out FILE] [--provenance N] [--report FILE]"
-         " [--snapshot FILE] [--admin-port N] [--faults SPEC]"
-         " [--fault-seed N] [--profile FILE]\n"
+         " [--snapshot FILE] [--publish DIR] [--retain N] [--admin-port N]"
+         " [--faults SPEC] [--fault-seed N] [--profile FILE]\n"
       << "  surveyor_cli serve <dir> [mine flags] [--admin-port N]\n"
       << "  surveyor_cli serve --snapshot FILE [--admin-port N]"
          " [--trace-sample-rate R] [--slow-query-ms MS]\n"
+      << "  surveyor_cli serve --generations DIR [--retain N]"
+         " [--admin-port N] [--trace-sample-rate R] [--slow-query-ms MS]\n"
       << "  surveyor_cli query <dir> <type> <property> [limit]\n"
       << "  surveyor_cli profile <dir> <entity>\n"
       << "  surveyor_cli repl <dir>\n"
@@ -110,6 +125,27 @@ int Usage() {
 int Fail(const Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
   return 1;
+}
+
+/// Set by the SIGHUP handler; drained by the serving park loop. The
+/// handler only flips the flag — everything else (manifest refresh,
+/// snapshot load, the atomic swap) runs on the main thread.
+volatile std::sig_atomic_t g_sighup_pending = 0;
+
+void OnSigHup(int) { g_sighup_pending = 1; }
+
+/// Parks a serving process forever, draining SIGHUP into `on_sighup`
+/// (a generation reload). The sleep is short so a signal is acted on
+/// promptly even though the handler itself does nothing.
+[[noreturn]] void ParkServing(const std::function<void()>& on_sighup) {
+  std::signal(SIGHUP, OnSigHup);
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (g_sighup_pending != 0) {
+      g_sighup_pending = 0;
+      on_sighup();
+    }
+  }
 }
 
 /// Commands that take only positional arguments reject anything that looks
@@ -177,18 +213,26 @@ StatusOr<LoadedWorkspace> LoadWorkspace(const std::string& dir) {
   return ws;
 }
 
-/// `serve --snapshot FILE`: no mining — load a frozen opinion snapshot
-/// and answer /query until stopped. The readiness gate stays closed
-/// (503) from bind until the index finishes loading, so a scraper that
-/// races the startup never reads from a half-built index.
+/// `serve --snapshot FILE` / `serve --generations DIR`: no mining — load
+/// a frozen opinion snapshot (or the newest committed generation of a
+/// GenerationStore) and answer /query until stopped. The readiness gate
+/// stays closed (503) from bind until the index finishes loading, so a
+/// scraper that races the startup never reads from a half-built index.
+/// In generations mode POST /reloadz (or SIGHUP) hot-swaps to the newest
+/// generation — the serve side of the mine -> publish -> serve ->
+/// re-mine -> reload loop; SIGHUP in snapshot mode re-loads the same
+/// file.
 int RunServeSnapshot(const std::vector<std::string>& args) {
   std::string snapshot_path;
+  std::string generations_dir;
+  size_t retain = 4;
   int admin_port = 8080;
   double trace_sample_rate = 0.01;
   double slow_query_ms = 250.0;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
-    if (flag != "--snapshot" && flag != "--admin-port" &&
+    if (flag != "--snapshot" && flag != "--generations" &&
+        flag != "--retain" && flag != "--admin-port" &&
         flag != "--trace-sample-rate" && flag != "--slow-query-ms") {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
@@ -200,6 +244,10 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
     const std::string& value = args[++i];
     if (flag == "--snapshot") {
       snapshot_path = value;
+    } else if (flag == "--generations") {
+      generations_dir = value;
+    } else if (flag == "--retain") {
+      retain = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (flag == "--trace-sample-rate") {
       trace_sample_rate = std::atof(value.c_str());
     } else if (flag == "--slow-query-ms") {
@@ -208,7 +256,10 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
       admin_port = std::atoi(value.c_str());
     }
   }
-  if (snapshot_path.empty()) return Usage();
+  if (snapshot_path.empty() == generations_dir.empty()) {
+    std::cerr << "serve needs exactly one of --snapshot or --generations\n";
+    return Usage();
+  }
   if (!(trace_sample_rate >= 0.0 && trace_sample_rate <= 1.0)) {
     return Fail(Status::InvalidArgument(
         "trace_sample_rate must be in [0, 1] (0 = head sampling off)"));
@@ -216,6 +267,9 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
   if (!(slow_query_ms >= 0.0)) {
     return Fail(Status::InvalidArgument(
         "slow_query_ms must be >= 0 (0 = tail capture off)"));
+  }
+  if (retain == 0) {
+    return Fail(Status::InvalidArgument("retain must be >= 1"));
   }
 
   obs::LogRing::InstallGlobalTee();
@@ -234,17 +288,65 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
   obs::AdminServer admin(&registry, &stage_tracker, &obs::LogRing::Global(),
                          admin_options);
   query_service.Register(&admin);
+
+  std::unique_ptr<serving::GenerationStore> store;
+  std::unique_ptr<serving::ReloadService> reload;
+  if (!generations_dir.empty()) {
+    serving::GenerationStoreOptions store_options;
+    store_options.retain = retain;
+    store_options.metrics = &registry;
+    store = std::make_unique<serving::GenerationStore>(generations_dir,
+                                                       store_options);
+    const Status opened = store->Open();
+    if (!opened.ok()) return Fail(opened);
+    reload = std::make_unique<serving::ReloadService>(store.get(), &index,
+                                                      &registry);
+    reload->Register(&admin);
+  }
   const Status started = admin.Start();
   if (!started.ok()) return Fail(started);
+
+  if (store != nullptr) {
+    if (store->latest() != 0) {
+      const Status loaded = reload->ReloadLatest();
+      if (!loaded.ok()) return Fail(loaded);
+      stage_tracker.SetStage(obs::PipelineStage::kServing);
+      std::cout << "serving generation " << index.generation_id() << " ("
+                << index.generation()->snapshot().num_opinions()
+                << " opinions) from " << generations_dir
+                << " on http://127.0.0.1:" << admin.port()
+                << " — POST /reloadz or SIGHUP to hot-swap (Ctrl-C to "
+                   "stop)\n";
+    } else {
+      // An empty store is a valid start: /query answers 503 until the
+      // first publish lands and /reloadz (or SIGHUP) swaps it in.
+      std::cout << "no generations in " << generations_dir
+                << " yet; waiting on http://127.0.0.1:" << admin.port()
+                << " — publish one and POST /reloadz (Ctrl-C to stop)\n";
+    }
+    ParkServing([&] {
+      const Status reloaded = reload->ReloadLatest();
+      if (!reloaded.ok()) {
+        std::cerr << "SIGHUP reload failed: " << reloaded.ToString() << "\n";
+      } else if (index.loaded()) {
+        stage_tracker.SetStage(obs::PipelineStage::kServing);
+      }
+    });
+  }
 
   const Status loaded = index.Load(snapshot_path);
   if (!loaded.ok()) return Fail(loaded);
   stage_tracker.SetStage(obs::PipelineStage::kServing);
-  std::cout << "serving " << index.snapshot().num_opinions()
+  std::cout << "serving " << index.generation()->snapshot().num_opinions()
             << " opinions from " << snapshot_path << " on http://127.0.0.1:"
             << admin.port()
             << " — /query?entity=E&property=P (Ctrl-C to stop)\n";
-  for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+  ParkServing([&] {
+    const Status reloaded = index.Load(snapshot_path);
+    if (!reloaded.ok()) {
+      std::cerr << "SIGHUP reload failed: " << reloaded.ToString() << "\n";
+    }
+  });
 }
 
 /// Shared implementation of `mine` and `serve` (serve = mine, write a
@@ -258,6 +360,8 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
   std::string out = dir + "/opinions.tsv";
   std::string report_path;
   std::string snapshot_path;
+  std::string publish_dir;
+  size_t publish_retain = 4;
   std::string profile_path;
   // serve without an admin plane would just be a parked process, so it
   // defaults to the conventional local admin port; mine defaults to off.
@@ -268,7 +372,8 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
     const bool known = flag == "--min-statements" || flag == "--threshold" ||
                        flag == "--domain" || flag == "--out" ||
                        flag == "--provenance" || flag == "--report" ||
-                       flag == "--snapshot" || flag == "--admin-port" ||
+                       flag == "--snapshot" || flag == "--publish" ||
+                       flag == "--retain" || flag == "--admin-port" ||
                        flag == "--faults" || flag == "--fault-seed" ||
                        flag == "--trace-sample-rate" ||
                        flag == "--slow-query-ms" || flag == "--profile";
@@ -293,6 +398,10 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
       config.max_provenance_samples = std::atoi(value.c_str());
     } else if (flag == "--snapshot") {
       snapshot_path = value;
+    } else if (flag == "--publish") {
+      publish_dir = value;
+    } else if (flag == "--retain") {
+      publish_retain = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (flag == "--admin-port") {
       admin_port = std::atoi(value.c_str());
       // 0 disables for mine; serve binds an ephemeral port instead of
@@ -423,16 +532,36 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
 
   // Freeze the mined opinions into the binary snapshot the serving layer
   // reads. serve always writes one (it is what /query answers from);
-  // mine writes one only when asked via --snapshot.
+  // mine writes one only when asked via --snapshot. With --publish DIR
+  // the same image is committed as the next generation of a
+  // GenerationStore — the crash-safe hand-off a running `serve
+  // --generations` picks up via /reloadz or SIGHUP.
   if (serve && snapshot_path.empty()) snapshot_path = dir + "/opinions.surv";
-  if (!snapshot_path.empty()) {
+  if (!snapshot_path.empty() || !publish_dir.empty()) {
     serving::SnapshotWriter writer;
     writer.set_label("mine " + dir);
     status = writer.AddResult(*result, workspace->kb);
     if (!status.ok()) return Fail(status);
-    status = writer.WriteToFile(snapshot_path);
-    if (!status.ok()) return Fail(status);
-    std::cout << "wrote opinion snapshot to " << snapshot_path << "\n";
+    if (!snapshot_path.empty()) {
+      status = writer.WriteToFile(snapshot_path);
+      if (!status.ok()) return Fail(status);
+      std::cout << "wrote opinion snapshot to " << snapshot_path << "\n";
+    }
+    if (!publish_dir.empty()) {
+      if (publish_retain == 0) {
+        return Fail(Status::InvalidArgument("retain must be >= 1"));
+      }
+      serving::GenerationStoreOptions store_options;
+      store_options.retain = publish_retain;
+      if (admin_enabled) store_options.metrics = &live_registry;
+      serving::GenerationStore store(publish_dir, store_options);
+      status = store.Open();
+      if (!status.ok()) return Fail(status);
+      StatusOr<uint64_t> published = store.PublishImage(writer.Serialize());
+      if (!published.ok()) return Fail(published.status());
+      std::cout << "published generation " << *published << " to "
+                << publish_dir << "\n";
+    }
   }
 
   if (config.max_provenance_samples > 0) {
@@ -504,7 +633,12 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
     store_size->Set(static_cast<double>(store.size()));
     std::cout << "serving; http://127.0.0.1:" << admin->port()
               << "/query?entity=E&property=P and /metrics (Ctrl-C to stop)\n";
-    for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+    ParkServing([&] {
+      const Status reloaded = index.Load(snapshot_path);
+      if (!reloaded.ok()) {
+        std::cerr << "SIGHUP reload failed: " << reloaded.ToString() << "\n";
+      }
+    });
   }
   return 0;
 }
