@@ -1,19 +1,9 @@
 #include "obs/admin_server.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdlib>
 #include <limits>
-#include <system_error>
 #include <utility>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#define SURVEYOR_HAVE_SOCKETS 1
-#endif
 
 #include "obs/build_info.h"
 #include "obs/json_writer.h"
@@ -27,27 +17,6 @@ namespace surveyor {
 namespace obs {
 
 namespace {
-
-std::string_view StatusLine(int status) {
-  switch (status) {
-    case 200:
-      return "200 OK";
-    case 400:
-      return "400 Bad Request";
-    case 404:
-      return "404 Not Found";
-    case 405:
-      return "405 Method Not Allowed";
-    case 409:
-      return "409 Conflict";
-    case 501:
-      return "501 Not Implemented";
-    case 503:
-      return "503 Service Unavailable";
-    default:
-      return "500 Internal Server Error";
-  }
-}
 
 /// Strips the query string: "/logz?n=5" -> "/logz".
 std::string_view PathOf(std::string_view target) {
@@ -179,17 +148,17 @@ AdminServer::AdminServer(const MetricRegistry* registry,
 AdminServer::~AdminServer() { Stop(); }
 
 void AdminServer::AddHandler(std::string prefix, AdminHandler handler) {
-  SURVEYOR_CHECK(listen_fd_ < 0) << "AddHandler after Start()";
+  SURVEYOR_CHECK(http_ == nullptr) << "AddHandler after Start()";
   handlers_.emplace_back(std::move(prefix), std::move(handler));
 }
 
 void AdminServer::AddStatusSection(std::string key, StatusSection section) {
-  SURVEYOR_CHECK(listen_fd_ < 0) << "AddStatusSection after Start()";
+  SURVEYOR_CHECK(http_ == nullptr) << "AddStatusSection after Start()";
   status_sections_.emplace_back(std::move(key), std::move(section));
 }
 
 void AdminServer::AddMetricsHook(MetricsHook hook) {
-  SURVEYOR_CHECK(listen_fd_ < 0) << "AddMetricsHook after Start()";
+  SURVEYOR_CHECK(http_ == nullptr) << "AddMetricsHook after Start()";
   metrics_hooks_.push_back(std::move(hook));
 }
 
@@ -595,191 +564,41 @@ AdminResponse AdminServer::Index() const {
   return response;
 }
 
-#ifdef SURVEYOR_HAVE_SOCKETS
-
 Status AdminServer::Start() {
-  if (listen_fd_ >= 0) {
+  if (http_ != nullptr) {
     return Status::FailedPrecondition("admin server already started");
   }
-  if (options_.port < 0 || options_.port > 65535) {
-    return Status::InvalidArgument("admin port out of range");
+  HttpServerOptions http_options;
+  http_options.port = options_.port;
+  http_options.bind_address = options_.bind_address;
+  http_options.num_workers = options_.serve_workers;
+  http_options.handler_threads = options_.handler_threads;
+  http_options.max_connections = options_.max_connections;
+  http_options.queue_high_water = options_.queue_high_water;
+  http_options.idle_timeout_seconds = options_.idle_timeout_seconds;
+  http_options.drain_seconds = options_.drain_seconds;
+  // Transport metrics (connection gauge, queue depth, shed count) land in
+  // the writable registry when one is injected, so /metrics scrapes the
+  // serving tier's own health alongside the application's.
+  http_options.metrics = options_.profiler_metrics;
+  http_ = std::make_unique<HttpServer>(
+      [this](std::string_view method, std::string_view target,
+             std::string_view body) { return Handle(method, target, body); },
+      std::move(http_options));
+  const Status status = http_->Start();
+  if (!status.ok()) {
+    http_.reset();
+    return status;
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal("socket(): " +
-                            std::system_category().message(errno));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad bind address '" +
-                                   options_.bind_address + "'");
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    // std::strerror is not thread-safe (concurrency-mt-unsafe); the
-    // system_category message is.
-    const std::string error = std::system_category().message(errno);
-    ::close(fd);
-    return Status::Internal("bind(" + options_.bind_address + ":" +
-                            std::to_string(options_.port) + "): " + error);
-  }
-  if (::listen(fd, /*backlog=*/16) != 0) {
-    const std::string error = std::system_category().message(errno);
-    ::close(fd);
-    return Status::Internal("listen(): " + error);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
-      0) {
-    port_ = ntohs(bound.sin_port);
-  }
-  listen_fd_ = fd;
-  stopping_.store(false);
-  thread_ = std::thread([this] { AcceptLoop(); });
+  port_ = http_->port();
   return Status::OK();
 }
 
-void AdminServer::AcceptLoop() {
-  for (;;) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (stopping_.load()) {
-      if (client >= 0) ::close(client);
-      return;
-    }
-    if (client < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // Listening socket gone; nothing sensible left to do.
-    }
-    ServeConnection(client);
-  }
-}
-
-void AdminServer::ServeConnection(int client_fd) const {
-  // Read until the end of the request head (or a defensive cap).
-  std::string request;
-  char buffer[1024];
-  size_t head_end = std::string::npos;
-  size_t body_start = 0;
-  while (request.size() < 8192) {
-    head_end = request.find("\r\n\r\n");
-    if (head_end != std::string::npos) {
-      body_start = head_end + 4;
-      break;
-    }
-    head_end = request.find("\n\n");
-    if (head_end != std::string::npos) {
-      body_start = head_end + 2;
-      break;
-    }
-    const ssize_t n = ::read(client_fd, buffer, sizeof(buffer));
-    if (n <= 0) break;
-    request.append(buffer, static_cast<size_t>(n));
-  }
-
-  // Parse the request line: METHOD SP TARGET SP VERSION.
-  std::string method = "GET";
-  std::string target = "/";
-  const size_t line_end = request.find_first_of("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  const size_t method_end = line.find(' ');
-  if (method_end != std::string::npos) {
-    method = line.substr(0, method_end);
-    const size_t target_end = line.find(' ', method_end + 1);
-    target = line.substr(method_end + 1,
-                         target_end == std::string::npos
-                             ? std::string::npos
-                             : target_end - method_end - 1);
-  }
-
-  // Drain the body when the head announced one (POST /query/batch). The
-  // cap bounds what a misbehaving client can make the single-threaded
-  // plane buffer.
-  constexpr size_t kMaxBodyBytes = 1 << 20;
-  size_t content_length = 0;
-  if (head_end != std::string::npos) {
-    const std::string head_lower = ToLower(request.substr(0, head_end));
-    const size_t header = head_lower.find("content-length:");
-    if (header != std::string::npos) {
-      size_t pos = header + 15;
-      while (pos < head_lower.size() && head_lower[pos] == ' ') ++pos;
-      while (pos < head_lower.size() && head_lower[pos] >= '0' &&
-             head_lower[pos] <= '9' && content_length <= kMaxBodyBytes) {
-        content_length = content_length * 10 + (head_lower[pos] - '0');
-        ++pos;
-      }
-    }
-  }
-  std::string body;
-  if (content_length > 0 && content_length <= kMaxBodyBytes &&
-      head_end != std::string::npos) {
-    body = request.substr(body_start);
-    while (body.size() < content_length) {
-      const ssize_t n = ::read(client_fd, buffer, sizeof(buffer));
-      if (n <= 0) break;
-      body.append(buffer, static_cast<size_t>(n));
-    }
-    if (body.size() > content_length) body.resize(content_length);
-  }
-
-  const AdminResponse response = Handle(method, target, body);
-  std::string head = "HTTP/1.0 " + std::string(StatusLine(response.status)) +
-                     "\r\nContent-Type: " + response.content_type +
-                     "\r\nContent-Length: " +
-                     std::to_string(response.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
-  std::string out = std::move(head);
-  if (method != "HEAD") out += response.body;
-  size_t written = 0;
-  while (written < out.size()) {
-    const ssize_t n =
-        ::write(client_fd, out.data() + written, out.size() - written);
-    if (n <= 0) break;
-    written += static_cast<size_t>(n);
-  }
-  ::close(client_fd);
-}
-
 void AdminServer::Stop() {
-  if (listen_fd_ < 0) return;
-  stopping_.store(true);
-  // Unblock the accept(): shutdown() wakes it on Linux...
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  // ...and a best-effort self-connect covers platforms where it does not.
-  const int self = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (self >= 0) {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<uint16_t>(port_));
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    ::connect(self, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-    ::close(self);
-  }
-  if (thread_.joinable()) thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  if (http_ == nullptr) return;
+  http_->Stop();
+  http_.reset();
 }
-
-#else  // !SURVEYOR_HAVE_SOCKETS
-
-Status AdminServer::Start() {
-  return Status::Unimplemented("admin server needs POSIX sockets");
-}
-
-void AdminServer::AcceptLoop() {}
-
-void AdminServer::ServeConnection(int) const {}
-
-void AdminServer::Stop() {}
-
-#endif  // SURVEYOR_HAVE_SOCKETS
 
 }  // namespace obs
 }  // namespace surveyor

@@ -1,15 +1,15 @@
 #ifndef SURVEYOR_OBS_ADMIN_SERVER_H_
 #define SURVEYOR_OBS_ADMIN_SERVER_H_
 
-#include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/access_log.h"
+#include "obs/http_server.h"
 #include "obs/log_ring.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
@@ -44,28 +44,44 @@ struct AdminServerOptions {
   /// Registry the profiler folds its sample counters into after a
   /// /profilez window (not owned, may be null). Usually the same live
   /// registry the server scrapes, but the server's own `registry` is
-  /// const, so a writable alias is injected explicitly.
+  /// const, so a writable alias is injected explicitly. The serving
+  /// tier's transport metrics (connection gauge, queue depth, shed
+  /// count) land in the same registry.
   MetricRegistry* profiler_metrics = nullptr;
+  /// Event-loop threads in the underlying HttpServer (--serve-workers).
+  int serve_workers = 2;
+  /// Handler-pool threads executing endpoint logic.
+  int handler_threads = 4;
+  /// Open-connection cap (--max-connections); excess connections are
+  /// answered 503 and closed.
+  size_t max_connections = 512;
+  /// Admission control (--queue-high-water): requests arriving past this
+  /// queue depth are shed with 429 + Retry-After.
+  size_t queue_high_water = 128;
+  /// Keep-alive connections idle longer than this are closed (partial
+  /// requests get 408); <= 0 disables the sweep.
+  double idle_timeout_seconds = 30.0;
+  /// Graceful-shutdown budget for draining in-flight requests.
+  double drain_seconds = 5.0;
 };
 
 /// One materialized HTTP response, exposed so tests can exercise the
-/// endpoint logic without a socket.
-struct AdminResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
+/// endpoint logic without a socket. An alias for the transport's
+/// HttpResponse so handlers can attach extra headers (Deprecation,
+/// Retry-After) that the event loop writes verbatim.
+using AdminResponse = HttpResponse;
 
 /// An application endpoint mounted on the admin server (see AddHandler).
 /// `target` is the full request target (path + query string), `body` the
-/// request body ("" for GET). The handler runs on the accept thread and
-/// must be thread-safe with respect to the application state it reads.
+/// request body ("" for GET). Handlers run on the server's handler pool —
+/// several may execute concurrently — and must be thread-safe with
+/// respect to the application state they read.
 using AdminHandler = std::function<AdminResponse(
     std::string_view method, std::string_view target, std::string_view body)>;
 
 /// One application section on /statusz (see AddStatusSection). The
 /// function writes exactly one JSON value (usually an object) as the
-/// section's content; it runs on the accept thread and must be
+/// section's content; it runs on a handler thread and must be
 /// thread-safe with respect to the state it reads.
 using StatusSection = std::function<void(JsonWriter&)>;
 
@@ -74,11 +90,12 @@ using StatusSection = std::function<void(JsonWriter&)>;
 /// the serving generation's age.
 using MetricsHook = std::function<void()>;
 
-/// Dependency-free embedded HTTP/1.0 admin server: one blocking
-/// accept-loop thread serving the live observability state of this
-/// process — the laptop-scale version of the per-node status pages the
-/// deployed Surveyor aggregated across 5000 machines, in the pull-based
-/// exposition style modern pipelines scrape.
+/// Embedded HTTP/1.1 admin and serving plane, mounted on the epoll
+/// multi-worker HttpServer (DESIGN.md §15): the live observability
+/// state of this process plus the /v1 query API — the laptop-scale
+/// version of the per-node status pages the deployed Surveyor
+/// aggregated across 5000 machines, in the pull-based exposition style
+/// modern pipelines scrape.
 ///
 /// Endpoints:
 ///   /metrics       Prometheus text: the registry + log counters
@@ -96,19 +113,19 @@ using MetricsHook = std::function<void()>;
 ///                  stacks (?format=folded, flamegraph.pl-ready) or JSON
 ///                  with the per-stage attribution table (?format=json).
 ///                  One profile at a time (409 while one runs); 501 on
-///                  sanitizer builds. Blocks the admin thread for the
-///                  window — deliberate on a single-scraper plane.
+///                  sanitizer builds. Blocks one handler thread for the
+///                  window — other endpoints keep answering.
 ///
 /// Every request runs under an obs::RequestScope: it gets a trace id,
 /// lands in the access log (feeding the per-endpoint counters on
 /// /metrics), and — when head-sampled or over the slow-query threshold —
 /// leaves its span tree on /tracez.
 ///
-/// Requests are handled sequentially on the accept thread; every response
-/// closes the connection (HTTP/1.0 semantics). That is deliberate — an
-/// admin plane serves one scraper and the occasional curl, and a single
-/// thread cannot be wedged into unbounded concurrency by a misbehaving
-/// client.
+/// Requests arrive concurrently: the event loop parses them off
+/// keep-alive connections and a handler pool executes the endpoints, so
+/// every handler (and status section) must be thread-safe. Overload is
+/// explicit — past the queue high-water mark requests are shed with 429
+/// before any endpoint code runs (see HttpServerOptions).
 class AdminServer {
  public:
   /// None of the dependencies are owned; all must outlive the server.
@@ -123,13 +140,13 @@ class AdminServer {
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
 
-  /// Binds, listens and starts the accept thread. Fails with
-  /// InvalidArgument/Internal when the port cannot be bound.
+  /// Binds, listens and starts the serving tier (listener, worker event
+  /// loops, handler pool). Fails with InvalidArgument/Internal when the
+  /// port cannot be bound.
   Status Start();
 
-  /// Graceful shutdown: unblocks the accept loop (shutdown() on the
-  /// listening socket plus a self-connect fallback) and joins the thread.
-  /// Idempotent.
+  /// Graceful shutdown: stops accepting, drains in-flight requests (up
+  /// to options.drain_seconds), flushes responses, closes. Idempotent.
   void Stop();
 
   /// The port actually bound (useful with options.port == 0); 0 before
@@ -172,9 +189,6 @@ class AdminServer {
   AccessLog& access_log() const { return access_log_; }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int client_fd) const;
-
   /// Handler/builtin dispatch, running inside `scope`; sets the scope's
   /// normalized endpoint for the per-endpoint counters.
   AdminResponse Dispatch(std::string_view method, std::string_view target,
@@ -200,19 +214,17 @@ class AdminServer {
   mutable RequestTracer request_tracer_;
   mutable AccessLog access_log_;
   /// Registered application endpoints, (prefix, handler). Immutable once
-  /// the accept thread starts.
+  /// the server starts.
   std::vector<std::pair<std::string, AdminHandler>> handlers_;
   /// Application /statusz sections, (key, writer). Immutable once the
-  /// accept thread starts.
+  /// server starts.
   std::vector<std::pair<std::string, StatusSection>> status_sections_;
-  /// Scrape-time gauge refreshers. Immutable once the accept thread
-  /// starts.
+  /// Scrape-time gauge refreshers. Immutable once the server starts.
   std::vector<MetricsHook> metrics_hooks_;
 
-  int listen_fd_ = -1;
+  /// The serving tier; non-null exactly while started.
+  std::unique_ptr<HttpServer> http_;
   int port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::thread thread_;
 };
 
 }  // namespace obs

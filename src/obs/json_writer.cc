@@ -125,6 +125,12 @@ JsonWriter& JsonWriter::Value(bool value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  Prefix();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::Value(std::string_view value) {
   Prefix();
   out_ += '"';

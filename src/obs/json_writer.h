@@ -36,6 +36,11 @@ class JsonWriter {
     return Value(std::string_view(value));
   }
 
+  /// Embeds `json` verbatim as one value — it must already be exactly one
+  /// well-formed JSON value (e.g. another JsonWriter's str()). Commas and
+  /// key bookkeeping are handled; the content is not validated.
+  JsonWriter& RawValue(std::string_view json);
+
   /// The document so far. Call after every container has been closed.
   const std::string& str() const { return out_; }
 

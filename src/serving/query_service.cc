@@ -10,6 +10,7 @@
 #include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "model/opinion.h"
+#include "serving/api_envelope.h"
 #include "util/profile_tag.h"
 
 namespace surveyor {
@@ -60,16 +61,6 @@ std::map<std::string, std::string> ParseQueryParams(std::string_view target) {
     }
   }
   return params;
-}
-
-obs::AdminResponse JsonError(int status, std::string_view message) {
-  obs::JsonWriter writer;
-  writer.BeginObject().Key("error").Value(message).EndObject();
-  obs::AdminResponse response;
-  response.status = status;
-  response.content_type = "application/json";
-  response.body = writer.str() + "\n";
-  return response;
 }
 
 void WriteOpinion(obs::JsonWriter* writer, const ServedOpinion& opinion) {
@@ -248,11 +239,15 @@ QueryService::QueryService(const OpinionIndex* index,
 }
 
 void QueryService::Register(obs::AdminServer* server) {
-  server->AddHandler("/query",
-                     [this](std::string_view method, std::string_view target,
-                            std::string_view body) {
-                       return Handle(method, target, body);
-                     });
+  const auto handler = [this](std::string_view method,
+                              std::string_view target,
+                              std::string_view body) {
+    return Handle(method, target, body);
+  };
+  server->AddHandler("/v1/query", handler);
+  // One-PR deprecation shim: the legacy paths answer identically (same
+  // envelope, same status) plus a Deprecation header.
+  server->AddHandler("/query", handler);
 }
 
 obs::AdminResponse QueryService::Handle(std::string_view method,
@@ -260,25 +255,39 @@ obs::AdminResponse QueryService::Handle(std::string_view method,
                                         std::string_view body) const {
   const auto start = std::chrono::steady_clock::now();
   requests_->Increment();
+  const size_t query_pos = target.find('?');
+  const std::string_view path = query_pos == std::string_view::npos
+                                    ? target
+                                    : target.substr(0, query_pos);
+  // Legacy /query* paths normalize onto the /v1 surface and answer
+  // identically, plus the deprecation stamp. Unknown subpaths stay
+  // unmapped so they 404 on either surface.
+  const bool legacy = path.substr(0, 6) == "/query";
+  std::string_view canonical = path;
+  if (path == "/query") {
+    canonical = "/v1/query";
+  } else if (path == "/query/batch") {
+    canonical = "/v1/query/batch";
+  }
+
   obs::AdminResponse response;
   if (stage_ != nullptr && !stage_->ready()) {
     rejected_->Increment();
-    response = JsonError(
+    response = ApiError(
         503, "index not ready (stage " +
                  std::string(obs::PipelineStageName(stage_->stage())) + ")");
+    response.headers.emplace_back("Retry-After", "1");
+  } else if (canonical == "/v1/query/batch") {
+    response = HandleBatch(method, body);
+  } else if (canonical == "/v1/query") {
+    response = HandleQuery(method, target);
   } else {
-    const size_t query_pos = target.find('?');
-    const std::string_view path =
-        query_pos == std::string_view::npos ? target
-                                            : target.substr(0, query_pos);
-    if (path == "/query/batch") {
-      response = HandleBatch(method, body);
-    } else if (path == "/query") {
-      response = HandleQuery(method, target);
-    } else {
-      rejected_->Increment();
-      response = JsonError(404, "unknown query endpoint");
-    }
+    rejected_->Increment();
+    response = ApiError(404, "unknown query endpoint");
+  }
+  if (legacy) {
+    MarkDeprecated(&response, canonical != path ? canonical
+                                                : std::string_view("/v1/query"));
   }
   // The exemplar links the latency bucket to this request's trace on
   // /tracez; only head-sampled requests qualify, so every exemplar id on
@@ -295,16 +304,14 @@ obs::AdminResponse QueryService::HandleQuery(std::string_view method,
   SURVEYOR_PROFILE_SCOPE("query");
   if (method != "GET" && method != "HEAD") {
     rejected_->Increment();
-    return JsonError(405, "/query is GET-only; POST /query/batch instead");
+    return ApiError(405,
+                    "/v1/query is GET-only; POST /v1/query/batch instead");
   }
   const auto params = ParseQueryParams(target);
   const auto has = [&params](const char* name) {
     auto it = params.find(name);
     return it != params.end() && !it->second.empty();
   };
-
-  obs::AdminResponse response;
-  response.content_type = "application/json";
 
   if (has("entity") && has("property")) {
     SURVEYOR_SPAN("query_service.point");
@@ -314,12 +321,11 @@ obs::AdminResponse QueryService::HandleQuery(std::string_view method,
       const int status =
           result.status().code() == StatusCode::kNotFound ? 404 : 500;
       rejected_->Increment();
-      return JsonError(status, result.status().message());
+      return ApiError(status, result.status().message());
     }
     obs::JsonWriter writer;
     WriteOpinion(&writer, *result);
-    response.body = writer.str() + "\n";
-    return response;
+    return ApiData(writer.str());
   }
 
   if (has("type") && has("property")) {
@@ -331,8 +337,7 @@ obs::AdminResponse QueryService::HandleQuery(std::string_view method,
     writer.BeginObject().Key("results").BeginArray();
     for (const ServedOpinion& opinion : results) WriteOpinion(&writer, opinion);
     writer.EndArray().EndObject();
-    response.body = writer.str() + "\n";
-    return response;
+    return ApiData(writer.str());
   }
 
   if (has("prefix")) {
@@ -343,33 +348,35 @@ obs::AdminResponse QueryService::HandleQuery(std::string_view method,
     writer.BeginObject().Key("entities").BeginArray();
     for (const std::string& name : names) writer.Value(name);
     writer.EndArray().EndObject();
-    response.body = writer.str() + "\n";
-    return response;
+    return ApiData(writer.str());
   }
 
   rejected_->Increment();
-  return JsonError(400,
-                   "need entity=&property=, type=&property=, or prefix=");
+  return ApiError(400,
+                  "need entity=&property=, type=&property=, or prefix=");
 }
 
 obs::AdminResponse QueryService::HandleBatch(std::string_view method,
                                              std::string_view body) const {
   SURVEYOR_PROFILE_SCOPE("query");
+  // Method and parse failures go through the same ApiError path as every
+  // other endpoint — no hand-rolled error bodies that could drift from
+  // the envelope.
   if (method != "POST") {
     rejected_->Increment();
-    return JsonError(405, "/query/batch is POST-only");
+    return ApiError(405, "/v1/query/batch is POST-only");
   }
   std::vector<std::pair<std::string, std::string>> queries;
   if (!BatchParser(body).Parse(&queries)) {
     rejected_->Increment();
-    return JsonError(400,
-                     "body must be {\"queries\":[{\"entity\":..,"
-                     "\"property\":..},..]}");
+    return ApiError(400,
+                    "body must be {\"queries\":[{\"entity\":..,"
+                    "\"property\":..},..]}");
   }
   if (queries.size() > options_.max_batch) {
     rejected_->Increment();
-    return JsonError(400, "batch too large (max " +
-                              std::to_string(options_.max_batch) + ")");
+    return ApiError(400, "batch too large (max " +
+                             std::to_string(options_.max_batch) + ")");
   }
   SURVEYOR_SPAN("query_service.batch");
   const std::vector<StatusOr<ServedOpinion>> results =
@@ -380,17 +387,15 @@ obs::AdminResponse QueryService::HandleBatch(std::string_view method,
     if (result.ok()) {
       WriteOpinion(&writer, *result);
     } else {
-      writer.BeginObject()
-          .Key("error")
-          .Value(result.status().message())
-          .EndObject();
+      // Per-entry misses reuse the envelope's error object so batch
+      // entries parse exactly like top-level failures.
+      const int status =
+          result.status().code() == StatusCode::kNotFound ? 404 : 500;
+      writer.RawValue(ApiErrorJson(status, result.status().message()));
     }
   }
   writer.EndArray().EndObject();
-  obs::AdminResponse response;
-  response.content_type = "application/json";
-  response.body = writer.str() + "\n";
-  return response;
+  return ApiData(writer.str());
 }
 
 }  // namespace serving

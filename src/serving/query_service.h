@@ -13,7 +13,7 @@ namespace surveyor {
 namespace serving {
 
 struct QueryServiceOptions {
-  /// Largest accepted /query/batch request.
+  /// Largest accepted /v1/query/batch request.
   size_t max_batch = 256;
   /// Result cap for type scans and prefix scans when the request does not
   /// pass its own (smaller) limit.
@@ -24,14 +24,20 @@ struct QueryServiceOptions {
 /// embedded plane serves both operators (/metrics, /statusz) and the
 /// paper's end users (Section 1's subjective search):
 ///
-///   GET  /query?entity=E&property=P   one opinion as JSON (404 JSON when
-///                                     Surveyor mined nothing for the pair)
-///   GET  /query?type=T&property=P     "safe cities": affirming entities
-///                                     of the type, strongest first
-///   GET  /query?prefix=S              entity-name autocomplete
-///   POST /query/batch                 {"queries":[{"entity":..,
-///                                     "property":..},..]} answered
-///                                     per-entry in request order
+///   GET  /v1/query?entity=E&property=P   one opinion (404 when Surveyor
+///                                        mined nothing for the pair)
+///   GET  /v1/query?type=T&property=P     "safe cities": affirming
+///                                        entities of the type,
+///                                        strongest first
+///   GET  /v1/query?prefix=S              entity-name autocomplete
+///   POST /v1/query/batch                 {"queries":[{"entity":..,
+///                                        "property":..},..]} answered
+///                                        per-entry in request order
+///
+/// Responses use the /v1 envelope (serving/api_envelope.h): {"data":...}
+/// on success, {"error":{"code","message"}} on failure. The legacy /query
+/// and /query/batch paths stay mounted as deprecation shims — identical
+/// body and status, plus Deprecation/Link headers naming the successor.
 ///
 /// Requests are refused with 503 until the stage tracker reports ready,
 /// so a process that is still mining (serve --after-mine setups) never
@@ -45,7 +51,8 @@ class QueryService {
                obs::MetricRegistry* metrics,
                QueryServiceOptions options = {});
 
-  /// Mounts /query and /query/batch. Call before server->Start().
+  /// Mounts /v1/query (and the legacy /query shim). Call before
+  /// server->Start().
   void Register(obs::AdminServer* server);
 
   /// Pure request handling, exposed for tests (the transport-free analog

@@ -5,21 +5,12 @@
 #include "obs/json_writer.h"
 #include "obs/request_trace.h"
 #include "obs/trace.h"
+#include "serving/api_envelope.h"
 #include "util/logging.h"
 
 namespace surveyor {
 namespace serving {
 namespace {
-
-obs::AdminResponse JsonError(int status, std::string_view message) {
-  obs::JsonWriter writer;
-  writer.BeginObject().Key("error").Value(message).EndObject();
-  obs::AdminResponse response;
-  response.status = status;
-  response.content_type = "application/json";
-  response.body = writer.str() + "\n";
-  return response;
-}
 
 int HttpStatusFor(const Status& status) {
   switch (status.code()) {
@@ -80,11 +71,13 @@ ReloadService::ReloadService(GenerationStore* store, OpinionIndex* index,
 }
 
 void ReloadService::Register(obs::AdminServer* server) {
-  server->AddHandler("/reloadz",
-                     [this](std::string_view method, std::string_view target,
-                            std::string_view body) {
-                       return Handle(method, target, body);
-                     });
+  const auto handler = [this](std::string_view method, std::string_view target,
+                              std::string_view body) {
+    return Handle(method, target, body);
+  };
+  server->AddHandler("/v1/admin/reload", handler);
+  // One-PR deprecation shim: answers identically, stamped Deprecated.
+  server->AddHandler("/reloadz", handler);
   server->AddStatusSection(
       "generation", [this](obs::JsonWriter& writer) { WriteStatus(writer); });
   server->AddMetricsHook([this] { UpdateGauges(); });
@@ -97,13 +90,22 @@ obs::AdminResponse ReloadService::Handle(std::string_view method,
   // A generation swap is rare and operator-significant: always keep its
   // trace, whatever the sampling rate.
   obs::ForceSampleCurrentRequest();
+  const std::string_view path = target.substr(0, target.find('?'));
+  const bool legacy = path == "/reloadz";
+  obs::AdminResponse response = HandleReload(method, target);
+  if (legacy) MarkDeprecated(&response, "/v1/admin/reload");
+  return response;
+}
+
+obs::AdminResponse ReloadService::HandleReload(std::string_view method,
+                                               std::string_view target) const {
   if (method != "POST") {
-    return JsonError(405, "POST only");
+    return ApiError(405, "POST only");
   }
   bool explicit_id = false;
   uint64_t id = 0;
   if (!ParseGenerationParam(target, &explicit_id, &id)) {
-    return JsonError(400, "generation must be a decimal id");
+    return ApiError(400, "generation must be a decimal id");
   }
   const uint64_t previous = index_->generation_id();
   Status status;
@@ -113,7 +115,7 @@ obs::AdminResponse ReloadService::Handle(std::string_view method,
     status = ReloadLatest();
   }
   if (!status.ok()) {
-    return JsonError(HttpStatusFor(status), status.message());
+    return ApiError(HttpStatusFor(status), status.message());
   }
   const uint64_t now_serving = index_->generation_id();
   obs::JsonWriter writer;
@@ -125,10 +127,7 @@ obs::AdminResponse ReloadService::Handle(std::string_view method,
       .Key("reloaded")
       .Value(now_serving != previous || explicit_id)
       .EndObject();
-  obs::AdminResponse response;
-  response.content_type = "application/json";
-  response.body = writer.str() + "\n";
-  return response;
+  return ApiData(writer.str());
 }
 
 Status ReloadService::ReloadLatest() const {

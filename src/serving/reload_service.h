@@ -16,12 +16,16 @@ namespace serving {
 /// The operator face of snapshot generations, wiring a GenerationStore to
 /// a live OpinionIndex on the admin plane:
 ///
-///   POST /reloadz                hot-swap to the newest committed
-///                                generation (refreshes the manifest
-///                                first, so it picks up a publish by
-///                                another process)
-///   POST /reloadz?generation=N   hot-swap to a specific committed
-///                                generation — rollback
+///   POST /v1/admin/reload                hot-swap to the newest committed
+///                                        generation (refreshes the
+///                                        manifest first, so it picks up a
+///                                        publish by another process)
+///   POST /v1/admin/reload?generation=N   hot-swap to a specific committed
+///                                        generation — rollback
+///
+/// Responses use the /v1 envelope (serving/api_envelope.h). The legacy
+/// /reloadz path stays mounted as a deprecation shim: identical body,
+/// plus Deprecation/Link headers pointing at /v1/admin/reload.
 ///
 /// Register() also mounts a "generation" section on /statusz (serving id,
 /// age, the store's rollback menu) and a scrape-time hook keeping the
@@ -41,11 +45,12 @@ class ReloadService {
   ReloadService(GenerationStore* store, OpinionIndex* index,
                 obs::MetricRegistry* metrics);
 
-  /// Mounts /reloadz, the /statusz section and the /metrics age hook.
-  /// Call before server->Start().
+  /// Mounts /v1/admin/reload (and the /reloadz shim), the /statusz
+  /// section and the /metrics age hook. Call before server->Start().
   void Register(obs::AdminServer* server);
 
-  /// Pure request handling, exposed for tests.
+  /// Pure request handling, exposed for tests. `target` decides shim
+  /// treatment: a /reloadz target gets the Deprecation headers.
   obs::AdminResponse Handle(std::string_view method, std::string_view target,
                             std::string_view body) const;
 
@@ -65,6 +70,10 @@ class ReloadService {
   void UpdateGauges() const;
 
  private:
+  /// Path-agnostic reload handling; Handle() wraps it with shim headers.
+  obs::AdminResponse HandleReload(std::string_view method,
+                                  std::string_view target) const;
+
   GenerationStore* store_;
   OpinionIndex* index_;
   obs::MetricRegistry* metrics_;

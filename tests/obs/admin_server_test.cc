@@ -477,7 +477,7 @@ TEST(AdminServerSocketTest, ScrapesMetricsWhileWorkersIncrement) {
   for (int i = 0; i < 10; ++i) {
     last = HttpGet(server.port(), "/metrics");
     ASSERT_FALSE(last.empty());
-    EXPECT_NE(last.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(last.find("HTTP/1.1 200 OK"), std::string::npos);
     EXPECT_NE(last.find("text/plain; version=0.0.4"), std::string::npos);
     EXPECT_NE(last.find("# TYPE surveyor_extraction_statements_total counter"),
               std::string::npos);
@@ -502,12 +502,12 @@ TEST(AdminServerSocketTest, HealthzAndReadyzOverSocket) {
   AdminServer server(&registry, &stage, nullptr);
   ASSERT_TRUE(server.Start().ok());
 
-  EXPECT_NE(HttpGet(server.port(), "/healthz").find("HTTP/1.0 200 OK"),
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("HTTP/1.1 200 OK"),
             std::string::npos);
-  EXPECT_NE(HttpGet(server.port(), "/readyz").find("HTTP/1.0 503"),
+  EXPECT_NE(HttpGet(server.port(), "/readyz").find("HTTP/1.1 503"),
             std::string::npos);
   stage.SetStage(PipelineStage::kDone);
-  EXPECT_NE(HttpGet(server.port(), "/readyz").find("HTTP/1.0 200 OK"),
+  EXPECT_NE(HttpGet(server.port(), "/readyz").find("HTTP/1.1 200 OK"),
             std::string::npos);
   server.Stop();
 }
@@ -576,12 +576,12 @@ TEST(AdminServerSocketTest, ScrapesTracezAndRequestzMidLoad) {
   bool saw_request = false;
   for (int i = 0; i < 20 && !(saw_trace && saw_request); ++i) {
     const std::string tracez = HttpGet(port, "/tracez");
-    EXPECT_NE(tracez.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(tracez.find("HTTP/1.1 200 OK"), std::string::npos);
     if (tracez.find("\"sampled\":true") != std::string::npos) {
       saw_trace = true;
     }
     const std::string requestz = HttpGet(port, "/requestz");
-    EXPECT_NE(requestz.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(requestz.find("HTTP/1.1 200 OK"), std::string::npos);
     if (requestz.find("\"target\":\"/healthz\"") != std::string::npos) {
       saw_request = true;
     }

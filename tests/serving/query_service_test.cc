@@ -163,7 +163,10 @@ TEST_F(QueryServiceTest, BatchAnswersPerEntry) {
       service.Handle("POST", "/query/batch", body);
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.body.find("\"entity\":\"kitten\""), std::string::npos);
-  EXPECT_NE(response.body.find("\"error\":\"unknown entity 'nobody'\""),
+  // Per-entry misses carry the same envelope error object as top-level
+  // failures.
+  EXPECT_NE(response.body.find("{\"error\":{\"code\":\"not_found\","
+                               "\"message\":\"unknown entity 'nobody'\"}}"),
             std::string::npos);
 }
 
@@ -396,7 +399,7 @@ TEST(ServingIntegrationTest, MineSnapshotServeScrape) {
 
   // Before the stage flips, /query is refused.
   EXPECT_NE(HttpGet(server.port(), "/query?entity=kitten&property=cute")
-                .find("HTTP/1.0 503"),
+                .find("HTTP/1.1 503"),
             std::string::npos);
   stage.SetStage(obs::PipelineStage::kServing);
 
@@ -411,7 +414,7 @@ TEST(ServingIntegrationTest, MineSnapshotServeScrape) {
   const std::string response = HttpGet(
       server.port(), "/query?entity=" + encoded + "&property=" +
                          mined.property);
-  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
   EXPECT_NE(response.find("\"entity\":\"" + entity + "\""),
             std::string::npos) << response;
   // Render the posterior the way the JSON layer does (integral values
@@ -434,7 +437,7 @@ TEST(ServingIntegrationTest, MineSnapshotServeScrape) {
       server.port(), "POST /query/batch HTTP/1.0\r\nHost: x\r\n"
                      "Content-Length: " + std::to_string(body.size()) +
                      "\r\n\r\n" + body);
-  EXPECT_NE(batch.find("HTTP/1.0 200 OK"), std::string::npos) << batch;
+  EXPECT_NE(batch.find("HTTP/1.1 200 OK"), std::string::npos) << batch;
   EXPECT_NE(batch.find("\"entity\":\"" + entity + "\""), std::string::npos);
 
   // The admin plane still works next to /query.

@@ -42,7 +42,7 @@ if [[ -n "${SURVEYOR_PROFILE:-}" ]]; then
 fi
 
 cmake --build "$build_dir" -j --target bench_report query_bench \
-  scaling_pipeline micro_benchmarks profile_bench
+  load_bench scaling_pipeline micro_benchmarks profile_bench
 
 echo "== machine-readable snapshot (BENCH_pipeline.json) =="
 (cd "$repo_root" && "$build_dir/bench/bench_report" BENCH_pipeline.json)
@@ -50,6 +50,12 @@ echo "== machine-readable snapshot (BENCH_pipeline.json) =="
 echo
 echo "== query-throughput snapshot (BENCH_query.json) =="
 (cd "$repo_root" && "$build_dir/bench/query_bench" BENCH_query.json)
+
+echo
+echo "== serving-tier load snapshot (BENCH_serving.json) =="
+(cd "$repo_root" && "$build_dir/bench/load_bench" BENCH_serving.json)
+python3 "$repo_root/tools/check_serving_bench.py" \
+  "$repo_root/BENCH_serving.json"
 
 echo
 echo "== stage-attribution snapshot (BENCH_profile.json) =="

@@ -110,11 +110,15 @@ int Usage() {
          " [--domain D] [--out FILE] [--provenance N] [--report FILE]"
          " [--snapshot FILE] [--publish DIR] [--retain N] [--admin-port N]"
          " [--faults SPEC] [--fault-seed N] [--profile FILE]\n"
-      << "  surveyor_cli serve <dir> [mine flags] [--admin-port N]\n"
+      << "  surveyor_cli serve <dir> [mine flags] [--admin-port N]"
+         " [serving knobs]\n"
       << "  surveyor_cli serve --snapshot FILE [--admin-port N]"
-         " [--trace-sample-rate R] [--slow-query-ms MS]\n"
+         " [--trace-sample-rate R] [--slow-query-ms MS] [serving knobs]\n"
       << "  surveyor_cli serve --generations DIR [--retain N]"
-         " [--admin-port N] [--trace-sample-rate R] [--slow-query-ms MS]\n"
+         " [--admin-port N] [--trace-sample-rate R] [--slow-query-ms MS]"
+         " [serving knobs]\n"
+      << "  (serving knobs: --serve-workers N --max-connections N"
+         " --queue-high-water N)\n"
       << "  surveyor_cli query <dir> <type> <property> [limit]\n"
       << "  surveyor_cli profile <dir> <entity>\n"
       << "  surveyor_cli repl <dir>\n"
@@ -229,11 +233,14 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
   int admin_port = 8080;
   double trace_sample_rate = 0.01;
   double slow_query_ms = 250.0;
+  obs::AdminServerOptions admin_options;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
     if (flag != "--snapshot" && flag != "--generations" &&
         flag != "--retain" && flag != "--admin-port" &&
-        flag != "--trace-sample-rate" && flag != "--slow-query-ms") {
+        flag != "--trace-sample-rate" && flag != "--slow-query-ms" &&
+        flag != "--serve-workers" && flag != "--max-connections" &&
+        flag != "--queue-high-water") {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
     }
@@ -252,6 +259,14 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
       trace_sample_rate = std::atof(value.c_str());
     } else if (flag == "--slow-query-ms") {
       slow_query_ms = std::atof(value.c_str());
+    } else if (flag == "--serve-workers") {
+      admin_options.serve_workers = std::atoi(value.c_str());
+    } else if (flag == "--max-connections") {
+      admin_options.max_connections =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (flag == "--queue-high-water") {
+      admin_options.queue_high_water =
+          static_cast<size_t>(std::atoll(value.c_str()));
     } else {
       admin_port = std::atoi(value.c_str());
     }
@@ -271,6 +286,14 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
   if (retain == 0) {
     return Fail(Status::InvalidArgument("retain must be >= 1"));
   }
+  if (admin_options.serve_workers < 1) {
+    return Fail(Status::InvalidArgument("serve_workers must be >= 1"));
+  }
+  if (admin_options.max_connections < 1 ||
+      admin_options.queue_high_water < 1) {
+    return Fail(Status::InvalidArgument(
+        "max_connections and queue_high_water must be >= 1"));
+  }
 
   obs::LogRing::InstallGlobalTee();
   obs::MetricRegistry registry;
@@ -280,7 +303,6 @@ int RunServeSnapshot(const std::vector<std::string>& args) {
   index_options.metrics = &registry;
   serving::OpinionIndex index(index_options);
   serving::QueryService query_service(&index, &stage_tracker, &registry);
-  obs::AdminServerOptions admin_options;
   admin_options.port = admin_port;
   admin_options.trace_sample_rate = trace_sample_rate;
   admin_options.slow_query_ms = slow_query_ms;
@@ -367,6 +389,8 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
   // defaults to the conventional local admin port; mine defaults to off.
   int admin_port = serve ? 8080 : 0;
   bool admin_enabled = serve;
+  // Event-loop shape of the admin/serving tier; defaults from the struct.
+  obs::AdminServerOptions serving_shape;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& flag = args[i];
     const bool known = flag == "--min-statements" || flag == "--threshold" ||
@@ -376,7 +400,10 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
                        flag == "--retain" || flag == "--admin-port" ||
                        flag == "--faults" || flag == "--fault-seed" ||
                        flag == "--trace-sample-rate" ||
-                       flag == "--slow-query-ms" || flag == "--profile";
+                       flag == "--slow-query-ms" || flag == "--profile" ||
+                       flag == "--serve-workers" ||
+                       flag == "--max-connections" ||
+                       flag == "--queue-high-water";
     if (!known) {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
@@ -415,6 +442,14 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
       config.trace_sample_rate = std::atof(value.c_str());
     } else if (flag == "--slow-query-ms") {
       config.slow_query_ms = std::atof(value.c_str());
+    } else if (flag == "--serve-workers") {
+      serving_shape.serve_workers = std::atoi(value.c_str());
+    } else if (flag == "--max-connections") {
+      serving_shape.max_connections =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (flag == "--queue-high-water") {
+      serving_shape.queue_high_water =
+          static_cast<size_t>(std::atoll(value.c_str()));
     } else if (flag == "--profile") {
       profile_path = value;
     } else {
@@ -431,6 +466,14 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
   // config) starts first.
   const Status config_status = config.Validate();
   if (!config_status.ok()) return Fail(config_status);
+  if (serving_shape.serve_workers < 1) {
+    return Fail(Status::InvalidArgument("serve_workers must be >= 1"));
+  }
+  if (serving_shape.max_connections < 1 ||
+      serving_shape.queue_high_water < 1) {
+    return Fail(Status::InvalidArgument(
+        "max_connections and queue_high_water must be >= 1"));
+  }
 
   // The admin plane: a live registry + readiness machine the pipeline
   // writes into, an OS resource sampler, the process log ring, and the
@@ -452,7 +495,7 @@ int RunMine(const std::vector<std::string>& args, bool serve) {
     config.live_metrics = &live_registry;
     config.stage_tracker = &stage_tracker;
     sampler = std::make_unique<obs::ResourceSampler>(&live_registry);
-    obs::AdminServerOptions admin_options;
+    obs::AdminServerOptions admin_options = serving_shape;
     admin_options.port = admin_port;
     admin_options.trace_sample_rate = config.trace_sample_rate;
     admin_options.slow_query_ms = config.slow_query_ms;
